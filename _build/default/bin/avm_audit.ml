@@ -1,0 +1,115 @@
+(* Audit a recording file: verify the hash chain against the collected
+   authenticators (syntactic check), then deterministically replay the
+   log against the trusted reference image (semantic check). On a
+   fault, optionally write transferable evidence; evidence files can be
+   re-checked by a third party with --check-evidence. *)
+
+open Cmdliner
+open Avm_scenario
+module Audit = Avm_core.Audit
+module Evidence = Avm_core.Evidence
+
+let audit_file path evidence_out =
+  let r = Recording.load ~path in
+  Printf.printf "auditing %s (%s scenario, %d entries, %d authenticators)\n%!"
+    r.Recording.node
+    (Recording.scenario_name r.Recording.scenario)
+    (List.length r.Recording.entries)
+    (List.length r.Recording.auths);
+  (* Trust root: check every certificate against the CA first. *)
+  List.iter
+    (fun (name, cert) ->
+      if not (Avm_crypto.Identity.check_certificate r.Recording.ca_public cert) then begin
+        Printf.eprintf "certificate for %s does not verify against the CA\n" name;
+        exit 2
+      end)
+    r.Recording.certificates;
+  let node_cert = List.assoc r.Recording.node r.Recording.certificates in
+  let image = Recording.image_of_scenario r.Recording.scenario in
+  let report =
+    Audit.full ~node_cert ~peer_certs:r.Recording.certificates ~image
+      ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
+      ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries
+      ~auths:r.Recording.auths ()
+  in
+  Format.printf "%a@." Audit.pp_report report;
+  match report.Audit.verdict with
+  | Ok () -> 0
+  | Error _ ->
+    (match evidence_out with
+    | None -> ()
+    | Some out ->
+      let accusation =
+        match report.Audit.semantic with
+        | Some (Avm_core.Replay.Diverged d) -> Evidence.Replay_divergence d
+        | _ ->
+          Evidence.Tampered_log
+            { reason = String.concat "; " report.Audit.syntactic.Audit.failures }
+      in
+      let ev =
+        {
+          Evidence.accused = r.Recording.node;
+          prev_hash = Avm_tamperlog.Log.genesis_hash;
+          segment = r.Recording.entries;
+          auths = r.Recording.auths;
+          accusation;
+        }
+      in
+      let oc = open_out_bin out in
+      output_string oc (Evidence.encode ev);
+      close_out oc;
+      Printf.printf "evidence written to %s (give it to any third party)\n" out);
+    1
+
+let check_evidence path recording_path =
+  let ic = open_in_bin path in
+  let ev = Evidence.decode (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  (* The third party needs the certificates and peer map; they travel
+     in any recording of the same session. *)
+  let r = Recording.load ~path:recording_path in
+  Printf.printf "checking %s\n%!" (Evidence.describe ev);
+  let node_cert = List.assoc ev.Evidence.accused r.Recording.certificates in
+  let confirmed =
+    Evidence.check ev ~node_cert ~peer_certs:r.Recording.certificates
+      ~image:(Recording.image_of_scenario r.Recording.scenario)
+      ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers ()
+  in
+  if confirmed then begin
+    Printf.printf "CONFIRMED: %s is provably faulty\n" ev.Evidence.accused;
+    0
+  end
+  else begin
+    Printf.printf "REJECTED: the evidence does not hold up\n";
+    1
+  end
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"RECORDING" ~doc:"Recording file.")
+
+let evidence_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "evidence" ] ~docv:"OUT" ~doc:"On a fault, write transferable evidence here.")
+
+let check_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-evidence" ] ~docv:"EVIDENCE"
+        ~doc:"Act as the third party: verify an evidence file against RECORDING's session data.")
+
+let cmd =
+  let doc = "audit an AVM recording (syntactic + semantic checks)" in
+  let term =
+    Term.(
+      const (fun check file evidence ->
+          match check with
+          | Some ev_path -> Stdlib.exit (check_evidence ev_path file)
+          | None -> Stdlib.exit (audit_file file evidence))
+      $ check_arg $ file_arg $ evidence_arg)
+  in
+  Cmd.v (Cmd.info "avm_audit" ~doc) term
+
+let () = Stdlib.exit (Cmd.eval cmd)

@@ -1,0 +1,97 @@
+(* The guest toolchain as a CLI: compile an mlang source file to an
+   AVM-32 image, dump the assembly or a disassembly listing, print the
+   symbol table, or run the program right here with console output.
+
+   Examples:
+     avm_compile game.mlang --listing
+     avm_compile game.mlang --run --fuel 1000000
+     avm_compile game.mlang -o game.img *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_image path words =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun w ->
+          for i = 0 to 3 do
+            output_char oc (Char.chr ((w lsr (8 * i)) land 0xff))
+          done)
+        words)
+
+let run_image words fuel =
+  let m = Avm_machine.Machine.create ~mem_words:65536 words in
+  let backend =
+    {
+      Avm_machine.Machine.null_backend with
+      observe =
+        (function
+        | Avm_machine.Machine.Console c ->
+          if c >= 32 && c < 127 then print_char (Char.chr c)
+          else Printf.printf "<%d>" c
+        | Avm_machine.Machine.Frame -> ()
+        | Avm_machine.Machine.Packet_sent p ->
+          Printf.printf "<packet: %s>\n"
+            (String.concat "," (Array.to_list (Array.map string_of_int p))));
+    }
+  in
+  let n = Avm_machine.Machine.run m backend ~fuel in
+  Printf.printf "\n[%d instructions, %s]\n" n
+    (if Avm_machine.Machine.halted m then "halted" else "fuel exhausted")
+
+let main source out listing asm symbols run fuel stack_top =
+  try
+    let src = read_file source in
+    let image = Avm_mlang.Compile.compile ~stack_top src in
+    let words = image.Avm_isa.Asm.words in
+    Printf.printf "%s: %d words\n" source (Array.length words);
+    if asm then print_string (Avm_mlang.Compile.compile_to_asm ~stack_top src);
+    if listing then print_string (Avm_isa.Disasm.listing words);
+    if symbols then
+      List.iter (fun (name, addr) -> Printf.printf "%06x %s\n" addr name) image.Avm_isa.Asm.symbols;
+    (match out with Some path -> write_image path words | None -> ());
+    if run then run_image words fuel;
+    0
+  with
+  | Sys_error e ->
+    prerr_endline e;
+    2
+  | Avm_mlang.Compile.Error { phase; message } ->
+    Printf.eprintf "%s error: %s\n" phase message;
+    1
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"mlang source file.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o" ] ~docv:"IMG" ~doc:"Write the raw image.")
+
+let listing_arg = Arg.(value & flag & info [ "listing" ] ~doc:"Print a disassembly listing.")
+let asm_arg = Arg.(value & flag & info [ "asm" ] ~doc:"Print the generated assembly.")
+let symbols_arg = Arg.(value & flag & info [ "symbols" ] ~doc:"Print the symbol table.")
+let run_arg = Arg.(value & flag & info [ "run" ] ~doc:"Execute with a null world (console shown).")
+let fuel_arg = Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~docv:"N" ~doc:"Run budget.")
+
+let stack_arg =
+  Arg.(value & opt int 65536 & info [ "stack-top" ] ~docv:"ADDR" ~doc:"Initial stack pointer.")
+
+let cmd =
+  let doc = "compile mlang guests to AVM-32 images" in
+  let term =
+    Term.(
+      const (fun source out listing asm symbols run fuel stack ->
+          Stdlib.exit (main source out listing asm symbols run fuel stack))
+      $ source_arg $ out_arg $ listing_arg $ asm_arg $ symbols_arg $ run_arg $ fuel_arg
+      $ stack_arg)
+  in
+  Cmd.v (Cmd.info "avm_compile" ~doc) term
+
+let () = Stdlib.exit (Cmd.eval cmd)

@@ -1,0 +1,92 @@
+(* Record an accountable game session and write each player's recording
+   (log + collected authenticators + certificates) to disk — the files
+   players would exchange when auditing each other. *)
+
+open Cmdliner
+open Avm_scenario
+
+let run players seconds cheat_name cheater outdir seed =
+  (match Sys.is_directory outdir with
+  | true -> ()
+  | false ->
+    prerr_endline (outdir ^ " exists and is not a directory");
+    exit 2
+  | exception Sys_error _ -> Unix.mkdir outdir 0o755);
+  let cheat =
+    match cheat_name with
+    | None -> None
+    | Some name -> (
+      match Cheats.find name with
+      | c -> Some (cheater, c)
+      | exception Not_found ->
+        Printf.eprintf "unknown cheat %S; see avm_run --list-cheats\n" name;
+        exit 2)
+  in
+  let spec =
+    {
+      Game_run.players;
+      duration_us = float_of_int seconds *. 1.0e6;
+      config = Avm_core.Config.make ~snapshot_every_us:(Some 10_000_000) Avm_core.Config.Avmm_rsa768;
+      cheat;
+      frame_cap = false;
+      seed = Int64.of_int seed;
+      rsa_bits = 768;
+    }
+  in
+  Printf.printf "recording %d players for %ds of game time%s...\n%!" players seconds
+    (match cheat with
+    | Some (i, c) -> Printf.sprintf " (player%d running %s)" i c.Cheats.name
+    | None -> "");
+  let o = Game_run.play spec in
+  for i = 0 to players - 1 do
+    let rec_ = Recording.of_game_node o i in
+    let path = Filename.concat outdir (Printf.sprintf "%s.avmrec" rec_.Recording.node) in
+    Recording.save ~path rec_;
+    Printf.printf "  %s: %d log entries, %d authenticators, %.0f fps -> %s\n%!"
+      rec_.Recording.node
+      (List.length rec_.Recording.entries)
+      (List.length rec_.Recording.auths)
+      o.Game_run.fps.(i) path
+  done;
+  print_endline "done; audit any file with: avm_audit <file>"
+
+let list_cheats () =
+  List.iter
+    (fun (c : Cheats.t) ->
+      Printf.printf "%-22s %s %s\n" c.Cheats.name
+        (if c.Cheats.class2 then "[any-impl]" else "[this-impl]")
+        c.Cheats.description)
+    Cheats.catalog
+
+let players_arg =
+  Arg.(value & opt int 3 & info [ "players" ] ~docv:"N" ~doc:"Number of players (node 0 hosts).")
+
+let seconds_arg =
+  Arg.(value & opt int 30 & info [ "seconds" ] ~docv:"S" ~doc:"Game duration in virtual seconds.")
+
+let cheat_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cheat" ] ~docv:"NAME" ~doc:"Install a catalog cheat (see $(b,--list-cheats)).")
+
+let cheater_arg =
+  Arg.(value & opt int 1 & info [ "cheater" ] ~docv:"I" ~doc:"Which player cheats.")
+
+let outdir_arg =
+  Arg.(value & opt string "recordings" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"World seed.")
+let list_arg = Arg.(value & flag & info [ "list-cheats" ] ~doc:"List the cheat catalog and exit.")
+
+let cmd =
+  let doc = "record an accountable multiplayer game session" in
+  let term =
+    Term.(
+      const (fun list players seconds cheat cheater outdir seed ->
+          if list then list_cheats () else run players seconds cheat cheater outdir seed)
+      $ list_arg $ players_arg $ seconds_arg $ cheat_arg $ cheater_arg $ outdir_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "avm_run" ~doc) term
+
+let () = exit (Cmd.eval cmd)

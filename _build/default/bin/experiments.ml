@@ -1,0 +1,71 @@
+(* CLI that regenerates every table and figure of the paper's
+   evaluation section. See DESIGN.md §4 for the experiment index and
+   EXPERIMENTS.md for recorded paper-vs-measured numbers. *)
+
+open Cmdliner
+module E = Avm_scenario.Experiments
+
+let experiments =
+  [
+    ("sanity", "§6.3 functionality check (4 preinstalled cheats)",
+     fun s -> ignore (E.sanity ~scale:s ()));
+    ("t1", "Table 1: cheat detectability (all 26 cheats)", fun s -> ignore (E.table1 ~scale:s ()));
+    ("f3", "Figure 3: log growth over time", fun s -> ignore (E.fig3 ~scale:s ()));
+    ("f4", "Figure 4: log content breakdown", fun s -> ignore (E.fig4 ~scale:s ()));
+    ("capopt", "§6.5: frame cap and clock-read optimization", fun s -> ignore (E.capopt ~scale:s ()));
+    ("audit-cost", "§6.6: audit phases vs play time", fun s -> ignore (E.audit_cost ~scale:s ()));
+    ("f5", "Figure 5: ping RTT ladder", fun s -> ignore (E.fig5 ~scale:s ()));
+    ("f6", "Figure 6: per-hyperthread CPU utilization", fun s -> ignore (E.fig6 ~scale:s ()));
+    ("f7", "Figure 7: frame rate ladder", fun s -> ignore (E.fig7 ~scale:s ()));
+    ("traffic", "§6.7: wire traffic", fun s -> ignore (E.traffic ~scale:s ()));
+    ("f8", "Figure 8: online auditing", fun s -> ignore (E.fig8 ~scale:s ()));
+    ("f9", "Figure 9: spot-check cost", fun s -> ignore (E.fig9 ~scale:s ()));
+    ("snapshots", "§6.12: snapshot costs", fun s -> ignore (E.snapshot_costs ~scale:s ()));
+  ]
+
+let run_one scale name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) experiments with
+  | Some (_, _, f) ->
+    f scale;
+    `Ok ()
+  | None when String.equal name "all" ->
+    E.all ~scale ();
+    `Ok ()
+  | None ->
+    `Error
+      ( false,
+        Printf.sprintf "unknown experiment %S; choose from: all %s" name
+          (String.concat " " (List.map (fun (n, _, _) -> n) experiments)) )
+
+let name_arg =
+  let doc =
+    "Which experiment to run: $(b,all) or one of "
+    ^ String.concat ", " (List.map (fun (n, _, _) -> n) experiments)
+    ^ "."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc = "Shrink durations and key sizes (~8x faster, same shapes)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the tables and figures of the AVM paper (OSDI 2010)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the evaluation workloads — a 3-player game and a key-value \
+         client/server — under the paper's five configurations and prints \
+         each table/figure with the paper's numbers alongside.";
+    ]
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun quick name -> run_one (if quick then E.Quick else E.Full) name)
+        $ quick_arg $ name_arg))
+  in
+  Cmd.v (Cmd.info "experiments" ~doc ~man) term
+
+let () = exit (Cmd.eval cmd)

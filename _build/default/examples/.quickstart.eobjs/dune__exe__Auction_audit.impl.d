@@ -1,0 +1,1 @@
+examples/auction_audit.ml: Array Auction_run Avm_core Avm_scenario List Printf String

@@ -1,0 +1,1 @@
+examples/cloud_spot_check.ml: Avm_core Avm_crypto Avm_machine Avm_netsim Avm_scenario Kv_run List Printf Replay Spot_check

@@ -1,0 +1,1 @@
+examples/cloud_spot_check.mli:

@@ -1,0 +1,1 @@
+examples/game_cheat_detection.ml: Array Audit Avm_core Avm_netsim Avm_scenario Avm_tamperlog Avmm Cheats Config Evidence Game_run Guests List Multiparty Printf Replay String

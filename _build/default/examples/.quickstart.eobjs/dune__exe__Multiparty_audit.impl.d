@@ -1,0 +1,1 @@
+examples/multiparty_audit.ml: Audit Avm_core Avm_netsim Avm_scenario Avm_tamperlog Avmm Config Evidence Game_run Guests List Multiparty Printf

@@ -1,0 +1,1 @@
+examples/multiparty_audit.mli:

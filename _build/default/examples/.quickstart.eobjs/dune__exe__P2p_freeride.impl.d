@@ -1,0 +1,1 @@
+examples/p2p_freeride.ml: Array Avm_core Avm_scenario P2p_run Printf String

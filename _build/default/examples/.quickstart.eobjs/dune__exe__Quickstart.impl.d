@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Audit Avm_core Avm_crypto Avm_isa Avm_mlang Avm_tamperlog Avm_util Avmm Config Evidence Format Printf Queue Replay Wireformat

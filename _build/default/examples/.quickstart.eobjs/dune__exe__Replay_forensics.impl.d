@@ -1,0 +1,1 @@
+examples/replay_forensics.ml: Avm_analysis Avm_core Avm_netsim Avm_scenario Avm_tamperlog Cheats Forensics Format Game_run Guests List Printf Profile String Taint Watchpoints

@@ -1,0 +1,1 @@
+lib/analysis/forensics.ml: Avm_core Avm_machine List Option Profile Replay Taint Watchpoints

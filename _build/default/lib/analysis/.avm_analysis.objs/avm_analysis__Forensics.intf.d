@@ -1,0 +1,1 @@
+lib/analysis/forensics.mli: Avm_core Avm_tamperlog Profile Taint Watchpoints

@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Array Avm_isa Avm_machine Buffer Hashtbl Isa List Machine Printf String

@@ -1,0 +1,1 @@
+lib/analysis/profile.mli: Avm_isa Avm_machine

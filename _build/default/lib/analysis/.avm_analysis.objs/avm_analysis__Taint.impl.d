@@ -1,0 +1,1 @@
+lib/analysis/taint.ml: Array Avm_isa Avm_machine Format Hashtbl Isa Landmark List Machine Printf

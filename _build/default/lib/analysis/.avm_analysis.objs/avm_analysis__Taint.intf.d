@@ -1,0 +1,1 @@
+lib/analysis/taint.mli: Avm_isa Avm_machine Format

@@ -1,0 +1,1 @@
+lib/analysis/watchpoints.ml: Avm_machine Hashtbl List Machine Memory

@@ -1,0 +1,1 @@
+lib/analysis/watchpoints.mli: Avm_machine

@@ -1,0 +1,54 @@
+open Avm_core
+
+type result = {
+  outcome : Replay.outcome;
+  taint_findings : Taint.finding list;
+  profile : Profile.t option;
+  watch_hits : Watchpoints.hit list;
+}
+
+let replay ~image ?mem_words ?(fuel = 200_000_000) ~peers ~entries ?taint ?profile ?watch () =
+  let engine = Replay.engine ~image ?mem_words ~peers () in
+  let machine = Replay.engine_machine engine in
+  (* Compose the instruction-level analyses on the single tracer. *)
+  let hooks =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun t m i -> Taint.on_instr_hook t m i) taint;
+        Option.map (fun p m i -> Profile.on_instr_hook p m i) profile;
+      ]
+  in
+  (match hooks with
+  | [] -> ()
+  | hooks -> Avm_machine.Machine.set_tracer machine (Some (fun m i -> List.iter (fun h -> h m i) hooks)));
+  (match watch with Some w -> Watchpoints.attach w machine | None -> ());
+  Replay.feed engine entries;
+  let rec drain budget =
+    if budget <= 0 then
+      Replay.Diverged
+        {
+          Replay.kind = Replay.Guest_stalled;
+          at = Avm_machine.Machine.landmark machine;
+          entry_seq = None;
+          detail = "fuel exhausted";
+        }
+    else begin
+      match Replay.crank engine ~fuel:(min budget 10_000_000) with
+      | `Blocked ->
+        Replay.Verified
+          {
+            instructions = Replay.replayed_instructions engine;
+            entries_consumed = List.length entries;
+          }
+      | `Fault d -> Replay.Diverged d
+      | `Fuel_exhausted -> drain (budget - 10_000_000)
+    end
+  in
+  let outcome = drain fuel in
+  {
+    outcome;
+    taint_findings = (match taint with Some t -> Taint.findings t | None -> []);
+    profile;
+    watch_hits = (match watch with Some w -> Watchpoints.hits w | None -> []);
+  }

@@ -1,0 +1,30 @@
+(** One-call replay with analyses attached (paper §7.5).
+
+    "Sophisticated runtime techniques can be used during replay to
+    detect bugs, vulnerabilities and attacks as part of a normal
+    audit." This module wires {!Taint}, {!Profile} and {!Watchpoints}
+    onto a {!Avm_core.Replay.engine} and runs the semantic check. *)
+
+type result = {
+  outcome : Avm_core.Replay.outcome;
+  taint_findings : Taint.finding list;
+  profile : Profile.t option;
+  watch_hits : Watchpoints.hit list;
+}
+
+val replay :
+  image:int array ->
+  ?mem_words:int ->
+  ?fuel:int ->
+  peers:(int * string) list ->
+  entries:Avm_tamperlog.Entry.t list ->
+  ?taint:Taint.t ->
+  ?profile:Profile.t ->
+  ?watch:Watchpoints.t ->
+  unit ->
+  result
+(** Replays the segment with the given analyses attached (taint and
+    profile compose on the instruction tracer; watchpoints use the
+    memory hook). Analyses observe the {e replayed} reference
+    execution — i.e. the legitimate behaviour the audited machine
+    committed to. *)

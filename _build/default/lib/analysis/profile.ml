@@ -1,0 +1,66 @@
+open Avm_isa
+open Avm_machine
+
+type t = {
+  mutable instructions : int;
+  mutable branches : int;
+  pc_counts : (int, int ref) Hashtbl.t;
+  op_counts : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  { instructions = 0; branches = 0; pc_counts = Hashtbl.create 1024; op_counts = Hashtbl.create 64 }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let mnemonic instr =
+  match String.index_opt (Isa.to_string instr) ' ' with
+  | Some i -> String.sub (Isa.to_string instr) 0 i
+  | None -> Isa.to_string instr
+
+let on_instr t m instr =
+  t.instructions <- t.instructions + 1;
+  if Isa.is_branch instr then t.branches <- t.branches + 1;
+  bump t.pc_counts (Machine.pc m);
+  bump t.op_counts (mnemonic instr)
+
+let on_instr_hook = on_instr
+let attach t machine = Machine.set_tracer machine (Some (on_instr t))
+let detach machine = Machine.set_tracer machine None
+let instructions t = t.instructions
+let distinct_pcs t = Hashtbl.length t.pc_counts
+let branch_count t = t.branches
+
+let sorted_desc tbl =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let opcode_histogram t = sorted_desc t.op_counts
+
+let hottest t ~n =
+  let all = sorted_desc t.pc_counts in
+  List.filteri (fun i _ -> i < n) all
+
+let report t ~image =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "profile: %d instructions, %d distinct pcs, %d control transfers\n"
+       t.instructions (distinct_pcs t) t.branches);
+  Buffer.add_string buf "top opcodes:\n";
+  List.iteri
+    (fun i (op, n) ->
+      if i < 8 then Buffer.add_string buf (Printf.sprintf "  %-6s %d\n" op n))
+    (opcode_histogram t);
+  Buffer.add_string buf "hottest code:\n";
+  List.iter
+    (fun (pc, n) ->
+      let text =
+        if pc >= 0 && pc < Array.length image then Avm_isa.Disasm.instruction image.(pc)
+        else "?"
+      in
+      Buffer.add_string buf (Printf.sprintf "  %06x: %-24s %d\n" pc text n))
+    (hottest t ~n:8);
+  Buffer.contents buf

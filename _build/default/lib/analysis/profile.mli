@@ -1,0 +1,34 @@
+(** Replay-time execution profiling (paper §7.5).
+
+    Counts opcodes, taken/not-taken branches, and per-pc execution
+    frequency during a replay. An auditor uses this to understand
+    {e what} a divergent or suspicious execution was doing — the
+    forensics side of "decoupling dynamic program analysis from
+    execution". *)
+
+type t
+
+val create : unit -> t
+
+val on_instr_hook : t -> Avm_machine.Machine.t -> Avm_isa.Isa.instr -> unit
+(** The raw per-instruction hook, for composing several analyses on
+    one tracer (see {!Forensics}). *)
+
+val attach : t -> Avm_machine.Machine.t -> unit
+val detach : Avm_machine.Machine.t -> unit
+
+val instructions : t -> int
+val distinct_pcs : t -> int
+(** Coverage: how many distinct instruction addresses executed. *)
+
+val opcode_histogram : t -> (string * int) list
+(** Mnemonic -> count, descending. *)
+
+val hottest : t -> n:int -> (int * int) list
+(** The [n] most-executed pcs as [(pc, count)], descending. *)
+
+val branch_count : t -> int
+(** Control-transfer instructions executed. *)
+
+val report : t -> image:int array -> string
+(** Human-readable summary with disassembly of the hot spots. *)

@@ -1,0 +1,135 @@
+open Avm_isa
+open Avm_machine
+
+type finding = {
+  at : Landmark.t;
+  kind : [ `Hijacked_control_flow | `Tainted_code_executed | `Tainted_sink of int ];
+  detail : string;
+}
+
+type t = {
+  taint_network : bool;
+  taint_input : bool;
+  sink_ports : int list;
+  max_findings : int;
+  reg_taint : bool array;
+  mem_taint : (int, unit) Hashtbl.t; (* tainted word addresses *)
+  mutable found : finding list; (* newest first *)
+  mutable count : int;
+}
+
+let create ?(taint_network = true) ?(taint_input = false) ?(sink_ports = [])
+    ?(max_findings = 1000) () =
+  {
+    taint_network;
+    taint_input;
+    sink_ports;
+    max_findings;
+    reg_taint = Array.make 16 false;
+    mem_taint = Hashtbl.create 256;
+    found = [];
+    count = 0;
+  }
+
+let mem_tainted t addr = Hashtbl.mem t.mem_taint addr
+
+let set_mem t addr tainted =
+  if tainted then Hashtbl.replace t.mem_taint addr ()
+  else Hashtbl.remove t.mem_taint addr
+
+let report t at kind detail =
+  if t.count < t.max_findings then begin
+    t.found <- { at; kind; detail } :: t.found;
+    t.count <- t.count + 1
+  end
+
+let is_source t port =
+  (t.taint_network && port = Isa.port_net_rx) || (t.taint_input && port = Isa.port_input)
+
+(* Dataflow, mirroring Machine.step's semantics. Runs on the
+   pre-execution state, so register values give exact effective
+   addresses. *)
+let on_instr t m instr =
+  let rt = t.reg_taint in
+  let at () = Machine.landmark m in
+  (* Code injection: the word we are about to execute is tainted. *)
+  if mem_tainted t (Machine.pc m) then
+    report t (at ()) `Tainted_code_executed
+      (Printf.sprintf "instruction word at pc=0x%x is network-derived" (Machine.pc m));
+  match instr with
+  | Isa.Halt | Isa.Nop | Isa.Ei | Isa.Di | Isa.Iret -> ()
+  | Isa.Mov (d, s) -> rt.(d) <- rt.(s)
+  | Isa.Movi (d, _) | Isa.Lui (d, _) -> rt.(d) <- false
+  | Isa.Add (d, a, b)
+  | Isa.Sub (d, a, b)
+  | Isa.Mul (d, a, b)
+  | Isa.Div (d, a, b)
+  | Isa.Rem (d, a, b)
+  | Isa.And (d, a, b)
+  | Isa.Or (d, a, b)
+  | Isa.Xor (d, a, b)
+  | Isa.Shl (d, a, b)
+  | Isa.Shr (d, a, b)
+  | Isa.Sar (d, a, b)
+  | Isa.Slt (d, a, b)
+  | Isa.Sltu (d, a, b)
+  | Isa.Seq (d, a, b) ->
+    rt.(d) <- rt.(a) || rt.(b)
+  | Isa.Addi (d, a, _)
+  | Isa.Andi (d, a, _)
+  | Isa.Ori (d, a, _)
+  | Isa.Xori (d, a, _)
+  | Isa.Shli (d, a, _)
+  | Isa.Shri (d, a, _)
+  | Isa.Sari (d, a, _) ->
+    rt.(d) <- rt.(a)
+  | Isa.Load (d, a, off) ->
+    let addr = Machine.reg m a + off in
+    (* Pointer taint propagates: reading through an attacker-derived
+       pointer yields attacker-controlled data. *)
+    rt.(d) <- rt.(a) || mem_tainted t addr
+  | Isa.Store (v, a, off) ->
+    let addr = Machine.reg m a + off in
+    set_mem t addr (rt.(v) || rt.(a))
+  | Isa.Jmp _ -> ()
+  | Isa.Jal (d, _) -> rt.(d) <- false
+  | Isa.Jr a ->
+    if rt.(a) then
+      report t (at ()) `Hijacked_control_flow
+        (Printf.sprintf "jr through tainted %s (target 0x%x)" (Isa.reg_name a) (Machine.reg m a))
+  | Isa.Jalr (d, a) ->
+    if rt.(a) then
+      report t (at ()) `Hijacked_control_flow
+        (Printf.sprintf "jalr through tainted %s (target 0x%x)" (Isa.reg_name a)
+           (Machine.reg m a));
+    rt.(d) <- false
+  | Isa.Beq _ | Isa.Bne _ | Isa.Blt _ | Isa.Bge _ | Isa.Bltu _ | Isa.Bgeu _ ->
+    () (* implicit flows not tracked *)
+  | Isa.In (d, port) -> rt.(d) <- is_source t port
+  | Isa.Out (s, port) ->
+    if rt.(s) && List.mem port t.sink_ports then
+      report t (at ()) (`Tainted_sink port)
+        (Printf.sprintf "tainted word written to %s" (Isa.port_name port))
+
+let on_instr_hook = on_instr
+let attach t machine = Machine.set_tracer machine (Some (on_instr t))
+let detach machine = Machine.set_tracer machine None
+let findings t = List.rev t.found
+
+let tainted_registers t =
+  let acc = ref [] in
+  for i = 15 downto 0 do
+    if t.reg_taint.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let tainted_words t = Hashtbl.length t.mem_taint
+
+let pp_finding fmt f =
+  let kind =
+    match f.kind with
+    | `Hijacked_control_flow -> "control-flow hijack"
+    | `Tainted_code_executed -> "tainted code executed"
+    | `Tainted_sink p -> Printf.sprintf "tainted data at sink %s" (Isa.port_name p)
+  in
+  Format.fprintf fmt "@[<h>[%s] %a: %s@]" kind Landmark.pp f.at f.detail

@@ -1,0 +1,64 @@
+(** Replay-time dynamic taint tracking (paper §7.5).
+
+    "Taint tracking can reliably detect the unsafe use of data that
+    were received from an untrusted source, thus detecting buffer
+    overwrite attacks and other forms of unauthorized software
+    installation" — run during an off-line replay, where its runtime
+    cost does not matter.
+
+    This implementation tracks word-granularity taint through the
+    AVM-32 dataflow, via the machine's tracer hook: it observes each
+    instruction {e before} execution (with pre-state register values,
+    so effective addresses are exact) and updates shadow taint for
+    registers and memory. Explicit flows only; implicit (control-flow)
+    propagation is out of scope, as in classic Newsome–Song style
+    tracking.
+
+    Sources (configurable): words read from the network (NET_RX) and,
+    optionally, local input (INPUT). Policy violations reported:
+
+    - {b control-flow hijack}: an indirect jump ([jr]/[jalr]) through a
+      tainted register — the moral equivalent of a smashed return
+      address;
+    - {b code injection}: execution reaches an instruction whose memory
+      word is tainted;
+    - {b tainted sink}: tainted data written to a configured sink port
+      (e.g. DISK_WRITE when the policy forbids persisting raw network
+      bytes). *)
+
+type finding = {
+  at : Avm_machine.Landmark.t;
+  kind : [ `Hijacked_control_flow | `Tainted_code_executed | `Tainted_sink of int ];
+  detail : string;
+}
+
+type t
+
+val create :
+  ?taint_network:bool ->
+  ?taint_input:bool ->
+  ?sink_ports:int list ->
+  ?max_findings:int ->
+  unit ->
+  t
+(** Defaults: network tainted, local input not, no sink ports, at most
+    1000 findings retained. *)
+
+val on_instr_hook : t -> Avm_machine.Machine.t -> Avm_isa.Isa.instr -> unit
+(** The raw per-instruction hook, for composing several analyses on
+    one tracer (see {!Forensics}). *)
+
+val attach : t -> Avm_machine.Machine.t -> unit
+(** Install the analysis on a machine (replaces any previous tracer).
+    Typically called on {!Avm_core.Replay.engine_machine}. *)
+
+val detach : Avm_machine.Machine.t -> unit
+
+val findings : t -> finding list
+(** Violations observed so far, oldest first. *)
+
+val tainted_registers : t -> int list
+val tainted_words : t -> int
+(** Number of currently-tainted memory words. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,34 @@
+open Avm_machine
+
+type hit = { at_icount : int; addr : int; old : int; value : int }
+
+type t = {
+  watched : (int, unit) Hashtbl.t;
+  mutable history : hit list; (* newest first *)
+  mutable machine : Machine.t option;
+}
+
+let create ~addrs =
+  let watched = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace watched a ()) addrs;
+  { watched; history = []; machine = None }
+
+let on_write t addr ~old ~value =
+  if Hashtbl.mem t.watched addr then begin
+    let at_icount = match t.machine with Some m -> Machine.icount m | None -> -1 in
+    t.history <- { at_icount; addr; old; value } :: t.history
+  end
+
+let attach t machine =
+  t.machine <- Some machine;
+  Memory.set_watch (Machine.mem machine) (Some (on_write t))
+
+let detach machine = Memory.set_watch (Machine.mem machine) None
+let hits t = List.rev t.history
+
+let last_value t addr =
+  let rec go = function
+    | [] -> None
+    | h :: rest -> if h.addr = addr then Some h.value else go rest
+  in
+  go t.history

@@ -1,0 +1,22 @@
+(** Replay-time memory watchpoints (paper §7.5 forensics).
+
+    Record every write to a set of guest addresses during replay, with
+    the instruction count at which it happened. After a divergence
+    report like "ammo behaves impossibly", an auditor re-replays with a
+    watchpoint on the ammo word and gets its full legitimate history to
+    compare against claimed behaviour. *)
+
+type hit = { at_icount : int; addr : int; old : int; value : int }
+
+type t
+
+val create : addrs:int list -> t
+val attach : t -> Avm_machine.Machine.t -> unit
+(** Installs a memory watch hook (replaces any previous one). *)
+
+val detach : Avm_machine.Machine.t -> unit
+val hits : t -> hit list
+(** Chronological write history of the watched addresses. *)
+
+val last_value : t -> int -> int option
+(** Most recent value written to an address, if any write was seen. *)

@@ -1,0 +1,1 @@
+lib/compress/codec.ml: Array Avm_util Bitio Buffer Char Huffman List Lzss String Wire

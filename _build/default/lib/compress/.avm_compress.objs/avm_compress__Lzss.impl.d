@@ -1,0 +1,1 @@
+lib/compress/lzss.ml: Array Buffer Char List String

@@ -1,0 +1,48 @@
+type writer = { buf : Buffer.t; mutable acc : int; mutable nbits : int; mutable total : int }
+
+let writer () = { buf = Buffer.create 256; acc = 0; nbits = 0; total = 0 }
+
+let put_bit w b =
+  w.acc <- (w.acc lsl 1) lor (b land 1);
+  w.nbits <- w.nbits + 1;
+  w.total <- w.total + 1;
+  if w.nbits = 8 then begin
+    Buffer.add_char w.buf (Char.chr w.acc);
+    w.acc <- 0;
+    w.nbits <- 0
+  end
+
+let put_bits w ~value ~count =
+  if count < 0 || count > 57 then invalid_arg "Bitio.put_bits";
+  for i = count - 1 downto 0 do
+    put_bit w ((value lsr i) land 1)
+  done
+
+let bit_length w = w.total
+
+let contents w =
+  let tail =
+    if w.nbits = 0 then ""
+    else String.make 1 (Char.chr (w.acc lsl (8 - w.nbits)))
+  in
+  Buffer.contents w.buf ^ tail
+
+type reader = { input : string; mutable pos : int }
+
+exception Out_of_bits
+
+let reader input = { input; pos = 0 }
+
+let get_bit r =
+  let byte = r.pos / 8 in
+  if byte >= String.length r.input then raise Out_of_bits;
+  let bit = (Char.code r.input.[byte] lsr (7 - (r.pos mod 8))) land 1 in
+  r.pos <- r.pos + 1;
+  bit
+
+let get_bits r count =
+  let v = ref 0 in
+  for _ = 1 to count do
+    v := (!v lsl 1) lor get_bit r
+  done;
+  !v

@@ -1,0 +1,29 @@
+(** Bit-level I/O for the Huffman coder. Bits are packed MSB-first
+    within each byte. *)
+
+type writer
+
+val writer : unit -> writer
+
+val put_bit : writer -> int -> unit
+(** [put_bit w b] appends bit [b] (0 or 1). *)
+
+val put_bits : writer -> value:int -> count:int -> unit
+(** [put_bits w ~value ~count] appends the low [count] bits of [value],
+    most significant first. [count <= 57]. *)
+
+val contents : writer -> string
+(** Flushes (zero-padding the final byte) and returns the bitstream. *)
+
+val bit_length : writer -> int
+(** Number of bits written so far. *)
+
+type reader
+
+exception Out_of_bits
+
+val reader : string -> reader
+val get_bit : reader -> int
+val get_bits : reader -> int -> int
+(** [get_bits r count] reads [count] bits MSB-first.
+    @raise Out_of_bits past the end. *)

@@ -1,0 +1,137 @@
+let max_code_length = 15
+
+type code = { lengths : int array }
+
+type tree = Leaf of int | Node of tree * tree
+
+(* Two-queue Huffman construction: with the leaves sorted by weight,
+   merged nodes are produced in nondecreasing weight order, so a second
+   FIFO queue replaces a priority heap. *)
+let build_tree weighted_leaves =
+  let leaves = Queue.create () and nodes = Queue.create () in
+  List.iter (fun x -> Queue.add x leaves) weighted_leaves;
+  let pop_min () =
+    match (Queue.peek_opt leaves, Queue.peek_opt nodes) with
+    | None, None -> assert false
+    | Some _, None -> Queue.pop leaves
+    | None, Some _ -> Queue.pop nodes
+    | Some (wl, _), Some (wn, _) -> if wl <= wn then Queue.pop leaves else Queue.pop nodes
+  in
+  let total = Queue.length leaves in
+  if total = 1 then snd (Queue.pop leaves)
+  else begin
+    for _ = 1 to total - 1 do
+      let w1, t1 = pop_min () in
+      let w2, t2 = pop_min () in
+      Queue.add (w1 + w2, Node (t1, t2)) nodes
+    done;
+    snd (Queue.pop nodes)
+  end
+
+let depths nsymbols tree =
+  let lengths = Array.make nsymbols 0 in
+  let maxd = ref 0 in
+  let rec go d = function
+    | Leaf s ->
+      (* A single-symbol alphabet still needs one bit. *)
+      lengths.(s) <- max d 1;
+      maxd := max !maxd (max d 1)
+    | Node (l, r) ->
+      go (d + 1) l;
+      go (d + 1) r
+  in
+  go 0 tree;
+  (lengths, !maxd)
+
+let of_frequencies freqs =
+  let present = ref [] in
+  Array.iteri (fun s f -> if f > 0 then present := (f, Leaf s) :: !present) freqs;
+  if !present = [] then invalid_arg "Huffman.of_frequencies: empty";
+  let sorted xs = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) xs in
+  (* Retry with flattened frequencies until the depth limit holds. *)
+  let rec attempt leaves =
+    let lengths, maxd = depths (Array.length freqs) (build_tree (sorted leaves)) in
+    if maxd <= max_code_length then { lengths }
+    else attempt (List.map (fun (f, t) -> (((f + 1) / 2) + 1, t)) leaves)
+  in
+  attempt !present
+
+(* Canonical code assignment: symbols sorted by (length, index) get
+   consecutive codes within each length. *)
+let canonical_codes { lengths } =
+  let nsymbols = Array.length lengths in
+  let by_len = Array.make (max_code_length + 1) 0 in
+  Array.iter (fun l -> if l > 0 then by_len.(l) <- by_len.(l) + 1) lengths;
+  let next = Array.make (max_code_length + 2) 0 in
+  let code = ref 0 in
+  for l = 1 to max_code_length do
+    code := (!code + by_len.(l - 1)) lsl 1;
+    next.(l) <- !code
+  done;
+  let codes = Array.make nsymbols 0 in
+  for s = 0 to nsymbols - 1 do
+    let l = lengths.(s) in
+    if l > 0 then begin
+      codes.(s) <- next.(l);
+      next.(l) <- next.(l) + 1
+    end
+  done;
+  codes
+
+type encoder = { e_lengths : int array; e_codes : int array }
+
+let encoder c = { e_lengths = c.lengths; e_codes = canonical_codes c }
+
+let encode enc w sym =
+  let l = enc.e_lengths.(sym) in
+  if l = 0 then invalid_arg "Huffman.encode: symbol has no code";
+  Bitio.put_bits w ~value:enc.e_codes.(sym) ~count:l
+
+type decoder = {
+  first_code : int array; (* per length: first canonical code *)
+  counts : int array; (* per length: number of codes *)
+  offsets : int array; (* per length: index into [symbols] *)
+  symbols : int array; (* symbols sorted by (length, index) *)
+}
+
+let decoder { lengths } =
+  let counts = Array.make (max_code_length + 1) 0 in
+  Array.iter (fun l -> if l > 0 then counts.(l) <- counts.(l) + 1) lengths;
+  let first_code = Array.make (max_code_length + 1) 0 in
+  let offsets = Array.make (max_code_length + 1) 0 in
+  let code = ref 0 and off = ref 0 in
+  for l = 1 to max_code_length do
+    code := (!code + counts.(l - 1)) lsl 1;
+    first_code.(l) <- !code;
+    offsets.(l) <- !off;
+    off := !off + counts.(l)
+  done;
+  let symbols = Array.make !off 0 in
+  let cursor = Array.copy offsets in
+  Array.iteri
+    (fun s l ->
+      if l > 0 then begin
+        symbols.(cursor.(l)) <- s;
+        cursor.(l) <- cursor.(l) + 1
+      end)
+    lengths;
+  { first_code; counts; offsets; symbols }
+
+let decode dec r =
+  (* Canonical decoding: extend the code one bit at a time and check
+     whether it falls inside the code range of the current length. *)
+  let rec step code len =
+    let code = (code lsl 1) lor Bitio.get_bit r in
+    let idx = code - dec.first_code.(len) in
+    if dec.counts.(len) > 0 && idx >= 0 && idx < dec.counts.(len) then
+      dec.symbols.(dec.offsets.(len) + idx)
+    else if len >= max_code_length then failwith "Huffman.decode: bad code"
+    else step code (len + 1)
+  in
+  step 0 1
+
+let write_lengths { lengths } w =
+  Array.iter (fun l -> Bitio.put_bits w ~value:l ~count:4) lengths
+
+let read_lengths ~symbols r =
+  { lengths = Array.init symbols (fun _ -> Bitio.get_bits r 4) }

@@ -1,0 +1,37 @@
+(** Canonical Huffman coding over a fixed symbol alphabet.
+
+    Code lengths are derived from symbol frequencies and capped at
+    {!max_code_length}; codes are assigned canonically so only the
+    length table needs to travel with the data. *)
+
+val max_code_length : int
+(** 15, as in DEFLATE. *)
+
+type code = { lengths : int array }
+(** Code lengths per symbol (0 = symbol absent). *)
+
+val of_frequencies : int array -> code
+(** [of_frequencies freqs] builds length-limited canonical code
+    lengths. Symbols with zero frequency get length 0. At least one
+    symbol must have nonzero frequency.
+    @raise Invalid_argument if all frequencies are zero. *)
+
+type encoder
+
+val encoder : code -> encoder
+val encode : encoder -> Bitio.writer -> int -> unit
+(** [encode enc w sym] appends the code for [sym].
+    @raise Invalid_argument if [sym] has no code. *)
+
+type decoder
+
+val decoder : code -> decoder
+val decode : decoder -> Bitio.reader -> int
+(** [decode dec r] reads one symbol.
+    @raise Failure on a code not in the table. *)
+
+val write_lengths : code -> Bitio.writer -> unit
+(** Serializes the length table (4 bits per symbol). *)
+
+val read_lengths : symbols:int -> Bitio.reader -> code
+(** Inverse of {!write_lengths} for an alphabet of [symbols] symbols. *)

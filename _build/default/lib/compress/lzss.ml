@@ -1,0 +1,80 @@
+let window_size = 4096
+let min_match = 3
+let max_match = 258
+let hash_bits = 13
+let hash_size = 1 lsl hash_bits
+let max_chain = 64
+
+type token = Literal of char | Match of { distance : int; length : int }
+
+let hash3 s i =
+  let a = Char.code s.[i] and b = Char.code s.[i + 1] and c = Char.code s.[i + 2] in
+  ((a lsl 10) lxor (b lsl 5) lxor c) land (hash_size - 1)
+
+let tokenize input =
+  let n = String.length input in
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let tokens = ref [] in
+  let match_length i j =
+    (* Length of the common prefix of input[i..] and input[j..], capped. *)
+    let limit = min max_match (n - i) in
+    let rec go l = if l < limit && input.[i + l] = input.[j + l] then go (l + 1) else l in
+    go 0
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash3 input i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_pos = ref (-1) in
+    if !i + min_match <= n then begin
+      let h = hash3 input !i in
+      let j = ref head.(h) and chain = ref 0 in
+      while !j >= 0 && !chain < max_chain do
+        if !i - !j <= window_size then begin
+          let l = match_length !i !j in
+          if l > !best_len then begin
+            best_len := l;
+            best_pos := !j
+          end;
+          j := prev.(!j)
+        end
+        else j := -1;
+        incr chain
+      done
+    end;
+    if !best_len >= min_match then begin
+      tokens := Match { distance = !i - !best_pos; length = !best_len } :: !tokens;
+      for k = !i to !i + !best_len - 1 do
+        insert k
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      tokens := Literal input.[!i] :: !tokens;
+      insert !i;
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+let untokenize tokens =
+  let buf = Buffer.create 1024 in
+  let emit = function
+    | Literal c -> Buffer.add_char buf c
+    | Match { distance; length } ->
+      let start = Buffer.length buf - distance in
+      if start < 0 then invalid_arg "Lzss.untokenize: reference before start";
+      (* Byte-at-a-time so overlapping matches (distance < length)
+         replicate correctly. *)
+      for k = 0 to length - 1 do
+        Buffer.add_char buf (Buffer.nth buf (start + k))
+      done
+  in
+  List.iter emit tokens;
+  Buffer.contents buf

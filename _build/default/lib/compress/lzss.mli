@@ -1,0 +1,28 @@
+(** LZSS tokenization: a sliding-window dictionary coder.
+
+    Input becomes a stream of literals and back-references
+    [(distance, length)] into the previous {!window_size} bytes.
+    Match finding uses 3-byte hash chains, as in DEFLATE. *)
+
+val window_size : int
+(** 4096 bytes. *)
+
+val min_match : int
+(** 3. *)
+
+val max_match : int
+(** 258. *)
+
+type token =
+  | Literal of char
+  | Match of { distance : int; length : int }
+      (** [distance] in [\[1, window_size\]], [length] in
+          [\[min_match, max_match\]]. *)
+
+val tokenize : string -> token list
+(** Greedy parse of the input into tokens. *)
+
+val untokenize : token list -> string
+(** Inverse of {!tokenize} (and of any valid token stream).
+    @raise Invalid_argument on a reference before the start of
+    output. *)

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Auth Avm_crypto Avm_machine Avm_tamperlog Entry Format Hashtbl List Log Printf Replay String Sys Wireformat

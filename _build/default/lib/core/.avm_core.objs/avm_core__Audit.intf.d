@@ -1,0 +1,1 @@
+lib/core/audit.mli: Avm_crypto Avm_machine Avm_tamperlog Format Replay

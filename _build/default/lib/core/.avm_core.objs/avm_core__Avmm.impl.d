@@ -1,0 +1,1 @@
+lib/core/avmm.ml: Array Auth Avm_crypto Avm_isa Avm_machine Avm_tamperlog Avm_util Char Clock_opt Config Entry Event Hashtbl Int64 List Log Machine Memory Queue Snapshot String Wireformat

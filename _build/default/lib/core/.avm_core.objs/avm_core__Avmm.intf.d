@@ -1,0 +1,1 @@
+lib/core/avmm.mli: Avm_crypto Avm_machine Avm_tamperlog Config Wireformat

@@ -1,0 +1,1 @@
+lib/core/clock_opt.ml: Float

@@ -1,0 +1,1 @@
+lib/core/evidence.ml: Audit Auth Avm_crypto Avm_machine Avm_tamperlog Avm_util Entry Format List Printf Replay String

@@ -1,0 +1,1 @@
+lib/core/evidence.mli: Avm_crypto Avm_machine Avm_tamperlog Replay

@@ -1,0 +1,1 @@
+lib/core/logstats.ml: Avm_compress Avm_isa Avm_machine Avm_tamperlog Entry List Log String

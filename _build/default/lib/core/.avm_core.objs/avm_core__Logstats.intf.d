@@ -1,0 +1,1 @@
+lib/core/logstats.mli: Avm_tamperlog

@@ -1,0 +1,1 @@
+lib/core/multiparty.ml: Auth Avm_tamperlog Evidence Hashtbl List String

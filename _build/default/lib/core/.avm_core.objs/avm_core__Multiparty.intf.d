@@ -1,0 +1,1 @@
+lib/core/multiparty.mli: Avm_tamperlog Evidence

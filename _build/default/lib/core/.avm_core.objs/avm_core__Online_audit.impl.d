@@ -1,0 +1,1 @@
+lib/core/online_audit.ml: Avm_tamperlog Replay

@@ -1,0 +1,1 @@
+lib/core/online_audit.mli: Avm_tamperlog Replay

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Array Avm_crypto Avm_isa Avm_machine Avm_tamperlog Entry Event Format Hashtbl Landmark List Machine Option Printf Snapshot String Wireformat

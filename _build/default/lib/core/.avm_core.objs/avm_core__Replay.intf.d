@@ -1,0 +1,1 @@
+lib/core/replay.mli: Avm_machine Avm_tamperlog Format

@@ -1,0 +1,1 @@
+lib/core/secure_input.ml: Avm_crypto Avm_isa Avm_machine Avm_tamperlog Avm_util Entry List Printf

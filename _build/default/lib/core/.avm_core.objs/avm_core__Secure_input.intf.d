@@ -1,0 +1,1 @@
+lib/core/secure_input.mli: Avm_crypto Avm_tamperlog Avm_util

@@ -1,0 +1,1 @@
+lib/core/spot_check.ml: Avm_compress Avm_crypto Avm_machine Avm_tamperlog Entry List Log Machine Memory Printf Replay Snapshot String

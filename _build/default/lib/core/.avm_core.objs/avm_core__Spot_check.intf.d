@@ -1,0 +1,1 @@
+lib/core/spot_check.mli: Avm_machine Avm_tamperlog Replay

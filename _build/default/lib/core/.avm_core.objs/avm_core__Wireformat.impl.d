@@ -1,0 +1,1 @@
+lib/core/wireformat.ml: Array Avm_crypto Avm_tamperlog Avm_util Char String Wire

@@ -1,0 +1,1 @@
+lib/core/wireformat.mli: Avm_crypto Avm_tamperlog

@@ -1,0 +1,136 @@
+open Avm_tamperlog
+
+type syntactic_report = {
+  entries_checked : int;
+  auths_matched : int;
+  recv_signatures_verified : int;
+  failures : string list;
+}
+
+let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?(ack_grace = 50) () =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let node = Avm_crypto.Identity.cert_name node_cert in
+  (* 1. Hash chain. *)
+  (match Log.verify_segment ~prev:prev_hash entries with
+  | Ok () -> ()
+  | Error e -> fail "chain: %s" e);
+  (* 2. Collected authenticators must match the log. *)
+  let by_seq = Hashtbl.create 256 in
+  List.iter (fun (e : Entry.t) -> Hashtbl.replace by_seq e.seq e) entries;
+  let auths_matched = ref 0 in
+  List.iter
+    (fun (a : Auth.t) ->
+      if String.equal a.node node then begin
+        if not (Auth.verify node_cert a) then
+          fail "authenticator #%d: bad signature or inconsistent hash" a.seq
+        else begin
+          match Hashtbl.find_opt by_seq a.seq with
+          | None -> () (* outside this segment *)
+          | Some e ->
+            if Auth.matches_entry a e then incr auths_matched
+            else fail "authenticator #%d does not match the log (forked or rewritten log)" a.seq
+        end
+      end)
+    auths;
+  (* 3. RECV sender signatures. *)
+  let recv_sigs = ref 0 in
+  List.iter
+    (fun (e : Entry.t) ->
+      match e.content with
+      | Entry.Recv { src; nonce; payload; signature } when signature <> "" -> (
+        match List.assoc_opt src peer_certs with
+        | None -> fail "entry #%d: no certificate for sender %s" e.seq src
+        | Some cert ->
+          let body = Wireformat.message_body ~src ~dest:node ~nonce ~payload in
+          if Avm_crypto.Identity.verify cert ~msg:body ~signature then incr recv_sigs
+          else fail "entry #%d: forged RECV — sender signature invalid" e.seq)
+      | _ -> ())
+    entries;
+  (* 4. Every send acknowledged (modulo the in-flight tail). *)
+  let acked = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Entry.t) ->
+      match e.content with
+      | Entry.Ack { acked_seq; _ } -> Hashtbl.replace acked acked_seq ()
+      | _ -> ())
+    entries;
+  let last_seq = List.fold_left (fun _ (e : Entry.t) -> e.seq) 0 entries in
+  List.iter
+    (fun (e : Entry.t) ->
+      match e.content with
+      | Entry.Send _ when e.seq <= last_seq - ack_grace && not (Hashtbl.mem acked e.seq) ->
+        fail "entry #%d: SEND was never acknowledged" e.seq
+      | _ -> ())
+    entries;
+  (* 5. Input-stream references into the message stream are sane. *)
+  List.iter
+    (fun (e : Entry.t) ->
+      match e.content with
+      | Entry.Exec (Avm_machine.Event.Io_in { msg; _ }) when msg >= 0 -> (
+        if msg >= e.seq then fail "entry #%d: rx read references future entry %d" e.seq msg
+        else begin
+          match Hashtbl.find_opt by_seq msg with
+          | Some { Entry.content = Entry.Recv _; _ } -> ()
+          | Some _ -> fail "entry #%d: rx read references non-RECV entry %d" e.seq msg
+          | None -> () (* before this segment *)
+        end)
+      | _ -> ())
+    entries;
+  {
+    entries_checked = List.length entries;
+    auths_matched = !auths_matched;
+    recv_signatures_verified = !recv_sigs;
+    failures = List.rev !failures;
+  }
+
+type report = {
+  node : string;
+  syntactic : syntactic_report;
+  semantic : Replay.outcome option;
+  syntactic_seconds : float;
+  semantic_seconds : float;
+  verdict : (unit, string) result;
+}
+
+let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
+    ~auths () =
+  let t0 = Sys.time () in
+  let syn = syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths () in
+  let t1 = Sys.time () in
+  if syn.failures <> [] then
+    {
+      node = Avm_crypto.Identity.cert_name node_cert;
+      syntactic = syn;
+      semantic = None;
+      syntactic_seconds = t1 -. t0;
+      semantic_seconds = 0.0;
+      verdict = Error (String.concat "; " syn.failures);
+    }
+  else begin
+    let outcome = Replay.replay ~image ?mem_words ?start ?fuel ~peers ~entries () in
+    let t2 = Sys.time () in
+    {
+      node = Avm_crypto.Identity.cert_name node_cert;
+      syntactic = syn;
+      semantic = Some outcome;
+      syntactic_seconds = t1 -. t0;
+      semantic_seconds = t2 -. t1;
+      verdict =
+        (match outcome with
+        | Replay.Verified _ -> Ok ()
+        | Replay.Diverged d -> Error (Format.asprintf "%a" Replay.pp_outcome (Replay.Diverged d)));
+    }
+  end
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>audit of %s:@ syntactic: %d entries, %d auths, %d recv sigs — %s@ "
+    r.node r.syntactic.entries_checked r.syntactic.auths_matched
+    r.syntactic.recv_signatures_verified
+    (if r.syntactic.failures = [] then "PASS"
+     else "FAIL: " ^ String.concat "; " r.syntactic.failures);
+  (match r.semantic with
+  | None -> Format.fprintf fmt "semantic: skipped@ "
+  | Some o -> Format.fprintf fmt "semantic: %a@ " Replay.pp_outcome o);
+  Format.fprintf fmt "verdict: %s@]"
+    (match r.verdict with Ok () -> "CORRECT" | Error e -> "FAULTY (" ^ e ^ ")")

@@ -1,0 +1,60 @@
+(** The audit tool (paper §4.5): syntactic check, then semantic check.
+
+    The {b syntactic} check needs no execution: it verifies the hash
+    chain, matches every collected authenticator against the log,
+    verifies the sender signatures inside RECV entries, checks that
+    sends were acknowledged, and sanity-checks the cross-references
+    from the input stream into the message stream.
+
+    The {b semantic} check is {!Replay.replay}: deterministic replay
+    of the segment against the reference image.
+
+    Both are deterministic, so any third party repeating them obtains
+    the same verdict — that is what makes the output {!Evidence}. *)
+
+type syntactic_report = {
+  entries_checked : int;
+  auths_matched : int;  (** collected authenticators that matched the log *)
+  recv_signatures_verified : int;
+  failures : string list;  (** empty means the check passed *)
+}
+
+val syntactic :
+  node_cert:Avm_crypto.Identity.certificate ->
+  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  prev_hash:string ->
+  entries:Avm_tamperlog.Entry.t list ->
+  auths:Avm_tamperlog.Auth.t list ->
+  ?ack_grace:int ->
+  unit ->
+  syntactic_report
+(** [ack_grace] (default 50) exempts the most recent sends from the
+    every-send-is-acked rule: their acks may legitimately still be in
+    flight when the log was cut. *)
+
+type report = {
+  node : string;
+  syntactic : syntactic_report;
+  semantic : Replay.outcome option;  (** [None] if syntactic failed *)
+  syntactic_seconds : float;
+  semantic_seconds : float;
+  verdict : (unit, string) result;
+}
+
+val full :
+  node_cert:Avm_crypto.Identity.certificate ->
+  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  image:int array ->
+  ?mem_words:int ->
+  ?start:Avm_machine.Machine.t ->
+  ?fuel:int ->
+  peers:(int * string) list ->
+  prev_hash:string ->
+  entries:Avm_tamperlog.Entry.t list ->
+  auths:Avm_tamperlog.Auth.t list ->
+  unit ->
+  report
+(** Complete audit of one log segment. The semantic check runs only if
+    the syntactic check passes (a broken chain is already evidence). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,42 @@
+type t = {
+  threshold_us : float;
+  base_delay_us : float;
+  max_delay_us : float;
+  mutable last_read_us : float;
+  mutable consecutive : int;
+  mutable injected_us : float;
+  mutable reads : int;
+}
+
+let create ?(threshold_us = 5) ?(base_delay_us = 50) ?(max_delay_us = 5000) () =
+  {
+    threshold_us = float_of_int threshold_us;
+    base_delay_us = float_of_int base_delay_us;
+    max_delay_us = float_of_int max_delay_us;
+    last_read_us = neg_infinity;
+    consecutive = 0;
+    injected_us = 0.0;
+    reads = 0;
+  }
+
+let on_read t ~now_us =
+  t.reads <- t.reads + 1;
+  let delay =
+    if now_us -. t.last_read_us <= t.threshold_us then begin
+      t.consecutive <- t.consecutive + 1;
+      (* n-th consecutive read is delayed by 2^(n-2) * base, n >= 2. *)
+      let n = t.consecutive in
+      let exp = float_of_int (1 lsl min 20 (n - 2)) in
+      Float.min (exp *. t.base_delay_us) t.max_delay_us
+    end
+    else begin
+      t.consecutive <- 1;
+      0.0
+    end
+  in
+  t.injected_us <- t.injected_us +. delay;
+  t.last_read_us <- now_us +. delay;
+  delay
+
+let total_injected_us t = t.injected_us
+let reads_observed t = t.reads

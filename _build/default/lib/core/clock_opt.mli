@@ -1,0 +1,24 @@
+(** The consecutive-clock-read optimization of paper §6.5.
+
+    Applications that busy-wait on the clock (Counterstrike's frame
+    cap) flood the log with TimeTracker entries — an 18x growth in the
+    paper. Whenever the AVMM observes consecutive clock reads from the
+    same AVM within 5 us of each other, it delays the n-th consecutive
+    read by [2^(n-2) * 50 us], from the second read up to a cap of
+    5 ms. The exponential progression bounds reads during long waits
+    without hurting short-wait timing accuracy. *)
+
+type t
+
+val create : ?threshold_us:int -> ?base_delay_us:int -> ?max_delay_us:int -> unit -> t
+(** Defaults: threshold 5 us, base delay 50 us, cap 5000 us. *)
+
+val on_read : t -> now_us:float -> float
+(** [on_read t ~now_us] is the delay (in us) to impose on this clock
+    read; the caller serves [now_us + delay] to the guest and stalls
+    the VM for [delay]. *)
+
+val total_injected_us : t -> float
+(** Cumulative delay injected so far. *)
+
+val reads_observed : t -> int

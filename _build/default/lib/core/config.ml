@@ -1,0 +1,69 @@
+type level = Bare_hw | Vmware_norec | Vmware_rec | Avmm_nosig | Avmm_rsa768
+
+let level_name = function
+  | Bare_hw -> "bare-hw"
+  | Vmware_norec -> "vmware-norec"
+  | Vmware_rec -> "vmware-rec"
+  | Avmm_nosig -> "avmm-nosig"
+  | Avmm_rsa768 -> "avmm-rsa768"
+
+let all_levels = [ Bare_hw; Vmware_norec; Vmware_rec; Avmm_nosig; Avmm_rsa768 ]
+
+type t = {
+  level : level;
+  mips : float;
+  snapshot_every_us : int option;
+  clock_opt : bool;
+  rsa_bits : int;
+  artificial_slowdown : float;
+}
+
+let virtualized t = t.level <> Bare_hw
+let recording t = match t.level with Bare_hw | Vmware_norec -> false | _ -> true
+let accountable t = match t.level with Avmm_nosig | Avmm_rsa768 -> true | _ -> false
+let signing t = t.level = Avmm_rsa768
+
+let make ?(snapshot_every_us = None) ?clock_opt ?(rsa_bits = 768)
+    ?(artificial_slowdown = 1.0) ?(mips = 0.26) level =
+  let t0 =
+    { level; mips; snapshot_every_us; clock_opt = false; rsa_bits; artificial_slowdown }
+  in
+  let clock_opt = match clock_opt with Some c -> c | None -> accountable t0 in
+  { t0 with clock_opt }
+
+(* Per-instruction slowdown factors, calibrated to Figure 7's ladder:
+   virtualization costs ~2%, recording another ~11%, tamper-evident
+   logging ~1% (the daemon runs on its own hyperthread, §6.9). *)
+let us_per_instr t =
+  let virt = if virtualized t then 1.02 else 1.0 in
+  let rec_ = if recording t then 1.115 else 1.0 in
+  let acct = if accountable t then 1.01 else 1.0 in
+  1.0 /. t.mips *. virt *. rec_ *. acct *. t.artificial_slowdown
+
+(* RSA cost scales ~cubically (sign) / ~quadratically (verify) with
+   modulus size; 650 us / 55 us at 768 bits lands Figure 5's ~5 ms RTT
+   with four signature pairs on the path. *)
+let sign_cost_us t =
+  if not (signing t) then 0.0
+  else begin
+    let s = float_of_int t.rsa_bits /. 768.0 in
+    650.0 *. s *. s *. s
+  end
+
+let verify_cost_us t =
+  if not (signing t) then 0.0
+  else begin
+    let s = float_of_int t.rsa_bits /. 768.0 in
+    55.0 *. s *. s
+  end
+
+(* Per-packet host-side processing per endpoint (VMM exit, MAC-layer
+   handling, daemon pipe), excluding signatures: Figure 5's ladder. *)
+let packet_process_us t =
+  match t.level with
+  | Bare_hw -> 33.0
+  | Vmware_norec -> 116.0
+  | Vmware_rec -> 140.0
+  | Avmm_nosig | Avmm_rsa768 -> 520.0
+
+let per_event_log_us t = if recording t then 3.0 else 0.0

@@ -1,0 +1,67 @@
+(** The five experiment configurations of the paper's evaluation
+    (§6.2) and the host-cost model behind them.
+
+    Real hardware is not available here, so each configuration charges
+    calibrated virtual costs: a per-instruction slowdown for
+    virtualization and recording, and per-operation costs for
+    signatures and logging. The constants are calibrated so the
+    bare-hardware numbers land near the paper's testbed (2.8 GHz
+    Core i7: ~192 us switch RTT, ~158 fps Counterstrike) — the claims
+    being reproduced are the {e relative} shapes. *)
+
+type level =
+  | Bare_hw  (** no virtualization, no logging *)
+  | Vmware_norec  (** plain VMM *)
+  | Vmware_rec  (** VMM + deterministic-replay recording *)
+  | Avmm_nosig  (** full AVMM minus signatures *)
+  | Avmm_rsa768  (** the complete system *)
+
+val level_name : level -> string
+val all_levels : level list
+
+type t = {
+  level : level;
+  mips : float;  (** guest instructions per microsecond on bare hardware *)
+  snapshot_every_us : int option;  (** snapshot period, if snapshots are on *)
+  clock_opt : bool;  (** §6.5 consecutive-clock-read optimization *)
+  rsa_bits : int;  (** signature key size when signing *)
+  artificial_slowdown : float;
+      (** extra execution slowdown factor (>= 1.0); §6.11 uses 1.05 to
+          let online auditors keep up *)
+}
+
+val make : ?snapshot_every_us:int option -> ?clock_opt:bool -> ?rsa_bits:int ->
+  ?artificial_slowdown:float -> ?mips:float -> level -> t
+(** Defaults: 0.26 instructions/us (the down-scaled guest speed that
+    calibrates the bare-hardware frame rate to the paper's 158 fps —
+    see DESIGN.md §2), no snapshots, clock-opt on for AVMM levels,
+    768-bit keys, no artificial slowdown. *)
+
+(** {1 Derived cost model} *)
+
+val virtualized : t -> bool
+val recording : t -> bool
+(** Does this level record nondeterministic events? *)
+
+val accountable : t -> bool
+(** Does this level keep the tamper-evident message log? *)
+
+val signing : t -> bool
+
+val us_per_instr : t -> float
+(** Guest-visible cost of one instruction, including virtualization,
+    recording and artificial-slowdown factors. *)
+
+val sign_cost_us : t -> float
+(** CPU cost of one signature generation (0 when not signing). *)
+
+val verify_cost_us : t -> float
+(** CPU cost of one signature verification. *)
+
+val packet_process_us : t -> float
+(** Per-packet host processing (VMM exit, daemon pipe) excluding
+    signatures; grows along the configuration ladder to mirror
+    Figure 5's 192 us -> 525 us -> 621 us -> >2 ms progression. *)
+
+val per_event_log_us : t -> float
+(** Host cost of appending one execution event to the log. *)

@@ -1,0 +1,106 @@
+open Avm_tamperlog
+
+type accusation =
+  | Tampered_log of { reason : string }
+  | Replay_divergence of Replay.divergence
+  | Unanswered_challenge of { auth : Auth.t }
+
+type t = {
+  accused : string;
+  prev_hash : string;
+  segment : Entry.t list;
+  auths : Auth.t list;
+  accusation : accusation;
+}
+
+let describe t =
+  let what =
+    match t.accusation with
+    | Tampered_log { reason } -> "tampered log: " ^ reason
+    | Replay_divergence d -> Format.asprintf "%a" Replay.pp_outcome (Replay.Diverged d)
+    | Unanswered_challenge _ -> "machine refuses to produce its committed log"
+  in
+  Printf.sprintf "evidence against %s (%d entries, %d authenticators): %s" t.accused
+    (List.length t.segment) (List.length t.auths) what
+
+let check t ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers () =
+  if not (String.equal (Avm_crypto.Identity.cert_name node_cert) t.accused) then false
+  else begin
+    match t.accusation with
+    | Unanswered_challenge { auth } ->
+      (* The authenticator proves entries up to [auth.seq] exist; that
+         is all a third party can verify offline. *)
+      Auth.verify node_cert auth
+    | Tampered_log _ | Replay_divergence _ -> (
+      let report =
+        Audit.full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers
+          ~prev_hash:t.prev_hash ~entries:t.segment ~auths:t.auths ()
+      in
+      match report.Audit.verdict with Ok () -> false | Error _ -> true)
+  end
+
+(* --- serialization ------------------------------------------------------ *)
+
+let divergence_kinds =
+  [
+    (0, Replay.Input_mismatch);
+    (1, Replay.Irq_landmark_mismatch);
+    (2, Replay.Output_mismatch);
+    (3, Replay.Missing_output);
+    (4, Replay.Snapshot_mismatch);
+    (5, Replay.Crossref_mismatch);
+    (6, Replay.Guest_halted_early);
+    (7, Replay.Guest_stalled);
+    (8, Replay.Guest_fault);
+  ]
+
+let write_accusation w = function
+  | Tampered_log { reason } ->
+    Avm_util.Wire.u8 w 0;
+    Avm_util.Wire.bytes w reason
+  | Replay_divergence d ->
+    Avm_util.Wire.u8 w 1;
+    let kind_id = fst (List.find (fun (_, k) -> k = d.Replay.kind) divergence_kinds) in
+    Avm_util.Wire.u8 w kind_id;
+    Avm_machine.Landmark.write w d.Replay.at;
+    Avm_util.Wire.option w (fun w s -> Avm_util.Wire.varint w s) d.Replay.entry_seq;
+    Avm_util.Wire.bytes w d.Replay.detail
+  | Unanswered_challenge { auth } ->
+    Avm_util.Wire.u8 w 2;
+    Auth.write w auth
+
+let read_accusation r =
+  match Avm_util.Wire.read_u8 r with
+  | 0 -> Tampered_log { reason = Avm_util.Wire.read_bytes r }
+  | 1 ->
+    let kind_id = Avm_util.Wire.read_u8 r in
+    let kind =
+      match List.assoc_opt kind_id divergence_kinds with
+      | Some k -> k
+      | None -> raise (Avm_util.Wire.Malformed "bad divergence kind")
+    in
+    let at = Avm_machine.Landmark.read r in
+    let entry_seq = Avm_util.Wire.read_option r Avm_util.Wire.read_varint in
+    let detail = Avm_util.Wire.read_bytes r in
+    Replay_divergence { Replay.kind; at; entry_seq; detail }
+  | 2 -> Unanswered_challenge { auth = Auth.read r }
+  | n -> raise (Avm_util.Wire.Malformed (Printf.sprintf "bad accusation tag %d" n))
+
+let encode t =
+  let w = Avm_util.Wire.writer () in
+  Avm_util.Wire.bytes w t.accused;
+  Avm_util.Wire.bytes w t.prev_hash;
+  Avm_util.Wire.list w Entry.write t.segment;
+  Avm_util.Wire.list w Auth.write t.auths;
+  write_accusation w t.accusation;
+  Avm_util.Wire.contents w
+
+let decode s =
+  let r = Avm_util.Wire.reader s in
+  let accused = Avm_util.Wire.read_bytes r in
+  let prev_hash = Avm_util.Wire.read_bytes r in
+  let segment = Avm_util.Wire.read_list r Entry.read in
+  let auths = Avm_util.Wire.read_list r Auth.read in
+  let accusation = read_accusation r in
+  Avm_util.Wire.expect_end r;
+  { accused; prev_hash; segment; auths; accusation }

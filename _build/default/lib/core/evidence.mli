@@ -1,0 +1,50 @@
+(** Transferable evidence of a fault (paper §3.1, §4.5).
+
+    When an audit fails, the auditor packages everything a third party
+    needs to repeat the checks: the log segment, the hash preceding
+    it, and the collected authenticators. Because both checks are
+    deterministic, the third party reaches the same verdict without
+    trusting either the auditor or the accused. *)
+
+type accusation =
+  | Tampered_log of { reason : string }
+      (** syntactic check failed: broken chain, authenticator
+          mismatch, forged RECV, missing ack *)
+  | Replay_divergence of Replay.divergence
+      (** semantic check failed *)
+  | Unanswered_challenge of { auth : Avm_tamperlog.Auth.t }
+      (** the machine would not produce the log segment its own
+          authenticator proves must exist (§4.5, §4.6) *)
+
+type t = {
+  accused : string;
+  prev_hash : string;
+  segment : Avm_tamperlog.Entry.t list;
+  auths : Avm_tamperlog.Auth.t list;
+  accusation : accusation;
+}
+
+val describe : t -> string
+
+val check :
+  t ->
+  node_cert:Avm_crypto.Identity.certificate ->
+  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  image:int array ->
+  ?mem_words:int ->
+  ?start:Avm_machine.Machine.t ->
+  ?fuel:int ->
+  peers:(int * string) list ->
+  unit ->
+  bool
+(** [check e ...] is the third party's verification: re-run the audit
+    on the evidence and confirm a fault really is present. [true]
+    means the evidence is valid and [e.accused] is provably faulty;
+    [false] means the evidence does not hold up (and the accuser is
+    making an unsupported claim). For [Unanswered_challenge], validity
+    means the authenticator is genuine — the third party should then
+    challenge the machine itself. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Avm_util.Wire.Malformed on garbage. *)

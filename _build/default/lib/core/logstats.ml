@@ -1,0 +1,67 @@
+open Avm_tamperlog
+
+type breakdown = {
+  timetracker_bytes : int;
+  mac_bytes : int;
+  other_replay_bytes : int;
+  tamper_evident_bytes : int;
+  payload_bytes : int;
+  packets : int;
+  total_bytes : int;
+  entries : int;
+}
+
+let empty =
+  {
+    timetracker_bytes = 0;
+    mac_bytes = 0;
+    other_replay_bytes = 0;
+    tamper_evident_bytes = 0;
+    payload_bytes = 0;
+    packets = 0;
+    total_bytes = 0;
+    entries = 0;
+  }
+
+let is_net_port port =
+  let open Avm_isa.Isa in
+  port = port_net_rx || port = port_net_rx_avail || port = port_net_rx_len
+
+let add b (e : Entry.t) =
+  let size = Entry.wire_size e in
+  let b = { b with total_bytes = b.total_bytes + size; entries = b.entries + 1 } in
+  match e.content with
+  | Entry.Exec (Avm_machine.Event.Io_in { port; _ }) when port = Avm_isa.Isa.port_clock ->
+    { b with timetracker_bytes = b.timetracker_bytes + size }
+  | Entry.Exec (Avm_machine.Event.Io_in { port; _ }) when is_net_port port ->
+    { b with mac_bytes = b.mac_bytes + size }
+  | Entry.Exec (Avm_machine.Event.Irq { line = 1; _ }) ->
+    { b with mac_bytes = b.mac_bytes + size }
+  | Entry.Exec _ -> { b with other_replay_bytes = b.other_replay_bytes + size }
+  | Entry.Send { payload; _ } | Entry.Recv { payload; _ } ->
+    {
+      b with
+      tamper_evident_bytes = b.tamper_evident_bytes + size;
+      payload_bytes = b.payload_bytes + String.length payload;
+      packets = b.packets + 1;
+    }
+  | Entry.Ack _ | Entry.Snapshot_ref _ | Entry.Note _ ->
+    { b with tamper_evident_bytes = b.tamper_evident_bytes + size }
+
+let of_entries entries = List.fold_left add empty entries
+
+let of_log log =
+  let b = ref empty in
+  Log.iter log (fun e -> b := add !b e);
+  !b
+
+(* The VMware-equivalent log keeps the replay streams and stores raw
+   packet payloads in MAC entries (8 bytes of framing per packet);
+   signatures, chain hashes and acks disappear. *)
+let vmware_equivalent_bytes b =
+  b.timetracker_bytes + b.mac_bytes + b.other_replay_bytes + b.payload_bytes
+  + (8 * b.packets)
+
+let compressed_bytes log =
+  let all = Log.encode_segment (Log.segment log ~from:1 ~upto:(Log.length log)) in
+  String.length (Avm_compress.Codec.compress all)

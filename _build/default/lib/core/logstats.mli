@@ -1,0 +1,34 @@
+(** Log composition accounting for Figures 3 and 4.
+
+    Classifies each log entry into the categories the paper reports:
+    TimeTracker (clock-timing events), MAC layer (network packet
+    events), other replay information (interrupt landmarks, local
+    input, RNG), and tamper-evident logging (message payloads with
+    signatures, acks, snapshot digests). Also computes the size of the
+    "equivalent VMware log" — the same execution recorded without
+    accountability, where packet payloads live in MAC entries instead
+    of tamper-evident entries. *)
+
+type breakdown = {
+  timetracker_bytes : int;
+  mac_bytes : int;
+  other_replay_bytes : int;
+  tamper_evident_bytes : int;
+  payload_bytes : int;  (** raw packet payload bytes inside SEND/RECV *)
+  packets : int;  (** SEND + RECV entries *)
+  total_bytes : int;
+  entries : int;
+}
+
+val empty : breakdown
+val add : breakdown -> Avm_tamperlog.Entry.t -> breakdown
+val of_log : Avm_tamperlog.Log.t -> breakdown
+val of_entries : Avm_tamperlog.Entry.t list -> breakdown
+
+val vmware_equivalent_bytes : breakdown -> int
+(** Size of the same recording without tamper-evident logging: the
+    replay streams plus raw packet payloads, minus signatures, hashes
+    and acks. *)
+
+val compressed_bytes : Avm_tamperlog.Log.t -> int
+(** Size of the whole serialized log after {!Avm_compress.Codec}. *)

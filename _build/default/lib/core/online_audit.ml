@@ -1,0 +1,31 @@
+type t = {
+  engine : Replay.engine;
+  replay_rate : float;
+  mutable fed_upto : int; (* last log seq pulled *)
+  mutable fault : Replay.divergence option;
+}
+
+let create ~image ?mem_words ?(replay_rate = 0.955) ~peers () =
+  { engine = Replay.engine ~image ?mem_words ~peers (); replay_rate; fed_upto = 0; fault = None }
+
+let observe_log t log =
+  let len = Avm_tamperlog.Log.length log in
+  if len > t.fed_upto then begin
+    Replay.feed t.engine (Avm_tamperlog.Log.segment log ~from:(t.fed_upto + 1) ~upto:len);
+    t.fed_upto <- len
+  end
+
+let advance t ~budget_instructions =
+  match t.fault with
+  | Some d -> `Fault d
+  | None -> (
+    let fuel = int_of_float (float_of_int budget_instructions *. t.replay_rate) in
+    match Replay.crank t.engine ~fuel with
+    | `Blocked | `Fuel_exhausted -> `Ok
+    | `Fault d ->
+      t.fault <- Some d;
+      `Fault d)
+
+let lag_entries t = Replay.pending_entries t.engine
+let replayed_instructions t = Replay.replayed_instructions t.engine
+let fault t = t.fault

@@ -1,0 +1,43 @@
+(** Online (concurrent) auditing — paper §6.11.
+
+    "Players can incrementally audit other players' logs while the game
+    is still in progress... cheating could be detected as soon as the
+    externally visible behavior of the cheater's machine deviates from
+    that of the reference machine."
+
+    An {!t} tails a growing tamper-evident log and replays it with a
+    bounded instruction budget per step. Replay is slightly slower than
+    recording (the paper measured ~7%), so an auditor falls behind by a
+    few seconds per minute unless the recorded execution is
+    artificially slowed (§6.11 uses 5%). *)
+
+type t
+
+val create :
+  image:int array ->
+  ?mem_words:int ->
+  ?replay_rate:float ->
+  peers:(int * string) list ->
+  unit ->
+  t
+(** [replay_rate] (default 0.955) scales the instruction budget each
+    {!advance} gets relative to the recorded rate, modeling replay
+    running a few percent slower than the original execution — which is
+    why the auditor falls behind unless the recorded execution is
+    artificially slowed by 5% (paper §6.11). *)
+
+val observe_log : t -> Avm_tamperlog.Log.t -> unit
+(** Pull any entries appended since the last call (the auditor
+    streaming the log during the game). *)
+
+val advance : t -> budget_instructions:int -> [ `Ok | `Fault of Replay.divergence ]
+(** Replay up to [budget_instructions x replay_rate] more instructions.
+    A [`Fault] is terminal: the auditor holds a divergence and can
+    build evidence immediately, mid-game. *)
+
+val lag_entries : t -> int
+(** Log entries observed but not yet reproduced — how far behind the
+    live execution this auditor is. *)
+
+val replayed_instructions : t -> int
+val fault : t -> Replay.divergence option

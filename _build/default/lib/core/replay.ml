@@ -1,0 +1,346 @@
+open Avm_machine
+open Avm_tamperlog
+
+type divergence_kind =
+  | Input_mismatch
+  | Irq_landmark_mismatch
+  | Output_mismatch
+  | Missing_output
+  | Snapshot_mismatch
+  | Crossref_mismatch
+  | Guest_halted_early
+  | Guest_stalled
+  | Guest_fault
+
+let kind_name = function
+  | Input_mismatch -> "input-mismatch"
+  | Irq_landmark_mismatch -> "irq-landmark-mismatch"
+  | Output_mismatch -> "output-mismatch"
+  | Missing_output -> "missing-output"
+  | Snapshot_mismatch -> "snapshot-mismatch"
+  | Crossref_mismatch -> "crossref-mismatch"
+  | Guest_halted_early -> "guest-halted-early"
+  | Guest_stalled -> "guest-stalled"
+  | Guest_fault -> "guest-fault"
+
+type divergence = {
+  kind : divergence_kind;
+  at : Landmark.t;
+  entry_seq : int option;
+  detail : string;
+}
+
+type outcome =
+  | Verified of { instructions : int; entries_consumed : int }
+  | Diverged of divergence
+
+let pp_outcome fmt = function
+  | Verified { instructions; entries_consumed } ->
+    Format.fprintf fmt "@[<h>verified: %d instructions, %d log entries@]" instructions
+      entries_consumed
+  | Diverged d ->
+    Format.fprintf fmt "@[<h>DIVERGED (%s) at %a%s: %s@]" (kind_name d.kind) Landmark.pp d.at
+      (match d.entry_seq with Some s -> Printf.sprintf " entry #%d" s | None -> "")
+      d.detail
+
+exception Fault_exn of divergence
+
+(* Entries the replayed execution must actively reproduce, in order. *)
+let is_active (e : Entry.t) =
+  match e.content with
+  | Entry.Exec _ | Entry.Send _ | Entry.Snapshot_ref _ -> true
+  | Entry.Recv _ | Entry.Ack _ | Entry.Note _ -> false
+
+type engine = {
+  machine : Machine.t;
+  peers : (int * string) list;
+  strict_landmarks : bool;
+  mutable active : Entry.t array; (* growable queue of active entries *)
+  mutable len : int;
+  mutable pos : int;
+  recvs : (int, int array) Hashtbl.t; (* RECV entry seq -> payload words *)
+  rx_read : (int, int) Hashtbl.t; (* RECV entry seq -> words consumed *)
+  mutable fed : int; (* total entries fed, incl. passive *)
+  mutable first_seq : int; (* seq of the first fed entry; -1 before any *)
+  mutable fault : divergence option;
+  start_icount : int;
+  backend : Machine.backend;
+}
+
+let peek e = if e.pos < e.len then Some e.active.(e.pos) else None
+let advance e = e.pos <- e.pos + 1
+let exhausted e = e.pos >= e.len
+
+let push_active e entry =
+  if e.len = Array.length e.active then begin
+    let bigger = Array.make (max 64 (2 * e.len)) entry in
+    Array.blit e.active 0 bigger 0 e.len;
+    e.active <- bigger
+  end;
+  e.active.(e.len) <- entry;
+  e.len <- e.len + 1
+
+let feed e entries =
+  List.iter
+    (fun (entry : Entry.t) ->
+      e.fed <- e.fed + 1;
+      if e.first_seq < 0 then e.first_seq <- entry.Entry.seq;
+      (match entry.content with
+      | Entry.Recv { payload; _ } ->
+        Hashtbl.replace e.recvs entry.seq (Wireformat.words_of_payload payload)
+      | _ -> ());
+      if is_active entry then push_active e entry)
+    entries
+
+let crossref_check e ~entry_seq ~msg ~value at =
+  match Hashtbl.find_opt e.recvs msg with
+  | None ->
+    (* References to entries before the replayed segment cannot be
+       checked here (the syntactic check validates their ordering); a
+       reference inside the segment that is not a RECV is a fault. *)
+    if msg >= e.first_seq then
+      raise
+        (Fault_exn
+           {
+             kind = Crossref_mismatch;
+             at;
+             entry_seq = Some entry_seq;
+             detail = Printf.sprintf "rx read references entry %d which is not a RECV" msg;
+           })
+  | Some words ->
+    let idx = Option.value ~default:0 (Hashtbl.find_opt e.rx_read msg) in
+    Hashtbl.replace e.rx_read msg (idx + 1);
+    let expected = if idx < Array.length words then words.(idx) else 0 in
+    if expected <> value then
+      raise
+        (Fault_exn
+           {
+             kind = Crossref_mismatch;
+             at;
+             entry_seq = Some entry_seq;
+             detail =
+               Printf.sprintf "word %d of message %d was injected as %d but RECV logged %d"
+                 idx msg value expected;
+           })
+
+let engine ~image ?mem_words ?start ?(strict_landmarks = true) ~peers () =
+  let machine =
+    match start with
+    | Some m -> m
+    | None -> (
+      match mem_words with
+      | Some w -> Machine.create ~mem_words:w image
+      | None -> Machine.create image)
+  in
+  let rec e =
+    {
+      machine;
+      peers;
+      strict_landmarks;
+      active = Array.make 64 { Entry.seq = 0; content = Entry.Note ""; hash = "" };
+      len = 0;
+      pos = 0;
+      recvs = Hashtbl.create 64;
+      rx_read = Hashtbl.create 64;
+      fed = 0;
+      first_seq = -1;
+      fault = None;
+      start_icount = Machine.icount machine;
+      backend =
+        {
+          Machine.io_in = (fun port -> io_in port);
+          io_out = (fun _ _ -> ());
+          observe = (fun o -> observe o);
+          poll_irq = (fun () -> poll_irq ());
+        };
+    }
+  and here () = Machine.landmark e.machine
+  and io_in port =
+    match peek e with
+    | Some { Entry.content = Entry.Exec (Event.Io_in ev); seq; _ } when ev.port = port ->
+      advance e;
+      if ev.msg >= 0 then crossref_check e ~entry_seq:seq ~msg:ev.msg ~value:ev.value (here ());
+      ev.value
+    | Some entry ->
+      raise
+        (Fault_exn
+           {
+             kind = Input_mismatch;
+             at = here ();
+             entry_seq = Some entry.Entry.seq;
+             detail =
+               Printf.sprintf "guest read port %s but log has %s"
+                 (Avm_isa.Isa.port_name port)
+                 (Format.asprintf "%a" Entry.pp entry);
+           })
+    | None ->
+      raise
+        (Fault_exn
+           {
+             kind = Input_mismatch;
+             at = here ();
+             entry_seq = None;
+             detail =
+               Printf.sprintf "guest read port %s beyond the available log"
+                 (Avm_isa.Isa.port_name port);
+           })
+  and poll_irq () =
+    match peek e with
+    | Some { Entry.content = Entry.Exec (Event.Irq { landmark; line }); seq; _ }
+      when landmark.Landmark.icount = Machine.icount e.machine ->
+      advance e;
+      let now = here () in
+      if e.strict_landmarks && not (Landmark.equal landmark now) then
+        raise
+          (Fault_exn
+             {
+               kind = Irq_landmark_mismatch;
+               at = now;
+               entry_seq = Some seq;
+               detail =
+                 Printf.sprintf "recorded landmark %s vs replayed %s"
+                   (Landmark.to_string landmark) (Landmark.to_string now);
+             });
+      Some line
+    | _ -> None
+  and observe = function
+    | Machine.Console _ | Machine.Frame -> ()
+    | Machine.Packet_sent words ->
+      if Array.length words = 0 then ()
+      else begin
+        let dest_id = words.(0) in
+        match List.assoc_opt dest_id e.peers with
+        | None -> ()
+        | Some dest -> (
+          let payload =
+            Wireformat.payload_of_words (Array.sub words 1 (Array.length words - 1))
+          in
+          match peek e with
+          | Some { Entry.content = Entry.Send s; _ }
+            when String.equal s.dest dest && String.equal s.payload payload ->
+            advance e
+          | Some entry ->
+            raise
+              (Fault_exn
+                 {
+                   kind = Output_mismatch;
+                   at = here ();
+                   entry_seq = Some entry.Entry.seq;
+                   detail =
+                     Printf.sprintf "guest sent %dB to %s but log has %s"
+                       (String.length payload) dest
+                       (Format.asprintf "%a" Entry.pp entry);
+                 })
+          | None ->
+            raise
+              (Fault_exn
+                 {
+                   kind = Output_mismatch;
+                   at = here ();
+                   entry_seq = None;
+                   detail = "guest sent a packet beyond the available log";
+                 }))
+      end
+  in
+  e
+
+(* Verify any due snapshot digests at the current instruction count. *)
+let check_snapshots e =
+  let continue = ref true in
+  while !continue do
+    match peek e with
+    | Some { Entry.content = Entry.Snapshot_ref { digest; at_icount; snapshot_seq }; seq; _ }
+      when at_icount <= Machine.icount e.machine ->
+      if at_icount < Machine.icount e.machine then
+        raise
+          (Fault_exn
+             {
+               kind = Snapshot_mismatch;
+               at = Machine.landmark e.machine;
+               entry_seq = Some seq;
+               detail = Printf.sprintf "snapshot %d was due at icount %d" snapshot_seq at_icount;
+             });
+      let meta = Machine.serialize_meta e.machine in
+      let root = Avm_crypto.Merkle.root (Snapshot.merkle_of_machine e.machine) in
+      let recomputed = Avm_crypto.Sha256.digest_list [ meta; root; string_of_int at_icount ] in
+      if not (String.equal recomputed digest) then
+        raise
+          (Fault_exn
+             {
+               kind = Snapshot_mismatch;
+               at = Machine.landmark e.machine;
+               entry_seq = Some seq;
+               detail = Printf.sprintf "replayed state digest differs for snapshot %d" snapshot_seq;
+             });
+      advance e
+    | _ -> continue := false
+  done
+
+let engine_machine e = e.machine
+let replayed_instructions e = Machine.icount e.machine - e.start_icount
+let consumed_entries e = e.pos
+let pending_entries e = e.len - e.pos
+
+let crank e ~fuel =
+  match e.fault with
+  | Some d -> `Fault d
+  | None -> (
+    let budget = ref fuel in
+    let result = ref None in
+    (try
+       while !result = None do
+         check_snapshots e;
+         if exhausted e then result := Some `Blocked
+         else if Machine.halted e.machine then
+           raise
+             (Fault_exn
+                {
+                  kind = Guest_halted_early;
+                  at = Machine.landmark e.machine;
+                  entry_seq = Option.map (fun (x : Entry.t) -> x.seq) (peek e);
+                  detail = "reference machine halted with log entries remaining";
+                })
+         else if !budget <= 0 then result := Some `Fuel_exhausted
+         else begin
+           ignore (Machine.step e.machine e.backend);
+           decr budget
+         end
+       done
+     with
+    | Fault_exn d ->
+      e.fault <- Some d;
+      result := Some (`Fault d)
+    | Machine.Runtime_fault { pc; reason } ->
+      let d =
+        {
+          kind = Guest_fault;
+          at = Machine.landmark e.machine;
+          entry_seq = None;
+          detail = Printf.sprintf "reference guest faulted at pc=0x%x: %s" pc reason;
+        }
+      in
+      e.fault <- Some d;
+      result := Some (`Fault d));
+    match !result with Some r -> r | None -> assert false)
+
+let replay ~image ?mem_words ?start ?(fuel = 200_000_000) ?strict_landmarks ~peers ~entries () =
+  let e = engine ~image ?mem_words ?start ?strict_landmarks ~peers () in
+  feed e entries;
+  let rec go remaining =
+    match crank e ~fuel:(min remaining 10_000_000) with
+    | `Blocked ->
+      Verified { instructions = replayed_instructions e; entries_consumed = e.fed }
+    | `Fault d -> Diverged d
+    | `Fuel_exhausted ->
+      let used = replayed_instructions e in
+      if used >= fuel then
+        Diverged
+          {
+            kind = Guest_stalled;
+            at = Machine.landmark e.machine;
+            entry_seq = Option.map (fun (x : Entry.t) -> x.seq) (peek e);
+            detail = Printf.sprintf "fuel (%d instructions) exhausted" fuel;
+          }
+      else go (fuel - used)
+  in
+  go fuel

@@ -1,0 +1,61 @@
+open Avm_tamperlog
+
+type device = { keys : Avm_crypto.Rsa.keypair; mutable next_seq : int }
+type attestation = { seq : int; value : int; signature : string }
+
+let create_device rng ?(bits = 512) () = { keys = Avm_crypto.Rsa.generate rng ~bits; next_seq = 1 }
+let device_public d = d.keys.Avm_crypto.Rsa.public
+
+let payload seq value =
+  let w = Avm_util.Wire.writer () in
+  Avm_util.Wire.bytes w "avm-input-attestation";
+  Avm_util.Wire.varint w seq;
+  Avm_util.Wire.u32 w value;
+  Avm_util.Wire.contents w
+
+let attest d value =
+  let seq = d.next_seq in
+  d.next_seq <- seq + 1;
+  { seq; value; signature = Avm_crypto.Rsa.sign d.keys.Avm_crypto.Rsa.private_ (payload seq value) }
+
+let verify key a =
+  Avm_crypto.Rsa.verify key ~msg:(payload a.seq a.value) ~signature:a.signature
+
+let audit ~device_key ~entries ~attestations =
+  let remaining = ref attestations in
+  let verified = ref 0 in
+  let result = ref (Ok 0) in
+  (try
+     List.iter
+       (fun (e : Entry.t) ->
+         match e.content with
+         | Entry.Exec (Avm_machine.Event.Io_in { port; value; _ })
+           when port = Avm_isa.Isa.port_input && value <> 0 -> (
+           match !remaining with
+           | [] ->
+             result :=
+               Error
+                 (Printf.sprintf
+                    "entry #%d: input event %d has no device attestation (synthesized input?)"
+                    e.seq value);
+             raise Exit
+           | a :: rest ->
+             if not (verify device_key a) then begin
+               result := Error (Printf.sprintf "attestation %d: bad device signature" a.seq);
+               raise Exit
+             end;
+             if a.value <> value then begin
+               result :=
+                 Error
+                   (Printf.sprintf
+                      "entry #%d: input event %d does not match attested event %d (seq %d)"
+                      e.seq value a.value a.seq);
+               raise Exit
+             end;
+             remaining := rest;
+             incr verified)
+         | _ -> ())
+       entries;
+     result := Ok !verified
+   with Exit -> ());
+  !result

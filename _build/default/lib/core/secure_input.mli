@@ -1,0 +1,45 @@
+(** Secure local input — the paper's §7.2 extension.
+
+    AVMs cannot detect the re-engineered external aimbot because
+    "existing hardware does not authenticate events from local input
+    devices... keyboards could sign keystroke events before reporting
+    them to the OS, and an auditor could verify that the keystrokes are
+    genuine using the keyboard's public key."
+
+    This module implements that hypothetical hardware: a {!device}
+    holds the keyboard's keypair and signs each event with a
+    monotonically increasing counter; {!audit} checks that every input
+    event the log claims the AVM consumed is covered, in order, by a
+    genuine attestation. A program (or robot arm substitute) feeding
+    synthetic events into the input queue cannot produce attestations,
+    so the previously undetectable cheat becomes detectable. *)
+
+type device
+(** A signing input device (keyboard/mouse). *)
+
+type attestation = { seq : int; value : int; signature : string }
+(** One signed input event. *)
+
+val create_device : Avm_util.Rng.t -> ?bits:int -> unit -> device
+(** Manufacture a device with a fresh keypair (default 512-bit — input
+    attestations are low-stakes and high-rate). *)
+
+val device_public : device -> Avm_crypto.Rsa.public_key
+
+val attest : device -> int -> attestation
+(** Sign the next input event. Counters make replayed attestations
+    detectable. *)
+
+val verify : Avm_crypto.Rsa.public_key -> attestation -> bool
+
+val audit :
+  device_key:Avm_crypto.Rsa.public_key ->
+  entries:Avm_tamperlog.Entry.t list ->
+  attestations:attestation list ->
+  (int, string) result
+(** [audit ~device_key ~entries ~attestations] checks that every
+    non-zero INPUT word the log shows entering the AVM is backed by the
+    next unconsumed attestation with the same value. Returns the number
+    of verified events, or a description of the first forged/unbacked
+    input. Unconsumed trailing attestations are fine (events still
+    queued when the log was cut). *)

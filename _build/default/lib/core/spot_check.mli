@@ -1,0 +1,38 @@
+(** Spot checking: auditing k consecutive inter-snapshot segments
+    instead of the whole log (paper §3.5, §6.12).
+
+    The log is divided into {e segments} by its Snapshot_ref entries;
+    [k] consecutive segments form a {e k-chunk}. To check a chunk the
+    auditor downloads the machine state at the chunk's first snapshot
+    (authenticated against the logged digest), the compressed log
+    segment, and replays it. Cost is therefore a fixed part (state
+    transfer, decompression) plus a part linear in [k] — Figure 9. *)
+
+type boundary = { entry_seq : int; snapshot_seq : int; at_icount : int }
+
+val boundaries : Avm_tamperlog.Log.t -> boundary list
+(** The Snapshot_ref entries of a log, in order. *)
+
+type chunk_report = {
+  start_snapshot : int;
+  k : int;
+  state_bytes : int;  (** authenticated state downloaded at chunk start *)
+  log_bytes_compressed : int;  (** compressed log segment shipped *)
+  replay_instructions : int;
+  outcome : Replay.outcome;
+}
+
+val check_chunk :
+  image:int array ->
+  mem_words:int ->
+  snapshots:Avm_machine.Snapshot.t list ->
+  log:Avm_tamperlog.Log.t ->
+  peers:(int * string) list ->
+  start_snapshot:int ->
+  k:int ->
+  chunk_report
+(** [check_chunk ~start_snapshot ~k ...] audits the k-chunk beginning
+    at snapshot [start_snapshot]. The snapshot chain is verified
+    against the log's digest before replay; a forged snapshot is
+    reported as a divergence.
+    @raise Invalid_argument if the chunk runs past the last snapshot. *)

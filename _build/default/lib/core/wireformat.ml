@@ -1,0 +1,99 @@
+open Avm_util
+
+let payload_of_words words =
+  String.init
+    (4 * Array.length words)
+    (fun i -> Char.chr ((words.(i / 4) lsr (8 * (i mod 4))) land 0xff))
+
+let words_of_payload s =
+  if String.length s mod 4 <> 0 then raise (Wire.Malformed "payload not word-aligned");
+  Array.init
+    (String.length s / 4)
+    (fun i ->
+      let b j = Char.code s.[(4 * i) + j] in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+
+type envelope = {
+  src : string;
+  dest : string;
+  nonce : int;
+  payload : string;
+  signature : string;
+  auth : Avm_tamperlog.Auth.t;
+}
+
+let message_body ~src ~dest ~nonce ~payload =
+  let w = Wire.writer () in
+  Wire.bytes w "avm-message";
+  Wire.bytes w src;
+  Wire.bytes w dest;
+  Wire.varint w nonce;
+  Wire.bytes w payload;
+  Wire.contents w
+
+let verify_envelope cert env =
+  String.equal (Avm_crypto.Identity.cert_name cert) env.src
+  && Avm_crypto.Identity.verify cert
+       ~msg:(message_body ~src:env.src ~dest:env.dest ~nonce:env.nonce ~payload:env.payload)
+       ~signature:env.signature
+  && Avm_tamperlog.Auth.matches_send env.auth ~payload:env.payload ~dest:env.dest
+       ~nonce:env.nonce
+  && String.equal env.auth.Avm_tamperlog.Auth.node env.src
+
+type ack = {
+  acker : string;
+  sender : string;
+  nonce : int;
+  recv_auth : Avm_tamperlog.Auth.t;
+}
+
+let verify_ack acker_cert ack ~sent:(sent : envelope) =
+  String.equal (Avm_crypto.Identity.cert_name acker_cert) ack.acker
+  && ack.nonce = sent.nonce
+  && String.equal ack.sender sent.src
+  && String.equal ack.recv_auth.Avm_tamperlog.Auth.node ack.acker
+  && Avm_tamperlog.Auth.verify acker_cert ack.recv_auth
+  && Avm_tamperlog.Auth.matches_content ack.recv_auth
+       (Avm_tamperlog.Entry.Recv
+          { src = sent.src; nonce = sent.nonce; payload = sent.payload; signature = sent.signature })
+
+let encode_envelope env =
+  let w = Wire.writer () in
+  Wire.bytes w env.src;
+  Wire.bytes w env.dest;
+  Wire.varint w env.nonce;
+  Wire.bytes w env.payload;
+  Wire.bytes w env.signature;
+  Avm_tamperlog.Auth.write w env.auth;
+  Wire.contents w
+
+let decode_envelope s =
+  let r = Wire.reader s in
+  let src = Wire.read_bytes r in
+  let dest = Wire.read_bytes r in
+  let nonce = Wire.read_varint r in
+  let payload = Wire.read_bytes r in
+  let signature = Wire.read_bytes r in
+  let auth = Avm_tamperlog.Auth.read r in
+  Wire.expect_end r;
+  { src; dest; nonce; payload; signature; auth }
+
+let encode_ack a =
+  let w = Wire.writer () in
+  Wire.bytes w a.acker;
+  Wire.bytes w a.sender;
+  Wire.varint w a.nonce;
+  Avm_tamperlog.Auth.write w a.recv_auth;
+  Wire.contents w
+
+let decode_ack s =
+  let r = Wire.reader s in
+  let acker = Wire.read_bytes r in
+  let sender = Wire.read_bytes r in
+  let nonce = Wire.read_varint r in
+  let recv_auth = Avm_tamperlog.Auth.read r in
+  Wire.expect_end r;
+  { acker; sender; nonce; recv_auth }
+
+let envelope_wire_size env = String.length (encode_envelope env)
+let ack_wire_size a = String.length (encode_ack a)

@@ -1,0 +1,61 @@
+(** On-the-wire message formats between accountable machines.
+
+    An {!envelope} is what actually crosses the network: the
+    application payload produced inside the AVM, plus the sender's
+    signature and the authenticator for the corresponding SEND log
+    entry (paper §4.3). The receiving AVMM verifies and strips the
+    envelope before the payload enters the AVM. An {!ack} answers
+    every accepted message with the receiver's authenticator for its
+    RECV entry. *)
+
+val payload_of_words : int array -> string
+(** Guest packets are word arrays; this is their canonical byte
+    encoding (little-endian words). *)
+
+val words_of_payload : string -> int array
+(** Inverse of {!payload_of_words}.
+    @raise Avm_util.Wire.Malformed if the length is not a multiple
+    of 4. *)
+
+type envelope = {
+  src : string;
+  dest : string;
+  nonce : int;  (** per-sender counter; retransmissions reuse it *)
+  payload : string;
+  signature : string;  (** sender's signature over {!message_body} *)
+  auth : Avm_tamperlog.Auth.t;  (** authenticator for the SEND entry *)
+}
+
+val message_body : src:string -> dest:string -> nonce:int -> payload:string -> string
+(** The bytes the sender signs. *)
+
+val verify_envelope : Avm_crypto.Identity.certificate -> envelope -> bool
+(** Checks the sender signature and that the attached authenticator
+    commits to exactly [SEND {dest; nonce; payload}]. *)
+
+type ack = {
+  acker : string;
+  sender : string;
+  nonce : int;  (** which of [sender]'s messages is acknowledged *)
+  recv_auth : Avm_tamperlog.Auth.t;  (** authenticator for the RECV entry *)
+}
+
+val verify_ack :
+  Avm_crypto.Identity.certificate ->
+  ack ->
+  sent:envelope ->
+  bool
+(** [verify_ack acker_cert ack ~sent] checks that the acknowledgment's
+    authenticator really commits the acker to having logged
+    [RECV(sent)]. *)
+
+val encode_envelope : envelope -> string
+val decode_envelope : string -> envelope
+val encode_ack : ack -> string
+val decode_ack : string -> ack
+
+val envelope_wire_size : envelope -> int
+(** Bytes on the wire including signature and authenticator — the unit
+    of the §6.7 traffic numbers. *)
+
+val ack_wire_size : ack -> int

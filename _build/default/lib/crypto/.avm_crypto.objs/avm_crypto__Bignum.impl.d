@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Avm_util Bytes Char Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Avm_util Char Sha256 String

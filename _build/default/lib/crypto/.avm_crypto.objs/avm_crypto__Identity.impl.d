@@ -1,0 +1,1 @@
+lib/crypto/identity.ml: Avm_util Rsa

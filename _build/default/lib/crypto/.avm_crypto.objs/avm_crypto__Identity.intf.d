@@ -1,0 +1,1 @@
+lib/crypto/identity.mli: Avm_util Rsa

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Avm_util Bignum Sha256 String

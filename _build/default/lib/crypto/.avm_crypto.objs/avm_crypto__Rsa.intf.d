@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Avm_util Bignum

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Avm_util Bytes Char List String

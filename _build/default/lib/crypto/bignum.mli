@@ -1,0 +1,97 @@
+(** Arbitrary-precision natural numbers.
+
+    Little-endian arrays of 26-bit limbs; all products of two limbs fit
+    comfortably in OCaml's 63-bit native ints. This is the arithmetic
+    substrate for {!Rsa}; no external bignum library is available in
+    this environment (see DESIGN.md §6).
+
+    Values are non-negative. [sub a b] requires [a >= b]. *)
+
+type t
+(** A natural number. Structurally comparable with {!compare}. *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+(** @raise Failure if the value exceeds [max_int]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val add_int : t -> int -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val sub_int : t -> int -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b]
+    (Knuth Algorithm D).
+    @raise Division_by_zero if [b] is zero. *)
+
+val rem : t -> t -> t
+val rem_int : t -> int -> int
+
+val shift_left : t -> int -> t
+(** [shift_left a bits] multiplies by [2^bits]. *)
+
+val shift_right : t -> int -> t
+(** [shift_right a bits] divides by [2^bits], truncating. *)
+
+val bit_length : t -> int
+(** Number of significant bits; [bit_length zero = 0]. *)
+
+val testbit : t -> int -> bool
+(** [testbit a i] is bit [i] (little-endian). *)
+
+val is_even : t -> bool
+
+val mod_pow : t -> t -> t -> t
+(** [mod_pow base exp m] is [base^exp mod m].
+    @raise Division_by_zero if [m] is zero. *)
+
+val mod_inv : t -> t -> t option
+(** [mod_inv a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1], else [None]. *)
+
+val gcd : t -> t -> t
+
+val of_bytes_be : string -> t
+(** Big-endian byte decoding (leading zero bytes allowed). *)
+
+val to_bytes_be : ?len:int -> t -> string
+(** Big-endian byte encoding, zero-padded on the left to [len] when
+    given.
+    @raise Invalid_argument if the value does not fit in [len] bytes. *)
+
+val to_hex : t -> string
+val of_hex : string -> t
+
+val random_bits : Avm_util.Rng.t -> int -> t
+(** [random_bits rng n] is uniform in [\[0, 2^n)]. *)
+
+val random_below : Avm_util.Rng.t -> t -> t
+(** [random_below rng n] is uniform in [\[0, n)] by rejection.
+    @raise Invalid_argument if [n] is zero. *)
+
+val is_probable_prime : Avm_util.Rng.t -> ?rounds:int -> t -> bool
+(** Trial division by small primes followed by Miller–Rabin with
+    [rounds] (default 20) random bases. *)
+
+val random_prime : Avm_util.Rng.t -> bits:int -> t
+(** [random_prime rng ~bits] is a probable prime with exactly [bits]
+    bits (top bit set).
+    @raise Invalid_argument if [bits < 2]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering. *)

@@ -1,0 +1,13 @@
+let block_size = 64
+
+let mac ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad fill =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor fill))
+  in
+  let inner = Sha256.digest_list [ pad 0x36; msg ] in
+  Sha256.digest_list [ pad 0x5c; inner ]
+
+let hex ~key msg = Avm_util.Hex.encode (mac ~key msg)

@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used for keyed integrity checks in tests and as the pseudo-random
+    function behind deterministic padding; the tamper-evident log itself
+    uses public-key signatures ({!Rsa}) for non-repudiation. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under
+    [key]. *)
+
+val hex : key:string -> string -> string
+(** [hex ~key msg] is the tag in lowercase hex. *)

@@ -1,0 +1,88 @@
+type public_key = { n : Bignum.t; e : Bignum.t }
+
+type private_key = {
+  n : Bignum.t;
+  d : Bignum.t;
+  p : Bignum.t;
+  q : Bignum.t;
+  dp : Bignum.t;
+  dq : Bignum.t;
+  qinv : Bignum.t;
+}
+
+type keypair = { public : public_key; private_ : private_key; bits : int }
+
+let e_value = Bignum.of_int 65537
+
+let generate rng ~bits =
+  if bits < 32 then invalid_arg "Rsa.generate: modulus too small";
+  let half = bits / 2 in
+  let rec go () =
+    let p = Bignum.random_prime rng ~bits:half in
+    let q = Bignum.random_prime rng ~bits:(bits - half) in
+    if Bignum.equal p q then go ()
+    else begin
+      let n = Bignum.mul p q in
+      let p1 = Bignum.sub p Bignum.one and q1 = Bignum.sub q Bignum.one in
+      let phi = Bignum.mul p1 q1 in
+      match (Bignum.mod_inv e_value phi, Bignum.mod_inv q p) with
+      | Some d, Some qinv when Bignum.bit_length n = bits ->
+        let dp = Bignum.rem d p1 and dq = Bignum.rem d q1 in
+        { public = { n; e = e_value }; private_ = { n; d; p; q; dp; dq; qinv }; bits }
+      | _ -> go ()
+    end
+  in
+  go ()
+
+let signature_length (key : public_key) = (Bignum.bit_length key.n + 7) / 8
+
+(* EMSA-PKCS1-v1_5-style: 0x00 0x01 0xFF... 0x00 || digest. *)
+let pad_digest ~len digest =
+  if len < String.length digest + 11 then invalid_arg "Rsa: modulus too small for digest";
+  let ff_len = len - String.length digest - 3 in
+  String.concat "" [ "\x00\x01"; String.make ff_len '\xff'; "\x00"; digest ]
+
+(* m^d mod n via the Chinese Remainder Theorem: two half-size
+   exponentiations instead of one full-size one (~4x faster). *)
+let private_power key m =
+  let mp = Bignum.mod_pow (Bignum.rem m key.p) key.dp key.p in
+  let mq = Bignum.mod_pow (Bignum.rem m key.q) key.dq key.q in
+  (* h = qinv * (mp - mq) mod p; result = mq + h * q *)
+  let diff =
+    if Bignum.compare mp mq >= 0 then Bignum.sub mp mq
+    else Bignum.sub key.p (Bignum.rem (Bignum.sub mq mp) key.p)
+  in
+  let h = Bignum.rem (Bignum.mul key.qinv diff) key.p in
+  Bignum.add mq (Bignum.mul h key.q)
+
+let sign (key : private_key) msg =
+  let len = (Bignum.bit_length key.n + 7) / 8 in
+  let em = pad_digest ~len (Sha256.digest msg) in
+  let m = Bignum.of_bytes_be em in
+  Bignum.to_bytes_be ~len (private_power key m)
+
+let verify (key : public_key) ~msg ~signature =
+  let len = signature_length key in
+  if String.length signature <> len then false
+  else begin
+    let s = Bignum.of_bytes_be signature in
+    if Bignum.compare s key.n >= 0 then false
+    else begin
+      let m = Bignum.mod_pow s key.e key.n in
+      let expected = pad_digest ~len (Sha256.digest msg) in
+      String.equal (Bignum.to_bytes_be ~len m) expected
+    end
+  end
+
+let public_to_string (key : public_key) =
+  let w = Avm_util.Wire.writer () in
+  Avm_util.Wire.bytes w (Bignum.to_bytes_be key.n);
+  Avm_util.Wire.bytes w (Bignum.to_bytes_be key.e);
+  Avm_util.Wire.contents w
+
+let public_of_string s =
+  let r = Avm_util.Wire.reader s in
+  let n = Bignum.of_bytes_be (Avm_util.Wire.read_bytes r) in
+  let e = Bignum.of_bytes_be (Avm_util.Wire.read_bytes r) in
+  Avm_util.Wire.expect_end r;
+  { n; e }

@@ -1,0 +1,33 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    The AVMM design assumes a hash function that is pre-image,
+    second-pre-image and collision resistant (paper §4.1, assumption 2).
+    Hash chains, authenticators, Merkle snapshot trees and message
+    digests all use this module. *)
+
+type ctx
+(** Streaming hash state. *)
+
+val init : unit -> ctx
+(** Fresh state. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs the bytes of [s]. *)
+
+val finalize : ctx -> string
+(** [finalize ctx] is the 32-byte digest. The context must not be used
+    afterwards. *)
+
+val digest : string -> string
+(** [digest s] is the 32-byte SHA-256 of [s]. *)
+
+val digest_list : string list -> string
+(** [digest_list parts] hashes the concatenation of [parts] without
+    building it. *)
+
+val hex : string -> string
+(** [hex s] is the digest of [s] in lowercase hex (convenience for
+    tests and display). *)
+
+val digest_length : int
+(** 32. *)

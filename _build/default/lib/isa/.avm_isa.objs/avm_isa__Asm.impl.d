@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Char Hashtbl Isa List Printf String

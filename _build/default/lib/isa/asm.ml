@@ -1,0 +1,243 @@
+exception Error of { line : int; message : string }
+
+type image = { words : int array; symbols : (string * int) list }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* Operands as parsed; symbols are resolved in pass 2. *)
+type operand = Reg of int | Imm of int | Sym of string
+
+type item =
+  | Op of { line : int; mnemonic : string; operands : operand list }
+  | Data_word of { line : int; value : operand }
+  | Data_space of int
+
+let registers =
+  [ ("fp", 12); ("sp", 13); ("lr", 14); ("at", 15) ]
+  @ List.init 16 (fun i -> (Printf.sprintf "r%d" i, i))
+
+let tokenize line_no raw =
+  let raw = match String.index_opt raw ';' with Some i -> String.sub raw 0 i | None -> raw in
+  let raw = String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) raw in
+  String.split_on_char ' ' raw
+  |> List.filter (fun t -> t <> "")
+  |> fun toks ->
+  if List.exists (fun t -> String.contains t ',') toks then fail line_no "stray comma";
+  toks
+
+let parse_int line tok =
+  let parse s = try Some (int_of_string s) with Failure _ -> None in
+  match tok with
+  | "" -> fail line "empty operand"
+  | _ when String.length tok = 3 && tok.[0] = '\'' && tok.[2] = '\'' -> Some (Char.code tok.[1])
+  | _ -> parse tok
+
+let parse_operand equs line tok =
+  match List.assoc_opt (String.lowercase_ascii tok) registers with
+  | Some r -> Reg r
+  | None -> (
+    match parse_int line tok with
+    | Some v -> Imm v
+    | None -> (
+      match List.assoc_opt tok !equs with
+      | Some v -> Imm v
+      | None -> Sym tok))
+
+(* Pass 1: parse every line, assign addresses, record labels. *)
+let parse source =
+  let equs = ref Isa.named_ports in
+  let items = ref [] in
+  let labels = Hashtbl.create 64 in
+  let addr = ref 0 in
+  let size_of_pseudo line mnemonic operands =
+    (* Word count each item will occupy after expansion. *)
+    match (mnemonic, operands) with
+    | "li", [ Reg _; Imm v ] -> if v >= -32768 && v <= 32767 then 1 else 2
+    | "li", [ Reg _; Sym _ ] -> 2 (* symbol value unknown yet: fixed form *)
+    | "li", _ -> fail line "li needs a register and an immediate"
+    | "la", _ -> 2
+    | "push", _ | "pop", _ -> 2
+    | _ -> 1
+  in
+  let handle_line line_no raw =
+    let toks = tokenize line_no raw in
+    match toks with
+    | [] -> ()
+    | first :: rest ->
+      let first, rest =
+        if String.length first > 1 && first.[String.length first - 1] = ':' then begin
+          let label = String.sub first 0 (String.length first - 1) in
+          if Hashtbl.mem labels label then fail line_no "duplicate label %s" label;
+          Hashtbl.add labels label !addr;
+          match rest with [] -> ("", []) | m :: ops -> (m, ops)
+        end
+        else (first, rest)
+      in
+      if first = "" then ()
+      else begin
+        let mnemonic = String.lowercase_ascii first in
+        match mnemonic with
+        | ".equ" -> (
+          match rest with
+          | [ name; value ] -> (
+            match parse_int line_no value with
+            | Some v -> equs := (name, v) :: !equs
+            | None -> (
+              match List.assoc_opt value !equs with
+              | Some v -> equs := (name, v) :: !equs
+              | None -> fail line_no ".equ value must be a constant"))
+          | _ -> fail line_no ".equ needs a name and a value")
+        | ".word" -> (
+          match rest with
+          | [ tok ] ->
+            items := Data_word { line = line_no; value = parse_operand equs line_no tok } :: !items;
+            incr addr
+          | _ -> fail line_no ".word needs exactly one value")
+        | ".space" -> (
+          match rest with
+          | [ tok ] -> (
+            match parse_int line_no tok with
+            | Some n when n >= 0 ->
+              items := Data_space n :: !items;
+              addr := !addr + n
+            | _ -> fail line_no ".space needs a non-negative count")
+          | _ -> fail line_no ".space needs exactly one count")
+        | _ ->
+          let operands = List.map (parse_operand equs line_no) rest in
+          items := Op { line = line_no; mnemonic; operands } :: !items;
+          addr := !addr + size_of_pseudo line_no mnemonic operands
+      end
+  in
+  List.iteri (fun i raw -> handle_line (i + 1) raw) (String.split_on_char '\n' source);
+  (List.rev !items, labels, !addr)
+
+(* Pass 2: resolve symbols and emit words. *)
+let assemble source =
+  let items, labels, total = parse source in
+  let words = Array.make total 0 in
+  let pos = ref 0 in
+  let lookup line name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> fail line "undefined symbol %s" name
+  in
+  let emit i =
+    words.(!pos) <- Isa.encode i;
+    incr pos
+  in
+  let reg line = function
+    | Reg r -> r
+    | Imm _ | Sym _ -> fail line "expected a register"
+  in
+  let imm line = function
+    | Imm v -> v
+    | Sym s -> lookup line s
+    | Reg _ -> fail line "expected an immediate"
+  in
+  let check16s line v =
+    if v < -32768 || v > 32767 then fail line "immediate %d out of signed 16-bit range" v;
+    v
+  in
+  let check16u line v =
+    if v < 0 || v > 0xffff then fail line "immediate %d out of unsigned 16-bit range" v;
+    v
+  in
+  let branch_off line target =
+    let off = target - (!pos + 1) in
+    if off < -32768 || off > 32767 then fail line "branch target out of range";
+    off
+  in
+  let target line = function
+    | Sym s -> lookup line s
+    | Imm v -> v
+    | Reg _ -> fail line "expected a label or address"
+  in
+  let emit_li rd v =
+    let v32 = v land 0xffffffff in
+    if v >= -32768 && v <= 32767 then emit (Isa.Movi (rd, v))
+    else begin
+      emit (Isa.Lui (rd, (v32 lsr 16) land 0xffff));
+      emit (Isa.Ori (rd, rd, v32 land 0xffff))
+    end
+  in
+  let sp = 13 and lr = 14 in
+  let handle = function
+    | Data_word { line; value } ->
+      words.(!pos) <- imm line value land 0xffffffff;
+      incr pos
+    | Data_space n -> pos := !pos + n
+    | Op { line; mnemonic; operands } -> (
+      let r = reg line and i16s o = check16s line (imm line o) in
+      let i16u o = check16u line (imm line o) in
+      match (mnemonic, operands) with
+      | "halt", [] -> emit Isa.Halt
+      | "nop", [] -> emit Isa.Nop
+      | "ei", [] -> emit Isa.Ei
+      | "di", [] -> emit Isa.Di
+      | "iret", [] -> emit Isa.Iret
+      | "mov", [ a; b ] -> emit (Isa.Mov (r a, r b))
+      | "movi", [ a; b ] -> emit (Isa.Movi (r a, i16s b))
+      | "lui", [ a; b ] -> emit (Isa.Lui (r a, i16u b))
+      | "add", [ a; b; c ] -> emit (Isa.Add (r a, r b, r c))
+      | "sub", [ a; b; c ] -> emit (Isa.Sub (r a, r b, r c))
+      | "mul", [ a; b; c ] -> emit (Isa.Mul (r a, r b, r c))
+      | "div", [ a; b; c ] -> emit (Isa.Div (r a, r b, r c))
+      | "rem", [ a; b; c ] -> emit (Isa.Rem (r a, r b, r c))
+      | "and", [ a; b; c ] -> emit (Isa.And (r a, r b, r c))
+      | "or", [ a; b; c ] -> emit (Isa.Or (r a, r b, r c))
+      | "xor", [ a; b; c ] -> emit (Isa.Xor (r a, r b, r c))
+      | "shl", [ a; b; c ] -> emit (Isa.Shl (r a, r b, r c))
+      | "shr", [ a; b; c ] -> emit (Isa.Shr (r a, r b, r c))
+      | "sar", [ a; b; c ] -> emit (Isa.Sar (r a, r b, r c))
+      | "slt", [ a; b; c ] -> emit (Isa.Slt (r a, r b, r c))
+      | "sltu", [ a; b; c ] -> emit (Isa.Sltu (r a, r b, r c))
+      | "seq", [ a; b; c ] -> emit (Isa.Seq (r a, r b, r c))
+      | "addi", [ a; b; c ] -> emit (Isa.Addi (r a, r b, i16s c))
+      | "andi", [ a; b; c ] -> emit (Isa.Andi (r a, r b, i16u c))
+      | "ori", [ a; b; c ] -> emit (Isa.Ori (r a, r b, i16u c))
+      | "xori", [ a; b; c ] -> emit (Isa.Xori (r a, r b, i16u c))
+      | "shli", [ a; b; c ] -> emit (Isa.Shli (r a, r b, i16u c land 31))
+      | "shri", [ a; b; c ] -> emit (Isa.Shri (r a, r b, i16u c land 31))
+      | "sari", [ a; b; c ] -> emit (Isa.Sari (r a, r b, i16u c land 31))
+      | "load", [ a; b; c ] -> emit (Isa.Load (r a, r b, i16s c))
+      | "load", [ a; b ] -> emit (Isa.Load (r a, r b, 0))
+      | "store", [ a; b; c ] -> emit (Isa.Store (r a, r b, i16s c))
+      | "store", [ a; b ] -> emit (Isa.Store (r a, r b, 0))
+      | "jmp", [ t ] -> emit (Isa.Jmp (branch_off line (target line t)))
+      | "jal", [ a; t ] -> emit (Isa.Jal (r a, branch_off line (target line t)))
+      | "jr", [ a ] -> emit (Isa.Jr (r a))
+      | "jalr", [ a; b ] -> emit (Isa.Jalr (r a, r b))
+      | "beq", [ a; b; t ] -> emit (Isa.Beq (r a, r b, branch_off line (target line t)))
+      | "bne", [ a; b; t ] -> emit (Isa.Bne (r a, r b, branch_off line (target line t)))
+      | "blt", [ a; b; t ] -> emit (Isa.Blt (r a, r b, branch_off line (target line t)))
+      | "bge", [ a; b; t ] -> emit (Isa.Bge (r a, r b, branch_off line (target line t)))
+      | "bltu", [ a; b; t ] -> emit (Isa.Bltu (r a, r b, branch_off line (target line t)))
+      | "bgeu", [ a; b; t ] -> emit (Isa.Bgeu (r a, r b, branch_off line (target line t)))
+      | "in", [ a; p ] -> emit (Isa.In (r a, i16u p))
+      | "out", [ a; p ] -> emit (Isa.Out (r a, i16u p))
+      (* pseudo-instructions *)
+      | "li", [ a; (Sym _ as t) ] | "la", [ a; (Sym _ as t) ] ->
+        let addr = target line t land 0xffffffff in
+        emit (Isa.Lui (r a, (addr lsr 16) land 0xffff));
+        emit (Isa.Ori (r a, r a, addr land 0xffff))
+      | "li", [ a; v ] -> emit_li (r a) (imm line v)
+      | "la", [ a; t ] ->
+        let addr = target line t land 0xffffffff in
+        emit (Isa.Lui (r a, (addr lsr 16) land 0xffff));
+        emit (Isa.Ori (r a, r a, addr land 0xffff))
+      | "push", [ a ] ->
+        emit (Isa.Addi (sp, sp, -1));
+        emit (Isa.Store (r a, sp, 0))
+      | "pop", [ a ] ->
+        emit (Isa.Load (r a, sp, 0));
+        emit (Isa.Addi (sp, sp, 1))
+      | "ret", [] -> emit (Isa.Jr lr)
+      | "call", [ t ] -> emit (Isa.Jal (lr, branch_off line (target line t)))
+      | m, _ -> fail line "unknown instruction or bad operands: %s" m)
+  in
+  List.iter handle items;
+  assert (!pos = total);
+  let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [] in
+  { words; symbols = List.sort compare symbols }
+
+let symbol img name = List.assoc name img.symbols

@@ -1,0 +1,38 @@
+(** Two-pass assembler for AVM-32.
+
+    Syntax, one statement per line ([;] starts a comment):
+
+    {v
+      .equ  NAME 123        ; named constant
+      .word 42              ; literal data word (labels allowed)
+      .space 16             ; 16 zero words
+    start:
+      movi  r1, 10          ; immediates: decimal, 0x.., char 'a', .equ names
+      li    r1, 0x12345678  ; pseudo: expands to movi or lui+ori
+      la    r1, start       ; pseudo: load a label's absolute address
+      add   r1, r2, r3
+      beq   r1, r2, start   ; branch targets are labels
+      jal   lr, start
+      in    r1, CLOCK       ; ports by symbolic name or number
+      out   r1, CONSOLE
+    v}
+
+    Registers: [r0]..[r15] with aliases [fp]=r12, [sp]=r13, [lr]=r14,
+    [at]=r15. Branch/jump label offsets are computed relative to the
+    next instruction. *)
+
+exception Error of { line : int; message : string }
+(** Assembly-time failure, with the 1-based source line. *)
+
+type image = {
+  words : int array;  (** the memory image, starting at address 0 *)
+  symbols : (string * int) list;  (** label -> address *)
+}
+
+val assemble : string -> image
+(** [assemble source] assembles a full program.
+    @raise Error with a line number on any syntax or range problem. *)
+
+val symbol : image -> string -> int
+(** [symbol img name] looks up a label.
+    @raise Not_found if absent. *)

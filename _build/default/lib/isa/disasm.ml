@@ -1,0 +1,12 @@
+let instruction word =
+  match Isa.decode word with
+  | i -> Isa.to_string i
+  | exception Isa.Decode_error _ -> Printf.sprintf ".word %d" word
+
+let listing ?(from = 0) ?count words =
+  let count = match count with Some c -> c | None -> Array.length words - from in
+  let buf = Buffer.create (count * 24) in
+  for addr = from to min (Array.length words - 1) (from + count - 1) do
+    Buffer.add_string buf (Printf.sprintf "%06x:  %s\n" addr (instruction words.(addr)))
+  done;
+  Buffer.contents buf

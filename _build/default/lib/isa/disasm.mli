@@ -1,0 +1,12 @@
+(** Disassembler for AVM-32 memory images.
+
+    Used by audit tooling to render divergence reports ("replay
+    diverged at pc=0x41, [out r3, NET_TX]") and by tests. *)
+
+val instruction : int -> string
+(** [instruction word] decodes and renders one word, or ".word N" if it
+    is not a valid instruction. *)
+
+val listing : ?from:int -> ?count:int -> int array -> string
+(** [listing words] renders an address-annotated listing of a slice of
+    the image (default: all of it). *)

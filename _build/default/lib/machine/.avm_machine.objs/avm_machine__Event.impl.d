@@ -1,0 +1,1 @@
+lib/machine/event.ml: Avm_isa Avm_util Format Landmark Printf

@@ -1,0 +1,1 @@
+lib/machine/landmark.ml: Avm_util Format Stdlib

@@ -1,0 +1,1 @@
+lib/machine/landmark.mli: Avm_util Format

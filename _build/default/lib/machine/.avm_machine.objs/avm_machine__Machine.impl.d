@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Avm_isa Avm_util Hashtbl Isa Landmark List Memory Printf String Wire

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Avm_isa Landmark Memory

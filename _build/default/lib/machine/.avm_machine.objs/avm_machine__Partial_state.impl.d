@@ -1,0 +1,1 @@
+lib/machine/partial_state.ml: Avm_crypto Avm_util List Machine Memory Snapshot String Wire

@@ -1,0 +1,1 @@
+lib/machine/partial_state.mli: Avm_crypto Machine

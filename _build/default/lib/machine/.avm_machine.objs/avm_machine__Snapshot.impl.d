@@ -1,0 +1,1 @@
+lib/machine/snapshot.ml: Array Avm_crypto Avm_util List Machine Memory String Wire

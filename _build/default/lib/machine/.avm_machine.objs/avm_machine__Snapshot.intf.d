@@ -1,0 +1,1 @@
+lib/machine/snapshot.mli: Avm_crypto Machine

@@ -1,0 +1,51 @@
+type t =
+  | Io_in of { port : int; value : int; msg : int }
+  | Irq of { landmark : Landmark.t; line : int }
+
+let write w = function
+  | Io_in { port; value; msg } ->
+    Avm_util.Wire.u8 w 0;
+    Avm_util.Wire.varint w port;
+    Avm_util.Wire.u32 w value;
+    Avm_util.Wire.varint w (msg + 1)
+  | Irq { landmark; line } ->
+    Avm_util.Wire.u8 w 1;
+    Landmark.write w landmark;
+    Avm_util.Wire.varint w line
+
+let read r =
+  match Avm_util.Wire.read_u8 r with
+  | 0 ->
+    let port = Avm_util.Wire.read_varint r in
+    let value = Avm_util.Wire.read_u32 r in
+    let msg = Avm_util.Wire.read_varint r - 1 in
+    Io_in { port; value; msg }
+  | 1 ->
+    let landmark = Landmark.read r in
+    let line = Avm_util.Wire.read_varint r in
+    Irq { landmark; line }
+  | n -> raise (Avm_util.Wire.Malformed (Printf.sprintf "bad event tag %d" n))
+
+let encode t =
+  let w = Avm_util.Wire.writer () in
+  write w t;
+  Avm_util.Wire.contents w
+
+let decode s =
+  let r = Avm_util.Wire.reader s in
+  let t = read r in
+  Avm_util.Wire.expect_end r;
+  t
+
+let pp fmt = function
+  | Io_in { port; value; msg } ->
+    Format.fprintf fmt "@[<h>in %s = %d%s@]" (Avm_isa.Isa.port_name port) value
+      (if msg >= 0 then Printf.sprintf " (msg %d)" msg else "")
+  | Irq { landmark; line } ->
+    Format.fprintf fmt "@[<h>irq %d @@ %a@]" line Landmark.pp landmark
+
+let equal a b =
+  match (a, b) with
+  | Io_in x, Io_in y -> x.port = y.port && x.value = y.value && x.msg = y.msg
+  | Irq x, Irq y -> x.line = y.line && Landmark.equal x.landmark y.landmark
+  | Io_in _, Irq _ | Irq _, Io_in _ -> false

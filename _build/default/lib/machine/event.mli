@@ -1,0 +1,34 @@
+(** Nondeterministic events recorded during execution (paper §4.4).
+
+    Two kinds exist:
+
+    - {b synchronous inputs} ([Io_in]): the guest explicitly requested
+      them with an [In] instruction, so no timing information is needed
+      — during replay the guest re-issues the same requests in the same
+      order (any difference is itself a divergence);
+    - {b asynchronous events} ([Irq]): interrupts arrive between
+      instructions, so each carries a {!Landmark.t} telling the
+      replayer exactly where to inject it.
+
+    Reads from the virtual disk are deliberately {i not} events: the
+    auditor has the reference image, so those values are reproducible
+    (paper §4.4, "not all inputs are nondeterministic"). *)
+
+type t =
+  | Io_in of { port : int; value : int; msg : int }
+      (** A value served to an [In] instruction. [msg] is the
+          tamper-evident-log sequence number of the RECV entry this
+          read is part of, for NET_RX reads; [-1] otherwise. This is
+          the cross-reference between the message stream and the input
+          stream that lets audits detect packets altered between
+          receipt and injection. *)
+  | Irq of { landmark : Landmark.t; line : int }
+      (** Interrupt [line] delivered at [landmark]. Line 0 is the
+          timer, line 1 the NIC. *)
+
+val write : Avm_util.Wire.writer -> t -> unit
+val read : Avm_util.Wire.reader -> t
+val encode : t -> string
+val decode : string -> t
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,18 @@
+type t = { icount : int; pc : int; branches : int }
+
+let compare a b = Stdlib.compare a.icount b.icount
+let equal a b = a.icount = b.icount && a.pc = b.pc && a.branches = b.branches
+
+let write w t =
+  Avm_util.Wire.varint w t.icount;
+  Avm_util.Wire.varint w t.pc;
+  Avm_util.Wire.varint w t.branches
+
+let read r =
+  let icount = Avm_util.Wire.read_varint r in
+  let pc = Avm_util.Wire.read_varint r in
+  let branches = Avm_util.Wire.read_varint r in
+  { icount; pc; branches }
+
+let pp fmt t = Format.fprintf fmt "@[<h>i=%d pc=0x%x br=%d@]" t.icount t.pc t.branches
+let to_string t = Format.asprintf "%a" pp t

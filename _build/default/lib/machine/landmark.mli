@@ -1,0 +1,20 @@
+(** Execution landmarks: the exact position of an asynchronous event.
+
+    Wall-clock time cannot time interrupt injection precisely, so the
+    paper's AVMM uses the instruction pointer plus a branch counter
+    (§4.4, after ReVirt). We record all three of instruction count,
+    pc and taken-branch count: the instruction count pinpoints the
+    injection during replay, and the (pc, branches) pair is
+    cross-checked at that point — any mismatch means the replayed
+    execution already diverged from the recorded one. *)
+
+type t = { icount : int; pc : int; branches : int }
+
+val compare : t -> t -> int
+(** Ordered by [icount]. *)
+
+val equal : t -> t -> bool
+val write : Avm_util.Wire.writer -> t -> unit
+val read : Avm_util.Wire.reader -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

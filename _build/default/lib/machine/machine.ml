@@ -1,0 +1,375 @@
+open Avm_isa
+
+type observation = Console of int | Frame | Packet_sent of int array
+
+type backend = {
+  io_in : int -> int;
+  io_out : int -> int -> unit;
+  observe : observation -> unit;
+  poll_irq : unit -> int option;
+}
+
+let null_backend =
+  { io_in = (fun _ -> 0); io_out = (fun _ _ -> ()); observe = ignore; poll_irq = (fun () -> None) }
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable icount : int;
+  mutable branches : int;
+  mem : Memory.t;
+  mutable halted : bool;
+  mutable int_enabled : bool;
+  mutable in_handler : bool;
+  mutable saved_pc : int;
+  mutable ivt : int;
+  mutable last_irq : int;
+  mutable tx : int list; (* NET_TX assembly buffer, reversed *)
+  mutable frames : int;
+  mutable console_chars : int;
+  disk : (int, int array) Hashtbl.t;
+  mutable disk_sector : int;
+  mutable disk_word : int;
+  mutable tracer : (t -> Avm_isa.Isa.instr -> unit) option;
+  (* Decode cache, keyed by address and validated against the current
+     memory word — self-modifying code simply misses. *)
+  icache_word : int array;
+  icache_instr : Isa.instr array;
+}
+
+exception Runtime_fault of { pc : int; reason : string }
+
+let mask32 = 0xffffffff
+let sector_words = 256
+
+let create ?(mem_words = 65536) image =
+  let mem = Memory.create ~words:mem_words in
+  Memory.load_image mem image;
+  Memory.clear_dirty mem;
+  {
+    icache_word = Array.make (Memory.size mem) (-1);
+    icache_instr = Array.make (Memory.size mem) Isa.Nop;
+    regs = Array.make 16 0;
+    pc = 0;
+    icount = 0;
+    branches = 0;
+    mem;
+    halted = false;
+    int_enabled = false;
+    in_handler = false;
+    saved_pc = 0;
+    ivt = 0;
+    last_irq = 0;
+    tx = [];
+    frames = 0;
+    console_chars = 0;
+    disk = Hashtbl.create 16;
+    disk_sector = 0;
+    disk_word = 0;
+    tracer = None;
+  }
+
+let landmark m = { Landmark.icount = m.icount; pc = m.pc; branches = m.branches }
+let halted m = m.halted
+let pc m = m.pc
+let icount m = m.icount
+let branches m = m.branches
+let reg m i = m.regs.(i)
+let set_reg m i v = m.regs.(i) <- v land mask32
+let mem m = m.mem
+let frames m = m.frames
+let console_chars m = m.console_chars
+
+let fault m reason =
+  m.halted <- true;
+  raise (Runtime_fault { pc = m.pc; reason })
+
+(* Signed view of a 32-bit word. *)
+let s v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let disk_sector_data m sector =
+  match Hashtbl.find_opt m.disk sector with
+  | Some a -> a
+  | None ->
+    let a = Array.make sector_words 0 in
+    Hashtbl.replace m.disk sector a;
+    a
+
+let handle_in m backend port =
+  if port = Isa.port_disk_read then begin
+    let a = disk_sector_data m m.disk_sector in
+    let v = a.(m.disk_word land (sector_words - 1)) in
+    m.disk_word <- (m.disk_word + 1) land (sector_words - 1);
+    v
+  end
+  else if port = Isa.port_irq_cause then m.last_irq
+  else backend.io_in port land mask32
+
+let handle_out m backend port v =
+  if port = Isa.port_console then begin
+    m.console_chars <- m.console_chars + 1;
+    backend.observe (Console v)
+  end
+  else if port = Isa.port_frame then begin
+    m.frames <- m.frames + 1;
+    backend.observe Frame
+  end
+  else if port = Isa.port_net_tx then m.tx <- v :: m.tx
+  else if port = Isa.port_net_tx_send then begin
+    let packet = Array.of_list (List.rev m.tx) in
+    m.tx <- [];
+    backend.observe (Packet_sent packet)
+  end
+  else if port = Isa.port_disk_sector then m.disk_sector <- v
+  else if port = Isa.port_disk_word then m.disk_word <- v land (sector_words - 1)
+  else if port = Isa.port_disk_write then begin
+    let a = disk_sector_data m m.disk_sector in
+    a.(m.disk_word land (sector_words - 1)) <- v;
+    m.disk_word <- (m.disk_word + 1) land (sector_words - 1)
+  end
+  else if port = Isa.port_ivt then m.ivt <- v
+  else backend.io_out port v
+
+let deliver_irq m line =
+  m.saved_pc <- m.pc;
+  m.pc <- m.ivt;
+  m.in_handler <- true;
+  m.int_enabled <- false;
+  m.last_irq <- line
+
+let step m backend =
+  if m.halted then false
+  else begin
+    if m.int_enabled && not m.in_handler then begin
+      match backend.poll_irq () with
+      | Some line -> deliver_irq m line
+      | None -> ()
+    end;
+    let word = try Memory.read m.mem m.pc with Memory.Fault a -> fault m (Printf.sprintf "pc out of range: 0x%x" a) in
+    let i =
+      if m.icache_word.(m.pc) = word then m.icache_instr.(m.pc)
+      else begin
+        let d = try Isa.decode word with Isa.Decode_error w -> fault m (Printf.sprintf "bad opcode 0x%08x" w) in
+        m.icache_word.(m.pc) <- word;
+        m.icache_instr.(m.pc) <- d;
+        d
+      end
+    in
+    (match m.tracer with None -> () | Some hook -> hook m i);
+    m.icount <- m.icount + 1;
+    let next = m.pc + 1 in
+    let r i = m.regs.(i) in
+    let set i v = m.regs.(i) <- v land mask32 in
+    let mem_read a = try Memory.read m.mem a with Memory.Fault a -> fault m (Printf.sprintf "load fault at 0x%x" a) in
+    let mem_write a v = try Memory.write m.mem a v with Memory.Fault a -> fault m (Printf.sprintf "store fault at 0x%x" a) in
+    let jump target =
+      m.branches <- m.branches + 1;
+      m.pc <- target land mask32
+    in
+    let branch cond off = if cond then jump (next + off) else m.pc <- next in
+    (match i with
+    | Isa.Halt ->
+      m.halted <- true;
+      m.pc <- next
+    | Isa.Nop -> m.pc <- next
+    | Isa.Ei ->
+      m.int_enabled <- true;
+      m.pc <- next
+    | Isa.Di ->
+      m.int_enabled <- false;
+      m.pc <- next
+    | Isa.Iret ->
+      m.in_handler <- false;
+      m.int_enabled <- true;
+      m.pc <- m.saved_pc
+    | Isa.Mov (d, sr) ->
+      set d (r sr);
+      m.pc <- next
+    | Isa.Movi (d, v) ->
+      set d v;
+      m.pc <- next
+    | Isa.Lui (d, v) ->
+      set d (v lsl 16);
+      m.pc <- next
+    | Isa.Add (d, a, b) ->
+      set d (r a + r b);
+      m.pc <- next
+    | Isa.Sub (d, a, b) ->
+      set d (r a - r b);
+      m.pc <- next
+    | Isa.Mul (d, a, b) ->
+      set d (r a * r b);
+      m.pc <- next
+    | Isa.Div (d, a, b) ->
+      set d (if r b = 0 then 0 else s (r a) / s (r b));
+      m.pc <- next
+    | Isa.Rem (d, a, b) ->
+      set d (if r b = 0 then 0 else s (r a) mod s (r b));
+      m.pc <- next
+    | Isa.And (d, a, b) ->
+      set d (r a land r b);
+      m.pc <- next
+    | Isa.Or (d, a, b) ->
+      set d (r a lor r b);
+      m.pc <- next
+    | Isa.Xor (d, a, b) ->
+      set d (r a lxor r b);
+      m.pc <- next
+    | Isa.Shl (d, a, b) ->
+      set d (r a lsl (r b land 31));
+      m.pc <- next
+    | Isa.Shr (d, a, b) ->
+      set d (r a lsr (r b land 31));
+      m.pc <- next
+    | Isa.Sar (d, a, b) ->
+      set d (s (r a) asr (r b land 31));
+      m.pc <- next
+    | Isa.Slt (d, a, b) ->
+      set d (if s (r a) < s (r b) then 1 else 0);
+      m.pc <- next
+    | Isa.Sltu (d, a, b) ->
+      set d (if r a < r b then 1 else 0);
+      m.pc <- next
+    | Isa.Seq (d, a, b) ->
+      set d (if r a = r b then 1 else 0);
+      m.pc <- next
+    | Isa.Addi (d, a, v) ->
+      set d (r a + v);
+      m.pc <- next
+    | Isa.Andi (d, a, v) ->
+      set d (r a land v);
+      m.pc <- next
+    | Isa.Ori (d, a, v) ->
+      set d (r a lor v);
+      m.pc <- next
+    | Isa.Xori (d, a, v) ->
+      set d (r a lxor v);
+      m.pc <- next
+    | Isa.Shli (d, a, v) ->
+      set d (r a lsl v);
+      m.pc <- next
+    | Isa.Shri (d, a, v) ->
+      set d (r a lsr v);
+      m.pc <- next
+    | Isa.Sari (d, a, v) ->
+      set d (s (r a) asr v);
+      m.pc <- next
+    | Isa.Load (d, a, off) ->
+      set d (mem_read (r a + off));
+      m.pc <- next
+    | Isa.Store (v, a, off) ->
+      mem_write (r a + off) (r v);
+      m.pc <- next
+    | Isa.Jmp off -> jump (next + off)
+    | Isa.Jal (d, off) ->
+      set d next;
+      jump (next + off)
+    | Isa.Jr a -> jump (r a)
+    | Isa.Jalr (d, a) ->
+      let target = r a in
+      set d next;
+      jump target
+    | Isa.Beq (a, b, off) -> branch (r a = r b) off
+    | Isa.Bne (a, b, off) -> branch (r a <> r b) off
+    | Isa.Blt (a, b, off) -> branch (s (r a) < s (r b)) off
+    | Isa.Bge (a, b, off) -> branch (s (r a) >= s (r b)) off
+    | Isa.Bltu (a, b, off) -> branch (r a < r b) off
+    | Isa.Bgeu (a, b, off) -> branch (r a >= r b) off
+    | Isa.In (d, port) ->
+      set d (handle_in m backend port);
+      m.pc <- next
+    | Isa.Out (sr, port) ->
+      handle_out m backend port (r sr);
+      m.pc <- next);
+    not m.halted
+  end
+
+let run m backend ~fuel =
+  let executed = ref 0 in
+  let continue = ref (not m.halted) in
+  while !continue && !executed < fuel do
+    continue := step m backend;
+    incr executed
+  done;
+  !executed
+
+let serialize_meta m =
+  let open Avm_util in
+  let w = Wire.writer () in
+  Array.iter (Wire.u32 w) m.regs;
+  Wire.varint w m.pc;
+  Wire.varint w m.icount;
+  Wire.varint w m.branches;
+  Wire.bool w m.halted;
+  Wire.bool w m.int_enabled;
+  Wire.bool w m.in_handler;
+  Wire.varint w m.saved_pc;
+  Wire.varint w m.ivt;
+  Wire.varint w m.last_irq;
+  Wire.list w (fun w v -> Wire.u32 w v) (List.rev m.tx);
+  Wire.varint w m.frames;
+  Wire.varint w m.console_chars;
+  Wire.varint w m.disk_sector;
+  Wire.varint w m.disk_word;
+  let sectors = Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.disk [] in
+  let sectors = List.sort compare sectors in
+  Wire.list w
+    (fun w (sector, data) ->
+      Wire.varint w sector;
+      Array.iter (Wire.u32 w) data)
+    sectors;
+  Wire.contents w
+
+let restore_meta m blob =
+  let open Avm_util in
+  let r = Wire.reader blob in
+  for i = 0 to 15 do
+    m.regs.(i) <- Wire.read_u32 r
+  done;
+  m.pc <- Wire.read_varint r;
+  m.icount <- Wire.read_varint r;
+  m.branches <- Wire.read_varint r;
+  m.halted <- Wire.read_bool r;
+  m.int_enabled <- Wire.read_bool r;
+  m.in_handler <- Wire.read_bool r;
+  m.saved_pc <- Wire.read_varint r;
+  m.ivt <- Wire.read_varint r;
+  m.last_irq <- Wire.read_varint r;
+  m.tx <- List.rev (Wire.read_list r Wire.read_u32);
+  m.frames <- Wire.read_varint r;
+  m.console_chars <- Wire.read_varint r;
+  m.disk_sector <- Wire.read_varint r;
+  m.disk_word <- Wire.read_varint r;
+  Hashtbl.reset m.disk;
+  let sectors =
+    Wire.read_list r (fun r ->
+        let sector = Wire.read_varint r in
+        let data = Array.init sector_words (fun _ -> Wire.read_u32 r) in
+        (sector, data))
+  in
+  List.iter (fun (sector, data) -> Hashtbl.replace m.disk sector data) sectors;
+  Wire.expect_end r
+
+let set_tracer m hook = m.tracer <- hook
+
+let copy m =
+  {
+    m with
+    tracer = None;
+    icache_word = Array.copy m.icache_word;
+    icache_instr = Array.copy m.icache_instr;
+    regs = Array.copy m.regs;
+    mem = Memory.copy m.mem;
+    disk =
+      (let h = Hashtbl.create (Hashtbl.length m.disk) in
+       Hashtbl.iter (fun k v -> Hashtbl.replace h k (Array.copy v)) m.disk;
+       h);
+  }
+
+let state_equal a b =
+  String.equal (serialize_meta a) (serialize_meta b)
+  && Memory.size a.mem = Memory.size b.mem
+  &&
+  let n = Memory.size a.mem in
+  let rec go i = i >= n || (Memory.read a.mem i = Memory.read b.mem i && go (i + 1)) in
+  go 0

@@ -1,0 +1,103 @@
+(** The AVM-32 virtual machine.
+
+    Executes guest images instruction by instruction, routing all
+    nondeterministic I/O through a {!backend} supplied by the caller.
+    The AVMM ({!Avm_core.Avmm}) installs a recording backend that logs
+    every nondeterministic value; the audit tool installs a replaying
+    backend that serves the logged values back and cross-checks
+    everything observable. Running the same image against backends
+    that serve identical values yields bit-identical executions — the
+    determinism property the whole paper rests on.
+
+    Deterministic devices (the virtual disk, the IRQ-cause register,
+    the frame counter, the NET_TX assembly buffer) live inside the
+    machine and are part of its snapshotted state. *)
+
+type t
+
+(** What the guest makes externally observable. *)
+type observation =
+  | Console of int  (** byte written to the console *)
+  | Frame  (** one frame rendered (screen refresh marker) *)
+  | Packet_sent of int array  (** flushed NET_TX buffer: one outgoing packet *)
+
+type backend = {
+  io_in : int -> int;
+      (** [io_in port] serves an [In] from a nondeterministic port. *)
+  io_out : int -> int -> unit;
+      (** [io_out port value] forwards [Out]s that target hardware
+          outside the machine (NET_RX_NEXT, TIMER_CTL, unknown
+          ports). *)
+  observe : observation -> unit;
+      (** Called on every observable output, in execution order. *)
+  poll_irq : unit -> int option;
+      (** Consulted between instructions when the CPU can accept an
+          interrupt. Returning [Some line] delivers the interrupt; the
+          backend must then consider it consumed. *)
+}
+
+val null_backend : backend
+(** Ignores outputs, serves 0 on every input, never interrupts. *)
+
+(** {1 Construction and execution} *)
+
+val create : ?mem_words:int -> int array -> t
+(** [create image] is a machine with [image] loaded at address 0,
+    pc = 0, all registers zero. Default memory: 65536 words. *)
+
+exception Runtime_fault of { pc : int; reason : string }
+(** Raised when the guest does something undefined: bad opcode, memory
+    access out of range. A faulting guest is halted. *)
+
+val step : t -> backend -> bool
+(** [step m b] delivers at most one pending interrupt and executes one
+    instruction. Returns [false] iff the machine is (now) halted.
+    @raise Runtime_fault on undefined behaviour (machine halts). *)
+
+val run : t -> backend -> fuel:int -> int
+(** [run m b ~fuel] steps until halt or [fuel] instructions; returns
+    instructions executed. *)
+
+(** {1 Inspection} *)
+
+val landmark : t -> Landmark.t
+(** Current (instruction count, pc, branch count) — the injection
+    coordinate for asynchronous events. *)
+
+val halted : t -> bool
+val pc : t -> int
+val icount : t -> int
+val branches : t -> int
+val reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+val mem : t -> Memory.t
+val frames : t -> int
+(** Frames rendered since boot (FRAME port writes). *)
+
+val console_chars : t -> int
+(** Console bytes written since boot. *)
+
+(** {1 State serialization}
+
+    [meta] covers everything except memory pages: registers, pc,
+    counters, interrupt state, devices. Memory travels separately so
+    snapshots can be incremental (see {!Snapshot}). *)
+
+val serialize_meta : t -> string
+val restore_meta : t -> string -> unit
+(** @raise Avm_util.Wire.Malformed on garbage. *)
+
+val set_tracer : t -> (t -> Avm_isa.Isa.instr -> unit) option -> unit
+(** [set_tracer m hook] installs (or clears) an instruction observer:
+    called once per executed instruction, after decode and {e before}
+    execution, with the machine's pre-state. This is the paper's §7.5
+    hook — expensive analyses (taint tracking, profiling, watchpoints)
+    run during audit replay, never in the live system. Costs one
+    branch per instruction when unset. *)
+
+val copy : t -> t
+(** Deep copy (for forking executions in tests and spot checks;
+    tracers are not copied). *)
+
+val state_equal : t -> t -> bool
+(** Full-state comparison: meta and all memory words. *)

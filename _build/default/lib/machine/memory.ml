@@ -1,0 +1,60 @@
+let page_size = 256
+let mask32 = 0xffffffff
+
+type t = {
+  words : int array;
+  dirty : bool array;
+  mutable watch : (int -> old:int -> value:int -> unit) option;
+}
+
+exception Fault of int
+
+let create ~words =
+  let pages = (words + page_size - 1) / page_size in
+  let pages = max pages 1 in
+  { words = Array.make (pages * page_size) 0; dirty = Array.make pages false; watch = None }
+
+let size m = Array.length m.words
+let page_count m = Array.length m.dirty
+
+let read m addr =
+  if addr < 0 || addr >= Array.length m.words then raise (Fault addr);
+  m.words.(addr)
+
+let write m addr v =
+  if addr < 0 || addr >= Array.length m.words then raise (Fault addr);
+  (match m.watch with
+  | None -> ()
+  | Some hook -> hook addr ~old:m.words.(addr) ~value:(v land mask32));
+  m.words.(addr) <- v land mask32;
+  m.dirty.(addr / page_size) <- true
+
+let load_image m image =
+  if Array.length image > Array.length m.words then raise (Fault (Array.length image));
+  Array.iteri (fun i w -> write m i w) image
+
+let page_data m p =
+  let base = p * page_size in
+  String.init (page_size * 4) (fun i ->
+      let w = m.words.(base + (i / 4)) in
+      Char.chr ((w lsr (8 * (i mod 4))) land 0xff))
+
+let set_page_data m p data =
+  if String.length data <> page_size * 4 then invalid_arg "Memory.set_page_data: bad length";
+  let base = p * page_size in
+  for i = 0 to page_size - 1 do
+    let b j = Char.code data.[(4 * i) + j] in
+    m.words.(base + i) <- b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  done;
+  m.dirty.(p) <- true
+
+let dirty_pages m =
+  let acc = ref [] in
+  for p = Array.length m.dirty - 1 downto 0 do
+    if m.dirty.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let clear_dirty m = Array.fill m.dirty 0 (Array.length m.dirty) false
+let copy m = { words = Array.copy m.words; dirty = Array.copy m.dirty; watch = None }
+let set_watch m hook = m.watch <- hook

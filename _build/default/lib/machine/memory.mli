@@ -1,0 +1,56 @@
+(** Word-addressed guest memory with per-page dirty tracking.
+
+    Pages are {!page_size} words. Dirty bits drive incremental
+    snapshots ({!Snapshot}) and per-page hash caching: only pages
+    written since the last snapshot are re-serialized and re-hashed. *)
+
+type t
+
+val page_size : int
+(** 256 words (1 KiB). *)
+
+val create : words:int -> t
+(** Zero-filled memory of at least [words] words (rounded up to whole
+    pages). *)
+
+val size : t -> int
+(** Capacity in words. *)
+
+val page_count : t -> int
+
+exception Fault of int
+(** Out-of-range access; carries the offending address. *)
+
+val read : t -> int -> int
+(** [read m addr] is the 32-bit word at [addr].
+    @raise Fault when out of range. *)
+
+val write : t -> int -> int -> unit
+(** [write m addr v] stores the low 32 bits of [v], marking the page
+    dirty.
+    @raise Fault when out of range. *)
+
+val load_image : t -> int array -> unit
+(** [load_image m words] copies a program image to address 0.
+    @raise Fault if the image does not fit. *)
+
+val page_data : t -> int -> string
+(** [page_data m p] serializes page [p] (little-endian words). *)
+
+val set_page_data : t -> int -> string -> unit
+(** Inverse of {!page_data}; marks the page dirty.
+    @raise Invalid_argument on wrong length. *)
+
+val dirty_pages : t -> int list
+(** Pages written since the last {!clear_dirty}, ascending. *)
+
+val clear_dirty : t -> unit
+
+val copy : t -> t
+(** Deep copy (dirty bits included; the watch hook is not copied). *)
+
+val set_watch : t -> (int -> old:int -> value:int -> unit) option -> unit
+(** [set_watch m hook] installs (or clears) a write observer, invoked
+    on every {!write} with the address, previous and new value. Used
+    by replay-time analyses ({!Avm_analysis.Watchpoints}); costs one
+    branch per write when unset. *)

@@ -1,0 +1,40 @@
+(** Partial, authenticated state transfer (paper §4.4 and §7.3).
+
+    "When Alice audits a log segment, she can either download an entire
+    snapshot or incrementally request the parts of the state that are
+    accessed during replay. In either case, she can use the hash tree
+    to authenticate the state she has downloaded." And for privacy:
+    "Alice can use the hash tree to remove any part of the snapshot
+    that is not necessary to replay the relevant segment."
+
+    A {!t} is a pruned view of a machine's memory: the pages the
+    auditor (or a piece of evidence) actually needs, each with a Merkle
+    inclusion proof against the logged root. Everything else stays
+    private. *)
+
+type page = { index : int; data : string; proof : Avm_crypto.Merkle.proof }
+
+type t = {
+  root : string;  (** the Merkle root the pages authenticate against *)
+  page_count : int;  (** total pages in the full state *)
+  meta : string;  (** machine meta-state ({!Machine.serialize_meta}) *)
+  pages : page list;  (** only the disclosed pages *)
+}
+
+val extract : Machine.t -> pages:int list -> t
+(** [extract m ~pages] is what the audited machine serves: the
+    requested pages with proofs, the meta-state, and the root.
+    Duplicate or out-of-range indices are ignored. *)
+
+val verify : t -> expected_root:string -> bool
+(** The auditor's check: every disclosed page carries a valid inclusion
+    proof against [expected_root] (which she obtained from a logged,
+    authenticator-covered Snapshot_ref). *)
+
+val disclosed_bytes : t -> int
+(** Bytes revealed (meta + pages + proofs) — compare against the full
+    state size to quantify the privacy/transfer saving. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Avm_util.Wire.Malformed on garbage. *)

@@ -1,0 +1,106 @@
+type t = {
+  seq : int;
+  at_icount : int;
+  meta : string;
+  pages : (int * string) list;
+  full : bool;
+  root : string;
+  page_count : int;
+}
+
+type tracker = { mutable page_hashes : string array; mutable next_seq : int }
+
+let tracker () = { page_hashes = [||]; next_seq = 0 }
+
+let take tr machine =
+  let mem = Machine.mem machine in
+  let n = Memory.page_count mem in
+  let full = tr.next_seq = 0 in
+  if full then tr.page_hashes <- Array.make n "";
+  if Array.length tr.page_hashes <> n then invalid_arg "Snapshot.take: machine changed";
+  let changed = if full then List.init n (fun p -> p) else Memory.dirty_pages mem in
+  let pages =
+    List.map
+      (fun p ->
+        let data = Memory.page_data mem p in
+        tr.page_hashes.(p) <- Avm_crypto.Merkle.leaf_hash data;
+        (p, data))
+      changed
+  in
+  Memory.clear_dirty mem;
+  let tree = Avm_crypto.Merkle.of_leaf_hashes (Array.to_list tr.page_hashes) in
+  let seq = tr.next_seq in
+  tr.next_seq <- seq + 1;
+  {
+    seq;
+    at_icount = Machine.icount machine;
+    meta = Machine.serialize_meta machine;
+    pages;
+    full;
+    root = Avm_crypto.Merkle.root tree;
+    page_count = n;
+  }
+
+let state_digest t =
+  Avm_crypto.Sha256.digest_list [ t.meta; t.root; string_of_int t.at_icount ]
+
+let encode t =
+  let open Avm_util in
+  let w = Wire.writer () in
+  Wire.varint w t.seq;
+  Wire.varint w t.at_icount;
+  Wire.bytes w t.meta;
+  Wire.bool w t.full;
+  Wire.bytes w t.root;
+  Wire.varint w t.page_count;
+  Wire.list w
+    (fun w (p, data) ->
+      Wire.varint w p;
+      Wire.bytes w data)
+    t.pages;
+  Wire.contents w
+
+let decode s =
+  let open Avm_util in
+  let r = Wire.reader s in
+  let seq = Wire.read_varint r in
+  let at_icount = Wire.read_varint r in
+  let meta = Wire.read_bytes r in
+  let full = Wire.read_bool r in
+  let root = Wire.read_bytes r in
+  let page_count = Wire.read_varint r in
+  let pages =
+    Wire.read_list r (fun r ->
+        let p = Wire.read_varint r in
+        let data = Wire.read_bytes r in
+        (p, data))
+  in
+  Wire.expect_end r;
+  { seq; at_icount; meta; pages; full; root; page_count }
+
+let size_bytes t = String.length (encode t)
+
+let materialize ~mem_words ~image chain =
+  match chain with
+  | [] -> invalid_arg "Snapshot.materialize: empty chain"
+  | first :: _ ->
+    let machine = Machine.create ~mem_words image in
+    ignore first;
+    let mem = Machine.mem machine in
+    let last = List.fold_left (fun _ snap -> Some snap) None chain in
+    List.iter
+      (fun snap -> List.iter (fun (p, data) -> Memory.set_page_data mem p data) snap.pages)
+      chain;
+    (match last with
+    | Some snap -> Machine.restore_meta machine snap.meta
+    | None -> assert false);
+    Memory.clear_dirty mem;
+    machine
+
+let merkle_of_machine machine =
+  let mem = Machine.mem machine in
+  let n = Memory.page_count mem in
+  Avm_crypto.Merkle.of_leaves (List.init n (fun p -> Memory.page_data mem p))
+
+let verify machine ~expected_root =
+  String.equal (Avm_crypto.Merkle.root (merkle_of_machine machine)) expected_root

@@ -1,0 +1,55 @@
+(** Incremental snapshots of AVM state with a Merkle hash tree
+    (paper §4.4, "Snapshots").
+
+    A {!tracker} caches per-page hashes so that taking a snapshot only
+    re-hashes pages dirtied since the previous one. Each snapshot
+    carries the pages that changed, the machine meta-state, and the
+    Merkle root over {e all} pages at that instant; the AVMM records
+    {!state_digest} in the tamper-evident log, and audits verify both
+    downloaded snapshots and replayed executions against it. *)
+
+type t = {
+  seq : int;  (** 0-based snapshot number *)
+  at_icount : int;  (** instruction count when taken *)
+  meta : string;  (** {!Machine.serialize_meta} at that instant *)
+  pages : (int * string) list;  (** pages changed since snapshot [seq-1] *)
+  full : bool;  (** [true] for the first snapshot (all pages present) *)
+  root : string;  (** Merkle root over all page hashes *)
+  page_count : int;
+}
+
+type tracker
+
+val tracker : unit -> tracker
+(** A fresh tracker; its first {!take} produces a full snapshot. *)
+
+val take : tracker -> Machine.t -> t
+(** [take tr m] snapshots [m]'s current state and clears the memory
+    dirty bits. Must be called with the same machine each time. *)
+
+val state_digest : t -> string
+(** [H(meta || root || at_icount)]: the value the AVMM logs. *)
+
+val size_bytes : t -> int
+(** Serialized size, the unit of Figure 9's transfer costs. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Avm_util.Wire.Malformed on garbage. *)
+
+val materialize : mem_words:int -> image:int array -> t list -> Machine.t
+(** [materialize ~mem_words ~image chain] reconstructs the machine at
+    the last snapshot of [chain] by starting from [image] and applying
+    each snapshot's page deltas in order (the chain must start with a
+    full snapshot or cover every changed page since boot).
+    @raise Invalid_argument on an empty chain. *)
+
+val verify : Machine.t -> expected_root:string -> bool
+(** [verify m ~expected_root] recomputes the Merkle root of [m]'s
+    current memory and compares. Used by audits to authenticate
+    downloaded state and replayed state against logged roots. *)
+
+val merkle_of_machine : Machine.t -> Avm_crypto.Merkle.t
+(** Full Merkle tree over the machine's pages — lets an auditor serve
+    or check per-page inclusion proofs (partial-state audits,
+    paper §7.3). *)

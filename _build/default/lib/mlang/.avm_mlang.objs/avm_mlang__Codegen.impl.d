@@ -1,0 +1,1 @@
+lib/mlang/codegen.ml: Ast Avm_isa Buffer Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/mlang/compile.ml: Avm_isa Codegen Lexer Parser Printf

@@ -1,0 +1,1 @@
+lib/mlang/compile.mli: Avm_isa

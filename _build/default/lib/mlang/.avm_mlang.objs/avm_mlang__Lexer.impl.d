@@ -1,0 +1,1 @@
+lib/mlang/lexer.ml: Char List Printf String

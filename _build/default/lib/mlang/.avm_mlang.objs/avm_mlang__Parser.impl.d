@@ -1,0 +1,1 @@
+lib/mlang/parser.ml: Ast Lexer List Printf String

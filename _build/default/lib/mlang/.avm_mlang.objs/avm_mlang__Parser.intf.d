@@ -1,0 +1,1 @@
+lib/mlang/parser.mli: Ast

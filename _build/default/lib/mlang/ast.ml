@@ -1,0 +1,40 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr
+
+type unop = Neg | LNot | BNot
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * expr option
+  | Assign of string * expr
+  | Assign_index of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  interrupt : bool;
+}
+
+type decl =
+  | Global of { gname : string; size : int; init : int list }
+  | Const of string * int
+  | Func of func
+
+type program = decl list

@@ -1,0 +1,50 @@
+(** Abstract syntax of mlang, the small imperative language guest
+    images are written in.
+
+    mlang is this repository's stand-in for the C the paper's guest
+    software was compiled from: word-sized integers, globals (scalars
+    and arrays), functions with recursion, interrupt handlers, and
+    I/O-port intrinsics. See [lib/mlang/parser.mli] for the concrete
+    grammar. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr  (** short-circuiting *)
+
+type unop = Neg | LNot | BNot
+
+type expr =
+  | Int of int
+  | Var of string  (** local, param, global scalar, or constant *)
+  | Index of string * expr  (** global array element *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** user function or builtin *)
+
+type stmt =
+  | Decl of string * expr option  (** [var x = e;] *)
+  | Assign of string * expr
+  | Assign_index of string * expr * expr  (** [a\[i\] = e;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  interrupt : bool;  (** compiled with an IRET epilogue and full register save *)
+}
+
+type decl =
+  | Global of { gname : string; size : int; init : int list }
+      (** [size] in words; scalars have size 1 *)
+  | Const of string * int
+  | Func of func
+
+type program = decl list

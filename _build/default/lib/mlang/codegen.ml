@@ -1,0 +1,409 @@
+open Ast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type ginfo = { label : string; gsize : int }
+
+type env = {
+  globals : (string, ginfo) Hashtbl.t;
+  consts : (string, int) Hashtbl.t;
+  funcs : (string, int * bool) Hashtbl.t; (* arity, interrupt *)
+  buf : Buffer.t;
+  mutable next_label : int;
+}
+
+type frame = {
+  params : string list;
+  locals : (string * int) list; (* name -> slot index *)
+  mutable loop_labels : (string * string) list; (* (break, continue) stack *)
+  in_interrupt : bool;
+}
+
+let emit env fmt = Printf.ksprintf (fun s -> Buffer.add_string env.buf ("    " ^ s ^ "\n")) fmt
+let emit_label env l = Buffer.add_string env.buf (l ^ ":\n")
+
+let fresh env prefix =
+  let n = env.next_label in
+  env.next_label <- n + 1;
+  Printf.sprintf "L%s_%d" prefix n
+
+let builtin_arity = [ ("in", 1); ("out", 2); ("halt", 0); ("ei", 0); ("di", 0); ("ivt", 1) ]
+
+(* Compile-time constant evaluation, for port numbers and global
+   initializers. *)
+let rec const_eval env = function
+  | Int v -> Some v
+  | Var name -> Hashtbl.find_opt env.consts name
+  | Unop (Neg, e) -> Option.map (fun v -> -v) (const_eval env e)
+  | Binop (op, a, b) -> (
+    match (const_eval env a, const_eval env b) with
+    | Some x, Some y -> (
+      match op with
+      | Add -> Some (x + y)
+      | Sub -> Some (x - y)
+      | Mul -> Some (x * y)
+      | Shl -> Some (x lsl y)
+      | BOr -> Some (x lor y)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Collect local variable declarations (flat scoping per function). *)
+let collect_locals (f : func) =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace seen p ()) f.params;
+  let locals = ref [] in
+  let add name =
+    if Hashtbl.mem seen name then
+      fail "function %s: duplicate variable %s (mlang scoping is flat per function)" f.fname
+        name;
+    Hashtbl.replace seen name ();
+    locals := name :: !locals
+  in
+  let rec walk_stmt = function
+    | Decl (name, _) -> add name
+    | If (_, a, b) ->
+      List.iter walk_stmt a;
+      List.iter walk_stmt b
+    | While (_, body) -> List.iter walk_stmt body
+    | Assign _ | Assign_index _ | Break | Continue | Return _ | Expr _ -> ()
+  in
+  List.iter walk_stmt f.body;
+  List.mapi (fun i name -> (name, i)) (List.rev !locals)
+
+let local_offset frame name =
+  match List.assoc_opt name frame.locals with
+  | Some slot -> Some (-1 - slot)
+  | None -> (
+    match List.find_index (fun p -> String.equal p name) frame.params with
+    | Some i -> Some (2 + (List.length frame.params - 1 - i))
+    | None -> None)
+
+let rec gen_expr env frame e =
+  match e with
+  | Int v ->
+    emit env "li r1, %d" v;
+    emit env "push r1"
+  | Var name -> (
+    match local_offset frame name with
+    | Some off ->
+      emit env "load r1, fp, %d" off;
+      emit env "push r1"
+    | None -> (
+      match Hashtbl.find_opt env.consts name with
+      | Some v ->
+        emit env "li r1, %d" v;
+        emit env "push r1"
+      | None -> (
+        match Hashtbl.find_opt env.globals name with
+        | Some g ->
+          emit env "la r1, %s" g.label;
+          emit env "load r1, r1, 0";
+          emit env "push r1"
+        | None -> fail "undefined variable %s" name)))
+  | Index (name, idx) -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some g ->
+      gen_expr env frame idx;
+      emit env "la r1, %s" g.label;
+      emit env "pop r2";
+      emit env "add r1, r1, r2";
+      emit env "load r1, r1, 0";
+      emit env "push r1"
+    | None -> fail "undefined array %s" name)
+  | Unop (op, a) ->
+    gen_expr env frame a;
+    emit env "pop r1";
+    (match op with
+    | Neg ->
+      emit env "movi r2, 0";
+      emit env "sub r1, r2, r1"
+    | LNot ->
+      emit env "movi r2, 0";
+      emit env "seq r1, r1, r2"
+    | BNot ->
+      emit env "movi r2, -1";
+      emit env "xor r1, r1, r2");
+    emit env "push r1"
+  | Binop (LAnd, a, b) ->
+    let lfalse = fresh env "and_false" and lend = fresh env "and_end" in
+    gen_expr env frame a;
+    emit env "pop r1";
+    emit env "movi r2, 0";
+    emit env "beq r1, r2, %s" lfalse;
+    gen_expr env frame b;
+    emit env "pop r1";
+    emit env "movi r2, 0";
+    emit env "beq r1, r2, %s" lfalse;
+    emit env "movi r1, 1";
+    emit env "jmp %s" lend;
+    emit_label env lfalse;
+    emit env "movi r1, 0";
+    emit_label env lend;
+    emit env "push r1"
+  | Binop (LOr, a, b) ->
+    let ltrue = fresh env "or_true" and lend = fresh env "or_end" in
+    gen_expr env frame a;
+    emit env "pop r1";
+    emit env "movi r2, 0";
+    emit env "bne r1, r2, %s" ltrue;
+    gen_expr env frame b;
+    emit env "pop r1";
+    emit env "movi r2, 0";
+    emit env "bne r1, r2, %s" ltrue;
+    emit env "movi r1, 0";
+    emit env "jmp %s" lend;
+    emit_label env ltrue;
+    emit env "movi r1, 1";
+    emit_label env lend;
+    emit env "push r1"
+  | Binop (op, a, b) ->
+    gen_expr env frame a;
+    gen_expr env frame b;
+    emit env "pop r2"; (* rhs *)
+    emit env "pop r1"; (* lhs *)
+    (match op with
+    | Add -> emit env "add r1, r1, r2"
+    | Sub -> emit env "sub r1, r1, r2"
+    | Mul -> emit env "mul r1, r1, r2"
+    | Div -> emit env "div r1, r1, r2"
+    | Rem -> emit env "rem r1, r1, r2"
+    | BAnd -> emit env "and r1, r1, r2"
+    | BOr -> emit env "or r1, r1, r2"
+    | BXor -> emit env "xor r1, r1, r2"
+    | Shl -> emit env "shl r1, r1, r2"
+    | Shr -> emit env "shr r1, r1, r2"
+    | Eq -> emit env "seq r1, r1, r2"
+    | Ne ->
+      emit env "seq r1, r1, r2";
+      emit env "xori r1, r1, 1"
+    | Lt -> emit env "slt r1, r1, r2"
+    | Gt -> emit env "slt r1, r2, r1"
+    | Le ->
+      emit env "slt r1, r2, r1";
+      emit env "xori r1, r1, 1"
+    | Ge ->
+      emit env "slt r1, r1, r2";
+      emit env "xori r1, r1, 1"
+    | LAnd | LOr -> assert false);
+    emit env "push r1"
+  | Call (name, args) -> gen_call env frame name args
+
+and gen_call env frame name args =
+  let require_port e =
+    match const_eval env e with
+    | Some v when v >= 0 && v <= 0xffff -> v
+    | Some v -> fail "port %d out of range in call to %s" v name
+    | None -> fail "%s requires a compile-time constant port" name
+  in
+  match (name, args) with
+  | "in", [ p ] ->
+    emit env "in r1, %d" (require_port p);
+    emit env "push r1"
+  | "out", [ p; e ] ->
+    let port = require_port p in
+    gen_expr env frame e;
+    emit env "pop r1";
+    emit env "out r1, %d" port;
+    emit env "movi r1, 0";
+    emit env "push r1"
+  | "halt", [] ->
+    emit env "halt";
+    emit env "movi r1, 0";
+    emit env "push r1"
+  | "ei", [] ->
+    emit env "ei";
+    emit env "movi r1, 0";
+    emit env "push r1"
+  | "di", [] ->
+    emit env "di";
+    emit env "movi r1, 0";
+    emit env "push r1"
+  | "ivt", [ Var handler ] ->
+    (match Hashtbl.find_opt env.funcs handler with
+    | Some (_, true) -> ()
+    | Some (_, false) -> fail "ivt(%s): %s is not an interrupt fn" handler handler
+    | None -> fail "ivt(%s): undefined function" handler);
+    emit env "la r1, f_%s" handler;
+    emit env "out r1, IVT";
+    emit env "movi r1, 0";
+    emit env "push r1"
+  | ("in" | "out" | "halt" | "ei" | "di" | "ivt"), _ ->
+    fail "builtin %s: wrong arguments (expected arity %d)" name (List.assoc name builtin_arity)
+  | _, _ -> (
+    match Hashtbl.find_opt env.funcs name with
+    | None -> fail "undefined function %s" name
+    | Some (_, true) -> fail "cannot call interrupt fn %s directly" name
+    | Some (arity, false) ->
+      if List.length args <> arity then
+        fail "call to %s: expected %d arguments, got %d" name arity (List.length args);
+      List.iter (gen_expr env frame) args;
+      emit env "call f_%s" name;
+      if arity > 0 then emit env "addi sp, sp, %d" arity;
+      emit env "push r1")
+
+let gen_epilogue env frame =
+  if frame.in_interrupt then begin
+    emit env "mov sp, fp";
+    emit env "pop fp";
+    emit env "pop lr";
+    emit env "pop at";
+    emit env "pop r3";
+    emit env "pop r2";
+    emit env "pop r1";
+    emit env "iret"
+  end
+  else begin
+    emit env "mov sp, fp";
+    emit env "pop fp";
+    emit env "pop lr";
+    emit env "ret"
+  end
+
+let rec gen_stmt env frame = function
+  | Decl (name, init) -> (
+    match init with
+    | None -> ()
+    | Some e -> (
+      gen_expr env frame e;
+      emit env "pop r1";
+      match local_offset frame name with
+      | Some off -> emit env "store r1, fp, %d" off
+      | None -> assert false))
+  | Assign (name, e) -> (
+    gen_expr env frame e;
+    match local_offset frame name with
+    | Some off ->
+      emit env "pop r1";
+      emit env "store r1, fp, %d" off
+    | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some g ->
+        emit env "la r1, %s" g.label;
+        emit env "pop r2";
+        emit env "store r2, r1, 0"
+      | None ->
+        if Hashtbl.mem env.consts name then fail "cannot assign to const %s" name
+        else fail "undefined variable %s" name))
+  | Assign_index (name, idx, e) -> (
+    match Hashtbl.find_opt env.globals name with
+    | None -> fail "undefined array %s" name
+    | Some g ->
+      gen_expr env frame e;
+      gen_expr env frame idx;
+      emit env "la r1, %s" g.label;
+      emit env "pop r2"; (* index *)
+      emit env "add r1, r1, r2";
+      emit env "pop r2"; (* value *)
+      emit env "store r2, r1, 0")
+  | If (cond, then_, else_) ->
+    let lelse = fresh env "else" and lend = fresh env "endif" in
+    gen_expr env frame cond;
+    emit env "pop r1";
+    emit env "movi r2, 0";
+    emit env "beq r1, r2, %s" lelse;
+    List.iter (gen_stmt env frame) then_;
+    emit env "jmp %s" lend;
+    emit_label env lelse;
+    List.iter (gen_stmt env frame) else_;
+    emit_label env lend
+  | While (cond, body) ->
+    let lcond = fresh env "while" and lend = fresh env "endwhile" in
+    emit_label env lcond;
+    gen_expr env frame cond;
+    emit env "pop r1";
+    emit env "movi r2, 0";
+    emit env "beq r1, r2, %s" lend;
+    frame.loop_labels <- (lend, lcond) :: frame.loop_labels;
+    List.iter (gen_stmt env frame) body;
+    frame.loop_labels <- List.tl frame.loop_labels;
+    emit env "jmp %s" lcond;
+    emit_label env lend
+  | Break -> (
+    match frame.loop_labels with
+    | (lend, _) :: _ -> emit env "jmp %s" lend
+    | [] -> fail "break outside a loop")
+  | Continue -> (
+    match frame.loop_labels with
+    | (_, lcond) :: _ -> emit env "jmp %s" lcond
+    | [] -> fail "continue outside a loop")
+  | Return e ->
+    (match e with
+    | Some e ->
+      gen_expr env frame e;
+      emit env "pop r1"
+    | None -> emit env "movi r1, 0");
+    gen_epilogue env frame
+  | Expr e ->
+    gen_expr env frame e;
+    emit env "pop r1" (* discard *)
+
+let gen_func env (f : func) =
+  if f.interrupt && f.params <> [] then fail "interrupt fn %s cannot take parameters" f.fname;
+  let locals = collect_locals f in
+  let frame = { params = f.params; locals; loop_labels = []; in_interrupt = f.interrupt } in
+  emit_label env ("f_" ^ f.fname);
+  if f.interrupt then begin
+    emit env "push r1";
+    emit env "push r2";
+    emit env "push r3";
+    emit env "push at";
+    emit env "push lr";
+    emit env "push fp"
+  end
+  else begin
+    emit env "push lr";
+    emit env "push fp"
+  end;
+  emit env "mov fp, sp";
+  if locals <> [] then emit env "addi sp, sp, %d" (-List.length locals);
+  List.iter (gen_stmt env frame) f.body;
+  (* Implicit return for functions that fall off the end. *)
+  emit env "movi r1, 0";
+  gen_epilogue env frame
+
+let generate ?(stack_top = 65536) program =
+  let env =
+    {
+      globals = Hashtbl.create 16;
+      consts = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      buf = Buffer.create 4096;
+      next_label = 0;
+    }
+  in
+  List.iter (fun (n, v) -> Hashtbl.replace env.consts n v) Avm_isa.Isa.named_ports;
+  (* First pass: register declarations. *)
+  List.iter
+    (function
+      | Global { gname; size; _ } ->
+        if Hashtbl.mem env.globals gname then fail "duplicate global %s" gname;
+        Hashtbl.replace env.globals gname { label = "g_" ^ gname; gsize = size }
+      | Const (name, v) ->
+        if Hashtbl.mem env.consts name then fail "duplicate const %s" name;
+        Hashtbl.replace env.consts name v
+      | Func f ->
+        if Hashtbl.mem env.funcs f.fname then fail "duplicate function %s" f.fname;
+        Hashtbl.replace env.funcs f.fname (List.length f.params, f.interrupt))
+    program;
+  if not (Hashtbl.mem env.funcs "main") then fail "no fn main() defined";
+  (* Entry stanza. *)
+  emit env "li sp, %d" stack_top;
+  emit env "movi fp, 0";
+  emit env "call f_main";
+  emit env "halt";
+  (* Code. *)
+  List.iter (function Func f -> gen_func env f | Global _ | Const _ -> ()) program;
+  (* Data. *)
+  List.iter
+    (function
+      | Global { gname; size; init } ->
+        emit_label env ("g_" ^ gname);
+        List.iter (fun v -> emit env ".word %d" v) init;
+        let rest = size - List.length init in
+        if rest > 0 then emit env ".space %d" rest
+      | Const _ | Func _ -> ())
+    program;
+  Buffer.contents env.buf

@@ -1,0 +1,25 @@
+(** AVM-32 code generation for mlang.
+
+    A simple, predictable stack-machine translation: every expression
+    pushes its value on the guest stack; statements keep the stack
+    balanced. No optimization is attempted — guest cycles are virtual,
+    and a naive mapping keeps the compiler small and auditable.
+
+    Conventions: [sp]=r13 stack pointer (full-descending), [fp]=r12
+    frame pointer, [lr]=r14 link, [at]=r15 assembler temporary;
+    expression evaluation uses r1/r2; results return in r1. Interrupt
+    functions save r1–r3, at, lr, fp and end in [iret].
+
+    Builtins: [in(PORT)], [out(PORT, e)] (PORT must be a compile-time
+    constant: a literal or a [const]; all {!Avm_isa.Isa.named_ports}
+    are predefined), [halt()], [ei()], [di()], [ivt(handler_name)]. *)
+
+exception Error of string
+
+val generate : ?stack_top:int -> Ast.program -> string
+(** [generate prog] is AVM-32 assembly text for {!Avm_isa.Asm}. The
+    program must define [fn main()]. [stack_top] (default 65536) is
+    the initial stack pointer.
+    @raise Error on undefined names, arity mismatches, duplicate
+    definitions, [break] outside a loop, or non-constant port
+    arguments. *)

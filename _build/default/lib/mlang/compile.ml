@@ -1,0 +1,17 @@
+exception Error of { phase : string; message : string }
+
+let wrap phase f x =
+  try f x with
+  | Lexer.Error { line; message } ->
+    raise (Error { phase; message = Printf.sprintf "line %d: %s" line message })
+  | Parser.Error { line; message } ->
+    raise (Error { phase; message = Printf.sprintf "line %d: %s" line message })
+  | Codegen.Error message -> raise (Error { phase; message })
+  | Avm_isa.Asm.Error { line; message } ->
+    raise (Error { phase; message = Printf.sprintf "asm line %d: %s" line message })
+
+let compile_to_asm ?stack_top source =
+  wrap "compile" (fun s -> Codegen.generate ?stack_top (Parser.parse s)) source
+
+let compile ?stack_top source =
+  wrap "assemble" Avm_isa.Asm.assemble (compile_to_asm ?stack_top source)

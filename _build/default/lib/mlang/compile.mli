@@ -1,0 +1,12 @@
+(** One-call compiler facade: mlang source to an AVM-32 image. *)
+
+exception Error of { phase : string; message : string }
+(** Any lexing/parsing/codegen/assembly failure, tagged with the
+    phase. *)
+
+val compile : ?stack_top:int -> string -> Avm_isa.Asm.image
+(** [compile source] is the bootable memory image. [stack_top]
+    (default 65536) must not exceed the machine's [mem_words]. *)
+
+val compile_to_asm : ?stack_top:int -> string -> string
+(** The intermediate assembly, for inspection and tests. *)

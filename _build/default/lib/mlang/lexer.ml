@@ -1,0 +1,82 @@
+type token = INT of int | IDENT of string | KW of string | PUNCT of string | EOF
+
+type lexeme = { token : token; line : int }
+
+exception Error of { line : int; message : string }
+
+let keywords =
+  [ "var"; "fn"; "interrupt"; "global"; "const"; "if"; "else"; "while"; "break";
+    "continue"; "return" ]
+
+(* Longest first so that e.g. "<<" is not read as "<" "<". *)
+let puncts =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "("; ")"; "{"; "}"; "["; "]";
+    ";"; ","; "="; "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<"; ">"; "!"; "~" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let emit token = out := { token; line = !line } :: !out in
+  let starts_with p =
+    String.length p <= n - !pos && String.equal (String.sub src !pos (String.length p)) p
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if starts_with "//" then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '\'' then begin
+      if !pos + 2 < n && src.[!pos + 2] = '\'' then begin
+        emit (INT (Char.code src.[!pos + 1]));
+        pos := !pos + 3
+      end
+      else raise (Error { line = !line; message = "bad char literal" })
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if starts_with "0x" || starts_with "0X" then begin
+        pos := !pos + 2;
+        while !pos < n && (is_digit src.[!pos] || is_ident src.[!pos]) do
+          incr pos
+        done
+      end
+      else
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+      let text = String.sub src start (!pos - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (INT v)
+      | None -> raise (Error { line = !line; message = "bad integer " ^ text })
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      emit (if List.mem text keywords then KW text else IDENT text)
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some p ->
+        emit (PUNCT p);
+        pos := !pos + String.length p
+      | None ->
+        raise (Error { line = !line; message = Printf.sprintf "unexpected character %C" c })
+    end
+  done;
+  List.rev ({ token = EOF; line = !line } :: !out)

@@ -1,0 +1,17 @@
+(** Hand-rolled lexer for mlang. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** var fn interrupt global const if else while break continue return *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | EOF
+
+type lexeme = { token : token; line : int }
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> lexeme list
+(** Comments: [//] to end of line. Integers: decimal, hex ([0x..]),
+    char literals (['a']).
+    @raise Error on an unrecognized character. *)

@@ -1,0 +1,320 @@
+open Ast
+
+exception Error of { line : int; message : string }
+
+type state = { mutable toks : Lexer.lexeme list }
+
+let fail (st : state) fmt =
+  let line = match st.toks with { Lexer.line; _ } :: _ -> line | [] -> 0 in
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let peek st = match st.toks with t :: _ -> t.Lexer.token | [] -> Lexer.EOF
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when String.equal p q -> advance st
+  | _ -> fail st "expected %s" p
+
+let eat_kw st k =
+  match peek st with
+  | Lexer.KW q when String.equal k q -> advance st
+  | _ -> fail st "expected keyword %s" k
+
+let try_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when String.equal p q ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> fail st "expected an identifier"
+
+let int_lit st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    v
+  | Lexer.PUNCT "-" -> (
+    advance st;
+    match peek st with
+    | Lexer.INT v ->
+      advance st;
+      -v
+    | _ -> fail st "expected an integer")
+  | _ -> fail st "expected an integer"
+
+(* Binary operator precedence, higher binds tighter. *)
+let binop_of_punct = function
+  | "||" -> Some (LOr, 1)
+  | "&&" -> Some (LAnd, 2)
+  | "|" -> Some (BOr, 3)
+  | "^" -> Some (BXor, 4)
+  | "&" -> Some (BAnd, 5)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Rem, 10)
+  | _ -> None
+
+let rec expr st = binary st 0
+
+and binary st min_prec =
+  let lhs = ref (unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = binary st (prec + 1) in
+        lhs := Binop (op, !lhs, rhs)
+      | _ -> continue := false)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Unop (Neg, unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Unop (LNot, unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Unop (BNot, unary st)
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Int v
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = expr st in
+    eat_punct st ")";
+    e
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = ref [] in
+      if not (try_punct st ")") then begin
+        let rec loop () =
+          args := expr st :: !args;
+          if try_punct st "," then loop () else eat_punct st ")"
+        in
+        loop ()
+      end;
+      Call (name, List.rev !args)
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = expr st in
+      eat_punct st "]";
+      Index (name, idx)
+    | _ -> Var name)
+  | _ -> fail st "expected an expression"
+
+let rec stmt st =
+  match peek st with
+  | Lexer.KW "var" ->
+    advance st;
+    let name = ident st in
+    let init = if try_punct st "=" then Some (expr st) else None in
+    eat_punct st ";";
+    Decl (name, init)
+  | Lexer.KW "if" ->
+    advance st;
+    if_stmt st
+  | Lexer.KW "while" ->
+    advance st;
+    eat_punct st "(";
+    let cond = expr st in
+    eat_punct st ")";
+    let body = block st in
+    While (cond, body)
+  | Lexer.KW "break" ->
+    advance st;
+    eat_punct st ";";
+    Break
+  | Lexer.KW "continue" ->
+    advance st;
+    eat_punct st ";";
+    Continue
+  | Lexer.KW "return" ->
+    advance st;
+    if try_punct st ";" then Return None
+    else begin
+      let e = expr st in
+      eat_punct st ";";
+      Return (Some e)
+    end
+  | Lexer.IDENT name -> (
+    (* Could be an assignment, an indexed assignment, or an expression
+       statement; decide by looking past the identifier. *)
+    match st.toks with
+    | _ :: { Lexer.token = Lexer.PUNCT "="; _ } :: _ ->
+      advance st;
+      advance st;
+      let e = expr st in
+      eat_punct st ";";
+      Assign (name, e)
+    | _ :: { Lexer.token = Lexer.PUNCT "["; _ } :: _ -> (
+      (* Either a[i] = e; or an expression mentioning a[i]. Parse the
+         index, then decide. *)
+      advance st;
+      advance st;
+      let idx = expr st in
+      eat_punct st "]";
+      match peek st with
+      | Lexer.PUNCT "=" ->
+        advance st;
+        let e = expr st in
+        eat_punct st ";";
+        Assign_index (name, idx, e)
+      | _ ->
+        (* Re-build the expression we already consumed and continue
+           parsing the remainder as a binary expression. *)
+        let lhs = Index (name, idx) in
+        let e = binary_with st lhs in
+        eat_punct st ";";
+        Expr e)
+    | _ ->
+      let e = expr st in
+      eat_punct st ";";
+      Expr e)
+  | _ ->
+    let e = expr st in
+    eat_punct st ";";
+    Expr e
+
+and binary_with st lhs =
+  (* Continue precedence climbing with an already-parsed left side. *)
+  let res = ref lhs in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT p -> (
+      match binop_of_punct p with
+      | Some (op, prec) ->
+        advance st;
+        let rhs = binary st (prec + 1) in
+        res := Binop (op, !res, rhs)
+      | None -> continue := false)
+    | _ -> continue := false
+  done;
+  !res
+
+and if_stmt st =
+  eat_punct st "(";
+  let cond = expr st in
+  eat_punct st ")";
+  let then_ = block st in
+  let else_ =
+    match peek st with
+    | Lexer.KW "else" -> (
+      advance st;
+      match peek st with
+      | Lexer.KW "if" ->
+        advance st;
+        [ if_stmt st ]
+      | _ -> block st)
+    | _ -> []
+  in
+  If (cond, then_, else_)
+
+and block st =
+  eat_punct st "{";
+  let stmts = ref [] in
+  while not (try_punct st "}") do
+    stmts := stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+let func st interrupt =
+  let fname = ident st in
+  eat_punct st "(";
+  let params = ref [] in
+  if not (try_punct st ")") then begin
+    let rec loop () =
+      params := ident st :: !params;
+      if try_punct st "," then loop () else eat_punct st ")"
+    in
+    loop ()
+  end;
+  let body = block st in
+  Func { fname; params = List.rev !params; body; interrupt }
+
+let decl st =
+  match peek st with
+  | Lexer.KW "global" ->
+    advance st;
+    let gname = ident st in
+    let size =
+      if try_punct st "[" then begin
+        let s = int_lit st in
+        eat_punct st "]";
+        s
+      end
+      else 1
+    in
+    if size < 1 then fail st "global %s: size must be positive" gname;
+    let init =
+      if try_punct st "=" then begin
+        if try_punct st "{" then begin
+          let vals = ref [ int_lit st ] in
+          while try_punct st "," do
+            vals := int_lit st :: !vals
+          done;
+          eat_punct st "}";
+          List.rev !vals
+        end
+        else [ int_lit st ]
+      end
+      else []
+    in
+    if List.length init > size then fail st "global %s: too many initializers" gname;
+    eat_punct st ";";
+    Global { gname; size; init }
+  | Lexer.KW "const" ->
+    advance st;
+    let name = ident st in
+    eat_punct st "=";
+    let v = int_lit st in
+    eat_punct st ";";
+    Const (name, v)
+  | Lexer.KW "interrupt" ->
+    advance st;
+    eat_kw st "fn";
+    func st true
+  | Lexer.KW "fn" ->
+    advance st;
+    func st false
+  | _ -> fail st "expected a declaration"
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let decls = ref [] in
+  while peek st <> Lexer.EOF do
+    decls := decl st :: !decls
+  done;
+  List.rev !decls

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for mlang.
+
+    Grammar (EBNF, whitespace-insensitive, [//] comments):
+
+    {v
+    program   ::= decl*
+    decl      ::= "global" IDENT ("[" INT "]")? ("=" init)? ";"
+                | "const" IDENT "=" INT ";"
+                | "interrupt"? "fn" IDENT "(" ( IDENT ( "," IDENT )* )? ")" block
+    init      ::= INT | "{" INT ("," INT)* "}"
+    block     ::= "{" stmt* "}"
+    stmt      ::= "var" IDENT ("=" expr)? ";"
+                | IDENT "=" expr ";"
+                | IDENT "[" expr "]" "=" expr ";"
+                | "if" "(" expr ")" block ("else" (block | if-stmt))?
+                | "while" "(" expr ")" block
+                | "break" ";" | "continue" ";"
+                | "return" expr? ";"
+                | expr ";"
+    expr      ::= precedence climbing over:
+                  || ; && ; | ; ^ ; & ; == != ; < <= > >= ; << >> ;
+                  + - ; * / % ; unary - ! ~ ; primary
+    primary   ::= INT | CHAR | IDENT | IDENT "(" args ")"
+                | IDENT "[" expr "]" | "(" expr ")"
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** @raise Error with a source line on any syntax problem. *)

@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Avm_core Avm_crypto Avm_util Avmm Config Float Host List Multiparty Sim Wireformat

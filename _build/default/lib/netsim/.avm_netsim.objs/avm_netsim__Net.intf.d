@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Avm_core Avm_crypto Avm_util Host Sim

@@ -1,0 +1,56 @@
+let hyperthreads = 8
+
+type t = {
+  busy : float array;
+  daemon_ht : int;
+  game_hts : int array;
+  mutable game_cursor : int;
+  audit_hts : int array;
+  mutable audit_cursor : int;
+}
+
+let create ?(daemon_ht = 0) ?(game_hts = [ 1; 2; 3; 5; 6; 7 ]) () =
+  let game = Array.of_list game_hts in
+  let audit =
+    (* Audits soak HTs from the top down; they contend with the game
+       but prefer currently-unused slots. *)
+    Array.of_list (List.rev game_hts)
+  in
+  {
+    busy = Array.make hyperthreads 0.0;
+    daemon_ht;
+    game_hts = game;
+    game_cursor = 0;
+    audit_hts = audit;
+    audit_cursor = 0;
+  }
+
+(* The OS migrates the single game thread between HTs on a ~10ms
+   quantum; spreading charges round-robin reproduces the paper's
+   "12.5% average over eight hyperthreads" shape. *)
+let quantum_us = 10_000.0
+
+let charge_rr busy hts cursor_get cursor_set us =
+  let remaining = ref us in
+  while !remaining > 0.0 do
+    let chunk = Float.min quantum_us !remaining in
+    let c = cursor_get () in
+    busy.(hts.(c)) <- busy.(hts.(c)) +. chunk;
+    cursor_set ((c + 1) mod Array.length hts);
+    remaining := !remaining -. chunk
+  done
+
+let charge_game t us =
+  charge_rr t.busy t.game_hts (fun () -> t.game_cursor) (fun c -> t.game_cursor <- c) us
+
+let charge_daemon t us = t.busy.(t.daemon_ht) <- t.busy.(t.daemon_ht) +. us
+
+let charge_audit t us =
+  charge_rr t.busy t.audit_hts (fun () -> t.audit_cursor) (fun c -> t.audit_cursor <- c) us
+
+let utilization t ~elapsed_us =
+  Array.map (fun b -> if elapsed_us <= 0.0 then 0.0 else Float.min 1.0 (b /. elapsed_us)) t.busy
+
+let total_utilization t ~elapsed_us =
+  let u = utilization t ~elapsed_us in
+  Array.fold_left ( +. ) 0.0 u /. float_of_int hyperthreads

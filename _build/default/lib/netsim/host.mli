@@ -1,0 +1,32 @@
+(** Host CPU model: one machine with 8 hyperthreads (4 cores x 2), as
+    in the paper's Core i7 860 testbed (§6.2, §6.9).
+
+    Busy time is charged per hyperthread; Figure 6 reads utilization
+    from here. The single-threaded game is scheduled round-robin over
+    the hyperthreads allowed to it (the OS effect the paper describes:
+    "sometimes on one HT and sometimes on another"), while the logging
+    daemon is pinned to HT 0 and its hypertwin HT 4 is left idle. *)
+
+type t
+
+val hyperthreads : int
+(** 8. *)
+
+val create : ?daemon_ht:int -> ?game_hts:int list -> unit -> t
+(** Defaults: daemon on HT 0; game allowed on HTs 1,2,3,5,6,7
+    (HT 4 shares a core with the daemon and is avoided). *)
+
+val charge_game : t -> float -> unit
+(** Add busy microseconds of game work, spread round-robin in small
+    quanta over the allowed HTs. *)
+
+val charge_daemon : t -> float -> unit
+val charge_audit : t -> float -> unit
+(** Audit replay work: soaks otherwise-idle HTs (highest-numbered
+    first). *)
+
+val utilization : t -> elapsed_us:float -> float array
+(** Per-HT busy fraction over the elapsed window. *)
+
+val total_utilization : t -> elapsed_us:float -> float
+(** Average across all HTs. *)

@@ -1,0 +1,186 @@
+open Avm_core
+module Identity = Avm_crypto.Identity
+
+type node = {
+  name : string;
+  index : int;
+  avmm : Avmm.t;
+  host : Host.t;
+  ledger : Multiparty.t;
+  mutable same_ht : bool;
+  mutable isolated : bool;
+}
+
+let node_name n = n.name
+let node_avmm n = n.avmm
+let node_host n = n.host
+let node_ledger n = n.ledger
+let set_same_ht n b = n.same_ht <- b
+
+type t = {
+  sim : Sim.t;
+  config : Config.t;
+  mutable node_array : node array;
+  certs : (string * Identity.certificate) list;
+  idents : (string * Identity.t) list;
+  ca_ : Identity.ca;
+  latency_us : float;
+  loss : float;
+  rng : Avm_util.Rng.t;
+  retrans_every_us : float;
+  peer_map : (int * string) list;
+  mutable next_retrans_us : float;
+}
+
+let nodes t = t.node_array
+let node t i = t.node_array.(i)
+let sim t = t.sim
+let certificates t = t.certs
+let identities t = t.idents
+let ca t = t.ca_
+let peers t = t.peer_map
+let config t = t.config
+
+let cert_of t name = List.assoc name t.certs
+let node_of t name = Array.to_list t.node_array |> List.find (fun n -> n.name = name)
+
+(* Deliver an envelope to its destination and route the ack back. *)
+let rec transmit t src_node env =
+  if src_node.isolated then ()
+  else begin
+    let send_at = Float.max (Sim.now t.sim) (Avmm.now_us src_node.avmm) in
+    if t.loss = 0.0 || Avm_util.Rng.float t.rng 1.0 >= t.loss then
+      Sim.schedule t.sim ~at:(send_at +. t.latency_us) (fun () ->
+          let dst = node_of t env.Wireformat.dest in
+          if not dst.isolated then begin
+            match Avmm.deliver dst.avmm env ~sender_cert:(cert_of t env.Wireformat.src) with
+            | `Rejected _ -> ()
+            | `Ack ack | `Duplicate ack ->
+              (* The receiver keeps the sender's authenticator. *)
+              if Config.accountable t.config then
+                Multiparty.record_auth dst.ledger env.Wireformat.auth;
+              if t.loss = 0.0 || Avm_util.Rng.float t.rng 1.0 >= t.loss then
+                Sim.after t.sim t.latency_us (fun () ->
+                    if not src_node.isolated then begin
+                      match
+                        Avmm.accept_ack src_node.avmm ack ~acker_cert:(cert_of t ack.Wireformat.acker)
+                      with
+                      | Ok () ->
+                        if Config.accountable t.config then
+                          Multiparty.record_auth src_node.ledger ack.Wireformat.recv_auth
+                      | Error _ -> ()
+                    end)
+          end)
+  end
+
+and retransmit_sweep t =
+  Array.iter
+    (fun n ->
+      let stale = Avmm.unacked n.avmm ~older_than_us:(Sim.now t.sim -. t.retrans_every_us) in
+      List.iter (fun env -> transmit t n env) stale)
+    t.node_array
+
+let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(rsa_bits = 768)
+    ?(retrans_every_us = 250_000.0) ?mem_words ~config ~images ~names () =
+  if List.length images <> List.length names then
+    invalid_arg "Net.create: images and names must have equal length";
+  let rng = Avm_util.Rng.create seed in
+  let ca_ = Identity.create_ca rng ~bits:rsa_bits "avm-ca" in
+  let idents = List.map (fun name -> (name, Identity.issue ca_ rng ~bits:rsa_bits name)) names in
+  let certs = List.map (fun (name, id) -> (name, Identity.certificate id)) idents in
+  let peer_map = List.mapi (fun i name -> (i, name)) names in
+  let t =
+    {
+      sim = Sim.create ();
+      config;
+      node_array = [||];
+      certs;
+      idents;
+      ca_;
+      latency_us;
+      loss;
+      rng;
+      retrans_every_us;
+      peer_map;
+      next_retrans_us = retrans_every_us;
+    }
+  in
+  let make_node index (name, image) =
+    (* Recursive knot: the avmm's on_send needs the node record. *)
+    let node_ref = ref None in
+    let on_send env =
+      match !node_ref with
+      | Some n -> transmit t n env
+      | None -> ()
+    in
+    let avmm =
+      Avmm.create
+        ~identity:(List.assoc name idents)
+        ~config ~image ?mem_words ~peers:peer_map ~on_send ()
+    in
+    let n =
+      {
+        name;
+        index;
+        avmm;
+        host = Host.create ();
+        ledger = Multiparty.create ~self:name;
+        same_ht = false;
+        isolated = false;
+      }
+    in
+    node_ref := Some n;
+    n
+  in
+  t.node_array <- Array.of_list (List.mapi make_node (List.combine names images));
+  t
+
+let run t ~until_us ?(slice_us = 10_000.0) () =
+  let upi = Config.us_per_instr t.config in
+  while Sim.now t.sim < until_us do
+    let next = Float.min until_us (Sim.now t.sim +. slice_us) in
+    Array.iter
+      (fun n ->
+        let stats = Avmm.run_slice n.avmm ~until_us:next in
+        Host.charge_game n.host (float_of_int stats.Avmm.instructions *. upi);
+        Host.charge_daemon n.host stats.Avmm.daemon_us;
+        if n.same_ht then Avmm.add_stall_us n.avmm stats.Avmm.daemon_us)
+      t.node_array;
+    Sim.run_until t.sim next;
+    if Sim.now t.sim >= t.next_retrans_us then begin
+      retransmit_sweep t;
+      t.next_retrans_us <- t.next_retrans_us +. t.retrans_every_us
+    end
+  done
+
+let queue_input t i event = Avmm.queue_input t.node_array.(i).avmm event
+let isolate t i = t.node_array.(i).isolated <- true
+let heal t i = t.node_array.(i).isolated <- false
+
+let ping_rtts_us t ~src ~dst ~samples =
+  ignore src;
+  ignore dst;
+  let cfg = t.config in
+  let stats = Avm_util.Stats.create () in
+  let base =
+    (* Two wire crossings plus per-endpoint processing of the echo
+       request and the echo reply. *)
+    (2.0 *. t.latency_us) +. (4.0 *. Config.packet_process_us cfg)
+  in
+  let sig_path =
+    (* Ping and pong are both signed and acked: 4 signatures generated
+       and 4 verified on the critical path (paper §6.8). *)
+    4.0 *. (Config.sign_cost_us cfg +. Config.verify_cost_us cfg)
+  in
+  for _ = 1 to samples do
+    (* Scheduling jitter: small multiplicative noise plus a rare
+       preemption tail for the 95th percentile. *)
+    let jitter = 1.0 +. Avm_util.Rng.float t.rng 0.06 in
+    let tail = if Avm_util.Rng.float t.rng 1.0 < 0.08 then Avm_util.Rng.float t.rng 0.35 else 0.0 in
+    Avm_util.Stats.add stats ((base +. sig_path) *. (jitter +. tail))
+  done;
+  stats
+
+let wire_kbps t i ~elapsed_us =
+  let bytes = float_of_int (Avmm.bytes_sent_on_wire t.node_array.(i).avmm) in
+  if elapsed_us <= 0.0 then 0.0 else bytes *. 8.0 /. (elapsed_us /. 1.0e6) /. 1000.0

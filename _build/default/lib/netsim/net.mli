@@ -1,0 +1,79 @@
+(** The experiment harness: N accountable machines on one switched
+    LAN, standing in for the paper's three-workstation testbed (§6.2).
+
+    Each node couples an {!Avm_core.Avmm} (guest + monitor) with a
+    {!Host} CPU model and a {!Avm_core.Multiparty} ledger. The harness
+    advances all machines in lock-step slices of virtual time,
+    delivers messages through a {!Sim} event queue with configurable
+    switch latency and loss, retransmits unacknowledged messages, and
+    collects authenticators exactly the way players do in the paper:
+    the receiver keeps the authenticator attached to each message, the
+    sender keeps the one inside each acknowledgment. *)
+
+type node
+
+val node_name : node -> string
+val node_avmm : node -> Avm_core.Avmm.t
+val node_host : node -> Host.t
+val node_ledger : node -> Avm_core.Multiparty.t
+
+val set_same_ht : node -> bool -> unit
+(** Pin the node's daemon onto the game's hyperthread (§6.10's −11 fps
+    ablation): daemon time then also stalls the guest. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?latency_us:float ->
+  ?loss:float ->
+  ?rsa_bits:int ->
+  ?retrans_every_us:float ->
+  ?mem_words:int ->
+  config:Avm_core.Config.t ->
+  images:int array list ->
+  names:string list ->
+  unit ->
+  t
+(** One image per node (pass the same image N times for a symmetric
+    game). Guest packets address peers by node index: the first word
+    of an outgoing packet is the destination node's index in [names].
+    Defaults: 30 us switch latency, no loss, 768-bit keys,
+    retransmission sweep every 250 ms. *)
+
+val nodes : t -> node array
+val node : t -> int -> node
+val sim : t -> Sim.t
+val certificates : t -> (string * Avm_crypto.Identity.certificate) list
+val identities : t -> (string * Avm_crypto.Identity.t) list
+val ca : t -> Avm_crypto.Identity.ca
+val peers : t -> (int * string) list
+val config : t -> Avm_core.Config.t
+
+val run : t -> until_us:float -> ?slice_us:float -> unit -> unit
+(** Advance the whole world to the given virtual time (default slice
+    10 ms). Can be called repeatedly. *)
+
+val queue_input : t -> int -> int -> unit
+(** [queue_input t node_idx event] feeds a local input event to a
+    node's guest. *)
+
+val isolate : t -> int -> unit
+(** Partition a node from the network: all its future traffic (in and
+    out) is dropped until {!heal}. Models the §4.6 scenario where a
+    machine appears unresponsive to some participants. *)
+
+val heal : t -> int -> unit
+
+(** {1 Measurement helpers} *)
+
+val ping_rtts_us : t -> src:int -> dst:int -> samples:int -> Avm_util.Stats.t
+(** Host-level ICMP echo round-trip times between two nodes under the
+    current configuration (Figure 5). Modeled from the configuration's
+    cost ladder: per-endpoint packet processing, signature generate /
+    verify on the critical path (four of each under avmm-rsa768, as in
+    §6.8), switch latency, plus scheduling jitter. Guest instruction
+    costs are excluded, as in the paper's ICMP measurement. *)
+
+val wire_kbps : t -> int -> elapsed_us:float -> float
+(** Average outbound wire traffic of a node (§6.7). *)

@@ -1,0 +1,76 @@
+(* Binary min-heap keyed by (time, insertion sequence). *)
+
+type event = { at : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { at = 0.0; seq = 0; action = ignore }
+let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.0; next_seq = 0 }
+let now t = t.clock
+let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(p) in
+    t.heap.(p) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  top
+
+let schedule t ~at action =
+  let at = Float.max at t.clock in
+  push t { at; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let after t dt action = schedule t ~at:(t.clock +. dt) action
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    if t.size > 0 && t.heap.(0).at <= horizon then begin
+      let ev = pop t in
+      t.clock <- Float.max t.clock ev.at;
+      ev.action ()
+    end
+    else continue := false
+  done;
+  t.clock <- Float.max t.clock horizon
+
+let pending t = t.size

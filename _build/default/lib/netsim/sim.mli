@@ -1,0 +1,24 @@
+(** Discrete-event scheduler over virtual microseconds.
+
+    Replaces the paper's wall-clock testbed: all latency, processing
+    and retransmission timing in the network harness is expressed as
+    events on this queue. Events at equal timestamps fire in insertion
+    order (stable), which keeps runs bit-deterministic. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule sim ~at f] runs [f] when virtual time reaches [at].
+    Scheduling in the past fires at the current time. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** [after sim dt f] = [schedule sim ~at:(now sim +. dt) f]. *)
+
+val run_until : t -> float -> unit
+(** Fire every event with timestamp <= the given time, then set the
+    clock to it. Events may schedule further events. *)
+
+val pending : t -> int

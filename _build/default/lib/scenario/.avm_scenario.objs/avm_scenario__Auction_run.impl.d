@@ -1,0 +1,1 @@
+lib/scenario/auction_run.ml: Array Audit Avm_core Avm_isa Avm_machine Avm_mlang Avm_netsim Avm_tamperlog Avm_util Avmm Config Guests List Multiparty Net Printf

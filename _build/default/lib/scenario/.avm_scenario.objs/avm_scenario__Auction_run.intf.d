@@ -1,0 +1,1 @@
+lib/scenario/auction_run.mli: Avm_core Avm_isa Avm_netsim

@@ -1,0 +1,1 @@
+lib/scenario/bots.ml: Avm_util Guests

@@ -1,0 +1,1 @@
+lib/scenario/cheats.ml: Avm_core Guests List String

@@ -1,0 +1,1 @@
+lib/scenario/cheats.mli: Avm_core Avm_isa

@@ -1,0 +1,1 @@
+lib/scenario/game_run.ml: Array Audit Avm_core Avm_isa Avm_machine Avm_netsim Avm_tamperlog Avm_util Avmm Bots Cheats Config Float Guests Int64 List Multiparty Net Printf Secure_input

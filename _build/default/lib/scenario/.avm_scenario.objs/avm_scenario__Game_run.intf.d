@@ -1,0 +1,1 @@
+lib/scenario/game_run.mli: Avm_core Avm_netsim Avm_tamperlog Cheats

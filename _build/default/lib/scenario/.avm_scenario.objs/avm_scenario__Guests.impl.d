@@ -1,0 +1,1 @@
+lib/scenario/guests.ml: Avm_isa Avm_mlang Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/scenario/guests.mli: Avm_isa

@@ -1,0 +1,1 @@
+lib/scenario/kv_run.ml: Avm_compress Avm_core Avm_isa Avm_machine Avm_netsim Avm_tamperlog Avmm Config Guests Net Spot_check String

@@ -1,0 +1,1 @@
+lib/scenario/kv_run.mli: Avm_core Avm_machine Avm_netsim

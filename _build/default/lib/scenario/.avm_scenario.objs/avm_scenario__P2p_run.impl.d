@@ -1,0 +1,1 @@
+lib/scenario/p2p_run.ml: Array Audit Avm_core Avm_isa Avm_machine Avm_mlang Avm_netsim Avm_tamperlog Avmm Config Guests Hashtbl List Multiparty Net Printf String

@@ -1,0 +1,1 @@
+lib/scenario/p2p_run.mli: Avm_core Avm_isa Avm_netsim

@@ -1,0 +1,1 @@
+lib/scenario/recording.ml: Auth Avm_core Avm_crypto Avm_isa Avm_netsim Avm_tamperlog Avm_util Entry Fun Game_run Guests Log Net String Wire

@@ -1,0 +1,1 @@
+lib/scenario/recording.mli: Avm_crypto Avm_tamperlog Game_run

@@ -1,0 +1,40 @@
+(** The auction scenario from the paper's introduction: "in a
+    competitive system, such as an online game or an auction, users may
+    wish to verify that other players do not cheat, and that the
+    provider of the service implements the stated rules faithfully."
+
+    Node 0 runs the auctioneer inside an AVM: it collects bids each
+    round and announces the highest bidder. Bidders submit bids from
+    local input. A crooked auctioneer rigs rounds by rewriting the
+    stored high bid / high bidder in guest memory before the round
+    closes — announcements then contradict the bids the log shows he
+    received, and any bidder's audit proves it. *)
+
+val auction_source : string
+(** The auctioneer/bidder guest (role from the first input event). *)
+
+val auction_image : unit -> Avm_isa.Asm.image
+
+type outcome = {
+  net : Avm_netsim.Net.t;
+  bidders : int;
+  duration_us : float;
+  rounds : int;  (** auction rounds completed *)
+  wins : int array;  (** per-node rounds won, per the auctioneer's state *)
+}
+
+val run :
+  ?bidders:int ->
+  ?duration_us:float ->
+  ?rigged:bool ->
+  ?rsa_bits:int ->
+  ?seed:int64 ->
+  unit ->
+  outcome
+(** Defaults: 3 bidders, 12 virtual seconds, honest, 512-bit keys.
+    [rigged] makes the auctioneer poke himself in as winner of every
+    round. *)
+
+val audit : outcome -> target:int -> Avm_core.Audit.report
+(** Audit any participant (bidders pool their authenticators, as in
+    §4.6). *)

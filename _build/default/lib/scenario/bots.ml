@@ -1,0 +1,39 @@
+type t = { rng : Avm_util.Rng.t; mutable burst_left : int }
+
+let create ~seed = { rng = Avm_util.Rng.create seed; burst_left = 0 }
+
+(* Event rates per second of game time. *)
+let move_hz = 12.0
+let aim_hz = 5.0
+let burst_hz = 1.2
+let reload_hz = 0.05
+
+let crossings ~now_us ~last_us hz =
+  let period = 1.0e6 /. hz in
+  int_of_float (now_us /. period) - int_of_float (last_us /. period)
+
+let tick bot ~now_us ~last_us queue =
+  let n_moves = crossings ~now_us ~last_us move_hz in
+  for _ = 1 to n_moves do
+    let dx = Avm_util.Rng.int_in bot.rng (-20) 20 in
+    let dy = Avm_util.Rng.int_in bot.rng (-20) 20 in
+    queue (Guests.input_move ~dx ~dy)
+  done;
+  let n_aims = crossings ~now_us ~last_us aim_hz in
+  for _ = 1 to n_aims do
+    queue (Guests.input_aim ~angle:(Avm_util.Rng.int bot.rng 65536))
+  done;
+  let n_bursts = crossings ~now_us ~last_us burst_hz in
+  for _ = 1 to n_bursts do
+    bot.burst_left <- bot.burst_left + 3 + Avm_util.Rng.int bot.rng 4
+  done;
+  (* Fire pending burst rounds at ~10 rounds/s. *)
+  let n_shots = min bot.burst_left (crossings ~now_us ~last_us 10.0) in
+  for _ = 1 to n_shots do
+    queue Guests.input_fire;
+    bot.burst_left <- bot.burst_left - 1
+  done;
+  let n_reloads = crossings ~now_us ~last_us reload_hz in
+  for _ = 1 to n_reloads do
+    queue Guests.input_reload
+  done

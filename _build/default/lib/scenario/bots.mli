@@ -1,0 +1,16 @@
+(** Deterministic player behaviour.
+
+    Each bot stands in for one human player: it moves, aims, fires in
+    bursts and reloads, at rates chosen so the guest's traffic pattern
+    matches the paper's observation of ~26 small packets per second
+    per client. Bots are seeded, so a run is reproducible end to
+    end. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val tick : t -> now_us:float -> last_us:float -> (int -> unit) -> unit
+(** [tick bot ~now_us ~last_us queue] emits the input events this
+    player generates in [(last_us, now_us]] through [queue] (an
+    {!Avm_core.Avmm.queue_input} partial application). *)

@@ -1,0 +1,136 @@
+type mechanism =
+  | Image_patch of { anchor : string; replacement : string }
+  | Memory_poke of { symbol : string; index : int; value : int; period_us : float }
+  | Input_forge of { period_us : float }
+
+type t = { name : string; description : string; class2 : bool; mechanism : mechanism }
+
+(* Source anchors in Guests.game_source. Each must occur exactly once. *)
+let aim_anchor = "angle = val & 0xFFFF;"
+let fire_anchor = "if (ammo > 0) { ammo = ammo - 1; fired_since = fired_since + 1; }"
+let vis_anchor = "if (d < 250000) { vis = vis + 1; }"
+let move_anchor = "myx = myx + dx;"
+let move_y_anchor = "myy = myy + dy;"
+let reload_anchor = "} else if (tag == 4) {\n      ammo = 30;"
+let render_mid_anchor = "var mid = in(CLOCK);"
+let spin_anchor = "while (s < RENDER_SPIN) { s = s + 1; }"
+let drain_health_anchor = "phealth[i] = in(NET_RX);"
+let drain_y_anchor = "py[i] = in(NET_RX);"
+
+let patch name description ~anchor ~replacement =
+  { name; description; class2 = false; mechanism = Image_patch { anchor; replacement } }
+
+let poke name description ~symbol ?(index = 0) ~value ~period_us () =
+  { name; description; class2 = true; mechanism = Memory_poke { symbol; index; value; period_us } }
+
+let catalog =
+  [
+    (* --- aimbots: hacked aim logic in the image (5) ------------------- *)
+    patch "aimbot-zeus" "snaps aim onto the nearest opponent on every aim input"
+      ~anchor:aim_anchor
+      ~replacement:"angle = (nearest_other(role) * 4096 + 2048) & 0xFFFF;";
+    patch "aimbot-silent" "keeps the displayed angle but aims perfectly when firing"
+      ~anchor:aim_anchor ~replacement:"angle = ((val & 0xFFFF) & 0xF000) | 0x0AAA;";
+    patch "aimbot-smooth" "interpolates the crosshair toward the target"
+      ~anchor:aim_anchor
+      ~replacement:"angle = (angle + ((nearest_other(role) * 4096) - angle) / 4) & 0xFFFF;";
+    patch "aimbot-fov" "locks aim when a target enters the field of view"
+      ~anchor:aim_anchor
+      ~replacement:"if (nearest_other(role) >= 0) { angle = 0x1234; } else { angle = val & 0xFFFF; }";
+    patch "aimbot-pixel" "classic colour-key aimbot: scans the frame for enemies"
+      ~anchor:aim_anchor ~replacement:"angle = (val + px[0] + py[0]) & 0xFFFF;";
+    (* --- trigger bots: auto-fire in the image (3) ---------------------- *)
+    patch "triggerbot-classic" "fires automatically whenever the crosshair covers an enemy"
+      ~anchor:aim_anchor
+      ~replacement:
+        "angle = val & 0xFFFF; if (nearest_other(role) >= 0 && ammo > 0) { ammo = ammo - 1; fired_since = fired_since + 1; }";
+    patch "triggerbot-burst" "fires a burst on every aim adjustment" ~anchor:aim_anchor
+      ~replacement:
+        "angle = val & 0xFFFF; if (ammo > 1) { ammo = ammo - 2; fired_since = fired_since + 2; }";
+    patch "triggerbot-delay" "humanized trigger bot with a pseudo-random delay"
+      ~anchor:aim_anchor
+      ~replacement:
+        "angle = val & 0xFFFF; if ((frame_no & 3) == 0 && ammo > 0) { ammo = ammo - 1; fired_since = fired_since + 1; }";
+    (* --- wallhacks: altered visibility in the renderer (4) ------------- *)
+    patch "wallhack-transparent" "renders world textures transparent" ~anchor:vis_anchor
+      ~replacement:"vis = vis + 1;";
+    patch "wallhack-driver" "graphics-driver hack removing occlusion (the ASUS driver trick)"
+      ~anchor:vis_anchor ~replacement:"if (d < 2000000000) { vis = vis + 1; }";
+    patch "wallhack-lambert" "full-bright models visible through geometry" ~anchor:vis_anchor
+      ~replacement:"vis = vis + 2;";
+    patch "wallhack-wireframe" "wireframe world rendering" ~anchor:vis_anchor
+      ~replacement:"if (d < 250000) { vis = vis + 1; } vis = vis + nplayers;";
+    (* --- ESP / radar overlays (2) --------------------------------------- *)
+    patch "esp-radar" "overlays all player positions on a radar" ~anchor:render_mid_anchor
+      ~replacement:"var mid = in(CLOCK) + px[0] + px[1] + px[2];";
+    patch "esp-health" "draws every opponent's health above their heads"
+      ~anchor:render_mid_anchor
+      ~replacement:"var mid = in(CLOCK); vis = vis + phealth[0] + phealth[1];";
+    (* --- movement hacks (2) --------------------------------------------- *)
+    patch "speedhack-4x" "multiplies movement speed by four" ~anchor:move_anchor
+      ~replacement:"myx = myx + dx * 4;";
+    patch "speedhack-bhop" "scripted bunny-hop: doubled movement on both axes"
+      ~anchor:move_y_anchor ~replacement:"myy = myy + dy * 2; myx = myx + dx;";
+    (* --- weapon mods (3) ------------------------------------------------- *)
+    patch "norecoil" "removes recoil so every shot lands" ~anchor:fire_anchor
+      ~replacement:
+        "if (ammo > 0) { ammo = ammo - 1; fired_since = fired_since + 1; angle = angle & 0xFF00; }";
+    patch "rapidfire" "doubles the fire rate" ~anchor:fire_anchor
+      ~replacement:"if (ammo > 0) { ammo = ammo - 1; fired_since = fired_since + 2; }";
+    patch "bigclip" "enlarges the magazine on reload" ~anchor:reload_anchor
+      ~replacement:"} else if (tag == 4) {\n      ammo = 99;";
+    (* --- client display hacks (2) ----------------------------------------- *)
+    patch "godmode-display" "pins the displayed health at 100" ~anchor:drain_health_anchor
+      ~replacement:"phealth[i] = in(NET_RX); phealth[role] = 100;";
+    patch "maphack" "reveals server-side positions before they are rendered"
+      ~anchor:drain_y_anchor ~replacement:"py[i] = in(NET_RX) & 0xFFFF;";
+    (* --- engine timing hack (1) -------------------------------------------- *)
+    patch "fpshack" "skips the raster pass to inflate the frame rate" ~anchor:spin_anchor
+      ~replacement:"s = RENDER_SPIN;";
+    (* --- class 2: memory manipulation, detectable in any form (4) ---------- *)
+    poke "unlimited-ammo" "rewrites the ammunition counter in game memory" ~symbol:"g_ammo"
+      ~value:30 ~period_us:200_000.0 ();
+    poke "teleport" "rewrites the player's position" ~symbol:"g_myx" ~value:9000
+      ~period_us:2_000_000.0 ();
+    poke "unlimited-health" "host pins his own health at 200 in the server's world state"
+      ~symbol:"g_phealth" ~index:0 ~value:200 ~period_us:500_000.0 ();
+    poke "scorehack" "host rewrites his own score in the server's world state"
+      ~symbol:"g_pscore" ~index:0 ~value:99 ~period_us:1_000_000.0 ();
+  ]
+
+let external_aimbot =
+  {
+    name = "external-aimbot";
+    description =
+      "re-engineered aimbot running outside the AVM, feeding perfect aim through the \
+       real input channel (paper §5.4: not detectable without trusted input hardware)";
+    class2 = false;
+    mechanism = Input_forge { period_us = 100_000.0 };
+  }
+
+let find name = List.find (fun c -> String.equal c.name name) catalog
+
+let image_for c =
+  match c.mechanism with
+  | Image_patch { anchor; replacement } -> Guests.game_with_patch ~old:anchor ~new_:replacement
+  | Memory_poke _ | Input_forge _ -> Guests.game_image ()
+
+let runtime_actions c ~now_us ~last_us =
+  let due period =
+    (* Number of period boundaries crossed in (last_us, now_us]. *)
+    int_of_float (now_us /. period) - int_of_float (last_us /. period)
+  in
+  match c.mechanism with
+  | Image_patch _ -> []
+  | Memory_poke { symbol; index; value; period_us } ->
+    let n = due period_us in
+    List.init n (fun _ avmm ->
+        let addr = Guests.game_symbol symbol + index in
+        Avm_core.Avmm.poke avmm ~addr ~value)
+  | Input_forge { period_us } ->
+    let n = due period_us in
+    List.init n (fun _ avmm ->
+        (* Perfect aim plus a disciplined trigger — exactly what a human
+           with superhuman reflexes would type. *)
+        Avm_core.Avmm.queue_input avmm (Guests.input_aim ~angle:0x2222);
+        Avm_core.Avmm.queue_input avmm Guests.input_fire)

@@ -1,0 +1,54 @@
+(** The cheat catalog (paper §5.3–5.4, Table 1).
+
+    Twenty-six cheats, mirroring the paper's survey of real
+    Counterstrike cheats downloaded from community forums:
+
+    - {b class 1} (22 cheats): must be installed in the VM image —
+      hacked aim logic, wallhacks, ESP overlays, speed hacks, trigger
+      bots... Implemented as source patches to the game image
+      ({!Guests.game_with_patch}); detected because replay against the
+      {e reference} image diverges.
+    - {b class 2} (4 cheats): make the machine's network-visible
+      behaviour inconsistent with {e any} correct execution —
+      unlimited ammunition, teleport, host-side health/score
+      manipulation. Implemented as runtime memory pokes into the
+      (unmodified) guest; detected in any implementation.
+
+    {!external_aimbot} is the paper's §5.4 escape: an aimbot
+    re-engineered as a program {e outside} the AVM feeding perfect aim
+    through the real input channel. It is intentionally {e not}
+    detectable — the functionality test asserts that audits pass. *)
+
+type mechanism =
+  | Image_patch of { anchor : string; replacement : string }
+      (** install: substitute a fragment of the game source *)
+  | Memory_poke of { symbol : string; index : int; value : int; period_us : float }
+      (** runtime: write [value] to global [symbol]\[[index]\] every
+          [period_us] *)
+  | Input_forge of { period_us : float }
+      (** external: feed synthesized perfect-aim/fire inputs *)
+
+type t = {
+  name : string;
+  description : string;
+  class2 : bool;  (** detectable in any implementation *)
+  mechanism : mechanism;
+}
+
+val catalog : t list
+(** The 26 cheats of Table 1. *)
+
+val external_aimbot : t
+(** Not part of the catalog (and not detectable). *)
+
+val find : string -> t
+(** Look up a catalog cheat by name.
+    @raise Not_found if absent. *)
+
+val image_for : t -> Avm_isa.Asm.image
+(** The VM image the cheater boots: patched for class-1 cheats, the
+    reference image otherwise. *)
+
+val runtime_actions : t -> now_us:float -> last_us:float -> (Avm_core.Avmm.t -> unit) list
+(** Host-side actions (pokes, forged inputs) due in
+    [(last_us, now_us]]; empty for pure image cheats. *)

@@ -1,0 +1,153 @@
+(** Regeneration of every table and figure in the paper's evaluation
+    (§6). Each function runs the workload, prints the paper-shaped
+    rows/series to stdout, and returns a machine-readable summary used
+    by the test suite to assert the qualitative claims.
+
+    [quick] variants shrink durations and key sizes so `dune runtest`
+    stays fast; `bin/experiments` runs the full-size versions and
+    EXPERIMENTS.md records paper-vs-measured numbers. *)
+
+type scale = Quick | Full
+
+val duration_us : scale -> float -> float
+(** [duration_us scale full_us] shrinks durations 8x under [Quick]. *)
+
+val rsa_bits : scale -> int
+(** 768 under [Full], 512 under [Quick]. *)
+
+(** {1 Table 1 — cheat detectability} *)
+
+type t1_row = { cheat : string; class2 : bool; detected : bool }
+
+type t1_result = {
+  rows : t1_row list;
+  external_aimbot_detected : bool;  (** expected [false] *)
+}
+
+val table1 : ?scale:scale -> unit -> t1_result
+
+val check_cheat : ?scale:scale -> Cheats.t -> bool
+(** Run one game with the cheat installed and audit the cheater;
+    [true] iff the audit reports a fault. (Used by the test suite to
+    spot-check the catalog without running all 26 games.) *)
+
+(** {1 Figure 3 — log growth over time} *)
+
+type f3_result = {
+  minutes : float list;
+  avmm_mb : float list;
+  vmware_mb : float list;
+  avmm_mb_per_minute : float;  (** steady-state growth rate *)
+}
+
+val fig3 : ?scale:scale -> unit -> f3_result
+
+(** {1 Figure 4 — log content breakdown} *)
+
+type f4_result = {
+  breakdown : Avm_core.Logstats.breakdown;
+  timetracker_share_of_replay : float;
+  mac_share_of_replay : float;
+  other_share_of_replay : float;
+  tamper_evident_share : float;  (** of the total log *)
+  compressed_ratio : float;  (** compressed/raw *)
+}
+
+val fig4 : ?scale:scale -> unit -> f4_result
+
+(** {1 §6.5 — frame cap and the clock-read optimization} *)
+
+type capopt_result = {
+  uncapped_bytes : int;
+  capped_noopt_bytes : int;
+  capped_opt_bytes : int;
+  growth_factor_noopt : float;  (** paper: 18x *)
+  capped_opt_vs_uncapped : float;  (** paper: ~0.98 *)
+  fps_uncapped : float;
+  fps_capped_opt : float;
+}
+
+val capopt : ?scale:scale -> unit -> capopt_result
+
+(** {1 §6.6 — audit cost} *)
+
+type audit_cost_result = {
+  play_seconds : float;  (** wall time of the recorded run *)
+  compress_seconds : float;
+  decompress_seconds : float;
+  syntactic_seconds : float;
+  semantic_seconds : float;
+  verdict_ok : bool;
+}
+
+val audit_cost : ?scale:scale -> unit -> audit_cost_result
+
+(** {1 Figure 5 — ping round-trip times} *)
+
+type f5_row = { level : Avm_core.Config.level; median_us : float; p5_us : float; p95_us : float }
+
+val fig5 : ?scale:scale -> unit -> f5_row list
+
+(** {1 Figure 6 — CPU utilization} *)
+
+type f6_result = {
+  per_ht : float array;  (** server machine, avmm-rsa768 *)
+  average : float;
+  daemon_ht_util : float;
+}
+
+val fig6 : ?scale:scale -> unit -> f6_result
+
+(** {1 Figure 7 — frame rate ladder} *)
+
+type f7_row = { level : Avm_core.Config.level; fps : float array (* per machine *) }
+
+type f7_result = {
+  ladder : f7_row list;
+  same_ht_fps : float;  (** avmm-rsa768 with daemon sharing the game HT *)
+  drop_bare_to_avmm : float;  (** paper: ~13% *)
+}
+
+val fig7 : ?scale:scale -> unit -> f7_result
+
+(** {1 §6.7 — network traffic} *)
+
+type traffic_result = { bare_kbps : float; avmm_kbps : float }
+
+val traffic : ?scale:scale -> unit -> traffic_result
+
+(** {1 Figure 8 — online auditing} *)
+
+type f8_row = { audits : int; fps : float; lag_entries : int }
+
+val fig8 : ?scale:scale -> unit -> f8_row list
+
+(** {1 Figure 9 — spot checking} *)
+
+type f9_row = {
+  k : int;
+  time_pct : float;  (** replay cost vs full audit, % *)
+  data_pct : float;  (** transfer vs full audit, % *)
+}
+
+val fig9 : ?scale:scale -> unit -> f9_row list
+
+(** {1 §6.12 — snapshot costs} *)
+
+type snapshot_result = {
+  count : int;
+  min_incremental_bytes : int;
+  max_incremental_bytes : int;
+  full_state_bytes : int;
+}
+
+val snapshot_costs : ?scale:scale -> unit -> snapshot_result
+
+(** {1 §6.3 — functionality check} *)
+
+type sanity_result = { honest_pass : bool; cheats_caught : string list }
+
+val sanity : ?scale:scale -> unit -> sanity_result
+
+val all : ?scale:scale -> unit -> unit
+(** Run everything in paper order. *)

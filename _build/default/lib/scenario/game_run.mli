@@ -1,0 +1,55 @@
+(** Orchestration of one multiplayer game session (the paper's §6.2
+    experimental setup: three machines, node 0 hosting the server).
+
+    Drives a {!Avm_netsim.Net} world: boots one game guest per player,
+    feeds role assignments and bot inputs, applies a cheat's runtime
+    actions if one is active, and runs for the requested virtual
+    duration. *)
+
+type spec = {
+  players : int;
+  duration_us : float;
+  config : Avm_core.Config.t;
+  cheat : (int * Cheats.t) option;  (** cheating node index and cheat *)
+  frame_cap : bool;  (** boot with the 72 fps cap enabled *)
+  seed : int64;
+  rsa_bits : int;  (** identity key size (tests shrink this for speed) *)
+}
+
+val default_spec : spec
+(** 3 players, 60 virtual seconds, avmm-rsa768 with 30 s snapshots, no
+    cheat, no cap, 768-bit keys. *)
+
+type outcome = {
+  net : Avm_netsim.Net.t;
+  spec : spec;
+  fps : float array;  (** average frame rate per node *)
+  instructions : int array;
+  devices : Avm_core.Secure_input.device array;
+      (** each player's signing keyboard (§7.2 extension) *)
+  attestations : Avm_core.Secure_input.attestation list array;
+      (** signed event streams, oldest first; forged inputs (external
+          aimbot) have no attestations *)
+}
+
+val play : ?on_slice:(Avm_netsim.Net.t -> float -> unit) -> spec -> outcome
+(** Run the session to completion. [on_slice] is invoked after every
+    50 ms slice with the world and the current virtual time — the
+    log-growth experiments sample there. *)
+
+val reference_image : unit -> int array
+(** The reference image words (what auditors replay against). *)
+
+val collect_auths : Avm_netsim.Net.t -> target:int -> Avm_tamperlog.Auth.t list
+(** Pool every participant's collected authenticators for one node —
+    the §4.6 step Alice performs before auditing Bob. *)
+
+val audit_player : outcome -> auditor:int -> target:int -> Avm_core.Audit.report
+(** Full audit of [target]'s log using the reference image and the
+    authenticators collected by all participants. [auditor] is kept
+    for symmetry (any participant reaches the same verdict). *)
+
+val audit_inputs : outcome -> target:int -> (int, string) result
+(** The §7.2 secure-input check: verify every input event in
+    [target]'s log against the signed keyboard stream. This is what
+    finally catches the external aimbot. *)

@@ -1,0 +1,386 @@
+let stack_top = 32768
+let mem_words = 32768
+
+(* The Counterstrike stand-in. Cheat patches anchor on exact source
+   fragments (see Cheats); keep those lines stable. *)
+let game_source =
+  {|
+const MAXP = 8;
+const TICK_US = 100000;
+const CAP_FRAME_US = 13889;
+const RENDER_SPIN = 5;
+
+global role;
+global nplayers;
+global myx;
+global myy;
+global angle;
+global ammo = 30;
+global fired_since;
+global tick_flag;
+global frame_no;
+global frame_start;
+global cap_enabled;
+global px[8];
+global py[8];
+global phealth[8];
+global pscore[8];
+
+interrupt fn on_irq() {
+  var cause = in(IRQ_CAUSE);
+  if (cause == 0) { tick_flag = 1; }
+  // cause 1 = NIC; the main loop polls the rx queue
+}
+
+fn nearest_other(cid) {
+  var best = -1;
+  var bestd = 0x7FFFFFFF;
+  var i = 0;
+  while (i < nplayers) {
+    if (i != cid) {
+      var dx = px[i] - px[cid];
+      var dy = py[i] - py[cid];
+      var d = dx * dx + dy * dy;
+      if (d < bestd) { bestd = d; best = i; }
+    }
+    i = i + 1;
+  }
+  return best;
+}
+
+fn apply_hits(shooter, shots) {
+  while (shots > 0) {
+    var v = nearest_other(shooter);
+    if (v >= 0) {
+      phealth[v] = phealth[v] - 25;
+      if (phealth[v] <= 0) {
+        phealth[v] = 100;
+        pscore[shooter] = pscore[shooter] + 1;
+      }
+    }
+    shots = shots - 1;
+  }
+}
+
+fn send_world(dst) {
+  out(NET_TX, dst);
+  out(NET_TX, 2);
+  out(NET_TX, nplayers);
+  var i = 0;
+  while (i < nplayers) {
+    out(NET_TX, px[i]);
+    out(NET_TX, py[i]);
+    out(NET_TX, phealth[i]);
+    out(NET_TX, pscore[i]);
+    i = i + 1;
+  }
+  out(NET_TX_SEND, 0);
+}
+
+fn server_tick() {
+  var avail = in(NET_RX_AVAIL);
+  while (avail > 0) {
+    var typ = in(NET_RX);
+    if (typ == 1) {
+      var cid = in(NET_RX);
+      var cx = in(NET_RX);
+      var cy = in(NET_RX);
+      var ca = in(NET_RX);
+      var cf = in(NET_RX);
+      if (cid > 0 && cid < nplayers) {
+        px[cid] = cx;
+        py[cid] = cy;
+        apply_hits(cid, cf);
+      }
+      ca = ca;
+    }
+    out(NET_RX_NEXT, 0);
+    avail = in(NET_RX_AVAIL);
+  }
+  px[0] = myx;
+  py[0] = myy;
+  apply_hits(0, fired_since);
+  fired_since = 0;
+  var d = 1;
+  while (d < nplayers) {
+    send_world(d);
+    d = d + 1;
+  }
+}
+
+fn client_drain() {
+  var avail = in(NET_RX_AVAIL);
+  while (avail > 0) {
+    var typ = in(NET_RX);
+    if (typ == 2) {
+      var n = in(NET_RX);
+      var i = 0;
+      while (i < n && i < MAXP) {
+        px[i] = in(NET_RX);
+        py[i] = in(NET_RX);
+        phealth[i] = in(NET_RX);
+        pscore[i] = in(NET_RX);
+        i = i + 1;
+      }
+    }
+    out(NET_RX_NEXT, 0);
+    avail = in(NET_RX_AVAIL);
+  }
+}
+
+fn client_update() {
+  out(NET_TX, 0);
+  out(NET_TX, 1);
+  out(NET_TX, role);
+  out(NET_TX, myx);
+  out(NET_TX, myy);
+  out(NET_TX, angle);
+  out(NET_TX, fired_since);
+  fired_since = 0;
+  out(NET_TX_SEND, 0);
+}
+
+fn read_inputs() {
+  var n = in(INPUT_AVAIL);
+  while (n > 0) {
+    var ev = in(INPUT);
+    var tag = ev >> 28;
+    var val = ev & 0x0FFFFFFF;
+    if (tag == 1) {
+      var dx = ((val >> 8) & 255) - 128;
+      var dy = (val & 255) - 128;
+      myx = myx + dx;
+      myy = myy + dy;
+    } else if (tag == 2) {
+      angle = val & 0xFFFF;
+    } else if (tag == 3) {
+      if (ammo > 0) { ammo = ammo - 1; fired_since = fired_since + 1; }
+    } else if (tag == 4) {
+      ammo = 30;
+    } else if (tag == 5) {
+      cap_enabled = val & 1;
+    }
+    n = n - 1;
+  }
+}
+
+fn render() {
+  var t0 = in(CLOCK);
+  var i = 0;
+  var vis = 0;
+  while (i < nplayers) {
+    var dx = px[i] - myx;
+    var dy = py[i] - myy;
+    var d = dx * dx + dy * dy;
+    if (d < 250000) { vis = vis + 1; }
+    i = i + 1;
+  }
+  var mid = in(CLOCK);
+  var s = 0;
+  while (s < RENDER_SPIN) { s = s + 1; }
+  var p1 = in(CLOCK);
+  var s2 = 0;
+  while (s2 < RENDER_SPIN) { s2 = s2 + 1; }
+  var p2 = in(CLOCK);
+  var s3 = 0;
+  while (s3 < RENDER_SPIN) { s3 = s3 + 1; }
+  var p3 = in(CLOCK);
+  var s4 = 0;
+  while (s4 < RENDER_SPIN) { s4 = s4 + 1; }
+  var done = in(CLOCK);
+  p1 = p2 + p3 + done - mid - t0;
+  out(FRAME, vis);
+  frame_no = frame_no + 1;
+}
+
+fn frame_cap() {
+  if (cap_enabled) {
+    var lim = frame_start + CAP_FRAME_US;
+    var t = in(CLOCK);
+    while (t < lim) {
+      t = in(CLOCK);
+    }
+  }
+}
+
+fn main() {
+  var r = in(INPUT);
+  role = r & 255;
+  nplayers = (r >> 8) & 255;
+  cap_enabled = (r >> 16) & 1;
+  myx = 1000 + role * 400;
+  myy = 1000 + role * 250;
+  var i = 0;
+  while (i < MAXP) { phealth[i] = 100; i = i + 1; }
+  ivt(on_irq);
+  if (role == 0) { out(TIMER_CTL, TICK_US); }
+  ei();
+  while (1) {
+    frame_start = in(CLOCK);
+    read_inputs();
+    if (role == 0) {
+      if (tick_flag) { tick_flag = 0; server_tick(); }
+    } else {
+      client_drain();
+      if (frame_no % 6 == 0) { client_update(); }
+    }
+    var pending = in(INPUT_AVAIL);
+    pending = pending;
+    render();
+    frame_cap();
+  }
+}
+|}
+
+let compile_memo = Hashtbl.create 4
+
+let compile_cached source =
+  match Hashtbl.find_opt compile_memo source with
+  | Some img -> img
+  | None ->
+    let img = Avm_mlang.Compile.compile ~stack_top source in
+    Hashtbl.replace compile_memo source img;
+    img
+
+let game_image () = compile_cached game_source
+
+(* Single-occurrence substring replacement; fails loudly if the anchor
+   is missing so a cheat can never silently patch nothing. *)
+let game_with_patch ~old ~new_ =
+  let len_old = String.length old in
+  let idx =
+    let rec find i =
+      if i + len_old > String.length game_source then
+        failwith (Printf.sprintf "cheat patch anchor not found: %s" old)
+      else if String.equal (String.sub game_source i len_old) old then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let patched =
+    String.sub game_source 0 idx
+    ^ new_
+    ^ String.sub game_source (idx + len_old) (String.length game_source - idx - len_old)
+  in
+  compile_cached patched
+
+let game_symbol name =
+  let img = game_image () in
+  Avm_isa.Asm.symbol img name
+
+let input_role ~role ~nplayers = (role land 0xff) lor ((nplayers land 0xff) lsl 8)
+let input_move ~dx ~dy = (1 lsl 28) lor (((dx + 128) land 0xff) lsl 8) lor ((dy + 128) land 0xff)
+let input_aim ~angle = (2 lsl 28) lor (angle land 0xffff)
+let input_fire = 3 lsl 28
+let input_reload = 4 lsl 28
+let input_set_cap on = (5 lsl 28) lor (if on then 1 else 0)
+
+let kvstore_source =
+  {|
+global role;
+global keys[1024];
+global vals[1024];
+global ops;
+global seqno;
+
+fn persist(slot, v) {
+  out(DISK_SECTOR, slot >> 8);
+  out(DISK_WORD, slot & 255);
+  out(DISK_WRITE, v);
+}
+
+fn handle_requests() {
+  var avail = in(NET_RX_AVAIL);
+  while (avail > 0) {
+    var typ = in(NET_RX);
+    if (typ == 1) {
+      var k = in(NET_RX);
+      var v = in(NET_RX);
+      var sq = in(NET_RX);
+      var slot = k & 1023;
+      keys[slot] = k;
+      vals[slot] = v;
+      persist(slot, v);
+      out(NET_TX, 1);
+      out(NET_TX, 3);
+      out(NET_TX, sq);
+      out(NET_TX, v);
+      out(NET_TX_SEND, 0);
+    } else if (typ == 2) {
+      var k2 = in(NET_RX);
+      var sq2 = in(NET_RX);
+      var slot2 = k2 & 1023;
+      out(NET_TX, 1);
+      out(NET_TX, 3);
+      out(NET_TX, sq2);
+      out(NET_TX, vals[slot2]);
+      out(NET_TX_SEND, 0);
+    }
+    out(NET_RX_NEXT, 0);
+    avail = in(NET_RX_AVAIL);
+  }
+}
+
+fn server_loop() {
+  while (1) {
+    handle_requests();
+    // background maintenance sweep: clock-timed cache scrub
+    var t = in(CLOCK);
+    var i = 0;
+    var sum = 0;
+    while (i < 64) {
+      sum = sum + vals[(t + i) & 1023];
+      i = i + 1;
+    }
+    keys[t & 1023] = keys[t & 1023] + (sum & 1);
+  }
+}
+
+fn client_loop() {
+  while (1) {
+    var r = in(RNG);
+    seqno = seqno + 1;
+    if (r & 1) {
+      out(NET_TX, 0);
+      out(NET_TX, 1);
+      out(NET_TX, r & 1023);
+      out(NET_TX, r >> 10);
+      out(NET_TX, seqno);
+      out(NET_TX_SEND, 0);
+    } else {
+      out(NET_TX, 0);
+      out(NET_TX, 2);
+      out(NET_TX, r & 1023);
+      out(NET_TX, seqno);
+      out(NET_TX_SEND, 0);
+    }
+    var awaiting = 1;
+    while (awaiting) {
+      var avail = in(NET_RX_AVAIL);
+      if (avail > 0) {
+        var typ = in(NET_RX);
+        var sq = in(NET_RX);
+        var v = in(NET_RX);
+        out(NET_RX_NEXT, 0);
+        if (typ == 3 && sq == seqno) {
+          awaiting = 0;
+          ops = ops + v - v + 1;
+        }
+      } else {
+        // back off without hammering the rx port
+        var spin = 0;
+        while (spin < 200) { spin = spin + 1; }
+      }
+    }
+  }
+}
+
+fn main() {
+  var r = in(INPUT);
+  role = r & 255;
+  if (role == 0) { server_loop(); } else { client_loop(); }
+}
+|}
+
+let kvstore_image () = compile_cached kvstore_source
+let kv_input_role ~role = role land 0xff

@@ -1,0 +1,68 @@
+(** Guest images for the evaluation scenarios.
+
+    The {!game} guest is this repository's Counterstrike stand-in: a
+    symmetric multiplayer shooter where node 0 hosts the server (and
+    plays), other nodes are clients. Mechanics relevant to the paper's
+    cheats are all present: finite ammunition, server-tracked health
+    and score, position updates, an aim angle fed from local input,
+    a render loop timed by clock reads, and an optional 72 fps frame
+    cap implemented — as Counterstrike does (§6.5) — by busy-waiting
+    on the clock.
+
+    The {!kvstore} guest is the MySQL + sql-bench stand-in for the
+    spot-checking experiment (§6.12): a key-value server with disk
+    persistence and a closed-loop benchmark client.
+
+    All guests are mlang programs compiled with {!Avm_mlang.Compile};
+    cheats are built by patching the game source ({!game_with_patch})
+    — the moral equivalent of installing a hacked DLL in the VM
+    image. *)
+
+val stack_top : int
+(** Stack top used by all guests (matches {!mem_words}). *)
+
+val mem_words : int
+(** Guest memory size in words. *)
+
+val game_source : string
+(** The reference game source. *)
+
+val game_image : unit -> Avm_isa.Asm.image
+(** Compiled reference image (memoized). *)
+
+val game_with_patch : old:string -> new_:string -> Avm_isa.Asm.image
+(** [game_with_patch ~old ~new_] compiles the game with one source
+    fragment substituted — used by the cheat catalog.
+    @raise Failure if [old] does not occur in the source (a cheat
+    that patches nothing would silently test nothing). *)
+
+val game_symbol : string -> int
+(** Address of a global in the reference image (e.g. ["g_ammo"]) —
+    what a memory-poking cheat needs to know.
+    @raise Not_found if absent. *)
+
+(** {1 Input encoding}
+
+    One word per local input event; the harness bots feed these
+    through {!Avm_core.Avmm.queue_input}. *)
+
+val input_role : role:int -> nplayers:int -> int
+(** Must be the first input delivered to each guest. Role 0 = server. *)
+
+val input_move : dx:int -> dy:int -> int
+(** [dx], [dy] in [\[-128, 127\]]. *)
+
+val input_aim : angle:int -> int
+(** [angle] in [\[0, 65535\]]. *)
+
+val input_fire : int
+val input_reload : int
+val input_set_cap : bool -> int
+(** Toggle the 72 fps frame cap at runtime. *)
+
+(** {1 KV store} *)
+
+val kvstore_source : string
+val kvstore_image : unit -> Avm_isa.Asm.image
+val kv_input_role : role:int -> int
+(** Role 0 = server, 1 = benchmark client. *)

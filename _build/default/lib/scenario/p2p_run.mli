@@ -1,0 +1,39 @@
+(** The peer-to-peer scenario from the paper's introduction: "nodes in
+    peer-to-peer and federated systems may wish to verify that others
+    follow the protocol and contribute their fair share of resources."
+
+    Peers swap chunks of a file: each starts with a slice and requests
+    missing chunks from their owners; the protocol obliges every peer
+    to serve requests. A {b freerider} runs a patched client that
+    keeps downloading but never uploads. Without AVMs this is
+    deniable ("your requests must have been lost"); with them, the
+    freerider's own log proves he received the requests, and replaying
+    the reference client against that log produces the uploads his log
+    lacks — an output divergence that convicts him. *)
+
+val p2p_source : string
+val p2p_image : unit -> Avm_isa.Asm.image
+
+val freerider_image : unit -> Avm_isa.Asm.image
+(** The patched client: requests chunks but never serves any. *)
+
+type outcome = {
+  net : Avm_netsim.Net.t;
+  peers_n : int;
+  duration_us : float;
+  served : int array;  (** chunks each peer uploaded (from guest state) *)
+  have : int array;  (** chunks each peer holds at the end *)
+}
+
+val run :
+  ?peers_n:int ->
+  ?duration_us:float ->
+  ?freerider:int option ->
+  ?rsa_bits:int ->
+  ?seed:int64 ->
+  unit ->
+  outcome
+(** Defaults: 4 peers, 20 virtual seconds, no freerider, 512-bit
+    keys. *)
+
+val audit : outcome -> target:int -> Avm_core.Audit.report

@@ -1,0 +1,107 @@
+open Avm_tamperlog
+module Identity = Avm_crypto.Identity
+
+type scenario = Game | Kvstore
+
+let scenario_name = function Game -> "game" | Kvstore -> "kvstore"
+
+let scenario_of_name = function
+  | "game" -> Some Game
+  | "kvstore" -> Some Kvstore
+  | _ -> None
+
+let image_of_scenario = function
+  | Game -> (Guests.game_image ()).Avm_isa.Asm.words
+  | Kvstore -> (Guests.kvstore_image ()).Avm_isa.Asm.words
+
+type t = {
+  scenario : scenario;
+  node : string;
+  mem_words : int;
+  ca_public : Avm_crypto.Rsa.public_key;
+  certificates : (string * Identity.certificate) list;
+  peers : (int * string) list;
+  entries : Entry.t list;
+  auths : Auth.t list;
+}
+
+let magic = "AVMREC1"
+
+let encode t =
+  let open Avm_util in
+  let w = Wire.writer () in
+  Wire.raw w magic;
+  Wire.bytes w (scenario_name t.scenario);
+  Wire.bytes w t.node;
+  Wire.varint w t.mem_words;
+  Wire.bytes w (Avm_crypto.Rsa.public_to_string t.ca_public);
+  Wire.list w
+    (fun w (name, cert) ->
+      Wire.bytes w name;
+      Wire.bytes w (Identity.cert_to_string cert))
+    t.certificates;
+  Wire.list w
+    (fun w (id, name) ->
+      Wire.varint w id;
+      Wire.bytes w name)
+    t.peers;
+  Wire.bytes w (Log.encode_segment t.entries);
+  Wire.list w Auth.write t.auths;
+  Wire.contents w
+
+let decode s =
+  let open Avm_util in
+  let r = Wire.reader s in
+  if not (String.equal (Wire.read_raw r (String.length magic)) magic) then
+    raise (Wire.Malformed "not an AVM recording");
+  let scenario =
+    match scenario_of_name (Wire.read_bytes r) with
+    | Some sc -> sc
+    | None -> raise (Wire.Malformed "unknown scenario")
+  in
+  let node = Wire.read_bytes r in
+  let mem_words = Wire.read_varint r in
+  let ca_public = Avm_crypto.Rsa.public_of_string (Wire.read_bytes r) in
+  let certificates =
+    Wire.read_list r (fun r ->
+        let name = Wire.read_bytes r in
+        let cert = Identity.cert_of_string (Wire.read_bytes r) in
+        (name, cert))
+  in
+  let peers =
+    Wire.read_list r (fun r ->
+        let id = Wire.read_varint r in
+        let name = Wire.read_bytes r in
+        (id, name))
+  in
+  let entries = Log.decode_segment ~prev:Log.genesis_hash (Wire.read_bytes r) in
+  let auths = Wire.read_list r Auth.read in
+  Wire.expect_end r;
+  { scenario; node; mem_words; ca_public; certificates; peers; entries; auths }
+
+let save ~path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (encode t))
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))
+
+let of_game_node (o : Game_run.outcome) i =
+  let open Avm_netsim in
+  let net = o.Game_run.net in
+  let node = Net.node net i in
+  let avmm = Net.node_avmm node in
+  let log = Avm_core.Avmm.log avmm in
+  {
+    scenario = Game;
+    node = Net.node_name node;
+    mem_words = Guests.mem_words;
+    ca_public = Identity.ca_public (Net.ca net);
+    certificates = Net.certificates net;
+    peers = Net.peers net;
+    entries = Log.segment log ~from:1 ~upto:(Log.length log);
+    auths = Game_run.collect_auths net ~target:i;
+  }

@@ -1,0 +1,39 @@
+(** On-disk recordings: what a player stores (or uploads when audited).
+
+    One file per node, containing everything an auditor needs besides
+    the reference image: the tamper-evident log, the authenticators the
+    other participants collected about this node, the certificates, the
+    peer-id mapping, and which scenario image the AVM booted. The
+    [bin/avm_run] and [bin/avm_audit] executables are thin CLIs over
+    this module. *)
+
+type scenario = Game | Kvstore
+
+val scenario_name : scenario -> string
+val scenario_of_name : string -> scenario option
+val image_of_scenario : scenario -> int array
+(** The {e reference} image — an auditor never trusts the recording for
+    this. *)
+
+type t = {
+  scenario : scenario;
+  node : string;  (** whose execution this is *)
+  mem_words : int;
+  ca_public : Avm_crypto.Rsa.public_key;
+  certificates : (string * Avm_crypto.Identity.certificate) list;
+  peers : (int * string) list;
+  entries : Avm_tamperlog.Entry.t list;
+  auths : Avm_tamperlog.Auth.t list;  (** collected by the other players *)
+}
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Avm_util.Wire.Malformed on garbage. *)
+
+val save : path:string -> t -> unit
+val load : path:string -> t
+(** @raise Sys_error / Avm_util.Wire.Malformed *)
+
+val of_game_node : Game_run.outcome -> int -> t
+(** Extract node [i]'s recording (plus pooled authenticators) from a
+    finished game. *)

@@ -1,0 +1,1 @@
+lib/tamperlog/auth.ml: Avm_crypto Avm_util Entry Format String Wire

@@ -1,0 +1,1 @@
+lib/tamperlog/auth.mli: Avm_crypto Avm_util Entry Format

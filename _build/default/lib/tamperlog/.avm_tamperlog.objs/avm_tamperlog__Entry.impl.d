@@ -1,0 +1,1 @@
+lib/tamperlog/entry.ml: Avm_crypto Avm_machine Avm_util Format Printf String Wire

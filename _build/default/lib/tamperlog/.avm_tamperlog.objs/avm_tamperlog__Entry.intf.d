@@ -1,0 +1,1 @@
+lib/tamperlog/entry.mli: Avm_machine Avm_util Format

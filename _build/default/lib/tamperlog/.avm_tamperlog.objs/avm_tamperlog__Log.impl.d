@@ -1,0 +1,1 @@
+lib/tamperlog/log.ml: Array Avm_util Entry List Printf String

@@ -1,0 +1,1 @@
+lib/tamperlog/log.mli: Entry

@@ -1,0 +1,75 @@
+(** Tamper-evident log entries (paper §4.3).
+
+    Each entry is [e_i = (s_i, t_i, c_i, h_i)] with
+    [h_i = H(h_{i-1} || s_i || t_i || H(c_i))] and [h_0 = 0]. The log
+    holds two parallel streams: the message stream (SEND/RECV/ACK,
+    which authenticators commit to) and the execution stream
+    (nondeterministic events and snapshot digests, which replay
+    consumes). *)
+
+(** Entry content [c_i]; the constructor is the type [t_i]. *)
+type content =
+  | Send of { dest : string; nonce : int; payload : string }
+      (** Message we sent. The attached authenticator commits us to it. *)
+  | Recv of { src : string; nonce : int; payload : string; signature : string }
+      (** Message received, with the sender's signature so an auditor
+          can verify we did not forge it (the AVMM strips the signature
+          before the payload enters the AVM). *)
+  | Ack of { src : string; acked_seq : int; signature : string }
+      (** Acknowledgment received for our entry [acked_seq]. *)
+  | Exec of Avm_machine.Event.t
+      (** One nondeterministic event of the AVM's execution. *)
+  | Snapshot_ref of { digest : string; snapshot_seq : int; at_icount : int }
+      (** Digest of an incremental snapshot (Merkle root + meta). *)
+  | Note of string
+      (** Operator annotation (e.g. "game start"); replay-neutral. *)
+
+type t = { seq : int; content : content; hash : string }
+(** A sealed entry. [seq] starts at 1. *)
+
+val type_tag : content -> int
+(** The [t_i] byte. *)
+
+val content_bytes : content -> string
+(** Canonical serialization of [c_i] (what gets hashed). *)
+
+val content_of_bytes : tag:int -> string -> content
+(** Inverse of {!content_bytes}.
+    @raise Avm_util.Wire.Malformed on garbage. *)
+
+val chain_hash : prev:string -> seq:int -> content -> string
+(** [h_i] as defined above. *)
+
+val chain_hash_raw : prev:string -> seq:int -> tag:int -> content_digest:string -> string
+(** Same, for verifiers that only hold [t_i] and [H(c_i)] — this is
+    what lets a message recipient check an authenticator without the
+    rest of the log. *)
+
+val seal : prev:string -> seq:int -> content -> t
+(** Build the sealed entry. *)
+
+val write : Avm_util.Wire.writer -> t -> unit
+(** Full serialization including [h_i] (used inside evidence bundles,
+    where self-contained entries are convenient). *)
+
+val read : Avm_util.Wire.reader -> t
+
+val write_body : Avm_util.Wire.writer -> t -> unit
+(** Serialization {e without} the chain hash: [(s_i, t_i, c_i)]. This
+    is what a stored or transmitted log contains — hashes are
+    recomputable from content, and the commitments that matter are the
+    signed authenticators, so shipping hashes would only bloat the log
+    with incompressible bytes. *)
+
+val read_body : prev:string -> Avm_util.Wire.reader -> t
+(** Inverse of {!write_body}; recomputes [h_i] from [prev]. Integrity
+    of a decoded segment therefore rests on checking it against
+    authenticators, exactly as in PeerReview. *)
+
+val wire_size : t -> int
+(** {!write_body} size in bytes — the unit of all log-growth figures. *)
+
+val pp : Format.formatter -> t -> unit
+
+val describe : content -> string
+(** One-word category: "SEND", "RECV", "ACK", "EXEC", "SNAP", "NOTE". *)

@@ -1,0 +1,101 @@
+let genesis_hash = String.make 32 '\000'
+
+(* Entries are stored in a growable array; index [i] holds seq [i+1]. *)
+type t = { mutable entries : Entry.t array; mutable count : int; mutable bytes : int }
+
+let create () = { entries = Array.make 64 { Entry.seq = 0; content = Note ""; hash = "" }; count = 0; bytes = 0 }
+
+let length t = t.count
+let head_hash t = if t.count = 0 then genesis_hash else t.entries.(t.count - 1).Entry.hash
+
+let ensure_capacity t =
+  if t.count = Array.length t.entries then begin
+    let bigger = Array.make (2 * Array.length t.entries) t.entries.(0) in
+    Array.blit t.entries 0 bigger 0 t.count;
+    t.entries <- bigger
+  end
+
+let append t content =
+  ensure_capacity t;
+  let e = Entry.seal ~prev:(head_hash t) ~seq:(t.count + 1) content in
+  t.entries.(t.count) <- e;
+  t.count <- t.count + 1;
+  t.bytes <- t.bytes + Entry.wire_size e;
+  e
+
+let entry t seq =
+  if seq < 1 || seq > t.count then invalid_arg "Log.entry: out of range";
+  t.entries.(seq - 1)
+
+let prev_hash t seq =
+  if seq <= 1 then genesis_hash else (entry t (seq - 1)).Entry.hash
+
+let segment t ~from ~upto =
+  let from = max 1 from and upto = min t.count upto in
+  let rec go seq acc = if seq < from then acc else go (seq - 1) (entry t seq :: acc) in
+  if upto < from then [] else go upto []
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f t.entries.(i)
+  done
+
+let byte_size t = t.bytes
+
+let encode_segment entries =
+  let w = Avm_util.Wire.writer () in
+  Avm_util.Wire.list w Entry.write_body entries;
+  Avm_util.Wire.contents w
+
+let decode_segment ~prev s =
+  let r = Avm_util.Wire.reader s in
+  let n = Avm_util.Wire.read_varint r in
+  let rec go prev i acc =
+    if i = n then List.rev acc
+    else begin
+      let e = Entry.read_body ~prev r in
+      go e.Entry.hash (i + 1) (e :: acc)
+    end
+  in
+  let entries = go prev 0 [] in
+  Avm_util.Wire.expect_end r;
+  entries
+
+let verify_segment ~prev entries =
+  let rec go prev expected_seq = function
+    | [] -> Ok ()
+    | (e : Entry.t) :: rest ->
+      if expected_seq >= 0 && e.seq <> expected_seq then
+        Error (Printf.sprintf "sequence gap: expected %d, found %d" expected_seq e.seq)
+      else begin
+        let recomputed = Entry.chain_hash ~prev ~seq:e.seq e.content in
+        if not (String.equal recomputed e.hash) then
+          Error (Printf.sprintf "hash chain broken at entry %d" e.seq)
+        else go e.hash (e.seq + 1) rest
+      end
+  in
+  match entries with
+  | [] -> Ok ()
+  | first :: _ -> go prev first.Entry.seq entries
+
+let tamper_replace t seq content =
+  if seq < 1 || seq > t.count then invalid_arg "Log.tamper_replace: out of range";
+  let e = t.entries.(seq - 1) in
+  t.entries.(seq - 1) <- { e with Entry.content }
+
+let tamper_truncate t seq =
+  if seq < 0 || seq > t.count then invalid_arg "Log.tamper_truncate: out of range";
+  t.count <- seq
+
+let tamper_reseal t seq content =
+  if seq < 1 || seq > t.count then invalid_arg "Log.tamper_reseal: out of range";
+  let prev = ref (prev_hash t seq) in
+  t.entries.(seq - 1) <- Entry.seal ~prev:!prev ~seq content;
+  prev := t.entries.(seq - 1).Entry.hash;
+  for i = seq to t.count - 1 do
+    let e = t.entries.(i) in
+    t.entries.(i) <- Entry.seal ~prev:!prev ~seq:e.Entry.seq e.Entry.content;
+    prev := t.entries.(i).Entry.hash
+  done
+
+let fork t = { entries = Array.copy t.entries; count = t.count; bytes = t.bytes }

@@ -1,0 +1,82 @@
+(** The append-only tamper-evident log (paper §4.3).
+
+    A hash chain of {!Entry.t}. Appending seals each entry against the
+    current head; {!verify_segment} recomputes the chain and is the
+    auditor's first line of defence against forged, reordered, omitted
+    or modified entries. *)
+
+type t
+
+val create : unit -> t
+(** An empty log; [h_0] is 32 zero bytes. *)
+
+val genesis_hash : string
+(** [h_0]. *)
+
+val append : t -> Entry.content -> Entry.t
+(** [append log c] seals and stores the next entry. *)
+
+val length : t -> int
+(** Number of entries; also the head sequence number (seqs start
+    at 1). *)
+
+val head_hash : t -> string
+(** [h_i] of the newest entry, or {!genesis_hash} when empty. *)
+
+val entry : t -> int -> Entry.t
+(** [entry log seq] fetches by sequence number.
+    @raise Invalid_argument if out of range. *)
+
+val prev_hash : t -> int -> string
+(** [prev_hash log seq] is [h_{seq-1}] ({!genesis_hash} for
+    [seq = 1]). *)
+
+val segment : t -> from:int -> upto:int -> Entry.t list
+(** Entries with [from <= seq <= upto] (inclusive; both clamped to
+    valid range). *)
+
+val iter : t -> (Entry.t -> unit) -> unit
+
+val byte_size : t -> int
+(** Total serialized size of all entries — the "log size" of
+    Figures 3/4. *)
+
+val encode_segment : Entry.t list -> string
+(** Wire format for shipping a segment to an auditor: sequence, type
+    and content per entry — no hashes (see {!Entry.write_body}). *)
+
+val decode_segment : prev:string -> string -> Entry.t list
+(** [decode_segment ~prev blob] rebuilds the entries, recomputing the
+    hash chain from [prev] (the hash preceding the segment;
+    {!genesis_hash} for a full log). A transmitted segment's integrity
+    is established by matching the rebuilt chain against collected
+    authenticators, not by trusting shipped hashes.
+    @raise Avm_util.Wire.Malformed on garbage. *)
+
+val verify_segment : prev:string -> Entry.t list -> (unit, string) result
+(** [verify_segment ~prev entries] recomputes the hash chain starting
+    from [prev] (the hash of the entry preceding the segment) and
+    checks sequence numbers are consecutive. Returns a human-readable
+    reason on failure. *)
+
+(** {1 Tampering (test / adversary API)}
+
+    A faulty node does not call [append] honestly; these helpers let
+    tests and the cheat catalog build bad logs. *)
+
+val tamper_replace : t -> int -> Entry.content -> unit
+(** Overwrite entry [seq] in place {e without} resealing later
+    entries — exactly what a naive cheater would do. *)
+
+val tamper_truncate : t -> int -> unit
+(** Drop all entries after [seq]. *)
+
+val tamper_reseal : t -> int -> Entry.content -> unit
+(** Overwrite entry [seq] and recompute every later hash, producing an
+    internally consistent — but different — chain. The hash chain
+    verifies; only previously issued authenticators expose the fork.
+    This is the stronger attacker the paper's authenticators exist
+    for. *)
+
+val fork : t -> t
+(** An independent copy sharing the prefix — for fork attacks. *)

@@ -1,0 +1,11 @@
+(** Hexadecimal encoding of binary strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of [s]. *)
+
+val decode : string -> string
+(** [decode h] inverts {!encode}.
+    @raise Invalid_argument on odd length or non-hex characters. *)
+
+val short : string -> string
+(** [short s] is the first 8 hex digits of [s], for display. *)

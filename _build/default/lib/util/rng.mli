@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All randomness in the repository flows through this module so that
+    experiments, workloads and key generation are reproducible from a
+    seed. Not cryptographically secure; see the note in
+    {!Avm_crypto.Rsa.generate} about why that is acceptable here. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] is a generator with the given seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val next_int64 : t -> int64
+(** [next_int64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val bits32 : t -> int
+(** [bits32 t] is a uniform 32-bit non-negative integer. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is a string of [n] uniform bytes. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly chosen element of [a].
+    @raise Invalid_argument if [a] is empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential distribution, used for
+    packet inter-arrival times in the network simulator. *)

@@ -1,0 +1,58 @@
+type t = { mutable samples : float list; mutable n : int; mutable sum : float }
+
+let create () = { samples = []; n = 0; sum = 0.0 }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let min_value t =
+  match t.samples with [] -> nan | x :: xs -> List.fold_left min x xs
+
+let max_value t =
+  match t.samples with [] -> nan | x :: xs -> List.fold_left max x xs
+
+let stddev t =
+  if t.n = 0 then nan
+  else begin
+    let m = mean t in
+    let acc = List.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 t.samples in
+    sqrt (acc /. float_of_int t.n)
+  end
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    let idx = max 0 (min (t.n - 1) (rank - 1)) in
+    a.(idx)
+  end
+
+let median t = percentile t 50.0
+
+type rate = {
+  mutable first : float option;
+  mutable last : float;
+  mutable weight : float;
+}
+
+let rate () = { first = None; last = 0.0; weight = 0.0 }
+
+let tick r ?(weight = 1.0) now =
+  (match r.first with None -> r.first <- Some now | Some _ -> ());
+  r.last <- max r.last now;
+  r.weight <- r.weight +. weight
+
+let per_second r =
+  match r.first with
+  | None -> 0.0
+  | Some t0 ->
+    let span = r.last -. t0 in
+    if span <= 0.0 then 0.0 else r.weight /. span

@@ -1,0 +1,53 @@
+(** Sample accumulators used by the experiment harness.
+
+    A {!t} accumulates raw observations so the harness can report the
+    medians and percentiles that the paper's figures use (e.g. the 5th
+    and 95th percentile error bars of Figure 5). *)
+
+type t
+(** A mutable bag of float samples. *)
+
+val create : unit -> t
+(** [create ()] is an empty accumulator. *)
+
+val add : t -> float -> unit
+(** [add t x] records one observation. *)
+
+val count : t -> int
+(** Number of recorded observations. *)
+
+val mean : t -> float
+(** Arithmetic mean; [nan] if empty. *)
+
+val total : t -> float
+(** Sum of all observations. *)
+
+val min_value : t -> float
+(** Smallest observation; [nan] if empty. *)
+
+val max_value : t -> float
+(** Largest observation; [nan] if empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; [nan] if empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]], by nearest-rank on the
+    sorted samples; [nan] if empty. *)
+
+val median : t -> float
+(** [median t] is [percentile t 50.0]. *)
+
+(** {1 Rates} *)
+
+type rate
+(** Counts events against elapsed (virtual) time. *)
+
+val rate : unit -> rate
+val tick : rate -> ?weight:float -> float -> unit
+(** [tick r ~weight now] records an event of size [weight] (default 1)
+    at time [now] (seconds). *)
+
+val per_second : rate -> float
+(** Average weight per second over the observed span; 0 if fewer than
+    two distinct timestamps were seen. *)

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the experiment harness output.
+
+    The harness prints each paper table/figure as an aligned text table
+    so runs can be eyeballed against the paper and diffed between
+    revisions. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays out the rows under the header with
+    column-aligned padding. Every row must have the same arity as the
+    header.
+    @raise Invalid_argument on ragged rows. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** [print ~title ~header rows] writes a titled table to stdout. *)
+
+val fixed : ?decimals:int -> float -> string
+(** [fixed x] renders [x] with [decimals] (default 2) fraction digits;
+    [nan] renders as ["-"]. *)
+
+val mb : float -> string
+(** [mb bytes] renders a byte count as mebibytes with two decimals. *)

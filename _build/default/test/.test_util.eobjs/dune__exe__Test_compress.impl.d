@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Array Avm_compress Bitio Buffer Bytes Codec Huffman List Lzss Printf QCheck2 QCheck_alcotest String

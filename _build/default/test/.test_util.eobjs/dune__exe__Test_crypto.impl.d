@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Avm_crypto Avm_util Bignum Bytes Char Hmac Identity Int64 List Merkle Printf QCheck2 QCheck_alcotest Rsa Sha256 String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Avm_isa Disasm Isa List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Avm_crypto Avm_isa Avm_machine Avm_util Event Isa Landmark List Machine Memory Partial_state QCheck2 QCheck_alcotest Snapshot String

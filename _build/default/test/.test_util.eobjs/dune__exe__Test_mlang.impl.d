@@ -1,0 +1,1 @@
+test/test_mlang.ml: Alcotest Array Avm_isa Avm_machine Avm_mlang List Queue String

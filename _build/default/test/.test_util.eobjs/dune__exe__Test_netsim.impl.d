@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Avm_core Avm_isa Avm_mlang Avm_netsim Avm_tamperlog Avm_util Config Host List Multiparty Net Sim String

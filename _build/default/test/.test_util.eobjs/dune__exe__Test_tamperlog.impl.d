@@ -1,0 +1,1 @@
+test/test_tamperlog.ml: Alcotest Auth Avm_crypto Avm_machine Avm_tamperlog Avm_util Bytes Char Entry List Log QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Avm_util Float Hex Int64 List QCheck2 QCheck_alcotest Rng Stats String Tablefmt Wire

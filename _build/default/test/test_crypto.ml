@@ -1,0 +1,418 @@
+open Avm_crypto
+module Rng = Avm_util.Rng
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- SHA-256 -------------------------------------------------------------- *)
+
+let sha_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "The quick brown fox jumps over the lazy dog",
+      "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" );
+    (* exactly one block of padding boundary: 55, 56, 64 bytes *)
+    ( String.make 55 'a',
+      "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318" );
+    ( String.make 56 'a',
+      "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a" );
+    ( String.make 64 'a',
+      "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb" );
+  ]
+
+let test_sha_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%d bytes" (String.length input))
+        expected (Sha256.hex input))
+    sha_vectors
+
+let test_sha_streaming_chunks () =
+  (* Feeding in odd-sized chunks must equal one-shot hashing. *)
+  let data = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  let sizes = [ 1; 7; 63; 64; 65; 100; 500; 200 ] in
+  List.iter
+    (fun n ->
+      let take = min n (String.length data - !pos) in
+      Sha256.feed ctx (String.sub data !pos take);
+      pos := !pos + take)
+    sizes;
+  Alcotest.(check string) "streaming" (Sha256.hex data)
+    (Avm_util.Hex.encode (Sha256.finalize ctx))
+
+let prop_sha_digest_list =
+  qtest "sha256: digest_list = digest of concat"
+    QCheck2.Gen.(list_size (int_range 0 5) string)
+    (fun parts ->
+      String.equal (Sha256.digest_list parts) (Sha256.digest (String.concat "" parts)))
+
+let test_sha_length () =
+  Alcotest.(check int) "32 bytes" 32 (String.length (Sha256.digest "x"));
+  Alcotest.(check int) "digest_length" 32 Sha256.digest_length
+
+(* --- HMAC ------------------------------------------------------------------ *)
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test case 2. *)
+  Alcotest.(check string) "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hex ~key:"Jefe" "what do ya want for nothing?");
+  (* RFC 4231 test case 1: key = 20 x 0x0b. *)
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hex ~key:(String.make 20 '\x0b') "Hi There")
+
+let test_hmac_long_key () =
+  (* Keys longer than one block are hashed first (RFC 4231 case 6). *)
+  Alcotest.(check string) "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.hex
+       ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+(* --- Bignum ------------------------------------------------------------------ *)
+
+let small_pair = QCheck2.Gen.(pair (int_range 0 1_000_000_000) (int_range 0 1_000_000_000))
+
+let prop_bignum_add =
+  qtest "bignum: add matches int" small_pair (fun (a, b) ->
+      Bignum.to_int (Bignum.add (Bignum.of_int a) (Bignum.of_int b)) = a + b)
+
+let prop_bignum_sub =
+  qtest "bignum: sub matches int" small_pair (fun (a, b) ->
+      let hi = max a b and lo = min a b in
+      Bignum.to_int (Bignum.sub (Bignum.of_int hi) (Bignum.of_int lo)) = hi - lo)
+
+let prop_bignum_mul =
+  qtest "bignum: mul matches int"
+    QCheck2.Gen.(pair (int_range 0 2_000_000) (int_range 0 2_000_000))
+    (fun (a, b) -> Bignum.to_int (Bignum.mul (Bignum.of_int a) (Bignum.of_int b)) = a * b)
+
+let prop_bignum_divmod_small =
+  qtest "bignum: divmod matches int"
+    QCheck2.Gen.(pair (int_range 0 1_000_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let q, r = Bignum.divmod (Bignum.of_int a) (Bignum.of_int b) in
+      Bignum.to_int q = a / b && Bignum.to_int r = a mod b)
+
+let prop_bignum_divmod_big =
+  qtest ~count:60 "bignum: big divmod identity a = q*b + r, r < b"
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 500))
+    (fun (abits, bbits) ->
+      let rng = Rng.create (Int64.of_int ((abits * 1000) + bbits)) in
+      let a = Bignum.random_bits rng abits in
+      let b = Bignum.add Bignum.one (Bignum.random_bits rng bbits) in
+      let q, r = Bignum.divmod a b in
+      Bignum.compare r b < 0 && Bignum.equal a (Bignum.add (Bignum.mul q b) r))
+
+let test_bignum_div_by_zero () =
+  Alcotest.check_raises "zero" Division_by_zero (fun () ->
+      ignore (Bignum.divmod Bignum.one Bignum.zero))
+
+let prop_bignum_shift =
+  qtest "bignum: shifts are *2^k and /2^k"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 40))
+    (fun (a, k) ->
+      let big = Bignum.of_int a in
+      Bignum.equal (Bignum.shift_left big k)
+        (Bignum.mul big (Bignum.mod_pow Bignum.two (Bignum.of_int k) (Bignum.shift_left Bignum.one 80)))
+      && Bignum.to_int (Bignum.shift_right (Bignum.shift_left big k) k) = a)
+
+let test_bignum_bit_length () =
+  Alcotest.(check int) "0" 0 (Bignum.bit_length Bignum.zero);
+  Alcotest.(check int) "1" 1 (Bignum.bit_length Bignum.one);
+  Alcotest.(check int) "255" 8 (Bignum.bit_length (Bignum.of_int 255));
+  Alcotest.(check int) "256" 9 (Bignum.bit_length (Bignum.of_int 256));
+  Alcotest.(check int) "2^100" 101 (Bignum.bit_length (Bignum.shift_left Bignum.one 100))
+
+let test_bignum_fermat () =
+  let p = Bignum.of_int 1_000_000_007 in
+  let a = Bignum.of_int 123_456_789 in
+  Alcotest.(check bool) "a^(p-1) = 1 mod p" true
+    (Bignum.equal (Bignum.mod_pow a (Bignum.sub p Bignum.one) p) Bignum.one)
+
+let prop_bignum_modpow_small =
+  qtest ~count:100 "bignum: mod_pow matches naive"
+    QCheck2.Gen.(triple (int_range 0 100) (int_range 0 12) (int_range 1 1000))
+    (fun (b, e, m) ->
+      let naive = ref 1 in
+      for _ = 1 to e do
+        naive := !naive * b mod m
+      done;
+      Bignum.to_int (Bignum.mod_pow (Bignum.of_int b) (Bignum.of_int e) (Bignum.of_int m))
+      = !naive)
+
+let prop_bignum_mod_inv =
+  qtest ~count:100 "bignum: mod_inv is an inverse"
+    QCheck2.Gen.(pair (int_range 2 100000) (int_range 2 100000))
+    (fun (a, m) ->
+      match Bignum.mod_inv (Bignum.of_int a) (Bignum.of_int m) with
+      | None -> Bignum.to_int (Bignum.gcd (Bignum.of_int a) (Bignum.of_int m)) <> 1
+      | Some x -> a * Bignum.to_int x mod m = 1 mod m)
+
+let test_bignum_gcd () =
+  let g a b = Bignum.to_int (Bignum.gcd (Bignum.of_int a) (Bignum.of_int b)) in
+  Alcotest.(check int) "gcd(12,18)" 6 (g 12 18);
+  Alcotest.(check int) "gcd(17,5)" 1 (g 17 5);
+  Alcotest.(check int) "gcd(0,5)" 5 (g 0 5)
+
+let prop_bignum_bytes_roundtrip =
+  qtest "bignum: big-endian bytes roundtrip" QCheck2.Gen.(int_range 0 max_int) (fun v ->
+      let b = Bignum.of_int v in
+      Bignum.equal (Bignum.of_bytes_be (Bignum.to_bytes_be b)) b)
+
+let test_bignum_to_bytes_padding () =
+  Alcotest.(check string) "padded" "\x00\x00\x01" (Bignum.to_bytes_be ~len:3 Bignum.one);
+  Alcotest.check_raises "too big" (Invalid_argument "Bignum.to_bytes_be: value too large")
+    (fun () -> ignore (Bignum.to_bytes_be ~len:1 (Bignum.of_int 70000)))
+
+let test_miller_rabin_known () =
+  let rng = Rng.create 17L in
+  let prime v = Bignum.is_probable_prime rng (Bignum.of_int v) in
+  List.iter
+    (fun p -> Alcotest.(check bool) (Printf.sprintf "%d prime" p) true (prime p))
+    [ 2; 3; 5; 7; 997; 1_000_003; 2_147_483_647 ];
+  List.iter
+    (fun c -> Alcotest.(check bool) (Printf.sprintf "%d composite" c) false (prime c))
+    [ 1; 4; 561 (* Carmichael *); 1105 (* Carmichael *); 1_000_001; 25 ]
+
+let test_random_prime_bits () =
+  let rng = Rng.create 23L in
+  List.iter
+    (fun bits ->
+      let p = Bignum.random_prime rng ~bits in
+      Alcotest.(check int) (Printf.sprintf "%d bits" bits) bits (Bignum.bit_length p);
+      Alcotest.(check bool) "prime" true (Bignum.is_probable_prime rng p))
+    [ 16; 32; 64; 128 ]
+
+let test_random_below () =
+  let rng = Rng.create 31L in
+  let n = Bignum.of_int 1000 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "below" true (Bignum.compare (Bignum.random_below rng n) n < 0)
+  done
+
+let test_bignum_int_helpers () =
+  let n = Bignum.of_int 1000 in
+  Alcotest.(check int) "add_int" 1007 (Bignum.to_int (Bignum.add_int n 7));
+  Alcotest.(check int) "add_int neg" 993 (Bignum.to_int (Bignum.add_int n (-7)));
+  Alcotest.(check int) "sub_int" 993 (Bignum.to_int (Bignum.sub_int n 7));
+  Alcotest.(check int) "sub_int neg" 1007 (Bignum.to_int (Bignum.sub_int n (-7)));
+  Alcotest.(check int) "mul_int" 3000 (Bignum.to_int (Bignum.mul_int n 3));
+  Alcotest.(check int) "rem_int" 1 (Bignum.rem_int n 3)
+
+let test_bignum_to_int_overflow () =
+  let huge = Bignum.shift_left Bignum.one 100 in
+  Alcotest.(check bool) "overflow raises" true
+    (match Bignum.to_int huge with _ -> false | exception Failure _ -> true)
+
+let test_bignum_mod_pow_modulus_one () =
+  Alcotest.(check bool) "x^y mod 1 = 0" true
+    (Bignum.is_zero (Bignum.mod_pow (Bignum.of_int 5) (Bignum.of_int 3) Bignum.one))
+
+let test_bignum_hex_roundtrip () =
+  let v = Bignum.of_hex "deadbeef0123456789" in
+  Alcotest.(check string) "hex" "deadbeef0123456789" (Bignum.to_hex v);
+  Alcotest.(check bool) "testbit" true (Bignum.testbit v 0);
+  Alcotest.(check bool) "even check" false (Bignum.is_even v)
+
+(* --- RSA ----------------------------------------------------------------------- *)
+
+let test_rsa_sign_verify () =
+  let rng = Rng.create 41L in
+  let kp = Rsa.generate rng ~bits:512 in
+  let s = Rsa.sign kp.Rsa.private_ "attack at dawn" in
+  Alcotest.(check int) "sig length" 64 (String.length s);
+  Alcotest.(check bool) "verifies" true
+    (Rsa.verify kp.Rsa.public ~msg:"attack at dawn" ~signature:s);
+  Alcotest.(check bool) "different msg" false
+    (Rsa.verify kp.Rsa.public ~msg:"attack at dusk" ~signature:s)
+
+let test_rsa_tampered_signature () =
+  let rng = Rng.create 43L in
+  let kp = Rsa.generate rng ~bits:512 in
+  let s = Bytes.of_string (Rsa.sign kp.Rsa.private_ "m") in
+  Bytes.set s 10 (Char.chr (Char.code (Bytes.get s 10) lxor 1));
+  Alcotest.(check bool) "tampered" false
+    (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:(Bytes.to_string s))
+
+let test_rsa_wrong_key () =
+  let rng = Rng.create 47L in
+  let kp1 = Rsa.generate rng ~bits:512 in
+  let kp2 = Rsa.generate rng ~bits:512 in
+  let s = Rsa.sign kp1.Rsa.private_ "m" in
+  Alcotest.(check bool) "wrong key" false (Rsa.verify kp2.Rsa.public ~msg:"m" ~signature:s)
+
+let test_rsa_malformed_signature () =
+  let rng = Rng.create 53L in
+  let kp = Rsa.generate rng ~bits:512 in
+  Alcotest.(check bool) "short" false (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:"xx");
+  Alcotest.(check bool) "oversize value" false
+    (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:(String.make 64 '\xff'))
+
+let test_rsa_crt_consistency () =
+  (* CRT signing must agree with plain m^d mod n. *)
+  let rng = Rng.create 59L in
+  let kp = Rsa.generate rng ~bits:512 in
+  let priv = kp.Rsa.private_ in
+  let msg = "crt check" in
+  let s = Rsa.sign priv msg in
+  let m = Bignum.mod_pow (Bignum.of_bytes_be s) kp.Rsa.public.Rsa.e kp.Rsa.public.Rsa.n in
+  let em = Bignum.to_bytes_be ~len:64 m in
+  Alcotest.(check bool) "padding prefix" true (String.sub em 0 2 = "\x00\x01");
+  Alcotest.(check string) "digest tail" (Sha256.digest msg)
+    (String.sub em (64 - 32) 32)
+
+let test_rsa_public_key_roundtrip () =
+  let rng = Rng.create 61L in
+  let kp = Rsa.generate rng ~bits:256 in
+  let pk = Rsa.public_of_string (Rsa.public_to_string kp.Rsa.public) in
+  Alcotest.(check bool) "n" true (Bignum.equal pk.Rsa.n kp.Rsa.public.Rsa.n);
+  Alcotest.(check bool) "e" true (Bignum.equal pk.Rsa.e kp.Rsa.public.Rsa.e)
+
+let test_rsa_deterministic_keygen () =
+  let kp1 = Rsa.generate (Rng.create 7L) ~bits:256 in
+  let kp2 = Rsa.generate (Rng.create 7L) ~bits:256 in
+  Alcotest.(check bool) "same seed same key" true
+    (Bignum.equal kp1.Rsa.public.Rsa.n kp2.Rsa.public.Rsa.n)
+
+(* --- Identity --------------------------------------------------------------------- *)
+
+let test_identity_chain () =
+  let rng = Rng.create 71L in
+  let ca = Identity.create_ca rng ~bits:512 "admin" in
+  let alice = Identity.issue ca rng ~bits:512 "alice" in
+  let cert = Identity.certificate alice in
+  Alcotest.(check string) "name" "alice" (Identity.cert_name cert);
+  Alcotest.(check bool) "cert checks" true (Identity.check_certificate (Identity.ca_public ca) cert);
+  let s = Identity.sign alice "msg" in
+  Alcotest.(check bool) "sig checks" true (Identity.verify cert ~msg:"msg" ~signature:s);
+  Alcotest.(check bool) "wrong msg" false (Identity.verify cert ~msg:"other" ~signature:s)
+
+let test_identity_forged_cert () =
+  let rng = Rng.create 73L in
+  let ca = Identity.create_ca rng ~bits:512 "admin" in
+  let rogue_ca = Identity.create_ca rng ~bits:512 "rogue" in
+  let mallory = Identity.issue rogue_ca rng ~bits:512 "mallory" in
+  Alcotest.(check bool) "foreign CA rejected" false
+    (Identity.check_certificate (Identity.ca_public ca) (Identity.certificate mallory))
+
+(* --- Merkle ------------------------------------------------------------------------- *)
+
+let test_merkle_proofs_all_sizes () =
+  for n = 1 to 17 do
+    let pages = List.init n (fun i -> Printf.sprintf "page-%d-%s" i (String.make i 'x')) in
+    let t = Merkle.of_leaves pages in
+    Alcotest.(check int) "count" n (Merkle.leaf_count t);
+    List.iteri
+      (fun i page ->
+        let proof = Merkle.prove t i in
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d i=%d" n i)
+          true
+          (Merkle.verify_proof ~root:(Merkle.root t) ~leaf_count:n ~leaf:page proof))
+      pages
+  done
+
+let test_merkle_bad_proofs () =
+  let pages = List.init 9 (fun i -> string_of_int i) in
+  let t = Merkle.of_leaves pages in
+  let proof = Merkle.prove t 3 in
+  Alcotest.(check bool) "wrong leaf" false
+    (Merkle.verify_proof ~root:(Merkle.root t) ~leaf_count:9 ~leaf:"nope" proof);
+  Alcotest.(check bool) "wrong index" false
+    (Merkle.verify_proof ~root:(Merkle.root t) ~leaf_count:9 ~leaf:"3"
+       { proof with Merkle.index = 4 });
+  Alcotest.(check bool) "out of range" false
+    (Merkle.verify_proof ~root:(Merkle.root t) ~leaf_count:9 ~leaf:"3"
+       { proof with Merkle.index = 40 })
+
+let test_merkle_roots_differ () =
+  let t1 = Merkle.of_leaves [ "a"; "b" ] in
+  let t2 = Merkle.of_leaves [ "a"; "c" ] in
+  let t3 = Merkle.of_leaves [ "a"; "b"; "" ] in
+  Alcotest.(check bool) "content" false (String.equal (Merkle.root t1) (Merkle.root t2));
+  Alcotest.(check bool) "shape" false (String.equal (Merkle.root t1) (Merkle.root t3))
+
+let test_merkle_empty () =
+  let t = Merkle.of_leaves [] in
+  Alcotest.(check int) "count" 0 (Merkle.leaf_count t);
+  Alcotest.(check int) "root is a digest" 32 (String.length (Merkle.root t))
+
+let prop_merkle_root_deterministic =
+  qtest ~count:50 "merkle: root deterministic in leaves"
+    QCheck2.Gen.(list_size (int_range 1 20) (string_size (int_range 0 30)))
+    (fun leaves ->
+      String.equal
+        (Merkle.root (Merkle.of_leaves leaves))
+        (Merkle.root (Merkle.of_leaves leaves)))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_sha_vectors;
+          Alcotest.test_case "streaming chunks" `Quick test_sha_streaming_chunks;
+          Alcotest.test_case "output length" `Quick test_sha_length;
+          prop_sha_digest_list;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "long key" `Quick test_hmac_long_key;
+        ] );
+      ( "bignum",
+        [
+          Alcotest.test_case "div by zero" `Quick test_bignum_div_by_zero;
+          Alcotest.test_case "bit_length" `Quick test_bignum_bit_length;
+          Alcotest.test_case "Fermat little theorem" `Quick test_bignum_fermat;
+          Alcotest.test_case "gcd" `Quick test_bignum_gcd;
+          Alcotest.test_case "to_bytes padding" `Quick test_bignum_to_bytes_padding;
+          Alcotest.test_case "Miller-Rabin known values" `Quick test_miller_rabin_known;
+          Alcotest.test_case "random_prime width" `Quick test_random_prime_bits;
+          Alcotest.test_case "random_below bound" `Quick test_random_below;
+          Alcotest.test_case "int helpers" `Quick test_bignum_int_helpers;
+          Alcotest.test_case "to_int overflow" `Quick test_bignum_to_int_overflow;
+          Alcotest.test_case "mod_pow modulus one" `Quick test_bignum_mod_pow_modulus_one;
+          Alcotest.test_case "hex roundtrip" `Quick test_bignum_hex_roundtrip;
+          prop_bignum_add;
+          prop_bignum_sub;
+          prop_bignum_mul;
+          prop_bignum_divmod_small;
+          prop_bignum_divmod_big;
+          prop_bignum_shift;
+          prop_bignum_modpow_small;
+          prop_bignum_mod_inv;
+          prop_bignum_bytes_roundtrip;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+          Alcotest.test_case "tampered signature" `Quick test_rsa_tampered_signature;
+          Alcotest.test_case "wrong key" `Quick test_rsa_wrong_key;
+          Alcotest.test_case "malformed signature" `Quick test_rsa_malformed_signature;
+          Alcotest.test_case "CRT consistency" `Quick test_rsa_crt_consistency;
+          Alcotest.test_case "public key roundtrip" `Quick test_rsa_public_key_roundtrip;
+          Alcotest.test_case "deterministic keygen" `Quick test_rsa_deterministic_keygen;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "certificate chain" `Quick test_identity_chain;
+          Alcotest.test_case "forged certificate" `Quick test_identity_forged_cert;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "proofs for all sizes" `Quick test_merkle_proofs_all_sizes;
+          Alcotest.test_case "bad proofs rejected" `Quick test_merkle_bad_proofs;
+          Alcotest.test_case "roots differ" `Quick test_merkle_roots_differ;
+          Alcotest.test_case "empty tree" `Quick test_merkle_empty;
+          prop_merkle_root_deterministic;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+open Avm_isa
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Generator for arbitrary well-formed instructions. *)
+let instr_gen =
+  let open QCheck2.Gen in
+  let reg = int_range 0 15 in
+  let imm16s = int_range (-32768) 32767 in
+  let imm16u = int_range 0 0xffff in
+  let shamt = int_range 0 31 in
+  let r3 ctor = map3 (fun a b c -> ctor (a, b, c)) reg reg reg in
+  let ri ctor = map3 (fun a b c -> ctor (a, b, c)) reg reg imm16s in
+  let riu ctor = map3 (fun a b c -> ctor (a, b, c)) reg reg imm16u in
+  let rsh ctor = map3 (fun a b c -> ctor (a, b, c)) reg reg shamt in
+  oneof
+    [
+      return Isa.Halt;
+      return Isa.Nop;
+      return Isa.Ei;
+      return Isa.Di;
+      return Isa.Iret;
+      map2 (fun a b -> Isa.Mov (a, b)) reg reg;
+      map2 (fun a v -> Isa.Movi (a, v)) reg imm16s;
+      map2 (fun a v -> Isa.Lui (a, v)) reg imm16u;
+      r3 (fun (a, b, c) -> Isa.Add (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Sub (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Mul (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Div (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Rem (a, b, c));
+      r3 (fun (a, b, c) -> Isa.And (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Or (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Xor (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Shl (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Shr (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Sar (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Slt (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Sltu (a, b, c));
+      r3 (fun (a, b, c) -> Isa.Seq (a, b, c));
+      ri (fun (a, b, c) -> Isa.Addi (a, b, c));
+      riu (fun (a, b, c) -> Isa.Andi (a, b, c));
+      riu (fun (a, b, c) -> Isa.Ori (a, b, c));
+      riu (fun (a, b, c) -> Isa.Xori (a, b, c));
+      rsh (fun (a, b, c) -> Isa.Shli (a, b, c));
+      rsh (fun (a, b, c) -> Isa.Shri (a, b, c));
+      rsh (fun (a, b, c) -> Isa.Sari (a, b, c));
+      ri (fun (a, b, c) -> Isa.Load (a, b, c));
+      ri (fun (a, b, c) -> Isa.Store (a, b, c));
+      map (fun o -> Isa.Jmp o) imm16s;
+      map2 (fun a o -> Isa.Jal (a, o)) reg imm16s;
+      map (fun a -> Isa.Jr a) reg;
+      map2 (fun a b -> Isa.Jalr (a, b)) reg reg;
+      ri (fun (a, b, c) -> Isa.Beq (a, b, c));
+      ri (fun (a, b, c) -> Isa.Bne (a, b, c));
+      ri (fun (a, b, c) -> Isa.Blt (a, b, c));
+      ri (fun (a, b, c) -> Isa.Bge (a, b, c));
+      ri (fun (a, b, c) -> Isa.Bltu (a, b, c));
+      ri (fun (a, b, c) -> Isa.Bgeu (a, b, c));
+      map2 (fun a p -> Isa.In (a, p)) reg imm16u;
+      map2 (fun a p -> Isa.Out (a, p)) reg imm16u;
+    ]
+
+let prop_encode_decode =
+  qtest "isa: decode (encode i) = i" instr_gen (fun i -> Isa.decode (Isa.encode i) = i)
+
+let prop_encode_32bit =
+  qtest "isa: encoding fits 32 bits" instr_gen (fun i ->
+      let w = Isa.encode i in
+      w >= 0 && w <= 0xffffffff)
+
+let test_decode_error () =
+  Alcotest.check_raises "bad opcode" (Isa.Decode_error 0xff000000) (fun () ->
+      ignore (Isa.decode 0xff000000))
+
+let test_is_branch () =
+  Alcotest.(check bool) "jmp" true (Isa.is_branch (Isa.Jmp 1));
+  Alcotest.(check bool) "beq" true (Isa.is_branch (Isa.Beq (0, 1, 2)));
+  Alcotest.(check bool) "jalr" true (Isa.is_branch (Isa.Jalr (1, 2)));
+  Alcotest.(check bool) "add" false (Isa.is_branch (Isa.Add (1, 2, 3)));
+  Alcotest.(check bool) "in" false (Isa.is_branch (Isa.In (1, 0x20)))
+
+let test_reg_names () =
+  Alcotest.(check string) "r0" "r0" (Isa.reg_name 0);
+  Alcotest.(check string) "fp" "fp" (Isa.reg_name 12);
+  Alcotest.(check string) "sp" "sp" (Isa.reg_name 13);
+  Alcotest.(check string) "lr" "lr" (Isa.reg_name 14);
+  Alcotest.(check string) "at" "at" (Isa.reg_name 15)
+
+let test_port_names () =
+  Alcotest.(check string) "clock" "CLOCK" (Isa.port_name Isa.port_clock);
+  Alcotest.(check string) "unknown" "0x9999" (Isa.port_name 0x9999);
+  Alcotest.(check int) "lookup" Isa.port_clock (List.assoc "CLOCK" Isa.named_ports)
+
+(* --- Assembler --------------------------------------------------------------- *)
+
+let assemble_ok src = Asm.assemble src
+
+let test_asm_forward_backward_labels () =
+  let img =
+    assemble_ok
+      {|
+  start:
+      jmp  fwd
+      nop
+  fwd:
+      beq  r1, r2, start
+      halt
+  |}
+  in
+  Alcotest.(check int) "words" 4 (Array.length img.Asm.words);
+  (match Isa.decode img.Asm.words.(0) with
+  | Isa.Jmp 1 -> ()
+  | i -> Alcotest.failf "expected jmp 1, got %s" (Isa.to_string i));
+  match Isa.decode img.Asm.words.(2) with
+  | Isa.Beq (1, 2, -3) -> ()
+  | i -> Alcotest.failf "expected beq -3, got %s" (Isa.to_string i)
+
+let test_asm_li_expansion () =
+  let small = assemble_ok "li r1, 100" in
+  Alcotest.(check int) "small is movi" 1 (Array.length small.Asm.words);
+  let big = assemble_ok "li r1, 0x12345678" in
+  Alcotest.(check int) "big is lui+ori" 2 (Array.length big.Asm.words);
+  (match (Isa.decode big.Asm.words.(0), Isa.decode big.Asm.words.(1)) with
+  | Isa.Lui (1, 0x1234), Isa.Ori (1, 1, 0x5678) -> ()
+  | _ -> Alcotest.fail "bad li expansion");
+  let neg = assemble_ok "li r1, -7" in
+  match Isa.decode neg.Asm.words.(0) with
+  | Isa.Movi (1, -7) -> ()
+  | _ -> Alcotest.fail "negative li"
+
+let test_asm_la_and_li_symbol () =
+  let img = assemble_ok "la r1, target\nli r2, target\ntarget: .word 42" in
+  Alcotest.(check int) "la is 2 words" 5 (Array.length img.Asm.words);
+  Alcotest.(check int) "symbol" 4 (Asm.symbol img "target");
+  Alcotest.(check int) "data" 42 img.Asm.words.(4)
+
+let test_asm_pseudos () =
+  let img = assemble_ok "push r3\npop r4\nret\ncall f\nf: halt" in
+  (* push=2, pop=2, ret=1, call=1, halt=1 *)
+  Alcotest.(check int) "expanded size" 7 (Array.length img.Asm.words);
+  match Isa.decode img.Asm.words.(6) with
+  | Isa.Halt -> ()
+  | _ -> Alcotest.fail "halt at end"
+
+let test_asm_equ_and_ports () =
+  let img = assemble_ok ".equ MYPORT 0x42\nin r1, MYPORT\nout r2, CLOCK" in
+  (match Isa.decode img.Asm.words.(0) with
+  | Isa.In (1, 0x42) -> ()
+  | _ -> Alcotest.fail "equ port");
+  match Isa.decode img.Asm.words.(1) with
+  | Isa.Out (2, p) when p = Isa.port_clock -> ()
+  | _ -> Alcotest.fail "named port"
+
+let test_asm_space_and_char () =
+  let img = assemble_ok ".space 3\nmovi r1, 'A'" in
+  Alcotest.(check int) "size" 4 (Array.length img.Asm.words);
+  Alcotest.(check int) "zeroed" 0 img.Asm.words.(1);
+  match Isa.decode img.Asm.words.(3) with
+  | Isa.Movi (1, 65) -> ()
+  | _ -> Alcotest.fail "char literal"
+
+let expect_asm_error ~line src =
+  match Asm.assemble src with
+  | _ -> Alcotest.failf "expected failure on %S" src
+  | exception Asm.Error e -> Alcotest.(check int) "error line" line e.line
+
+let test_asm_errors () =
+  expect_asm_error ~line:1 "bogus r1, r2";
+  expect_asm_error ~line:2 "nop\nmovi r1, 99999";
+  expect_asm_error ~line:1 "jmp nowhere";
+  expect_asm_error ~line:2 "dup: nop\ndup: nop";
+  expect_asm_error ~line:1 "movi rx, 3";
+  expect_asm_error ~line:1 "addi r1, r2";
+  expect_asm_error ~line:1 ".word";
+  expect_asm_error ~line:1 ".space -4"
+
+let test_asm_comments_and_blank_lines () =
+  let img = assemble_ok "; leading comment\n\n   nop ; trailing\n\nhalt" in
+  Alcotest.(check int) "two instrs" 2 (Array.length img.Asm.words)
+
+let test_disasm () =
+  Alcotest.(check string) "add" "add r1, r2, r3" (Disasm.instruction (Isa.encode (Isa.Add (1, 2, 3))));
+  Alcotest.(check string) "data" ".word 4278190080" (Disasm.instruction 0xff000000);
+  let img = assemble_ok "nop\nhalt" in
+  let listing = Disasm.listing img.Asm.words in
+  Alcotest.(check bool) "has nop" true
+    (String.length listing > 0
+    &&
+    let lines = String.split_on_char '\n' listing in
+    List.length lines = 3)
+
+let prop_disasm_never_raises =
+  qtest "disasm: total on arbitrary words" QCheck2.Gen.(int_range 0 0xffffffff) (fun w ->
+      ignore (Disasm.instruction w);
+      true)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "decode error" `Quick test_decode_error;
+          Alcotest.test_case "is_branch" `Quick test_is_branch;
+          Alcotest.test_case "register names" `Quick test_reg_names;
+          Alcotest.test_case "port names" `Quick test_port_names;
+          prop_encode_decode;
+          prop_encode_32bit;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "labels fwd/back" `Quick test_asm_forward_backward_labels;
+          Alcotest.test_case "li expansion" `Quick test_asm_li_expansion;
+          Alcotest.test_case "la and li of symbols" `Quick test_asm_la_and_li_symbol;
+          Alcotest.test_case "pseudo instructions" `Quick test_asm_pseudos;
+          Alcotest.test_case ".equ and named ports" `Quick test_asm_equ_and_ports;
+          Alcotest.test_case ".space and chars" `Quick test_asm_space_and_char;
+          Alcotest.test_case "errors carry line numbers" `Quick test_asm_errors;
+          Alcotest.test_case "comments and blanks" `Quick test_asm_comments_and_blank_lines;
+        ] );
+      ( "disasm",
+        [
+          Alcotest.test_case "known renderings" `Quick test_disasm;
+          prop_disasm_never_raises;
+        ] );
+    ]

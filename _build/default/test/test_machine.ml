@@ -1,0 +1,501 @@
+open Avm_machine
+open Avm_isa
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let image instrs = Array.map Isa.encode (Array.of_list instrs)
+
+let run_image ?(fuel = 100_000) ?(backend = Machine.null_backend) instrs =
+  let m = Machine.create ~mem_words:4096 (image instrs) in
+  ignore (Machine.run m backend ~fuel);
+  m
+
+(* --- Memory ----------------------------------------------------------------- *)
+
+let test_memory_bounds () =
+  let mem = Memory.create ~words:512 in
+  Memory.write mem 0 42;
+  Memory.write mem 511 7;
+  Alcotest.(check int) "read back" 42 (Memory.read mem 0);
+  Alcotest.check_raises "oob read" (Memory.Fault 512) (fun () -> ignore (Memory.read mem 512));
+  Alcotest.check_raises "neg" (Memory.Fault (-1)) (fun () -> ignore (Memory.read mem (-1)));
+  Alcotest.check_raises "oob write" (Memory.Fault 9999) (fun () -> Memory.write mem 9999 1)
+
+let test_memory_mask32 () =
+  let mem = Memory.create ~words:16 in
+  Memory.write mem 0 (-1);
+  Alcotest.(check int) "masked" 0xffffffff (Memory.read mem 0)
+
+let test_memory_dirty_tracking () =
+  let mem = Memory.create ~words:(Memory.page_size * 4) in
+  Alcotest.(check (list int)) "clean" [] (Memory.dirty_pages mem);
+  Memory.write mem 0 1;
+  Memory.write mem (Memory.page_size * 2) 1;
+  Alcotest.(check (list int)) "two pages" [ 0; 2 ] (Memory.dirty_pages mem);
+  Memory.clear_dirty mem;
+  Alcotest.(check (list int)) "cleared" [] (Memory.dirty_pages mem)
+
+let test_memory_page_data_roundtrip () =
+  let mem = Memory.create ~words:(Memory.page_size * 2) in
+  for i = 0 to Memory.page_size - 1 do
+    Memory.write mem (Memory.page_size + i) (i * 0x01010101)
+  done;
+  let data = Memory.page_data mem 1 in
+  let mem2 = Memory.create ~words:(Memory.page_size * 2) in
+  Memory.set_page_data mem2 1 data;
+  for i = 0 to Memory.page_size - 1 do
+    Alcotest.(check int) "word" (Memory.read mem (Memory.page_size + i))
+      (Memory.read mem2 (Memory.page_size + i))
+  done
+
+let test_memory_copy_independent () =
+  let mem = Memory.create ~words:64 in
+  Memory.write mem 5 1;
+  let c = Memory.copy mem in
+  Memory.write mem 5 2;
+  Alcotest.(check int) "copy unchanged" 1 (Memory.read c 5)
+
+(* --- CPU semantics -------------------------------------------------------------- *)
+
+let test_alu_wrap () =
+  let m =
+    run_image
+      [
+        Isa.Lui (1, 0xffff); Isa.Ori (1, 1, 0xffff); (* r1 = 0xffffffff *)
+        Isa.Addi (2, 1, 1); (* wraps to 0 *)
+        Isa.Mul (3, 1, 1); (* low 32 bits of (2^32-1)^2 = 1 *)
+        Isa.Halt;
+      ]
+  in
+  Alcotest.(check int) "add wrap" 0 (Machine.reg m 2);
+  Alcotest.(check int) "mul wrap" 1 (Machine.reg m 3)
+
+let test_signed_ops () =
+  let m =
+    run_image
+      [
+        Isa.Movi (1, -10);
+        Isa.Movi (2, 3);
+        Isa.Div (3, 1, 2); (* -3 *)
+        Isa.Rem (4, 1, 2); (* -1 *)
+        Isa.Movi (5, 0);
+        Isa.Div (6, 1, 5); (* div by zero -> 0 *)
+        Isa.Rem (7, 1, 5); (* rem by zero -> 0 *)
+        Isa.Sari (8, 1, 1); (* -5 *)
+        Isa.Shri (9, 1, 28); (* logical: 0xf *)
+        Isa.Slt (10, 1, 2); (* -10 < 3 -> 1 *)
+        Isa.Sltu (11, 1, 2); (* unsigned: huge > 3 -> 0 *)
+        Isa.Halt;
+      ]
+  in
+  let w v = v land 0xffffffff in
+  Alcotest.(check int) "div" (w (-3)) (Machine.reg m 3);
+  Alcotest.(check int) "rem" (w (-1)) (Machine.reg m 4);
+  Alcotest.(check int) "div0" 0 (Machine.reg m 6);
+  Alcotest.(check int) "rem0" 0 (Machine.reg m 7);
+  Alcotest.(check int) "sar" (w (-5)) (Machine.reg m 8);
+  Alcotest.(check int) "shr" 0xf (Machine.reg m 9);
+  Alcotest.(check int) "slt" 1 (Machine.reg m 10);
+  Alcotest.(check int) "sltu" 0 (Machine.reg m 11)
+
+let test_shift_by_register_masked () =
+  let m =
+    run_image
+      [ Isa.Movi (1, 1); Isa.Movi (2, 33); Isa.Shl (3, 1, 2) (* 33 land 31 = 1 -> 2 *); Isa.Halt ]
+  in
+  Alcotest.(check int) "shift mod 32" 2 (Machine.reg m 3)
+
+let test_branch_counter () =
+  (* 3 taken branches: jmp, taken beq, and the jr; bne not taken. *)
+  let m =
+    run_image
+      [
+        Isa.Jmp 0; (* taken, always *)
+        Isa.Movi (1, 5);
+        Isa.Beq (1, 1, 0); (* taken *)
+        Isa.Bne (1, 1, 5); (* not taken *)
+        Isa.Movi (2, 6);
+        Isa.Jr 3; (* r3 = 0... set first *)
+        Isa.Halt;
+      ]
+  in
+  ignore m;
+  let m2 =
+    run_image
+      [
+        Isa.Movi (3, 5); (* target of jr *)
+        Isa.Jmp 0; (* fallthrough, counts *)
+        Isa.Beq (0, 0, 0); (* r0=r0 taken *)
+        Isa.Bne (0, 0, 1); (* not taken *)
+        Isa.Jr 3; (* to halt *)
+        Isa.Halt;
+      ]
+  in
+  Alcotest.(check int) "branches" 3 (Machine.branches m2);
+  Alcotest.(check bool) "halted" true (Machine.halted m2)
+
+let test_landmark_fields () =
+  let m = run_image [ Isa.Nop; Isa.Nop; Isa.Halt ] in
+  let lm = Machine.landmark m in
+  Alcotest.(check int) "icount" 3 lm.Landmark.icount;
+  Alcotest.(check int) "branches" 0 lm.Landmark.branches
+
+let test_call_return () =
+  let m =
+    run_image
+      [
+        Isa.Jal (14, 1); (* call +1: skips halt *)
+        Isa.Halt;
+        Isa.Movi (1, 99);
+        Isa.Jr 14;
+      ]
+  in
+  Alcotest.(check int) "returned" 99 (Machine.reg m 1);
+  Alcotest.(check bool) "halted" true (Machine.halted m)
+
+let test_runtime_fault_bad_opcode () =
+  let m = Machine.create ~mem_words:64 [| 0xff000000 |] in
+  (match Machine.step m Machine.null_backend with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Machine.Runtime_fault { reason; _ } ->
+    Alcotest.(check bool) "reason" true (String.length reason > 0));
+  Alcotest.(check bool) "halted after fault" true (Machine.halted m)
+
+let test_runtime_fault_wild_store () =
+  let m = Machine.create ~mem_words:64 (image [ Isa.Movi (1, 9999); Isa.Store (2, 1, 0) ]) in
+  (match Machine.run m Machine.null_backend ~fuel:10 with
+  | _ -> Alcotest.fail "expected fault"
+  | exception Machine.Runtime_fault _ -> ());
+  Alcotest.(check bool) "halted" true (Machine.halted m)
+
+(* --- Interrupts -------------------------------------------------------------------- *)
+
+let test_interrupt_gating () =
+  (* IRQs must not be delivered before EI or inside a handler. *)
+  let delivered = ref 0 in
+  let backend =
+    {
+      Machine.null_backend with
+      poll_irq =
+        (fun () ->
+          incr delivered;
+          Some 0);
+    }
+  in
+  let m =
+    Machine.create ~mem_words:256
+      (image [ Isa.Nop; Isa.Nop; Isa.Nop; Isa.Halt ])
+  in
+  ignore (Machine.run m backend ~fuel:100);
+  Alcotest.(check int) "never polled without ei" 0 !delivered
+
+let test_interrupt_flow () =
+  (* handler increments r10 then irets; main spins. *)
+  let prog =
+    [
+      Isa.Movi (1, 6); (* ivt target *)
+      Isa.Out (1, Isa.port_ivt);
+      Isa.Ei;
+      Isa.Movi (2, 0);
+      Isa.Addi (2, 2, 1); (* 4: spin *)
+      Isa.Jmp (-2);
+      (* 6: handler *)
+      Isa.Addi (10, 10, 1);
+      Isa.In (11, Isa.port_irq_cause);
+      Isa.Iret;
+    ]
+  in
+  let m = Machine.create ~mem_words:256 (image prog) in
+  let sent = ref 0 in
+  let backend =
+    {
+      Machine.null_backend with
+      poll_irq =
+        (fun () ->
+          if !sent < 3 && Machine.icount m mod 50 = 0 then begin
+            incr sent;
+            Some 5
+          end
+          else None);
+    }
+  in
+  ignore (Machine.run m backend ~fuel:1000);
+  Alcotest.(check int) "three interrupts" 3 (Machine.reg m 10);
+  Alcotest.(check int) "irq cause" 5 (Machine.reg m 11)
+
+(* --- Devices ------------------------------------------------------------------------ *)
+
+let test_disk_readback () =
+  let prog =
+    [
+      Isa.Movi (1, 3);
+      Isa.Out (1, Isa.port_disk_sector);
+      Isa.Movi (2, 10);
+      Isa.Out (2, Isa.port_disk_word);
+      Isa.Movi (3, 1234);
+      Isa.Out (3, Isa.port_disk_write);
+      (* read it back *)
+      Isa.Out (2, Isa.port_disk_word);
+      Isa.In (4, Isa.port_disk_read);
+      Isa.Halt;
+    ]
+  in
+  let m = run_image prog in
+  Alcotest.(check int) "disk word" 1234 (Machine.reg m 4)
+
+let test_tx_buffer_flush () =
+  let packets = ref [] in
+  let backend =
+    {
+      Machine.null_backend with
+      observe =
+        (function
+        | Machine.Packet_sent p -> packets := p :: !packets
+        | Machine.Console _ | Machine.Frame -> ());
+    }
+  in
+  let prog =
+    [
+      Isa.Movi (1, 7);
+      Isa.Out (1, Isa.port_net_tx);
+      Isa.Movi (1, 8);
+      Isa.Out (1, Isa.port_net_tx);
+      Isa.Out (1, Isa.port_net_tx_send);
+      Isa.Movi (1, 9);
+      Isa.Out (1, Isa.port_net_tx);
+      Isa.Out (1, Isa.port_net_tx_send);
+      Isa.Halt;
+    ]
+  in
+  ignore (run_image ~backend prog);
+  Alcotest.(check int) "two packets" 2 (List.length !packets);
+  Alcotest.(check (array int)) "first" [| 7; 8 |] (List.nth (List.rev !packets) 0);
+  Alcotest.(check (array int)) "second" [| 9 |] (List.nth (List.rev !packets) 1)
+
+let test_frames_and_console () =
+  let prog =
+    [
+      Isa.Movi (1, 65);
+      Isa.Out (1, Isa.port_console);
+      Isa.Out (1, Isa.port_frame);
+      Isa.Out (1, Isa.port_frame);
+      Isa.Halt;
+    ]
+  in
+  let m = run_image prog in
+  Alcotest.(check int) "frames" 2 (Machine.frames m);
+  Alcotest.(check int) "console chars" 1 (Machine.console_chars m)
+
+(* --- Determinism ---------------------------------------------------------------------- *)
+
+let test_determinism_same_backend () =
+  (* Two machines with identical inputs end bit-identical. *)
+  let prog =
+    [
+      Isa.In (1, Isa.port_clock);
+      Isa.In (2, Isa.port_rng);
+      Isa.Add (3, 1, 2);
+      Isa.Store (3, 0, 100);
+      Isa.Halt;
+    ]
+  in
+  let mk () =
+    let m = Machine.create ~mem_words:4096 (image prog) in
+    let vals = ref [ 111; 222 ] in
+    let backend =
+      {
+        Machine.null_backend with
+        io_in =
+          (fun _ ->
+            match !vals with
+            | v :: rest ->
+              vals := rest;
+              v
+            | [] -> 0);
+      }
+    in
+    ignore (Machine.run m backend ~fuel:100);
+    m
+  in
+  Alcotest.(check bool) "state equal" true (Machine.state_equal (mk ()) (mk ()))
+
+let test_meta_roundtrip () =
+  let prog = [ Isa.Movi (1, 42); Isa.Out (1, Isa.port_frame); Isa.Ei; Isa.Halt ] in
+  let m = run_image prog in
+  let blob = Machine.serialize_meta m in
+  let m2 = Machine.create ~mem_words:4096 (image prog) in
+  Machine.restore_meta m2 blob;
+  Alcotest.(check string) "meta equal" blob (Machine.serialize_meta m2);
+  Alcotest.(check int) "reg restored" 42 (Machine.reg m2 1);
+  Alcotest.(check int) "frames restored" 1 (Machine.frames m2)
+
+let test_meta_garbage () =
+  let m = Machine.create ~mem_words:64 [| Isa.encode Isa.Halt |] in
+  Alcotest.(check bool) "garbage rejected" true
+    (match Machine.restore_meta m "garbage" with
+    | () -> false
+    | exception (Avm_util.Wire.Truncated | Avm_util.Wire.Malformed _) -> true)
+
+(* --- Snapshots ------------------------------------------------------------------------- *)
+
+let counting_prog =
+  [
+    Isa.Movi (1, 0);
+    Isa.Addi (1, 1, 1);
+    Isa.Store (1, 0, 200);
+    Isa.Jmp (-3);
+  ]
+
+let test_snapshot_incremental_materialize () =
+  let img = image counting_prog in
+  let m = Machine.create ~mem_words:4096 img in
+  let tr = Snapshot.tracker () in
+  let s0 = Snapshot.take tr m in
+  Alcotest.(check bool) "first full" true s0.Snapshot.full;
+  ignore (Machine.run m Machine.null_backend ~fuel:100);
+  let s1 = Snapshot.take tr m in
+  Alcotest.(check bool) "second incremental" false s1.Snapshot.full;
+  ignore (Machine.run m Machine.null_backend ~fuel:100);
+  let s2 = Snapshot.take tr m in
+  let m' = Snapshot.materialize ~mem_words:4096 ~image:img [ s0; s1; s2 ] in
+  Alcotest.(check bool) "materialized equal" true (Machine.state_equal m m');
+  Alcotest.(check bool) "root verifies" true (Snapshot.verify m' ~expected_root:s2.Snapshot.root)
+
+let test_snapshot_incremental_smaller () =
+  let img = image counting_prog in
+  let m = Machine.create ~mem_words:65536 img in
+  let tr = Snapshot.tracker () in
+  let s0 = Snapshot.take tr m in
+  ignore (Machine.run m Machine.null_backend ~fuel:50);
+  let s1 = Snapshot.take tr m in
+  Alcotest.(check bool) "much smaller" true
+    (Snapshot.size_bytes s1 * 10 < Snapshot.size_bytes s0)
+
+let test_snapshot_encode_decode () =
+  let img = image counting_prog in
+  let m = Machine.create ~mem_words:4096 img in
+  let tr = Snapshot.tracker () in
+  ignore (Machine.run m Machine.null_backend ~fuel:70);
+  let s = Snapshot.take tr m in
+  let s' = Snapshot.decode (Snapshot.encode s) in
+  Alcotest.(check bool) "equal" true (s = s');
+  Alcotest.(check string) "digest stable" (Snapshot.state_digest s) (Snapshot.state_digest s')
+
+let test_snapshot_digest_detects_poke () =
+  let img = image counting_prog in
+  let m = Machine.create ~mem_words:4096 img in
+  let tr = Snapshot.tracker () in
+  ignore (Machine.run m Machine.null_backend ~fuel:60);
+  let s = Snapshot.take tr m in
+  (* an identical machine with one poked word must not verify *)
+  let m2 = Snapshot.materialize ~mem_words:4096 ~image:img [ s ] in
+  Memory.write (Machine.mem m2) 3000 77;
+  Alcotest.(check bool) "poke detected" false
+    (Snapshot.verify m2 ~expected_root:s.Snapshot.root)
+
+let test_snapshot_empty_chain () =
+  Alcotest.check_raises "empty" (Invalid_argument "Snapshot.materialize: empty chain")
+    (fun () -> ignore (Snapshot.materialize ~mem_words:64 ~image:[||] []))
+
+let prop_event_roundtrip =
+  let open QCheck2.Gen in
+  let gen =
+    oneof
+      [
+        map3
+          (fun port value msg -> Event.Io_in { port; value; msg })
+          (int_range 0 0xffff) (int_range 0 0xffffffff) (int_range (-1) 1000);
+        map3
+          (fun icount pc branches ->
+            Event.Irq { landmark = { Landmark.icount; pc; branches }; line = icount mod 4 })
+          (int_range 0 1_000_000) (int_range 0 0xffff) (int_range 0 100_000);
+      ]
+  in
+  qtest "event: wire roundtrip" gen (fun ev -> Event.equal (Event.decode (Event.encode ev)) ev)
+
+(* --- Partial state (paper §4.4 / §7.3) ------------------------------------- *)
+
+let test_partial_state_verify () =
+  let m = Machine.create ~mem_words:4096 (image counting_prog) in
+  ignore (Machine.run m Machine.null_backend ~fuel:100);
+  let tree = Snapshot.merkle_of_machine m in
+  let root = Avm_crypto.Merkle.root tree in
+  let partial = Partial_state.extract m ~pages:[ 0; 3; 15 ] in
+  Alcotest.(check int) "three pages" 3 (List.length partial.Partial_state.pages);
+  Alcotest.(check bool) "verifies" true (Partial_state.verify partial ~expected_root:root);
+  (* tampering a disclosed page is caught *)
+  (match partial.Partial_state.pages with
+  | p :: rest ->
+    let bad = { p with Partial_state.data = String.map (fun _ -> 'z') p.Partial_state.data } in
+    Alcotest.(check bool) "tampered page" false
+      (Partial_state.verify { partial with Partial_state.pages = bad :: rest }
+         ~expected_root:root)
+  | [] -> Alcotest.fail "no pages");
+  (* far smaller than the full state *)
+  Alcotest.(check bool) "discloses less" true
+    (Partial_state.disclosed_bytes partial < 4096 * 4 / 2);
+  (* serialization round trip *)
+  let partial2 = Partial_state.decode (Partial_state.encode partial) in
+  Alcotest.(check bool) "roundtrip verifies" true
+    (Partial_state.verify partial2 ~expected_root:root)
+
+let test_partial_state_bad_indices_ignored () =
+  let m = Machine.create ~mem_words:1024 (image counting_prog) in
+  let partial = Partial_state.extract m ~pages:[ -1; 0; 0; 9999 ] in
+  Alcotest.(check int) "deduped and clamped" 1 (List.length partial.Partial_state.pages)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "32-bit masking" `Quick test_memory_mask32;
+          Alcotest.test_case "dirty tracking" `Quick test_memory_dirty_tracking;
+          Alcotest.test_case "page data roundtrip" `Quick test_memory_page_data_roundtrip;
+          Alcotest.test_case "copy independence" `Quick test_memory_copy_independent;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "alu wraparound" `Quick test_alu_wrap;
+          Alcotest.test_case "signed ops" `Quick test_signed_ops;
+          Alcotest.test_case "shift masking" `Quick test_shift_by_register_masked;
+          Alcotest.test_case "branch counter" `Quick test_branch_counter;
+          Alcotest.test_case "landmark fields" `Quick test_landmark_fields;
+          Alcotest.test_case "call/return" `Quick test_call_return;
+          Alcotest.test_case "bad opcode faults" `Quick test_runtime_fault_bad_opcode;
+          Alcotest.test_case "wild store faults" `Quick test_runtime_fault_wild_store;
+        ] );
+      ( "interrupts",
+        [
+          Alcotest.test_case "gating" `Quick test_interrupt_gating;
+          Alcotest.test_case "delivery and iret" `Quick test_interrupt_flow;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "disk readback" `Quick test_disk_readback;
+          Alcotest.test_case "tx buffer flush" `Quick test_tx_buffer_flush;
+          Alcotest.test_case "frames and console" `Quick test_frames_and_console;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical runs" `Quick test_determinism_same_backend;
+          Alcotest.test_case "meta roundtrip" `Quick test_meta_roundtrip;
+          Alcotest.test_case "meta garbage" `Quick test_meta_garbage;
+          prop_event_roundtrip;
+        ] );
+      ( "partial-state",
+        [
+          Alcotest.test_case "extract/verify/tamper" `Quick test_partial_state_verify;
+          Alcotest.test_case "bad indices" `Quick test_partial_state_bad_indices_ignored;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "incremental materialize" `Quick test_snapshot_incremental_materialize;
+          Alcotest.test_case "incremental smaller" `Quick test_snapshot_incremental_smaller;
+          Alcotest.test_case "encode/decode" `Quick test_snapshot_encode_decode;
+          Alcotest.test_case "digest detects poke" `Quick test_snapshot_digest_detects_poke;
+          Alcotest.test_case "empty chain" `Quick test_snapshot_empty_chain;
+        ] );
+    ]

@@ -1,0 +1,429 @@
+(* End-to-end compiler tests: compile mlang, run on the machine, check
+   console output. *)
+
+let run_program ?(fuel = 2_000_000) ?(inputs = []) src =
+  let img = Avm_mlang.Compile.compile ~stack_top:8192 src in
+  let m = Avm_machine.Machine.create ~mem_words:8192 img.Avm_isa.Asm.words in
+  let outs = ref [] in
+  let input_queue = Queue.create () in
+  List.iter (fun v -> Queue.add v input_queue) inputs;
+  let backend =
+    {
+      Avm_machine.Machine.null_backend with
+      observe =
+        (function
+        | Avm_machine.Machine.Console c -> outs := c :: !outs
+        | Avm_machine.Machine.Frame | Avm_machine.Machine.Packet_sent _ -> ());
+      io_in =
+        (fun port ->
+          if port = Avm_isa.Isa.port_input then
+            if Queue.is_empty input_queue then 0 else Queue.pop input_queue
+          else if port = Avm_isa.Isa.port_input_avail then Queue.length input_queue
+          else 0);
+    }
+  in
+  ignore (Avm_machine.Machine.run m backend ~fuel);
+  (List.rev !outs, m)
+
+let check_outputs name src expected =
+  let outs, m = run_program src in
+  Alcotest.(check bool) (name ^ " halted") true (Avm_machine.Machine.halted m);
+  Alcotest.(check (list int)) name expected outs
+
+let test_arithmetic () =
+  check_outputs "arithmetic"
+    {|
+fn main() {
+  out(CONSOLE, 2 + 3 * 4);        // precedence: 14
+  out(CONSOLE, (2 + 3) * 4);      // 20
+  out(CONSOLE, 17 / 5);           // 3
+  out(CONSOLE, 17 % 5);           // 2
+  out(CONSOLE, 1 << 10);          // 1024
+  out(CONSOLE, 1024 >> 3);        // 128
+  out(CONSOLE, 12 & 10);          // 8
+  out(CONSOLE, 12 | 10);          // 14
+  out(CONSOLE, 12 ^ 10);          // 6
+  halt();
+}
+|}
+    [ 14; 20; 3; 2; 1024; 128; 8; 14; 6 ]
+
+let test_signed_arithmetic () =
+  (* Console values are 32-bit words; -3 shows up as 2^32-3. *)
+  let wrap v = v land 0xffffffff in
+  check_outputs "signed"
+    {|
+fn main() {
+  out(CONSOLE, 0 - 3);
+  out(CONSOLE, -7 / 2);     // trunc toward zero: -3
+  out(CONSOLE, -7 % 2);     // -1
+  out(CONSOLE, -1 < 1);     // signed compare: 1
+  out(CONSOLE, ~0);         // all ones
+  out(CONSOLE, -(-5));
+  halt();
+}
+|}
+    [ wrap (-3); wrap (-3); wrap (-1); 1; 0xffffffff; 5 ]
+
+let test_comparisons_and_logic () =
+  check_outputs "comparisons"
+    {|
+fn main() {
+  out(CONSOLE, 3 == 3);
+  out(CONSOLE, 3 != 3);
+  out(CONSOLE, 2 < 3);
+  out(CONSOLE, 3 <= 3);
+  out(CONSOLE, 3 > 3);
+  out(CONSOLE, 3 >= 4);
+  out(CONSOLE, 1 && 2);    // normalized to 1
+  out(CONSOLE, 0 || 5);
+  out(CONSOLE, !3);
+  out(CONSOLE, !0);
+  halt();
+}
+|}
+    [ 1; 0; 1; 1; 0; 0; 1; 1; 0; 1 ]
+
+let test_short_circuit () =
+  (* The right side of && / || must not run when short-circuited; side
+     effects through a global prove it. *)
+  check_outputs "short circuit"
+    {|
+global hits;
+fn bump() { hits = hits + 1; return 1; }
+fn main() {
+  var a = 0 && bump();
+  var b = 1 || bump();
+  out(CONSOLE, hits);      // 0: neither ran
+  var c = 1 && bump();
+  var d = 0 || bump();
+  out(CONSOLE, hits);      // 2: both ran
+  out(CONSOLE, a + b + c + d);  // 0+1+1+1
+  halt();
+}
+|}
+    [ 0; 2; 3 ]
+
+let test_recursion () =
+  check_outputs "fib/ack"
+    {|
+fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+fn ack(m, n) {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+fn main() {
+  out(CONSOLE, fib(15));    // 610
+  out(CONSOLE, ack(2, 3));  // 9
+  halt();
+}
+|}
+    [ 610; 9 ]
+
+let test_globals_and_arrays () =
+  check_outputs "globals"
+    {|
+global counter = 5;
+global grid[16];
+global pair[2] = { 7, 8 };
+fn main() {
+  counter = counter + 1;
+  var i = 0;
+  while (i < 16) { grid[i] = i * 3; i = i + 1; }
+  out(CONSOLE, counter);        // 6
+  out(CONSOLE, grid[5]);        // 15
+  out(CONSOLE, grid[15]);       // 45
+  out(CONSOLE, pair[0] + pair[1]); // 15
+  grid[grid[1]] = 99;           // grid[3] = 99
+  out(CONSOLE, grid[3]);
+  halt();
+}
+|}
+    [ 6; 15; 45; 15; 99 ]
+
+let test_while_break_continue () =
+  check_outputs "loops"
+    {|
+fn main() {
+  var i = 0;
+  var sum = 0;
+  while (1) {
+    i = i + 1;
+    if (i > 10) { break; }
+    if (i % 2 == 0) { continue; }
+    sum = sum + i;            // 1+3+5+7+9
+  }
+  out(CONSOLE, sum);
+  var nested = 0;
+  var a = 0;
+  while (a < 3) {
+    var b = 0;
+    while (b < 3) {
+      if (b == 2) { break; }
+      nested = nested + 1;
+      b = b + 1;
+    }
+    a = a + 1;
+  }
+  out(CONSOLE, nested);       // 6
+  halt();
+}
+|}
+    [ 25; 6 ]
+
+let test_else_if_chain () =
+  check_outputs "else if"
+    {|
+fn classify(x) {
+  if (x < 0) { return 1; }
+  else if (x == 0) { return 2; }
+  else if (x < 10) { return 3; }
+  else { return 4; }
+}
+fn main() {
+  out(CONSOLE, classify(0 - 5));
+  out(CONSOLE, classify(0));
+  out(CONSOLE, classify(7));
+  out(CONSOLE, classify(70));
+  halt();
+}
+|}
+    [ 1; 2; 3; 4 ]
+
+let test_inputs_builtin () =
+  let outs, _ =
+    run_program ~inputs:[ 42; 17 ]
+      {|
+fn main() {
+  out(CONSOLE, in(INPUT_AVAIL));  // 2
+  out(CONSOLE, in(INPUT));        // 42
+  out(CONSOLE, in(INPUT));        // 17
+  out(CONSOLE, in(INPUT));        // 0 when empty
+  halt();
+}
+|}
+  in
+  Alcotest.(check (list int)) "inputs" [ 2; 42; 17; 0 ] outs
+
+let test_interrupt_handler () =
+  let src =
+    {|
+global ticks;
+interrupt fn on_tick() { ticks = ticks + 1; }
+fn main() {
+  ivt(on_tick);
+  ei();
+  var spin = 0;
+  while (spin < 30000) { spin = spin + 1; }
+  di();
+  out(CONSOLE, ticks);
+  halt();
+}
+|}
+  in
+  let img = Avm_mlang.Compile.compile ~stack_top:8192 src in
+  let m = Avm_machine.Machine.create ~mem_words:8192 img.Avm_isa.Asm.words in
+  let outs = ref [] in
+  let fired = ref 0 in
+  let backend =
+    {
+      Avm_machine.Machine.null_backend with
+      observe =
+        (function Avm_machine.Machine.Console c -> outs := c :: !outs | _ -> ());
+      poll_irq =
+        (fun () ->
+          if !fired < 5 && Avm_machine.Machine.icount m > 1000 * (!fired + 1) then begin
+            incr fired;
+            Some 0
+          end
+          else None);
+    }
+  in
+  ignore (Avm_machine.Machine.run m backend ~fuel:3_000_000);
+  Alcotest.(check (list int)) "all 5 ticks counted" [ 5 ] (List.rev !outs)
+
+let test_interrupt_preserves_registers () =
+  (* A handler clobbering scratch registers must not corrupt main. *)
+  let src =
+    {|
+global junk;
+interrupt fn noisy() {
+  var a = 123 * 456;
+  var b = a / 7;
+  junk = junk + b;
+}
+fn main() {
+  ivt(noisy);
+  ei();
+  var acc = 0;
+  var i = 0;
+  while (i < 5000) {
+    acc = acc + (i * 3) - (i * 2) - i + 1;   // stays i+... => acc = 5000
+    i = i + 1;
+  }
+  out(CONSOLE, acc);
+  halt();
+}
+|}
+  in
+  let img = Avm_mlang.Compile.compile ~stack_top:8192 src in
+  let m = Avm_machine.Machine.create ~mem_words:8192 img.Avm_isa.Asm.words in
+  let outs = ref [] in
+  let count = ref 0 in
+  let backend =
+    {
+      Avm_machine.Machine.null_backend with
+      observe =
+        (function Avm_machine.Machine.Console c -> outs := c :: !outs | _ -> ());
+      poll_irq =
+        (fun () ->
+          incr count;
+          if !count mod 97 = 0 then Some 0 else None);
+    }
+  in
+  ignore (Avm_machine.Machine.run m backend ~fuel:5_000_000);
+  Alcotest.(check (list int)) "main unperturbed" [ 5000 ] (List.rev !outs)
+
+let test_const_expr_ports () =
+  (* Port operands accept compile-time constant expressions. *)
+  check_outputs "const exprs"
+    {|
+const BASE = 0x10;
+fn main() {
+  out(BASE + 0, 65);          // CONSOLE = 0x10
+  out(BASE | 0, 66);
+  halt();
+}
+|}
+    [ 65; 66 ]
+
+let test_while_zero_never_runs () =
+  check_outputs "while(0)"
+    {|
+fn main() {
+  while (0) { out(CONSOLE, 1); }
+  out(CONSOLE, 2);
+  halt();
+}
+|}
+    [ 2 ]
+
+let test_args_evaluated_left_to_right () =
+  check_outputs "arg order"
+    {|
+global trace;
+fn mark(v) { trace = trace * 10 + v; return v; }
+fn sum3(a, b, c) { return a + b + c; }
+fn main() {
+  var s = sum3(mark(1), mark(2), mark(3));
+  out(CONSOLE, trace);   // 123 pins left-to-right evaluation
+  out(CONSOLE, s);
+  halt();
+}
+|}
+    [ 123; 6 ]
+
+let test_deep_recursion_stack () =
+  check_outputs "deep recursion"
+    {|
+fn down(n) { if (n == 0) { return 0; } return down(n - 1) + 1; }
+fn main() {
+  out(CONSOLE, down(300));
+  halt();
+}
+|}
+    [ 300 ]
+
+let expect_compile_error name src =
+  match Avm_mlang.Compile.compile src with
+  | _ -> Alcotest.failf "%s: expected compile error" name
+  | exception Avm_mlang.Compile.Error _ -> ()
+
+let test_compile_errors () =
+  expect_compile_error "no main" "fn helper() { return 1; }";
+  expect_compile_error "undefined var" "fn main() { out(CONSOLE, nope); }";
+  expect_compile_error "undefined fn" "fn main() { missing(); }";
+  expect_compile_error "arity" "fn f(a) { return a; } fn main() { f(1, 2); }";
+  expect_compile_error "const port" "fn main() { var p = 5; out(p, 1); }";
+  expect_compile_error "break outside loop" "fn main() { break; }";
+  expect_compile_error "dup function" "fn main() { } fn main() { }";
+  expect_compile_error "dup global" "global g; global g;";
+  expect_compile_error "dup local" "fn main() { var x = 1; var x = 2; }";
+  expect_compile_error "assign const" "const C = 1; fn main() { C = 2; }";
+  expect_compile_error "interrupt with params" "interrupt fn h(x) { } fn main() { }";
+  expect_compile_error "call interrupt" "interrupt fn h() { } fn main() { h(); }";
+  expect_compile_error "ivt of non-handler" "fn h() { } fn main() { ivt(h); }";
+  expect_compile_error "syntax" "fn main() { var = 3; }";
+  expect_compile_error "unterminated" "fn main() { out(CONSOLE, 1); ";
+  expect_compile_error "bad char" "fn main() { out(CONSOLE, $); }"
+
+let test_error_phases () =
+  (match Avm_mlang.Compile.compile "fn main() { @ }" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Avm_mlang.Compile.Error { message; _ } ->
+    Alcotest.(check bool) "line info" true
+      (String.length message > 0 && String.sub message 0 4 = "line"))
+
+let test_compile_to_asm_is_assemblable () =
+  let asm = Avm_mlang.Compile.compile_to_asm "fn main() { out(CONSOLE, 1); halt(); }" in
+  let img = Avm_isa.Asm.assemble asm in
+  Alcotest.(check bool) "nonempty" true (Array.length img.Avm_isa.Asm.words > 3)
+
+let test_hex_and_char_literals () =
+  check_outputs "literals"
+    {|
+const MASK = 0xFF00;
+fn main() {
+  out(CONSOLE, 0x10);
+  out(CONSOLE, 'A');
+  out(CONSOLE, MASK >> 8);
+  halt();
+}
+|}
+    [ 16; 65; 255 ]
+
+let test_deep_expression () =
+  check_outputs "deep expression"
+    {|
+fn main() {
+  out(CONSOLE, ((((1+2)*(3+4))-5)*2) % 100);   // ((3*7)-5)*2 = 32
+  halt();
+}
+|}
+    [ 32 ]
+
+let () =
+  Alcotest.run "mlang"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "signed arithmetic" `Quick test_signed_arithmetic;
+          Alcotest.test_case "comparisons and logic" `Quick test_comparisons_and_logic;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "globals and arrays" `Quick test_globals_and_arrays;
+          Alcotest.test_case "while/break/continue" `Quick test_while_break_continue;
+          Alcotest.test_case "else-if chains" `Quick test_else_if_chain;
+          Alcotest.test_case "literals" `Quick test_hex_and_char_literals;
+          Alcotest.test_case "deep expressions" `Quick test_deep_expression;
+          Alcotest.test_case "const-expression ports" `Quick test_const_expr_ports;
+          Alcotest.test_case "while(0)" `Quick test_while_zero_never_runs;
+          Alcotest.test_case "left-to-right args" `Quick test_args_evaluated_left_to_right;
+          Alcotest.test_case "deep recursion" `Quick test_deep_recursion_stack;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "input builtins" `Quick test_inputs_builtin;
+          Alcotest.test_case "interrupt handler" `Quick test_interrupt_handler;
+          Alcotest.test_case "interrupt preserves registers" `Quick
+            test_interrupt_preserves_registers;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "rejected programs" `Quick test_compile_errors;
+          Alcotest.test_case "error phases carry lines" `Quick test_error_phases;
+          Alcotest.test_case "asm output assembles" `Quick test_compile_to_asm_is_assemblable;
+        ] );
+    ]

@@ -1,0 +1,223 @@
+open Avm_netsim
+open Avm_core
+
+(* --- Sim -------------------------------------------------------------------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  Sim.schedule sim ~at:30.0 (fun () -> order := 3 :: !order);
+  Sim.schedule sim ~at:10.0 (fun () -> order := 1 :: !order);
+  Sim.schedule sim ~at:20.0 (fun () -> order := 2 :: !order);
+  Sim.run_until sim 100.0;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check (float 0.001)) "clock" 100.0 (Sim.now sim)
+
+let test_sim_fifo_at_same_time () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  for i = 1 to 20 do
+    Sim.schedule sim ~at:5.0 (fun () -> order := i :: !order)
+  done;
+  Sim.run_until sim 5.0;
+  Alcotest.(check (list int)) "stable" (List.init 20 (fun i -> i + 1)) (List.rev !order)
+
+let test_sim_cascading_events () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  let rec chain n () =
+    incr hits;
+    if n > 0 then Sim.after sim 1.0 (chain (n - 1))
+  in
+  Sim.schedule sim ~at:1.0 (chain 9);
+  Sim.run_until sim 100.0;
+  Alcotest.(check int) "all fired" 10 !hits
+
+let test_sim_horizon_respected () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.schedule sim ~at:50.0 (fun () -> fired := true);
+  Sim.run_until sim 49.9;
+  Alcotest.(check bool) "not yet" false !fired;
+  Alcotest.(check int) "pending" 1 (Sim.pending sim);
+  Sim.run_until sim 50.0;
+  Alcotest.(check bool) "fired" true !fired
+
+let test_sim_past_schedules_clamp () =
+  let sim = Sim.create () in
+  Sim.run_until sim 100.0;
+  let fired = ref false in
+  Sim.schedule sim ~at:5.0 (fun () -> fired := true);
+  Sim.run_until sim 100.0;
+  Alcotest.(check bool) "clamped to now" true !fired
+
+(* --- Host -------------------------------------------------------------------- *)
+
+let test_host_daemon_pinned () =
+  let h = Host.create () in
+  Host.charge_daemon h 1000.0;
+  let u = Host.utilization h ~elapsed_us:10_000.0 in
+  Alcotest.(check (float 0.001)) "ht0" 0.1 u.(0);
+  Alcotest.(check (float 0.001)) "ht1 idle" 0.0 u.(1)
+
+let test_host_game_round_robin () =
+  let h = Host.create () in
+  (* 60ms of single-threaded game spread over 6 allowed HTs. *)
+  Host.charge_game h 60_000.0;
+  let u = Host.utilization h ~elapsed_us:60_000.0 in
+  Alcotest.(check (float 0.01)) "ht4 avoided" 0.0 u.(4);
+  Alcotest.(check (float 0.05)) "spread evenly" (1.0 /. 6.0) u.(1);
+  Alcotest.(check (float 0.01)) "average 1/8" (1.0 /. 8.0)
+    (Host.total_utilization h ~elapsed_us:60_000.0)
+
+let test_host_audit_soaks_idle () =
+  let h = Host.create () in
+  Host.charge_audit h 30_000.0;
+  let u = Host.utilization h ~elapsed_us:30_000.0 in
+  Alcotest.(check (float 0.001)) "daemon ht untouched" 0.0 u.(0)
+
+(* --- Net --------------------------------------------------------------------------- *)
+
+(* A trivial guest that sends one packet to the peer named by its
+   first input event and then idles reading the clock. *)
+let chatty_src =
+  {|
+fn main() {
+  var dest = in(INPUT);
+  out(NET_TX, dest);
+  out(NET_TX, 42);
+  out(NET_TX_SEND, 0);
+  while (1) {
+    var t = in(CLOCK);
+    var avail = in(NET_RX_AVAIL);
+    if (avail > 0) {
+      var len = in(NET_RX_LEN);
+      len = len;
+      out(NET_RX_NEXT, 0);
+    }
+    t = t;
+  }
+}
+|}
+
+let chatty_image () = (Avm_mlang.Compile.compile ~stack_top:4096 chatty_src).Avm_isa.Asm.words
+
+let make_net ?(loss = 0.0) ?(config = Config.make Config.Avmm_rsa768) () =
+  let img = chatty_image () in
+  let net =
+    Net.create ~rsa_bits:512 ~loss ~config ~images:[ img; img ] ~mem_words:4096
+      ~names:[ "n0"; "n1" ] ()
+  in
+  Net.queue_input net 0 1;
+  Net.queue_input net 1 0;
+  net
+
+let recv_count net i =
+  let log = Avm_core.Avmm.log (Net.node_avmm (Net.node net i)) in
+  let n = ref 0 in
+  Avm_tamperlog.Log.iter log (fun e ->
+      match e.Avm_tamperlog.Entry.content with
+      | Avm_tamperlog.Entry.Recv _ -> incr n
+      | _ -> ());
+  !n
+
+let test_net_delivery_and_acks () =
+  let net = make_net () in
+  Net.run net ~until_us:500_000.0 ();
+  Alcotest.(check int) "n1 got n0's packet" 1 (recv_count net 1);
+  Alcotest.(check int) "n0 got n1's packet" 1 (recv_count net 0);
+  (* acks drained the unacked queues *)
+  Array.iter
+    (fun n ->
+      Alcotest.(check int) "acked"
+        0
+        (List.length (Avm_core.Avmm.unacked (Net.node_avmm n) ~older_than_us:infinity)))
+    (Net.nodes net)
+
+let test_net_loss_retransmission () =
+  (* With heavy loss, retransmission still delivers eventually. *)
+  let net = make_net ~loss:0.5 () in
+  Net.run net ~until_us:5_000_000.0 ();
+  Alcotest.(check int) "delivered despite loss" 1 (recv_count net 1)
+
+let test_net_isolation () =
+  let net = make_net () in
+  Net.isolate net 1;
+  Net.run net ~until_us:500_000.0 ();
+  Alcotest.(check int) "nothing delivered" 0 (recv_count net 1);
+  Net.heal net 1;
+  Net.run net ~until_us:2_000_000.0 ();
+  Alcotest.(check int) "retransmission heals" 1 (recv_count net 1)
+
+let test_net_auth_collection () =
+  let net = make_net () in
+  Net.run net ~until_us:500_000.0 ();
+  (* receiver collected sender's authenticator, sender collected the
+     receiver's (from the ack) *)
+  let l0 = Net.node_ledger (Net.node net 0) in
+  let l1 = Net.node_ledger (Net.node net 1) in
+  Alcotest.(check bool) "n1 has n0 auths" true (List.length (Multiparty.auths_for l1 "n0") >= 1);
+  Alcotest.(check bool) "n0 has n1 auths" true (List.length (Multiparty.auths_for l0 "n1") >= 1)
+
+let test_net_ping_ladder () =
+  let img = chatty_image () in
+  let medians =
+    List.map
+      (fun level ->
+        let net =
+          Net.create ~rsa_bits:512 ~config:(Config.make level) ~images:[ img; img ]
+            ~mem_words:4096 ~names:[ "a"; "b" ] ()
+        in
+        Avm_util.Stats.median (Net.ping_rtts_us net ~src:0 ~dst:1 ~samples:60))
+      Config.all_levels
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ladder monotone" true (monotone medians);
+  Alcotest.(check bool) "bare close to 192us" true
+    (List.hd medians > 150.0 && List.hd medians < 260.0);
+  Alcotest.(check bool) "rsa768 in the ms range" true (List.nth medians 4 > 3000.0)
+
+let test_net_wire_accounting () =
+  let net = make_net () in
+  Net.run net ~until_us:1_000_000.0 ();
+  Alcotest.(check bool) "nonzero traffic" true (Net.wire_kbps net 0 ~elapsed_us:1.0e6 > 0.0)
+
+let test_net_determinism () =
+  let run () =
+    let net = make_net () in
+    Net.run net ~until_us:300_000.0 ();
+    Avm_tamperlog.Log.head_hash (Avm_core.Avmm.log (Net.node_avmm (Net.node net 0)))
+  in
+  Alcotest.(check bool) "same head hash" true (String.equal (run ()) (run ()))
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "time ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "FIFO at equal times" `Quick test_sim_fifo_at_same_time;
+          Alcotest.test_case "cascading events" `Quick test_sim_cascading_events;
+          Alcotest.test_case "horizon respected" `Quick test_sim_horizon_respected;
+          Alcotest.test_case "past schedules clamp" `Quick test_sim_past_schedules_clamp;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "daemon pinned to HT0" `Quick test_host_daemon_pinned;
+          Alcotest.test_case "game round robin" `Quick test_host_game_round_robin;
+          Alcotest.test_case "audits soak idle HTs" `Quick test_host_audit_soaks_idle;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery and acks" `Quick test_net_delivery_and_acks;
+          Alcotest.test_case "loss + retransmission" `Quick test_net_loss_retransmission;
+          Alcotest.test_case "isolation and healing" `Quick test_net_isolation;
+          Alcotest.test_case "authenticator collection" `Quick test_net_auth_collection;
+          Alcotest.test_case "ping ladder" `Quick test_net_ping_ladder;
+          Alcotest.test_case "wire accounting" `Quick test_net_wire_accounting;
+          Alcotest.test_case "bit determinism" `Quick test_net_determinism;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+open Avm_scenario
+open Avm_core
+
+(* Scenario tests exercise whole-system behaviour; durations are kept
+   short and keys small so the suite stays fast. *)
+
+let quick_spec ?cheat ?(duration = 6.0e6) ?(level = Config.Avmm_rsa768) () =
+  {
+    Game_run.players = 3;
+    duration_us = duration;
+    config = Config.make ~snapshot_every_us:(Some 3_000_000) level;
+    cheat;
+    frame_cap = false;
+    seed = 42L;
+    rsa_bits = 512;
+  }
+
+let test_guests_compile () =
+  Alcotest.(check bool) "game" true (Array.length (Guests.game_image ()).Avm_isa.Asm.words > 100);
+  Alcotest.(check bool) "kvstore" true
+    (Array.length (Guests.kvstore_image ()).Avm_isa.Asm.words > 100)
+
+let test_game_symbols_exist () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s true (Guests.game_symbol s >= 0))
+    [ "g_ammo"; "g_myx"; "g_myy"; "g_phealth"; "g_pscore"; "g_frame_no" ]
+
+let test_patch_missing_anchor_fails () =
+  Alcotest.(check bool) "missing anchor" true
+    (match Guests.game_with_patch ~old:"no such code anywhere" ~new_:"x" with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_input_encoding () =
+  Alcotest.(check int) "role" 0x0300 (Guests.input_role ~role:0 ~nplayers:3);
+  let mv = Guests.input_move ~dx:(-128) ~dy:127 in
+  Alcotest.(check int) "move tag" 1 (mv lsr 28);
+  let aim = Guests.input_aim ~angle:0xffff in
+  Alcotest.(check int) "aim tag" 2 (aim lsr 28);
+  Alcotest.(check int) "fire tag" 3 (Guests.input_fire lsr 28)
+
+let test_cheat_catalog_shape () =
+  Alcotest.(check int) "26 cheats" 26 (List.length Cheats.catalog);
+  let class2 = List.filter (fun c -> c.Cheats.class2) Cheats.catalog in
+  Alcotest.(check int) "4 any-implementation" 4 (List.length class2);
+  (* names unique *)
+  let names = List.map (fun c -> c.Cheats.name) Cheats.catalog in
+  Alcotest.(check int) "unique names" 26 (List.length (List.sort_uniq compare names));
+  (* all patched images compile and differ from the reference *)
+  List.iter
+    (fun c ->
+      match c.Cheats.mechanism with
+      | Cheats.Image_patch _ ->
+        let img = Cheats.image_for c in
+        Alcotest.(check bool) (c.Cheats.name ^ " differs") true
+          (img.Avm_isa.Asm.words <> (Guests.game_image ()).Avm_isa.Asm.words)
+      | _ -> ())
+    Cheats.catalog
+
+let test_bots_deterministic () =
+  let collect () =
+    let bot = Bots.create ~seed:7L in
+    let acc = ref [] in
+    for i = 1 to 20 do
+      Bots.tick bot
+        ~now_us:(float_of_int i *. 100_000.0)
+        ~last_us:(float_of_int (i - 1) *. 100_000.0)
+        (fun v -> acc := v :: !acc)
+    done;
+    !acc
+  in
+  Alcotest.(check (list int)) "deterministic" (collect ()) (collect ())
+
+let test_game_runs_and_audits () =
+  let o = Game_run.play (quick_spec ()) in
+  Array.iter
+    (fun fps -> Alcotest.(check bool) "renders frames" true (fps > 50.0))
+    o.Game_run.fps;
+  for target = 0 to 2 do
+    let report = Game_run.audit_player o ~auditor:((target + 1) mod 3) ~target in
+    match report.Audit.verdict with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "honest player %d failed audit: %s" target e
+  done
+
+let test_fps_ladder () =
+  let fps level =
+    let o = Game_run.play (quick_spec ~level ()) in
+    Array.fold_left ( +. ) 0.0 o.Game_run.fps /. 3.0
+  in
+  let bare = fps Config.Bare_hw in
+  let avmm = fps Config.Avmm_rsa768 in
+  Alcotest.(check bool) "bare faster" true (bare > avmm);
+  let drop = 1.0 -. (avmm /. bare) in
+  Alcotest.(check bool) "drop in 5-25% band (paper: 13%)" true (drop > 0.05 && drop < 0.25)
+
+let test_representative_cheats_detected () =
+  (* One representative per mechanism family; Table 1 in full runs all
+     26 via bin/experiments. *)
+  List.iter
+    (fun name ->
+      let c = Cheats.find name in
+      Alcotest.(check bool) (name ^ " detected") true
+        (Experiments.check_cheat ~scale:Experiments.Quick c))
+    [ "aimbot-zeus"; "wallhack-driver"; "speedhack-4x"; "unlimited-ammo"; "scorehack" ]
+
+let test_external_aimbot_not_detected () =
+  Alcotest.(check bool) "external aimbot passes audits" false
+    (Experiments.check_cheat ~scale:Experiments.Quick Cheats.external_aimbot)
+
+let test_kv_run_and_spot_check () =
+  let o = Kv_run.run ~duration_us:30.0e6 ~snapshot_every_us:5_000_000 ~rsa_bits:512 () in
+  Alcotest.(check bool) "client made progress" true (o.Kv_run.client_ops > 10);
+  Alcotest.(check bool) "snapshots taken" true (List.length o.Kv_run.server_snapshots >= 4);
+  let rep = Kv_run.audit_server_chunk o ~start_snapshot:1 ~k:2 in
+  (match rep.Spot_check.outcome with
+  | Replay.Verified _ -> ()
+  | out -> Alcotest.failf "chunk diverged: %s" (Format.asprintf "%a" Replay.pp_outcome out));
+  Alcotest.(check bool) "replayed something" true (rep.Spot_check.replay_instructions > 1000)
+
+let test_kv_full_audit_cost_positive () =
+  let o = Kv_run.run ~duration_us:20.0e6 ~snapshot_every_us:5_000_000 ~rsa_bits:512 () in
+  let instr, bytes = Kv_run.full_audit_cost o in
+  Alcotest.(check bool) "instructions" true (instr > 100_000);
+  Alcotest.(check bool) "compressed bytes" true (bytes > 1000)
+
+let test_fig5_shape () =
+  let rows = Experiments.fig5 ~scale:Experiments.Quick () in
+  Alcotest.(check int) "five configs" 5 (List.length rows);
+  let medians = List.map (fun r -> r.Experiments.median_us) rows in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone ladder" true (monotone medians)
+
+let test_frame_cap_holds () =
+  let spec = { (quick_spec ~duration:5.0e6 ()) with Game_run.frame_cap = true } in
+  let o = Game_run.play spec in
+  Array.iter
+    (fun fps -> Alcotest.(check bool) "capped near 72" true (fps < 75.0))
+    o.Game_run.fps
+
+let test_recording_roundtrip () =
+  let o = Game_run.play (quick_spec ~duration:3.0e6 ()) in
+  let r = Recording.of_game_node o 1 in
+  let r2 = Recording.decode (Recording.encode r) in
+  Alcotest.(check string) "node" r.Recording.node r2.Recording.node;
+  Alcotest.(check int) "entries" (List.length r.Recording.entries)
+    (List.length r2.Recording.entries);
+  Alcotest.(check int) "auths" (List.length r.Recording.auths) (List.length r2.Recording.auths);
+  Alcotest.(check int) "certs" (List.length r.Recording.certificates)
+    (List.length r2.Recording.certificates);
+  (* file round trip *)
+  let path = Filename.temp_file "avmrec" ".bin" in
+  Recording.save ~path r;
+  let r3 = Recording.load ~path in
+  Sys.remove path;
+  Alcotest.(check bool) "file identical" true (Recording.encode r3 = Recording.encode r);
+  (* and the recording audits clean end-to-end, like bin/avm_audit *)
+  let node_cert = List.assoc r.Recording.node r.Recording.certificates in
+  let report =
+    Avm_core.Audit.full ~node_cert ~peer_certs:r.Recording.certificates
+      ~image:(Recording.image_of_scenario r.Recording.scenario)
+      ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
+      ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries
+      ~auths:r.Recording.auths ()
+  in
+  Alcotest.(check bool) "audits clean" true (report.Avm_core.Audit.verdict = Ok ())
+
+let test_recording_garbage_rejected () =
+  Alcotest.(check bool) "garbage" true
+    (match Recording.decode "not a recording at all" with
+    | _ -> false
+    | exception Avm_util.Wire.Malformed _ -> true)
+
+let test_auction_honest_and_rigged () =
+  let honest = Auction_run.run ~duration_us:8.0e6 () in
+  Alcotest.(check bool) "rounds happened" true (honest.Auction_run.rounds > 5);
+  Alcotest.(check int) "honest auctioneer never wins" 0 honest.Auction_run.wins.(0);
+  (match (Auction_run.audit honest ~target:0).Audit.verdict with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "honest auctioneer failed audit: %s" e);
+  (* bidders audit clean too *)
+  (match (Auction_run.audit honest ~target:1).Audit.verdict with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "bidder failed audit: %s" e);
+  let rigged = Auction_run.run ~duration_us:8.0e6 ~rigged:true () in
+  Alcotest.(check bool) "rigging works" true (rigged.Auction_run.wins.(0) > 0);
+  match (Auction_run.audit rigged ~target:0).Audit.verdict with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "rigged auctioneer passed audit"
+
+let test_p2p_fair_and_freerider () =
+  let fair = P2p_run.run ~duration_us:15.0e6 () in
+  Alcotest.(check bool) "everyone uploads" true
+    (Array.for_all (fun s -> s > 0) fair.P2p_run.served);
+  (match (P2p_run.audit fair ~target:0).Audit.verdict with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fair peer failed audit: %s" e);
+  let bad = P2p_run.run ~duration_us:15.0e6 ~freerider:(Some 1) () in
+  Alcotest.(check int) "freerider uploads nothing" 0 bad.P2p_run.served.(1);
+  match (P2p_run.audit bad ~target:1).Audit.verdict with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "freerider passed audit"
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "guests",
+        [
+          Alcotest.test_case "compile" `Quick test_guests_compile;
+          Alcotest.test_case "symbols" `Quick test_game_symbols_exist;
+          Alcotest.test_case "patch anchors checked" `Quick test_patch_missing_anchor_fails;
+          Alcotest.test_case "input encoding" `Quick test_input_encoding;
+        ] );
+      ( "cheats",
+        [
+          Alcotest.test_case "catalog shape" `Quick test_cheat_catalog_shape;
+          Alcotest.test_case "representative detection" `Slow test_representative_cheats_detected;
+          Alcotest.test_case "external aimbot invisible" `Slow test_external_aimbot_not_detected;
+        ] );
+      ( "game",
+        [
+          Alcotest.test_case "bots deterministic" `Quick test_bots_deterministic;
+          Alcotest.test_case "runs and audits" `Slow test_game_runs_and_audits;
+          Alcotest.test_case "fps ladder" `Slow test_fps_ladder;
+          Alcotest.test_case "frame cap holds" `Slow test_frame_cap_holds;
+        ] );
+      ( "kvstore",
+        [
+          Alcotest.test_case "run + spot check" `Slow test_kv_run_and_spot_check;
+          Alcotest.test_case "full audit cost" `Slow test_kv_full_audit_cost_positive;
+        ] );
+      ( "p2p",
+        [ Alcotest.test_case "fair swarm vs freerider" `Slow test_p2p_fair_and_freerider ] );
+      ( "auction",
+        [ Alcotest.test_case "honest vs rigged" `Slow test_auction_honest_and_rigged ] );
+      ( "recording",
+        [
+          Alcotest.test_case "roundtrip + audit" `Slow test_recording_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_recording_garbage_rejected;
+        ] );
+      ( "experiments", [ Alcotest.test_case "fig5 shape" `Quick test_fig5_shape ] );
+    ]
