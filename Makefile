@@ -1,0 +1,23 @@
+# One-command tier-1 verification: full build, the whole test suite,
+# and a short smoke run of the audit-throughput bench.
+
+.PHONY: verify build test bench-smoke bench clean
+
+verify: build test bench-smoke
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench-smoke:
+	dune exec bench/audit_bench.exe -- --smoke --out BENCH_audit.smoke.json
+	@cat BENCH_audit.smoke.json
+
+# Full bench runs (slow): refreshes the committed BENCH_audit.json.
+bench:
+	dune exec bench/audit_bench.exe -- --out BENCH_audit.json
+
+clean:
+	dune clean

@@ -1,0 +1,176 @@
+(* Audit-throughput benchmark for the segmented log pipeline.
+
+   Records a two-party session (the receiver's AVMM keeps its log
+   compressed at rest, sealing a segment at every snapshot boundary),
+   then measures how fast the streaming auditor consumes it:
+
+   - syntactic entries/sec: the single-pass checks of Audit.syntactic,
+     streamed segment-by-segment off the compressed store;
+   - semantic entries/sec: deterministic replay via
+     Replay.replay_chunks over the same segment feed;
+   - the at-rest compression ratio of the audited log;
+
+   and cross-checks that the segment-driven audit reaches the same
+   verdict as the audit of the materialized entry list. Results land in
+   a small JSON file (default BENCH_audit.json). *)
+
+open Avm_core
+open Avm_tamperlog
+module Identity = Avm_crypto.Identity
+
+let guest_src =
+  {|
+global acc;
+fn main() {
+  out(NET_TX, 1);
+  out(NET_TX, 7);
+  out(NET_TX_SEND, 0);
+  while (1) {
+    var t = in(CLOCK);
+    acc = acc + (t & 3);
+    var avail = in(NET_RX_AVAIL);
+    while (avail > 0) {
+      var len = in(NET_RX_LEN);
+      out(NET_TX, 1);
+      while (len > 0) { out(NET_TX, in(NET_RX) + 1); len = len - 1; }
+      out(NET_RX_NEXT, 0);
+      out(NET_TX_SEND, 0);
+      avail = in(NET_RX_AVAIL);
+    }
+  }
+}
+|}
+
+let guest_image = (Avm_mlang.Compile.compile ~stack_top:4096 guest_src).Avm_isa.Asm.words
+let peers_a = [ (0, "alice"); (1, "bob") ]
+let peers_b = [ (0, "bob"); (1, "alice") ]
+
+let record_session ~slices =
+  let rng = Avm_util.Rng.create 99L in
+  let ca = Identity.create_ca rng ~bits:512 "ca" in
+  let alice = Identity.issue ca rng ~bits:512 "alice" in
+  let bob = Identity.issue ca rng ~bits:512 "bob" in
+  let config = Config.make ~snapshot_every_us:(Some 100_000) Config.Avmm_rsa768 in
+  let a_out = Queue.create () and b_out = Queue.create () in
+  let a =
+    Avmm.create ~identity:alice ~config ~image:guest_image ~mem_words:4096 ~peers:peers_a
+      ~on_send:(fun e -> Queue.add e a_out) ()
+  in
+  let b =
+    Avmm.create ~identity:bob ~config ~image:guest_image ~mem_words:4096 ~peers:peers_b
+      ~on_send:(fun e -> Queue.add e b_out) ()
+  in
+  let cert_of n = Identity.certificate (if n = "alice" then alice else bob) in
+  let auths = ref [] in
+  let shuttle src dst outq =
+    while not (Queue.is_empty outq) do
+      let env = Queue.pop outq in
+      auths := env.Wireformat.auth :: !auths;
+      match Avmm.deliver dst env ~sender_cert:(cert_of env.Wireformat.src) with
+      | `Ack ack | `Duplicate ack ->
+        ignore (Avmm.accept_ack src ack ~acker_cert:(cert_of ack.Wireformat.acker))
+      | `Rejected _ -> ()
+    done
+  in
+  let t = ref 0.0 in
+  for _ = 1 to slices do
+    t := !t +. 10_000.0;
+    ignore (Avmm.run_slice a ~until_us:!t);
+    ignore (Avmm.run_slice b ~until_us:!t);
+    shuttle a b a_out;
+    shuttle b a b_out
+  done;
+  (b, Identity.certificate bob, [ ("alice", cert_of "alice"); ("bob", cert_of "bob") ], !auths)
+
+(* Repeat [f] until at least [min_seconds] of CPU time accumulates, so
+   short logs still produce a stable rate. *)
+let rate ~min_seconds ~units f =
+  let t0 = Sys.time () in
+  let reps = ref 0 in
+  while Sys.time () -. t0 < min_seconds || !reps = 0 do
+    f ();
+    incr reps
+  done;
+  float_of_int (units * !reps) /. (Sys.time () -. t0)
+
+let () =
+  let slices = ref 400 in
+  let out = ref "BENCH_audit.json" in
+  let smoke = ref false in
+  Arg.parse
+    [
+      ("--slices", Arg.Set_int slices, "N  session length in 10ms slices (default 400)");
+      ("--out", Arg.Set_string out, "PATH  where to write the JSON report");
+      ("--smoke", Arg.Set smoke, "  tiny run for CI smoke checks");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "audit_bench [--slices N] [--out PATH] [--smoke]";
+  if !smoke then slices := 60;
+  let min_seconds = if !smoke then 0.2 else 1.0 in
+  let avmm, node_cert, peer_certs, auths = record_session ~slices:!slices in
+  let log = Avmm.log avmm in
+  let n = Log.length log in
+  let nsegs = List.length (Log.segments log) in
+  Printf.printf "recorded %d entries in %d sealed segments (+tail), backend=%s\n%!" n nsegs
+    (Segment_store.backend_name (Log.backend log));
+  let entries = Log.segment log ~from:1 ~upto:n in
+
+  (* Verdict cross-check: list-fed vs segment-driven audit. *)
+  let full_list =
+    Audit.full ~node_cert ~peer_certs ~image:guest_image ~mem_words:4096 ~peers:peers_b
+      ~prev_hash:Log.genesis_hash ~entries ~auths ()
+  in
+  let full_seg =
+    Audit.full_of_log ~node_cert ~peer_certs ~image:guest_image ~mem_words:4096 ~peers:peers_b
+      ~log ~auths ()
+  in
+  let verdict_match =
+    (match (full_list.Audit.verdict, full_seg.Audit.verdict) with
+    | Ok (), Ok () -> true
+    | Error _, Error _ -> true
+    | _ -> false)
+    && full_list.Audit.syntactic.Audit.failures = full_seg.Audit.syntactic.Audit.failures
+  in
+  if not verdict_match then begin
+    Printf.eprintf "FATAL: segmented audit verdict differs from whole-log audit\n";
+    exit 1
+  end;
+
+  let syntactic_rate =
+    rate ~min_seconds ~units:n (fun () ->
+        ignore (Audit.syntactic_of_log ~node_cert ~peer_certs ~log ~auths ()))
+  in
+  let semantic_rate =
+    rate ~min_seconds ~units:n (fun () ->
+        match
+          Replay.replay_chunks ~image:guest_image ~mem_words:4096 ~peers:peers_b
+            ~chunks:(Log.chunk_seq log ~from:1 ~upto:n) ()
+        with
+        | Replay.Verified _ -> ()
+        | Replay.Diverged d ->
+          Printf.eprintf "FATAL: honest log diverged: %s\n" d.Replay.detail;
+          exit 1)
+  in
+  let ratio = Log.compression_ratio log in
+  Printf.printf "syntactic: %.0f entries/sec\n%!" syntactic_rate;
+  Printf.printf "semantic:  %.0f entries/sec\n%!" semantic_rate;
+  Printf.printf "compression: %.2fx (%d -> %d bytes at rest)\n%!" ratio (Log.byte_size log)
+    (Log.stored_bytes log);
+
+  let oc = open_out !out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"slices\": %d,\n\
+    \  \"entries\": %d,\n\
+    \  \"sealed_segments\": %d,\n\
+    \  \"syntactic_entries_per_sec\": %.1f,\n\
+    \  \"semantic_entries_per_sec\": %.1f,\n\
+    \  \"log_bytes\": %d,\n\
+    \  \"stored_bytes\": %d,\n\
+    \  \"compression_ratio\": %.3f,\n\
+    \  \"verdict_match\": %b\n\
+     }\n"
+    !slices n nsegs syntactic_rate semantic_rate (Log.byte_size log) (Log.stored_bytes log)
+    ratio verdict_match;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out

@@ -148,7 +148,8 @@ let tests =
       (stage (fun () ->
            clock_now := !clock_now +. 2.0;
            ignore (Clock_opt.on_read clock_opt ~now_us:!clock_now)));
-    (* §6.6: the two audit phases. *)
+    (* §6.6: the two audit phases, list-fed and streamed off the
+       segment store (the AVMM's log is compressed at rest). *)
     Test.make ~name:"s6.6/syntactic-check"
       (stage (fun () ->
            ignore
@@ -157,6 +158,23 @@ let tests =
                 ~peer_certs:
                   [ ("alice", Identity.certificate alice); ("bob", Identity.certificate bob) ]
                 ~prev_hash:Log.genesis_hash ~entries:honest_entries ~auths:[] ())));
+    Test.make ~name:"s6.6/syntactic-streaming-compressed"
+      (stage (fun () ->
+           ignore
+             (Audit.syntactic_of_log
+                ~node_cert:(Identity.certificate bob)
+                ~peer_certs:
+                  [ ("alice", Identity.certificate alice); ("bob", Identity.certificate bob) ]
+                ~log:(Avmm.log honest) ~auths:[] ())));
+    Test.make ~name:"s6.6/semantic-replay-chunked"
+      (stage (fun () ->
+           let log = Avmm.log honest in
+           match
+             Replay.replay_chunks ~image:guest_image ~mem_words:4096 ~peers:peers_b
+               ~chunks:(Log.chunk_seq log ~from:1 ~upto:(Log.length log)) ()
+           with
+           | Replay.Verified _ -> ()
+           | Replay.Diverged _ -> failwith "honest log diverged"));
     Test.make ~name:"s6.6/semantic-replay-1s-guest"
       (stage (fun () ->
            match

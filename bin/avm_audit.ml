@@ -26,11 +26,23 @@ let audit_file path evidence_out =
     r.Recording.certificates;
   let node_cert = List.assoc r.Recording.node r.Recording.certificates in
   let image = Recording.image_of_scenario r.Recording.scenario in
+  (* Load into a segment store and audit it with the streaming
+     pipeline; [of_entries] keeps the recorded hashes verbatim, so
+     tampering in the file still reaches the auditor. A recording whose
+     sequence numbers do not even form a contiguous run cannot be
+     indexed as segments — audit the raw list instead, which reports
+     the gap as a chain failure. *)
   let report =
-    Audit.full ~node_cert ~peer_certs:r.Recording.certificates ~image
-      ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
-      ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries
-      ~auths:r.Recording.auths ()
+    match Avm_tamperlog.Log.of_entries r.Recording.entries with
+    | log ->
+      Audit.full_of_log ~node_cert ~peer_certs:r.Recording.certificates ~image
+        ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers ~log
+        ~auths:r.Recording.auths ()
+    | exception Invalid_argument _ ->
+      Audit.full ~node_cert ~peer_certs:r.Recording.certificates ~image
+        ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
+        ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries
+        ~auths:r.Recording.auths ()
   in
   Format.printf "%a@." Audit.pp_report report;
   match report.Audit.verdict with

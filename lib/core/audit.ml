@@ -7,82 +7,116 @@ type syntactic_report = {
   failures : string list;
 }
 
-let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?(ack_grace = 50) () =
+(* The syntactic check as a single streaming fold: [feed] pushes every
+   entry of the segment exactly once, in log order, and all five checks
+   (hash chain, authenticator matching, RECV sender signatures, send
+   acknowledgement, input-stream cross-references) run against that one
+   pass. Only the collected authenticators — a set far smaller than the
+   log — are pre-indexed up front; obligations that can only be settled
+   once the cut point is known (unacked sends) are resolved at end of
+   stream. *)
+let syntactic_feed ~node_cert ~peer_certs ~prev_hash ~feed ~auths ?(ack_grace = 50) () =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
   let node = Avm_crypto.Identity.cert_name node_cert in
-  (* 1. Hash chain. *)
-  (match Log.verify_segment ~prev:prev_hash entries with
-  | Ok () -> ()
-  | Error e -> fail "chain: %s" e);
-  (* 2. Collected authenticators must match the log. *)
-  let by_seq = Hashtbl.create 256 in
-  List.iter (fun (e : Entry.t) -> Hashtbl.replace by_seq e.seq e) entries;
-  let auths_matched = ref 0 in
+  (* Authenticators: verify signatures and index by seq (not a pass
+     over the entry stream). *)
+  let auth_by_seq = Hashtbl.create 256 in
   List.iter
     (fun (a : Auth.t) ->
       if String.equal a.node node then begin
         if not (Auth.verify node_cert a) then
           fail "authenticator #%d: bad signature or inconsistent hash" a.seq
-        else begin
-          match Hashtbl.find_opt by_seq a.seq with
-          | None -> () (* outside this segment *)
-          | Some e ->
-            if Auth.matches_entry a e then incr auths_matched
-            else fail "authenticator #%d does not match the log (forked or rewritten log)" a.seq
-        end
+        else Hashtbl.add auth_by_seq a.seq a
       end)
     auths;
-  (* 3. RECV sender signatures. *)
+  let entries_checked = ref 0 in
+  let auths_matched = ref 0 in
   let recv_sigs = ref 0 in
-  List.iter
-    (fun (e : Entry.t) ->
-      match e.content with
-      | Entry.Recv { src; nonce; payload; signature } when signature <> "" -> (
+  (* Hash-chain state; only the first break is reported, matching
+     [Log.verify_segment]. *)
+  let prev = ref prev_hash in
+  let expected_seq = ref (-1) in
+  let chain_broken = ref false in
+  (* Cross-reference and acknowledgement state. *)
+  let first_seq = ref (-1) in
+  let last_seq = ref 0 in
+  let recv_seqs = Hashtbl.create 256 in
+  let acked = Hashtbl.create 64 in
+  let pending_sends = ref [] in
+  let on_entry (e : Entry.t) =
+    incr entries_checked;
+    if !first_seq < 0 then first_seq := e.seq;
+    last_seq := e.seq;
+    (* 1. Hash chain. *)
+    if not !chain_broken then begin
+      if !expected_seq >= 0 && e.seq <> !expected_seq then begin
+        chain_broken := true;
+        fail "chain: sequence gap: expected %d, found %d" !expected_seq e.seq
+      end
+      else if
+        not (String.equal (Entry.chain_hash ~prev:!prev ~seq:e.seq e.content) e.hash)
+      then begin
+        chain_broken := true;
+        fail "chain: hash chain broken at entry %d" e.seq
+      end
+    end;
+    prev := e.hash;
+    expected_seq := e.seq + 1;
+    (* 2. Collected authenticators must match the log. *)
+    List.iter
+      (fun (a : Auth.t) ->
+        if Auth.matches_entry a e then incr auths_matched
+        else fail "authenticator #%d does not match the log (forked or rewritten log)" a.seq)
+      (Hashtbl.find_all auth_by_seq e.seq);
+    match e.content with
+    (* 3. RECV sender signatures. *)
+    | Entry.Recv { src; nonce; payload; signature } ->
+      Hashtbl.replace recv_seqs e.seq ();
+      if signature <> "" then begin
         match List.assoc_opt src peer_certs with
         | None -> fail "entry #%d: no certificate for sender %s" e.seq src
         | Some cert ->
           let body = Wireformat.message_body ~src ~dest:node ~nonce ~payload in
           if Avm_crypto.Identity.verify cert ~msg:body ~signature then incr recv_sigs
-          else fail "entry #%d: forged RECV — sender signature invalid" e.seq)
-      | _ -> ())
-    entries;
-  (* 4. Every send acknowledged (modulo the in-flight tail). *)
-  let acked = Hashtbl.create 64 in
+          else fail "entry #%d: forged RECV — sender signature invalid" e.seq
+      end
+    (* 4. Send acknowledgement bookkeeping, settled at end of stream. *)
+    | Entry.Ack { acked_seq; _ } -> Hashtbl.replace acked acked_seq ()
+    | Entry.Send _ -> pending_sends := e.seq :: !pending_sends
+    (* 5. Input-stream references into the message stream are sane. *)
+    | Entry.Exec (Avm_machine.Event.Io_in { msg; _ }) when msg >= 0 ->
+      if msg >= e.seq then fail "entry #%d: rx read references future entry %d" e.seq msg
+      else if msg >= !first_seq && not (Hashtbl.mem recv_seqs msg) then
+        fail "entry #%d: rx read references non-RECV entry %d" e.seq msg
+      (* references before this segment are validated by earlier audits *)
+    | _ -> ()
+  in
+  feed on_entry;
+  (* Every send acknowledged, modulo the in-flight tail. *)
   List.iter
-    (fun (e : Entry.t) ->
-      match e.content with
-      | Entry.Ack { acked_seq; _ } -> Hashtbl.replace acked acked_seq ()
-      | _ -> ())
-    entries;
-  let last_seq = List.fold_left (fun _ (e : Entry.t) -> e.seq) 0 entries in
-  List.iter
-    (fun (e : Entry.t) ->
-      match e.content with
-      | Entry.Send _ when e.seq <= last_seq - ack_grace && not (Hashtbl.mem acked e.seq) ->
-        fail "entry #%d: SEND was never acknowledged" e.seq
-      | _ -> ())
-    entries;
-  (* 5. Input-stream references into the message stream are sane. *)
-  List.iter
-    (fun (e : Entry.t) ->
-      match e.content with
-      | Entry.Exec (Avm_machine.Event.Io_in { msg; _ }) when msg >= 0 -> (
-        if msg >= e.seq then fail "entry #%d: rx read references future entry %d" e.seq msg
-        else begin
-          match Hashtbl.find_opt by_seq msg with
-          | Some { Entry.content = Entry.Recv _; _ } -> ()
-          | Some _ -> fail "entry #%d: rx read references non-RECV entry %d" e.seq msg
-          | None -> () (* before this segment *)
-        end)
-      | _ -> ())
-    entries;
+    (fun seq ->
+      if seq <= !last_seq - ack_grace && not (Hashtbl.mem acked seq) then
+        fail "entry #%d: SEND was never acknowledged" seq)
+    (List.sort compare !pending_sends);
   {
-    entries_checked = List.length entries;
+    entries_checked = !entries_checked;
     auths_matched = !auths_matched;
     recv_signatures_verified = !recv_sigs;
     failures = List.rev !failures;
   }
+
+let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?ack_grace () =
+  syntactic_feed ~node_cert ~peer_certs ~prev_hash
+    ~feed:(fun f -> List.iter f entries)
+    ~auths ?ack_grace ()
+
+let syntactic_of_log ~node_cert ~peer_certs ~log ?(from = 1) ?upto ~auths ?ack_grace () =
+  let upto = match upto with Some u -> u | None -> Log.length log in
+  syntactic_feed ~node_cert ~peer_certs
+    ~prev_hash:(Log.prev_hash log from)
+    ~feed:(fun f -> Log.iter_range log ~from ~upto f)
+    ~auths ?ack_grace ()
 
 type report = {
   node : string;
@@ -93,14 +127,12 @@ type report = {
   verdict : (unit, string) result;
 }
 
-let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
-    ~auths () =
-  let t0 = Sys.time () in
-  let syn = syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths () in
-  let t1 = Sys.time () in
+(* Shared tail of [full] / [full_of_log]: run the semantic check only
+   if the syntactic check passed (a broken chain is already evidence). *)
+let conclude ~node ~syn ~t0 ~t1 ~semantic =
   if syn.failures <> [] then
     {
-      node = Avm_crypto.Identity.cert_name node_cert;
+      node;
       syntactic = syn;
       semantic = None;
       syntactic_seconds = t1 -. t0;
@@ -108,10 +140,10 @@ let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash
       verdict = Error (String.concat "; " syn.failures);
     }
   else begin
-    let outcome = Replay.replay ~image ?mem_words ?start ?fuel ~peers ~entries () in
+    let outcome = semantic () in
     let t2 = Sys.time () in
     {
-      node = Avm_crypto.Identity.cert_name node_cert;
+      node;
       syntactic = syn;
       semantic = Some outcome;
       syntactic_seconds = t1 -. t0;
@@ -122,6 +154,24 @@ let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash
         | Replay.Diverged d -> Error (Format.asprintf "%a" Replay.pp_outcome (Replay.Diverged d)));
     }
   end
+
+let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
+    ~auths () =
+  let t0 = Sys.time () in
+  let syn = syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths () in
+  let t1 = Sys.time () in
+  conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1 ~semantic:(fun () ->
+      Replay.replay ~image ?mem_words ?start ?fuel ~peers ~entries ())
+
+let full_of_log ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~log ?(from = 1)
+    ?upto ~auths () =
+  let upto = match upto with Some u -> u | None -> Log.length log in
+  let t0 = Sys.time () in
+  let syn = syntactic_of_log ~node_cert ~peer_certs ~log ~from ~upto ~auths () in
+  let t1 = Sys.time () in
+  conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1 ~semantic:(fun () ->
+      Replay.replay_chunks ~image ?mem_words ?start ?fuel ~peers
+        ~chunks:(Log.chunk_seq log ~from ~upto) ())
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>audit of %s:@ syntactic: %d entries, %d auths, %d recv sigs — %s@ "

@@ -4,10 +4,14 @@
     chain, matches every collected authenticator against the log,
     verifies the sender signatures inside RECV entries, checks that
     sends were acknowledged, and sanity-checks the cross-references
-    from the input stream into the message stream.
+    from the input stream into the message stream. All five checks run
+    in a {e single pass} over the entry stream ({!syntactic_feed}), so
+    a segmented log is audited one sealed segment at a time without
+    ever materializing the whole log.
 
     The {b semantic} check is {!Replay.replay}: deterministic replay
-    of the segment against the reference image.
+    of the segment against the reference image. {!full_of_log} streams
+    it segment-by-segment via {!Replay.replay_chunks}.
 
     Both are deterministic, so any third party repeating them obtains
     the same verdict — that is what makes the output {!Evidence}. *)
@@ -19,6 +23,21 @@ type syntactic_report = {
   failures : string list;  (** empty means the check passed *)
 }
 
+val syntactic_feed :
+  node_cert:Avm_crypto.Identity.certificate ->
+  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  prev_hash:string ->
+  feed:((Avm_tamperlog.Entry.t -> unit) -> unit) ->
+  auths:Avm_tamperlog.Auth.t list ->
+  ?ack_grace:int ->
+  unit ->
+  syntactic_report
+(** The streaming core: [feed push] must call [push] exactly once per
+    entry, in log order. All checks are evaluated in that single pass;
+    obligations that need the cut point (unacked sends) settle when
+    [feed] returns. [prev_hash] is the chain hash just before the first
+    fed entry. *)
+
 val syntactic :
   node_cert:Avm_crypto.Identity.certificate ->
   peer_certs:(string * Avm_crypto.Identity.certificate) list ->
@@ -28,9 +47,25 @@ val syntactic :
   ?ack_grace:int ->
   unit ->
   syntactic_report
-(** [ack_grace] (default 50) exempts the most recent sends from the
-    every-send-is-acked rule: their acks may legitimately still be in
-    flight when the log was cut. *)
+(** {!syntactic_feed} over a materialized list. [ack_grace] (default
+    50) exempts the most recent sends from the every-send-is-acked
+    rule: their acks may legitimately still be in flight when the log
+    was cut. *)
+
+val syntactic_of_log :
+  node_cert:Avm_crypto.Identity.certificate ->
+  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  log:Avm_tamperlog.Log.t ->
+  ?from:int ->
+  ?upto:int ->
+  auths:Avm_tamperlog.Auth.t list ->
+  ?ack_grace:int ->
+  unit ->
+  syntactic_report
+(** {!syntactic_feed} over a segment store: streams [from..upto]
+    (default: the whole log) segment by segment, inflating compressed
+    segments one at a time. [prev_hash] is taken from the log's own
+    index. *)
 
 type report = {
   node : string;
@@ -56,5 +91,25 @@ val full :
   report
 (** Complete audit of one log segment. The semantic check runs only if
     the syntactic check passes (a broken chain is already evidence). *)
+
+val full_of_log :
+  node_cert:Avm_crypto.Identity.certificate ->
+  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  image:int array ->
+  ?mem_words:int ->
+  ?start:Avm_machine.Machine.t ->
+  ?fuel:int ->
+  peers:(int * string) list ->
+  log:Avm_tamperlog.Log.t ->
+  ?from:int ->
+  ?upto:int ->
+  auths:Avm_tamperlog.Auth.t list ->
+  unit ->
+  report
+(** {!full} driven straight off a segment store: both checks stream
+    [from..upto] (default: the whole log) one sealed segment at a
+    time — the syntactic pass via {!syntactic_of_log}, the semantic
+    pass via {!Replay.replay_chunks} — with identical verdicts to
+    {!full} on the materialized entry list. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -49,7 +49,8 @@ type t = {
 let us_per_instr t = Config.us_per_instr t.config
 let now_us t = (float_of_int (Machine.icount t.machine) *. us_per_instr t) +. t.extra_us
 
-let create ~identity ~config ~image ?mem_words ~peers ~on_send () =
+let create ~identity ~config ~image ?mem_words
+    ?(log_backend = Avm_tamperlog.Segment_store.Compressed) ~peers ~on_send () =
   let machine =
     match mem_words with
     | Some w -> Machine.create ~mem_words:w image
@@ -70,7 +71,7 @@ let create ~identity ~config ~image ?mem_words ~peers ~on_send () =
     identity;
     config;
     machine;
-    log = Log.create ();
+    log = Log.create ~backend:log_backend ();
     peers;
     on_send;
     host_rng = Avm_util.Rng.create seed;
@@ -239,21 +240,10 @@ let handle_packet_sent t words =
       end
       else begin
         (* Non-accountable levels still ship the packet, bare. *)
-        let auth =
-          {
-            Auth.node = src;
-            seq = 0;
-            hash = "";
-            prev_hash = "";
-            tag = 0;
-            content_digest = "";
-            signature = "";
-          }
-        in
-        let envelope = { Wireformat.src; dest; nonce; payload; signature = ""; auth } in
+        let envelope = Wireformat.bare_envelope ~src ~dest ~nonce ~payload in
         Hashtbl.replace t.sends nonce
           { envelope; sent_at_us = now_us t; send_seq = 0; acked = true };
-        t.wire_bytes <- t.wire_bytes + String.length payload + 24 (* headers *);
+        t.wire_bytes <- t.wire_bytes + Wireformat.envelope_wire_size envelope;
         t.slice_sends <- t.slice_sends + 1;
         t.on_send envelope
       end
@@ -380,16 +370,7 @@ let deliver t env ~sender_cert =
             Wireformat.acker = name t;
             sender = env.Wireformat.src;
             nonce = env.Wireformat.nonce;
-            recv_auth =
-              {
-                Auth.node = name t;
-                seq = 0;
-                hash = "";
-                prev_hash = "";
-                tag = 0;
-                content_digest = "";
-                signature = "";
-              };
+            recv_auth = Wireformat.null_auth ~node:(name t);
           }
         end
       in

@@ -41,12 +41,16 @@ val create :
   config:Config.t ->
   image:int array ->
   ?mem_words:int ->
+  ?log_backend:Avm_tamperlog.Segment_store.backend ->
   peers:(int * string) list ->
   on_send:(Wireformat.envelope -> unit) ->
   unit ->
   t
 (** [peers] maps the guest-visible destination ids (first word of each
-    outgoing packet) to node names. *)
+    outgoing packet) to node names. [log_backend] (default
+    [Compressed]) selects how the tamper-evident log stores its sealed
+    segments; segments seal at every snapshot boundary, so a running
+    AVMM keeps only the active tail uncompressed. *)
 
 (** {1 Execution} *)
 

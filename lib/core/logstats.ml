@@ -63,5 +63,5 @@ let vmware_equivalent_bytes b =
   + (8 * b.packets)
 
 let compressed_bytes log =
-  let all = Log.encode_segment (Log.segment log ~from:1 ~upto:(Log.length log)) in
+  let all = Log.encode_range log ~from:1 ~upto:(Log.length log) in
   String.length (Avm_compress.Codec.compress all)

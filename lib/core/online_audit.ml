@@ -11,7 +11,8 @@ let create ~image ?mem_words ?(replay_rate = 0.955) ~peers () =
 let observe_log t log =
   let len = Avm_tamperlog.Log.length log in
   if len > t.fed_upto then begin
-    Replay.feed t.engine (Avm_tamperlog.Log.segment log ~from:(t.fed_upto + 1) ~upto:len);
+    Avm_tamperlog.Log.iter_range log ~from:(t.fed_upto + 1) ~upto:len
+      (Replay.feed_entry t.engine);
     t.fed_upto <- len
   end
 

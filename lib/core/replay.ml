@@ -80,17 +80,16 @@ let push_active e entry =
   e.active.(e.len) <- entry;
   e.len <- e.len + 1
 
-let feed e entries =
-  List.iter
-    (fun (entry : Entry.t) ->
-      e.fed <- e.fed + 1;
-      if e.first_seq < 0 then e.first_seq <- entry.Entry.seq;
-      (match entry.content with
-      | Entry.Recv { payload; _ } ->
-        Hashtbl.replace e.recvs entry.seq (Wireformat.words_of_payload payload)
-      | _ -> ());
-      if is_active entry then push_active e entry)
-    entries
+let feed_entry e (entry : Entry.t) =
+  e.fed <- e.fed + 1;
+  if e.first_seq < 0 then e.first_seq <- entry.Entry.seq;
+  (match entry.content with
+  | Entry.Recv { payload; _ } ->
+    Hashtbl.replace e.recvs entry.seq (Wireformat.words_of_payload payload)
+  | _ -> ());
+  if is_active entry then push_active e entry
+
+let feed e entries = List.iter (feed_entry e) entries
 
 let crossref_check e ~entry_seq ~msg ~value at =
   match Hashtbl.find_opt e.recvs msg with
@@ -323,24 +322,45 @@ let crank e ~fuel =
       result := Some (`Fault d));
     match !result with Some r -> r | None -> assert false)
 
-let replay ~image ?mem_words ?start ?(fuel = 200_000_000) ?strict_landmarks ~peers ~entries () =
+(* Drive an engine over a lazy stream of log chunks. Compressed
+   segments inflate only when the replay actually reaches them: each
+   chunk is fed, cranked until the engine blocks, and only then is the
+   next chunk forced. *)
+let replay_chunks ~image ?mem_words ?start ?(fuel = 200_000_000) ?strict_landmarks ~peers
+    ~chunks () =
   let e = engine ~image ?mem_words ?start ?strict_landmarks ~peers () in
-  feed e entries;
-  let rec go remaining =
-    match crank e ~fuel:(min remaining 10_000_000) with
-    | `Blocked ->
-      Verified { instructions = replayed_instructions e; entries_consumed = e.fed }
-    | `Fault d -> Diverged d
-    | `Fuel_exhausted ->
-      let used = replayed_instructions e in
-      if used >= fuel then
-        Diverged
-          {
-            kind = Guest_stalled;
-            at = Machine.landmark e.machine;
-            entry_seq = Option.map (fun (x : Entry.t) -> x.seq) (peek e);
-            detail = Printf.sprintf "fuel (%d instructions) exhausted" fuel;
-          }
-      else go (fuel - used)
+  let stalled () =
+    Diverged
+      {
+        kind = Guest_stalled;
+        at = Machine.landmark e.machine;
+        entry_seq = Option.map (fun (x : Entry.t) -> x.seq) (peek e);
+        detail = Printf.sprintf "fuel (%d instructions) exhausted" fuel;
+      }
   in
-  go fuel
+  (* Crank until blocked on the current feed, or a terminal result. *)
+  let rec drain remaining =
+    match crank e ~fuel:(min remaining 10_000_000) with
+    | `Blocked -> `More remaining
+    | `Fault d -> `Done (Diverged d)
+    | `Fuel_exhausted ->
+      let left = fuel - replayed_instructions e in
+      if left <= 0 then `Done (stalled ()) else drain left
+  in
+  let rec go chunks remaining =
+    match drain remaining with
+    | `Done outcome -> outcome
+    | `More remaining -> (
+      match chunks () with
+      | Seq.Nil ->
+        (* [`Blocked] means every fed entry was consumed and verified. *)
+        Verified { instructions = replayed_instructions e; entries_consumed = e.fed }
+      | Seq.Cons (chunk, rest) ->
+        feed e chunk;
+        go rest remaining)
+  in
+  go chunks fuel
+
+let replay ~image ?mem_words ?start ?fuel ?strict_landmarks ~peers ~entries () =
+  replay_chunks ~image ?mem_words ?start ?fuel ?strict_landmarks ~peers
+    ~chunks:(Seq.return entries) ()

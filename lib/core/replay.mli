@@ -66,6 +66,22 @@ val replay :
     discusses: divergences are then only caught at the next observable
     mismatch, later and with a vaguer report. *)
 
+val replay_chunks :
+  image:int array ->
+  ?mem_words:int ->
+  ?start:Avm_machine.Machine.t ->
+  ?fuel:int ->
+  ?strict_landmarks:bool ->
+  peers:(int * string) list ->
+  chunks:Avm_tamperlog.Entry.t list Seq.t ->
+  unit ->
+  outcome
+(** Like {!replay}, but consumes the log as a lazy stream of chunks
+    (one per sealed segment — see [Log.chunk_seq]): each chunk is fed
+    and the engine cranked until it blocks before the next chunk is
+    forced, so compressed segments inflate only as the replay reaches
+    them. [replay] is [replay_chunks] over a singleton stream. *)
+
 (** {1 Incremental engine}
 
     Online auditing (paper §6.11) replays a log {e while it is still
@@ -86,6 +102,9 @@ val engine :
 
 val feed : engine -> Avm_tamperlog.Entry.t list -> unit
 (** Append newly received log entries (in log order). *)
+
+val feed_entry : engine -> Avm_tamperlog.Entry.t -> unit
+(** Single-entry [feed] — the hook streaming readers push into. *)
 
 val crank : engine -> fuel:int -> [ `Blocked | `Fuel_exhausted | `Fault of divergence ]
 (** Advance replay by at most [fuel] instructions. [`Blocked] means

@@ -3,14 +3,13 @@ open Avm_machine
 
 type boundary = { entry_seq : int; snapshot_seq : int; at_icount : int }
 
+(* Answered from the log's snapshot index — no entry data is touched,
+   so a fully compressed log plans its spot checks without inflating a
+   single segment. *)
 let boundaries log =
-  let acc = ref [] in
-  Log.iter log (fun (e : Entry.t) ->
-      match e.content with
-      | Entry.Snapshot_ref { snapshot_seq; at_icount; _ } ->
-        acc := { entry_seq = e.seq; snapshot_seq; at_icount } :: !acc
-      | _ -> ());
-  List.rev !acc
+  List.map
+    (fun (entry_seq, snapshot_seq, at_icount) -> { entry_seq; snapshot_seq; at_icount })
+    (Log.snapshot_index log)
 
 type chunk_report = {
   start_snapshot : int;
@@ -51,10 +50,8 @@ let check_chunk ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k =
   let state_bytes =
     String.length meta + (Memory.page_count (Machine.mem machine) * Memory.page_size * 4)
   in
-  let entries = Log.segment log ~from:(start_b.entry_seq + 1) ~upto:end_b.entry_seq in
-  let log_bytes_compressed =
-    String.length (Avm_compress.Codec.compress (Log.encode_segment entries))
-  in
+  let from = start_b.entry_seq + 1 and upto = end_b.entry_seq in
+  let log_bytes_compressed = Log.transfer_bytes log ~from ~upto in
   let outcome =
     if not (String.equal recomputed logged_digest) then
       Replay.Diverged
@@ -64,7 +61,9 @@ let check_chunk ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k =
           entry_seq = Some start_b.entry_seq;
           detail = "downloaded snapshot does not match the logged digest";
         }
-    else Replay.replay ~image ~mem_words ~start:machine ~peers ~entries ()
+    else
+      Replay.replay_chunks ~image ~mem_words ~start:machine ~peers
+        ~chunks:(Log.chunk_seq log ~from ~upto) ()
   in
   let replay_instructions =
     match outcome with

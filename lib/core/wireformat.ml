@@ -97,3 +97,24 @@ let decode_ack s =
 
 let envelope_wire_size env = String.length (encode_envelope env)
 let ack_wire_size a = String.length (encode_ack a)
+
+(* Non-accountable (baseline) traffic: same envelope framing, but the
+   signature and authenticator fields are empty. Sizing it with the
+   real encoder keeps byte accounting consistent with the accountable
+   path instead of hand-estimating header overhead. *)
+let null_auth ~node =
+  {
+    Avm_tamperlog.Auth.node;
+    seq = 0;
+    hash = "";
+    prev_hash = "";
+    tag = 0;
+    content_digest = "";
+    signature = "";
+  }
+
+let bare_envelope ~src ~dest ~nonce ~payload =
+  { src; dest; nonce; payload; signature = ""; auth = null_auth ~node:src }
+
+let bare_wire_size ~src ~dest ~nonce ~payload =
+  envelope_wire_size (bare_envelope ~src ~dest ~nonce ~payload)

@@ -59,3 +59,20 @@ val envelope_wire_size : envelope -> int
     of the §6.7 traffic numbers. *)
 
 val ack_wire_size : ack -> int
+
+(** {1 Non-accountable baseline}
+
+    The unaccountable comparison system ships the same envelope with
+    empty signature/authenticator fields. These helpers keep its byte
+    accounting on the same encoder as the accountable path. *)
+
+val null_auth : node:string -> Avm_tamperlog.Auth.t
+(** The empty authenticator carried by baseline envelopes and acks. *)
+
+val bare_envelope :
+  src:string -> dest:string -> nonce:int -> payload:string -> envelope
+(** An unsigned envelope with a {!null_auth}. *)
+
+val bare_wire_size :
+  src:string -> dest:string -> nonce:int -> payload:string -> int
+(** [envelope_wire_size] of the corresponding {!bare_envelope}. *)

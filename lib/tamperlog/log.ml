@@ -1,65 +1,241 @@
 let genesis_hash = String.make 32 '\000'
 
-(* Entries are stored in a growable array; index [i] holds seq [i+1]. *)
-type t = { mutable entries : Entry.t array; mutable count : int; mutable bytes : int }
+(* The log is an active tail of recent entries plus a chronological run
+   of sealed, immutable segments (see [Segment_store]). Appends go to
+   the tail; the tail is sealed into a segment when it reaches
+   [seal_every] entries or when a [Snapshot_ref] is appended (the
+   paper's auditors fetch snapshot-bounded segments, so snapshots are
+   natural seal points). With the [Compressed] backend, sealed segments
+   live compressed at rest and are only inflated when a reader streams
+   them; a one-slot cache keeps random access over a hot segment cheap.
 
-let create () = { entries = Array.make 64 { Entry.seq = 0; content = Note ""; hash = "" }; count = 0; bytes = 0 }
+   Tamper operations (the test adversary) first flatten the log back
+   into a plain in-memory tail: a broken hash chain cannot survive the
+   body-only sealed encoding, and segments are immutable by design. *)
 
-let length t = t.count
-let head_hash t = if t.count = 0 then genesis_hash else t.entries.(t.count - 1).Entry.hash
+type t = {
+  mutable sealed : Segment_store.seg array; (* chronological; [nsealed] live *)
+  mutable nsealed : int;
+  mutable tail : Entry.t array;
+  mutable tail_count : int;
+  mutable tail_bytes : int;
+  mutable bytes : int; (* total uncompressed wire bytes *)
+  mutable snap_index : (int * int * int) list;
+      (* (entry_seq, snapshot_seq, at_icount), newest first *)
+  backend : Segment_store.backend;
+  seal_every : int;
+  mutable sealable : bool; (* cleared by tamper_replace: broken chains must stay verbatim *)
+  mutable cache : (int * Entry.t array) option; (* last inflated sealed segment *)
+}
 
-let ensure_capacity t =
-  if t.count = Array.length t.entries then begin
-    let bigger = Array.make (2 * Array.length t.entries) t.entries.(0) in
-    Array.blit t.entries 0 bigger 0 t.count;
-    t.entries <- bigger
+let dummy_entry = { Entry.seq = 0; content = Entry.Note ""; hash = "" }
+let no_seg : Segment_store.seg array = [||]
+
+let create ?(backend = Segment_store.Memory) ?(seal_every = 1024) () =
+  if seal_every < 1 then invalid_arg "Log.create: seal_every < 1";
+  {
+    sealed = no_seg;
+    nsealed = 0;
+    tail = Array.make 64 dummy_entry;
+    tail_count = 0;
+    tail_bytes = 0;
+    bytes = 0;
+    snap_index = [];
+    backend;
+    seal_every;
+    sealable = true;
+    cache = None;
+  }
+
+let sealed_upto t =
+  if t.nsealed = 0 then 0 else t.sealed.(t.nsealed - 1).Segment_store.info.last_seq
+
+let length t = sealed_upto t + t.tail_count
+let byte_size t = t.bytes
+let backend t = t.backend
+
+let head_hash t =
+  if t.tail_count > 0 then t.tail.(t.tail_count - 1).Entry.hash
+  else if t.nsealed > 0 then t.sealed.(t.nsealed - 1).Segment_store.info.head_hash
+  else genesis_hash
+
+let push_sealed t seg =
+  if t.nsealed = Array.length t.sealed then begin
+    let bigger = Array.make (max 8 (2 * t.nsealed)) seg in
+    Array.blit t.sealed 0 bigger 0 t.nsealed;
+    t.sealed <- bigger
+  end;
+  t.sealed.(t.nsealed) <- seg;
+  t.nsealed <- t.nsealed + 1
+
+let seal_active t =
+  if t.tail_count > 0 && t.sealable then begin
+    let last = t.tail.(t.tail_count - 1) in
+    let prev_hash =
+      if t.nsealed = 0 then genesis_hash
+      else t.sealed.(t.nsealed - 1).Segment_store.info.head_hash
+    in
+    let snapshot_boundary =
+      match last.Entry.content with
+      | Entry.Snapshot_ref { snapshot_seq; at_icount; _ } ->
+        Some (last.Entry.seq, snapshot_seq, at_icount)
+      | _ -> None
+    in
+    let info =
+      {
+        Segment_store.first_seq = sealed_upto t + 1;
+        last_seq = last.Entry.seq;
+        prev_hash;
+        head_hash = last.Entry.hash;
+        byte_size = t.tail_bytes;
+        snapshot_boundary;
+      }
+    in
+    push_sealed t (Segment_store.seal t.backend ~info (Array.sub t.tail 0 t.tail_count));
+    t.tail_count <- 0;
+    t.tail_bytes <- 0
   end
 
+let ensure_tail_capacity t =
+  if t.tail_count = Array.length t.tail then begin
+    let bigger = Array.make (2 * Array.length t.tail) dummy_entry in
+    Array.blit t.tail 0 bigger 0 t.tail_count;
+    t.tail <- bigger
+  end
+
+(* Install an already-sealed entry (its stored hash is kept verbatim). *)
+let push_raw t (e : Entry.t) =
+  ensure_tail_capacity t;
+  t.tail.(t.tail_count) <- e;
+  t.tail_count <- t.tail_count + 1;
+  let size = Entry.wire_size e in
+  t.tail_bytes <- t.tail_bytes + size;
+  t.bytes <- t.bytes + size;
+  match e.Entry.content with
+  | Entry.Snapshot_ref { snapshot_seq; at_icount; _ } ->
+    t.snap_index <- (e.Entry.seq, snapshot_seq, at_icount) :: t.snap_index;
+    seal_active t
+  | _ -> if t.tail_count >= t.seal_every then seal_active t
+
 let append t content =
-  ensure_capacity t;
-  let e = Entry.seal ~prev:(head_hash t) ~seq:(t.count + 1) content in
-  t.entries.(t.count) <- e;
-  t.count <- t.count + 1;
-  t.bytes <- t.bytes + Entry.wire_size e;
+  let e = Entry.seal ~prev:(head_hash t) ~seq:(length t + 1) content in
+  push_raw t e;
   e
 
+(* Load an externally produced, already-hashed run (e.g. a recording)
+   into a segmented store. Always sealed with the Memory backend:
+   stored hashes are preserved verbatim, so if the producer tampered
+   with the chain the inconsistency survives for the audit to find. *)
+let of_entries ?(seal_every = 1024) entries =
+  let t = create ~backend:Segment_store.Memory ~seal_every () in
+  List.iter
+    (fun (e : Entry.t) ->
+      if e.Entry.seq <> length t + 1 then
+        invalid_arg "Log.of_entries: sequence not contiguous from 1";
+      push_raw t e)
+    entries;
+  t
+
+(* --- segment index ------------------------------------------------------ *)
+
+let segments t = Array.to_list (Array.map (fun s -> s.Segment_store.info) (Array.sub t.sealed 0 t.nsealed))
+let snapshot_index t = List.rev t.snap_index
+
+(* Binary search for the sealed segment holding [seq]. *)
+let find_seg t seq =
+  let lo = ref 0 and hi = ref (t.nsealed - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.sealed.(mid).Segment_store.info.last_seq < seq then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let inflate t i =
+  match t.cache with
+  | Some (j, a) when j = i -> a
+  | _ ->
+    let a = Segment_store.inflate t.sealed.(i) in
+    t.cache <- Some (i, a);
+    a
+
 let entry t seq =
-  if seq < 1 || seq > t.count then invalid_arg "Log.entry: out of range";
-  t.entries.(seq - 1)
+  if seq < 1 || seq > length t then invalid_arg "Log.entry: out of range";
+  let su = sealed_upto t in
+  if seq > su then t.tail.(seq - su - 1)
+  else begin
+    let i = find_seg t seq in
+    (inflate t i).(seq - t.sealed.(i).Segment_store.info.first_seq)
+  end
 
 let prev_hash t seq =
-  if seq <= 1 then genesis_hash else (entry t (seq - 1)).Entry.hash
+  if seq <= 1 then genesis_hash
+  else begin
+    (* Segment boundaries answer from the index, without inflating. *)
+    let target = seq - 1 in
+    let su = sealed_upto t in
+    if target > su then t.tail.(target - su - 1).Entry.hash
+    else begin
+      let i = find_seg t target in
+      let info = t.sealed.(i).Segment_store.info in
+      if target = info.last_seq then info.head_hash
+      else (inflate t i).(target - info.first_seq).Entry.hash
+    end
+  end
+
+(* --- streaming readers -------------------------------------------------- *)
+
+let slice a ~first_seq ~len ~from ~upto =
+  let lo = max from first_seq - first_seq in
+  let hi = min upto (first_seq + len - 1) - first_seq in
+  let rec go k acc = if k < lo then acc else go (k - 1) (a.(k) :: acc) in
+  go hi []
+
+(* One entry list per overlapping segment (tail last), produced lazily:
+   a compressed segment is only inflated when the consumer reaches it. *)
+let chunk_seq t ~from ~upto =
+  let from = max 1 from and upto = min (length t) upto in
+  if upto < from then Seq.empty
+  else begin
+    let su = sealed_upto t in
+    let thunks = ref [] in
+    if upto > su then begin
+      let tail = t.tail and len = t.tail_count in
+      thunks := (fun () -> slice tail ~first_seq:(su + 1) ~len ~from ~upto) :: !thunks
+    end;
+    for i = t.nsealed - 1 downto 0 do
+      let info = t.sealed.(i).Segment_store.info in
+      if info.last_seq >= from && info.first_seq <= upto then
+        thunks :=
+          (fun () ->
+            slice (inflate t i) ~first_seq:info.first_seq
+              ~len:(info.last_seq - info.first_seq + 1)
+              ~from ~upto)
+          :: !thunks
+    done;
+    Seq.map (fun f -> f ()) (List.to_seq !thunks)
+  end
+
+let fold_range t ~from ~upto ~init f =
+  Seq.fold_left (List.fold_left f) init (chunk_seq t ~from ~upto)
+
+let iter_range t ~from ~upto f = Seq.iter (List.iter f) (chunk_seq t ~from ~upto)
+let iter t f = iter_range t ~from:1 ~upto:(length t) f
 
 let segment t ~from ~upto =
-  let from = max 1 from and upto = min t.count upto in
-  let rec go seq acc = if seq < from then acc else go (seq - 1) (entry t seq :: acc) in
-  if upto < from then [] else go upto []
+  List.rev (fold_range t ~from ~upto ~init:[] (fun acc e -> e :: acc))
 
-let iter t f =
-  for i = 0 to t.count - 1 do
-    f t.entries.(i)
-  done
+(* --- wire form ---------------------------------------------------------- *)
 
-let byte_size t = t.bytes
+let encode_segment entries = Segment_store.encode_entries entries
+let decode_segment ~prev s = Segment_store.decode_entries ~prev s
 
-let encode_segment entries =
+(* Body-only encoding of a range, streamed straight off the segments. *)
+let encode_range t ~from ~upto =
+  let from = max 1 from and upto = min (length t) upto in
   let w = Avm_util.Wire.writer () in
-  Avm_util.Wire.list w Entry.write_body entries;
+  Avm_util.Wire.varint w (max 0 (upto - from + 1));
+  iter_range t ~from ~upto (fun e -> Entry.write_body w e);
   Avm_util.Wire.contents w
-
-let decode_segment ~prev s =
-  let r = Avm_util.Wire.reader s in
-  let n = Avm_util.Wire.read_varint r in
-  let rec go prev i acc =
-    if i = n then List.rev acc
-    else begin
-      let e = Entry.read_body ~prev r in
-      go e.Entry.hash (i + 1) (e :: acc)
-    end
-  in
-  let entries = go prev 0 [] in
-  Avm_util.Wire.expect_end r;
-  entries
 
 let verify_segment ~prev entries =
   let rec go prev expected_seq = function
@@ -78,24 +254,110 @@ let verify_segment ~prev entries =
   | [] -> Ok ()
   | first :: _ -> go prev first.Entry.seq entries
 
+(* --- storage accounting ------------------------------------------------- *)
+
+let stored_bytes t =
+  let acc = ref t.tail_bytes in
+  for i = 0 to t.nsealed - 1 do
+    acc := !acc + Segment_store.stored_bytes t.sealed.(i)
+  done;
+  !acc
+
+let compression_ratio t =
+  let stored = stored_bytes t in
+  if stored = 0 then 1.0 else float_of_int t.bytes /. float_of_int stored
+
+(* Compressed bytes an auditor downloads to stream [from..upto]:
+   resident blobs are shipped whole (segment granularity); memory
+   segments and the tail are compressed transiently. *)
+let transfer_bytes t ~from ~upto =
+  let from = max 1 from and upto = min (length t) upto in
+  if upto < from then 0
+  else begin
+    let su = sealed_upto t in
+    let acc = ref 0 in
+    for i = 0 to t.nsealed - 1 do
+      let info = t.sealed.(i).Segment_store.info in
+      if info.last_seq >= from && info.first_seq <= upto then
+        acc := !acc + Segment_store.transfer_bytes t.sealed.(i)
+    done;
+    if upto > su then begin
+      let entries = slice t.tail ~first_seq:(su + 1) ~len:t.tail_count ~from ~upto in
+      acc := !acc + String.length (Avm_compress.Codec.compress (encode_segment entries))
+    end;
+    !acc
+  end
+
+(* --- tamper operations (the test adversary) ----------------------------- *)
+
+let rebuild_snap_index t =
+  let idx = ref [] in
+  for i = 0 to t.tail_count - 1 do
+    match t.tail.(i).Entry.content with
+    | Entry.Snapshot_ref { snapshot_seq; at_icount; _ } ->
+      idx := (t.tail.(i).Entry.seq, snapshot_seq, at_icount) :: !idx
+    | _ -> ()
+  done;
+  t.snap_index <- !idx
+
+let retally t =
+  let bytes = ref 0 in
+  for i = 0 to t.tail_count - 1 do
+    bytes := !bytes + Entry.wire_size t.tail.(i)
+  done;
+  t.bytes <- !bytes;
+  t.tail_bytes <- !bytes;
+  rebuild_snap_index t
+
+(* Materialize everything back into the tail. Mutation can then use
+   plain array surgery, and hash-chain breakage stays representable. *)
+let flatten t =
+  if t.nsealed > 0 then begin
+    let n = length t in
+    let all = Array.make (max 64 n) dummy_entry in
+    let k = ref 0 in
+    iter t (fun e ->
+        all.(!k) <- e;
+        incr k);
+    t.sealed <- no_seg;
+    t.nsealed <- 0;
+    t.cache <- None;
+    t.tail <- all;
+    t.tail_count <- n;
+    t.tail_bytes <- t.bytes
+  end
+
 let tamper_replace t seq content =
-  if seq < 1 || seq > t.count then invalid_arg "Log.tamper_replace: out of range";
-  let e = t.entries.(seq - 1) in
-  t.entries.(seq - 1) <- { e with Entry.content }
+  if seq < 1 || seq > length t then invalid_arg "Log.tamper_replace: out of range";
+  flatten t;
+  let e = t.tail.(seq - 1) in
+  t.tail.(seq - 1) <- { e with Entry.content };
+  t.sealable <- false;
+  retally t
 
 let tamper_truncate t seq =
-  if seq < 0 || seq > t.count then invalid_arg "Log.tamper_truncate: out of range";
-  t.count <- seq
+  if seq < 0 || seq > length t then invalid_arg "Log.tamper_truncate: out of range";
+  flatten t;
+  t.tail_count <- seq;
+  retally t
 
 let tamper_reseal t seq content =
-  if seq < 1 || seq > t.count then invalid_arg "Log.tamper_reseal: out of range";
-  let prev = ref (prev_hash t seq) in
-  t.entries.(seq - 1) <- Entry.seal ~prev:!prev ~seq content;
-  prev := t.entries.(seq - 1).Entry.hash;
-  for i = seq to t.count - 1 do
-    let e = t.entries.(i) in
-    t.entries.(i) <- Entry.seal ~prev:!prev ~seq:e.Entry.seq e.Entry.content;
-    prev := t.entries.(i).Entry.hash
-  done
+  if seq < 1 || seq > length t then invalid_arg "Log.tamper_reseal: out of range";
+  flatten t;
+  let prev = ref (if seq <= 1 then genesis_hash else t.tail.(seq - 2).Entry.hash) in
+  t.tail.(seq - 1) <- Entry.seal ~prev:!prev ~seq content;
+  prev := t.tail.(seq - 1).Entry.hash;
+  for i = seq to t.tail_count - 1 do
+    let e = t.tail.(i) in
+    t.tail.(i) <- Entry.seal ~prev:!prev ~seq:e.Entry.seq e.Entry.content;
+    prev := t.tail.(i).Entry.hash
+  done;
+  retally t
 
-let fork t = { entries = Array.copy t.entries; count = t.count; bytes = t.bytes }
+let fork t =
+  {
+    t with
+    sealed = Array.copy t.sealed;
+    tail = Array.copy t.tail;
+    cache = None;
+  }

@@ -1,20 +1,41 @@
-(** The append-only tamper-evident log (paper §4.3).
+(** The append-only tamper-evident log (paper §4.3), stored as an
+    active tail plus sealed segments.
 
     A hash chain of {!Entry.t}. Appending seals each entry against the
     current head; {!verify_segment} recomputes the chain and is the
     auditor's first line of defence against forged, reordered, omitted
-    or modified entries. *)
+    or modified entries.
+
+    Storage is segment-oriented, matching the auditor workflow of paper
+    §3.3–§3.5: the tail of recent entries is sealed into an immutable
+    {!Segment_store.seg} when it reaches [seal_every] entries or when a
+    [Snapshot_ref] is appended, so segments are bounded by snapshots
+    exactly where spot-check auditors cut the log. With the
+    [Compressed] backend, sealed segments live compressed at rest and
+    are only inflated while a reader streams across them. *)
 
 type t
 
-val create : unit -> t
-(** An empty log; [h_0] is 32 zero bytes. *)
+val create : ?backend:Segment_store.backend -> ?seal_every:int -> unit -> t
+(** An empty log; [h_0] is 32 zero bytes. [backend] (default [Memory])
+    selects how sealed segments are stored; [seal_every] (default 1024)
+    caps the tail length before a size-triggered seal. *)
+
+val of_entries : ?seal_every:int -> Entry.t list -> t
+(** Load an externally produced, already-hashed run (e.g. a recording)
+    into a segmented store. Sequence numbers must be contiguous from 1.
+    Always uses the [Memory] backend: stored hashes are preserved
+    verbatim, so a tampered chain stays tampered for the audit to
+    find. *)
 
 val genesis_hash : string
 (** [h_0]. *)
 
 val append : t -> Entry.content -> Entry.t
 (** [append log c] seals and stores the next entry. *)
+
+val seal_active : t -> unit
+(** Seal the current tail into a segment now (no-op on an empty tail). *)
 
 val length : t -> int
 (** Number of entries; also the head sequence number (seqs start
@@ -24,26 +45,68 @@ val head_hash : t -> string
 (** [h_i] of the newest entry, or {!genesis_hash} when empty. *)
 
 val entry : t -> int -> Entry.t
-(** [entry log seq] fetches by sequence number.
+(** [entry log seq] fetches by sequence number, inflating (and caching)
+    the covering segment if it is compressed.
     @raise Invalid_argument if out of range. *)
 
 val prev_hash : t -> int -> string
-(** [prev_hash log seq] is [h_{seq-1}] ({!genesis_hash} for
-    [seq = 1]). *)
+(** [prev_hash log seq] is [h_{seq-1}] ({!genesis_hash} for [seq = 1]).
+    Segment boundaries are answered from the index without inflating. *)
 
 val segment : t -> from:int -> upto:int -> Entry.t list
 (** Entries with [from <= seq <= upto] (inclusive; both clamped to
-    valid range). *)
+    valid range), materialized as a list. Prefer the streaming readers
+    below for audit-sized ranges. *)
 
+(** {1 Streaming readers}
+
+    The audit pipeline consumes the log one sealed segment at a time:
+    compressed segments are inflated only while the consumer is inside
+    them, never all at once. *)
+
+val chunk_seq : t -> from:int -> upto:int -> Entry.t list Seq.t
+(** One entry list per overlapping sealed segment (tail last), produced
+    lazily in log order. *)
+
+val fold_range : t -> from:int -> upto:int -> init:'a -> ('a -> Entry.t -> 'a) -> 'a
+val iter_range : t -> from:int -> upto:int -> (Entry.t -> unit) -> unit
 val iter : t -> (Entry.t -> unit) -> unit
 
+(** {1 Index and accounting} *)
+
+val backend : t -> Segment_store.backend
+val segments : t -> Segment_store.info list
+(** Index records of the sealed segments, oldest first. *)
+
+val snapshot_index : t -> (int * int * int) list
+(** [(entry_seq, snapshot_seq, at_icount)] of every [Snapshot_ref]
+    entry, oldest first — maintained on append, no scan needed. *)
+
 val byte_size : t -> int
-(** Total serialized size of all entries — the "log size" of
-    Figures 3/4. *)
+(** Total uncompressed serialized size of all entries — the "log size"
+    of Figures 3/4. *)
+
+val stored_bytes : t -> int
+(** Bytes the log occupies at rest (compressed segments count their
+    blob size). *)
+
+val compression_ratio : t -> float
+(** [byte_size / stored_bytes]; 1.0 for a fully in-memory log. *)
+
+val transfer_bytes : t -> from:int -> upto:int -> int
+(** Compressed bytes an auditor downloads to stream [from..upto]:
+    resident blobs ship whole (segment granularity), memory segments
+    and the tail are compressed transiently. *)
+
+(** {1 Wire form} *)
 
 val encode_segment : Entry.t list -> string
 (** Wire format for shipping a segment to an auditor: sequence, type
     and content per entry — no hashes (see {!Entry.write_body}). *)
+
+val encode_range : t -> from:int -> upto:int -> string
+(** {!encode_segment} of a range, streamed straight off the segments
+    without materializing a list. *)
 
 val decode_segment : prev:string -> string -> Entry.t list
 (** [decode_segment ~prev blob] rebuilds the entries, recomputing the
@@ -62,11 +125,14 @@ val verify_segment : prev:string -> Entry.t list -> (unit, string) result
 (** {1 Tampering (test / adversary API)}
 
     A faulty node does not call [append] honestly; these helpers let
-    tests and the cheat catalog build bad logs. *)
+    tests and the cheat catalog build bad logs. They first flatten the
+    log back into a plain in-memory tail (segments are immutable, and a
+    broken chain cannot survive the body-only sealed encoding). *)
 
 val tamper_replace : t -> int -> Entry.content -> unit
 (** Overwrite entry [seq] in place {e without} resealing later
-    entries — exactly what a naive cheater would do. *)
+    entries — exactly what a naive cheater would do. Disables further
+    sealing: the inconsistent chain must stay verbatim. *)
 
 val tamper_truncate : t -> int -> unit
 (** Drop all entries after [seq]. *)

@@ -838,6 +838,139 @@ let test_property_any_tamper_detected () =
         (Entry.describe victim.Entry.content)
   done
 
+(* --- segmented audit (segment store vs materialized list) ------------------- *)
+
+let peer_certs_ab = [ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+
+let record_with_auths ?poke_at () =
+  let a, b, a_out, b_out = make_pair () in
+  let auths = ref [] in
+  let t = ref 0.0 in
+  for i = 1 to 30 do
+    t := !t +. 10_000.0;
+    ignore (Avmm.run_slice a ~until_us:!t);
+    ignore (Avmm.run_slice b ~until_us:!t);
+    (match poke_at with
+    | Some slice when slice = i ->
+      let addr =
+        Avm_isa.Asm.symbol (Avm_mlang.Compile.compile ~stack_top:4096 guest_src) "g_seen"
+      in
+      Avmm.poke b ~addr ~value:31337
+    | _ -> ());
+    Queue.iter (fun env -> auths := env.Wireformat.auth :: !auths) b_out;
+    ignore (shuttle a b a_out);
+    ignore (shuttle b a b_out)
+  done;
+  (b, !auths)
+
+(* The acceptance bar for the segmented pipeline: auditing through the
+   segment store — sealed segments, streamed one at a time — must be
+   indistinguishable from auditing the materialized entry list. *)
+let check_equivalent ~name entries auths =
+  let whole =
+    Audit.full ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab ~image:(guest_image ())
+      ~mem_words:4096 ~peers:peers_b ~prev_hash:Log.genesis_hash ~entries ~auths ()
+  in
+  let seg_log = Log.of_entries ~seal_every:50 entries in
+  Alcotest.(check bool) (name ^ ": several sealed segments") true
+    (List.length (Log.segments seg_log) >= 2);
+  let seg =
+    Audit.full_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+      ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ~log:seg_log ~auths ()
+  in
+  Alcotest.(check (list string))
+    (name ^ ": same syntactic failures")
+    whole.Audit.syntactic.Audit.failures seg.Audit.syntactic.Audit.failures;
+  Alcotest.(check bool) (name ^ ": same verdict") true
+    (match (whole.Audit.verdict, seg.Audit.verdict) with
+    | Ok (), Ok () -> true
+    | Error _, Error _ -> true
+    | _ -> false);
+  match (whole.Audit.semantic, seg.Audit.semantic) with
+  | Some (Replay.Diverged d1), Some (Replay.Diverged d2) ->
+    Alcotest.(check bool) (name ^ ": same divergence kind") true (d1.Replay.kind = d2.Replay.kind)
+  | Some (Replay.Verified _), Some (Replay.Verified _) | None, None -> ()
+  | _ -> Alcotest.failf "%s: semantic outcomes disagree" name
+
+let test_segmented_audit_honest () =
+  let b, auths = record_with_auths () in
+  check_equivalent ~name:"honest" (entries_of b) auths;
+  (* and straight off the AVMM's own (compressed) segment store *)
+  let direct =
+    Audit.full_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+      ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ~log:(Avmm.log b) ~auths ()
+  in
+  match direct.Audit.verdict with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "compressed-store audit of honest log failed: %s" e
+
+let test_segmented_audit_cheats () =
+  (* Memory poke: honest log of a cheating execution — semantic divergence. *)
+  let b, auths = record_with_auths ~poke_at:15 () in
+  check_equivalent ~name:"poke" (entries_of b) auths;
+  (* Resealed SEND: consistent chain, exposed by collected authenticators. *)
+  let b, auths = record_with_auths () in
+  (match
+     List.find_map
+       (fun (e : Entry.t) -> match e.content with Entry.Send _ -> Some e.seq | _ -> None)
+       (entries_of b)
+   with
+  | None -> Alcotest.fail "no send"
+  | Some seq ->
+    Log.tamper_reseal (Avmm.log b) seq
+      (Entry.Send { dest = "alice"; nonce = 999; payload = "forged" }));
+  check_equivalent ~name:"reseal" (entries_of b) auths;
+  (* Naive in-place replace: broken hash chain. *)
+  let b, auths = record_with_auths () in
+  Log.tamper_replace (Avmm.log b) 5 (Entry.Note "swapped");
+  check_equivalent ~name:"replace" (entries_of b) auths;
+  (* Forged RECV: bob invents a message alice never signed. *)
+  let b, auths = record_with_auths () in
+  (match
+     List.find_map
+       (fun (e : Entry.t) -> match e.content with Entry.Recv _ -> Some e.seq | _ -> None)
+       (entries_of b)
+   with
+  | None -> Alcotest.fail "no recv"
+  | Some seq ->
+    Log.tamper_reseal (Avmm.log b) seq
+      (Entry.Recv { src = "alice"; nonce = 9; payload = "gift"; signature = "forged" }));
+  check_equivalent ~name:"forged-recv" (entries_of b) auths
+
+let test_syntactic_single_pass () =
+  (* The streaming syntactic check must consume its feed exactly once,
+     delivering each entry exactly once — the whole point of folding
+     the five passes into one. *)
+  let b, auths = record_with_auths () in
+  let entries = entries_of b in
+  let feed_calls = ref 0 in
+  let delivered = Hashtbl.create 256 in
+  let feed push =
+    incr feed_calls;
+    List.iter
+      (fun (e : Entry.t) ->
+        Hashtbl.replace delivered e.Entry.seq
+          (1 + Option.value ~default:0 (Hashtbl.find_opt delivered e.Entry.seq));
+        push e)
+      entries
+  in
+  let syn =
+    Audit.syntactic_feed ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+      ~prev_hash:Log.genesis_hash ~feed ~auths ()
+  in
+  Alcotest.(check int) "feed invoked once" 1 !feed_calls;
+  Alcotest.(check int) "every entry checked" (List.length entries) syn.Audit.entries_checked;
+  Hashtbl.iter
+    (fun seq n -> if n <> 1 then Alcotest.failf "entry %d delivered %d times" seq n)
+    delivered;
+  Alcotest.(check (list string)) "clean" [] syn.Audit.failures;
+  (* and it reports exactly what the list-based entry point reports *)
+  let listed =
+    Audit.syntactic ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+      ~prev_hash:Log.genesis_hash ~entries ~auths ()
+  in
+  Alcotest.(check bool) "same report" true (syn = listed)
+
 (* --- online auditing (paper §6.11) ------------------------------------------ *)
 
 let test_online_audit_honest_keeps_up () =
@@ -951,6 +1084,12 @@ let () =
           Alcotest.test_case "guest halted early" `Quick test_guest_halted_early;
           Alcotest.test_case "guest stalled (fuel)" `Quick test_guest_stalled_on_fuel;
           Alcotest.test_case "reference guest faults" `Quick test_guest_fault_on_garbage_reference;
+        ] );
+      ( "segmented-audit",
+        [
+          Alcotest.test_case "honest: store = list" `Quick test_segmented_audit_honest;
+          Alcotest.test_case "cheats: store = list" `Quick test_segmented_audit_cheats;
+          Alcotest.test_case "syntactic is single-pass" `Quick test_syntactic_single_pass;
         ] );
       ( "online-audit",
         [

@@ -159,6 +159,165 @@ let test_entry_wire_size_compact () =
   (* and the in-memory hash is still present and correct *)
   Alcotest.(check int) "hash present" 32 (String.length clock_entry.Entry.hash)
 
+(* --- segment store ------------------------------------------------------- *)
+
+(* A workload long enough to seal several segments, with snapshot
+   boundaries in the stream like a real AVMM produces. *)
+let busy_contents n =
+  List.init n (fun i ->
+      if i mod 25 = 24 then
+        Entry.Snapshot_ref
+          { digest = String.make 32 (Char.chr (65 + (i mod 26))); snapshot_seq = i / 25; at_icount = i * 100 }
+      else if i mod 7 = 3 then
+        Entry.Send
+          { dest = "bob"; nonce = i; payload = String.make 48 'p' ^ string_of_int i }
+      else Entry.Exec (Avm_machine.Event.Io_in { port = 0x20; value = 1000 + i; msg = -1 }))
+
+let build_backed backend contents =
+  let log = Log.create ~backend ~seal_every:16 () in
+  List.iter (fun c -> ignore (Log.append log c)) contents;
+  log
+
+let test_decode_truncated () =
+  let log = build_log sample_contents in
+  let blob = Log.encode_segment (full_segment log) in
+  for cut = 1 to min 10 (String.length blob - 1) do
+    let truncated = String.sub blob 0 (String.length blob - cut) in
+    match Log.decode_segment ~prev:Log.genesis_hash truncated with
+    | _ -> Alcotest.failf "truncated blob (cut %d) decoded" cut
+    | exception (Avm_util.Wire.Truncated | Avm_util.Wire.Malformed _) -> ()
+  done
+
+let test_decode_garbage () =
+  List.iter
+    (fun garbage ->
+      match Log.decode_segment ~prev:Log.genesis_hash garbage with
+      | _ -> Alcotest.fail "garbage decoded"
+      | exception (Avm_util.Wire.Truncated | Avm_util.Wire.Malformed _) -> ())
+    [ "\xff\xff\xff\xff\xff"; "\x07\x63garbage!"; String.make 64 '\xee' ]
+
+let test_verify_broken_chain () =
+  let log = build_log sample_contents in
+  let seg =
+    List.map
+      (fun (e : Entry.t) -> if e.seq = 4 then { e with Entry.hash = String.make 32 'z' } else e)
+      (full_segment log)
+  in
+  match Log.verify_segment ~prev:Log.genesis_hash seg with
+  | Ok () -> Alcotest.fail "broken chain not detected"
+  | Error e -> Alcotest.(check bool) "mentions break" true (String.length e > 0)
+
+let test_sealed_equivalence () =
+  (* The same appends through Memory and Compressed backends must be
+     observationally identical: same chain, same entries, same slices. *)
+  let contents = busy_contents 100 in
+  let mem = build_backed Segment_store.Memory contents in
+  let zip = build_backed Segment_store.Compressed contents in
+  Alcotest.(check int) "length" (Log.length mem) (Log.length zip);
+  Alcotest.(check string) "head hash" (Log.head_hash mem) (Log.head_hash zip);
+  Alcotest.(check bool) "sealed segments exist" true (List.length (Log.segments zip) >= 4);
+  for seq = 1 to Log.length mem do
+    if Log.entry mem seq <> Log.entry zip seq then
+      Alcotest.failf "entry %d differs between backends" seq
+  done;
+  Alcotest.(check bool) "mid slice equal" true
+    (Log.segment mem ~from:20 ~upto:70 = Log.segment zip ~from:20 ~upto:70);
+  Alcotest.(check int) "byte size equal" (Log.byte_size mem) (Log.byte_size zip);
+  (match Log.verify_segment ~prev:Log.genesis_hash (full_segment zip) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "compressed chain broken: %s" e);
+  Alcotest.(check bool) "snapshot index equal" true
+    (Log.snapshot_index mem = Log.snapshot_index zip)
+
+let test_snapshot_boundary_seals () =
+  let zip = build_backed Segment_store.Compressed (busy_contents 100) in
+  (* Every Snapshot_ref must close its segment: some sealed segment ends
+     exactly at each snapshot entry and carries the boundary record. *)
+  let infos = Log.segments zip in
+  List.iter
+    (fun (entry_seq, snapshot_seq, at_icount) ->
+      match
+        List.find_opt (fun (i : Segment_store.info) -> i.last_seq = entry_seq) infos
+      with
+      | None -> Alcotest.failf "no segment sealed at snapshot entry %d" entry_seq
+      | Some i ->
+        Alcotest.(check bool)
+          (Printf.sprintf "boundary record at %d" entry_seq)
+          true
+          (i.snapshot_boundary = Some (entry_seq, snapshot_seq, at_icount)))
+    (Log.snapshot_index zip);
+  (* and the segment index tiles the log exactly *)
+  let covered =
+    List.fold_left
+      (fun next (i : Segment_store.info) ->
+        Alcotest.(check int) "contiguous segments" next i.first_seq;
+        i.last_seq + 1)
+      1 infos
+  in
+  Alcotest.(check bool) "tail after last seal" true (covered <= Log.length zip + 1)
+
+let test_tamper_on_sealed () =
+  let zip = build_backed Segment_store.Compressed (busy_contents 60) in
+  Log.tamper_replace zip 10 (Entry.Note "rewritten under the seal");
+  (match Log.verify_segment ~prev:Log.genesis_hash (full_segment zip) with
+  | Ok () -> Alcotest.fail "tamper under a sealed segment not detected"
+  | Error _ -> ());
+  (* the broken chain must survive further appends verbatim *)
+  ignore (Log.append zip (Entry.Note "post-tamper append"));
+  (match Log.verify_segment ~prev:Log.genesis_hash (full_segment zip) with
+  | Ok () -> Alcotest.fail "tamper evidence lost after append"
+  | Error _ -> ());
+  (* reseal produces a consistent chain even across former seal points *)
+  let zip2 = build_backed Segment_store.Compressed (busy_contents 60) in
+  let auth = Auth.make alice ~entry:(Log.entry zip2 10) ~prev_hash:(Log.prev_hash zip2 10) in
+  Log.tamper_reseal zip2 10 (Entry.Note "quietly rewritten");
+  (match Log.verify_segment ~prev:Log.genesis_hash (full_segment zip2) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "resealed chain should verify: %s" e);
+  Alcotest.(check bool) "auth exposes reseal" false (Auth.matches_entry auth (Log.entry zip2 10));
+  (* truncation below the seal line *)
+  let zip3 = build_backed Segment_store.Compressed (busy_contents 60) in
+  Log.tamper_truncate zip3 20;
+  Alcotest.(check int) "truncated" 20 (Log.length zip3);
+  match Log.verify_segment ~prev:Log.genesis_hash (full_segment zip3) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "truncated prefix should verify: %s" e
+
+let test_fork_with_sealed_segments () =
+  let log = build_backed Segment_store.Compressed (busy_contents 40) in
+  let fork = Log.fork log in
+  ignore (Log.append log (Entry.Note "branch A"));
+  ignore (Log.append fork (Entry.Note "branch B"));
+  Alcotest.(check bool) "prefix shared" true (Log.entry log 40 = Log.entry fork 40);
+  Alcotest.(check bool) "heads diverge" true (Log.head_hash log <> Log.head_hash fork);
+  let auth = Auth.make alice ~entry:(Log.entry log 41) ~prev_hash:(Log.prev_hash log 41) in
+  Alcotest.(check bool) "fork detected" false (Auth.matches_entry auth (Log.entry fork 41))
+
+let test_compression_accounting () =
+  (* Compression only pays on realistically sized segments (an AVMM
+     snapshot interval is hundreds of entries); tiny segments lose to
+     the codec's fixed table overhead. *)
+  let contents =
+    List.init 600 (fun i ->
+        if i mod 200 = 199 then
+          Entry.Snapshot_ref
+            { digest = String.make 32 'd'; snapshot_seq = i / 200; at_icount = i * 100 }
+        else if i mod 3 = 0 then
+          Entry.Send { dest = "bob"; nonce = i; payload = String.make 64 'p' }
+        else Entry.Exec (Avm_machine.Event.Io_in { port = 0x20; value = 1000 + i; msg = -1 }))
+  in
+  let zip = Log.create ~backend:Segment_store.Compressed ~seal_every:256 () in
+  List.iter (fun c -> ignore (Log.append zip c)) contents;
+  Alcotest.(check bool) "stored < raw" true (Log.stored_bytes zip < Log.byte_size zip);
+  Alcotest.(check bool) "ratio > 1" true (Log.compression_ratio zip > 1.0);
+  (* encode_range must agree with encoding the materialized slice *)
+  Alcotest.(check string) "encode_range = encode_segment"
+    (Log.encode_segment (Log.segment zip ~from:10 ~upto:90))
+    (Log.encode_range zip ~from:10 ~upto:90);
+  (* transfer accounting covers the requested range *)
+  Alcotest.(check bool) "transfer bytes positive" true
+    (Log.transfer_bytes zip ~from:1 ~upto:(Log.length zip) > 0)
+
 (* --- authenticators ------------------------------------------------------------- *)
 
 let test_auth_verify () =
@@ -211,6 +370,18 @@ let () =
           Alcotest.test_case "bad tag" `Quick test_bad_tag_rejected;
           Alcotest.test_case "wire size compact (no hashes)" `Quick test_entry_wire_size_compact;
           prop_content_roundtrip;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "truncated blob rejected" `Quick test_decode_truncated;
+          Alcotest.test_case "garbage blob rejected" `Quick test_decode_garbage;
+          Alcotest.test_case "broken chain detected" `Quick test_verify_broken_chain;
+          Alcotest.test_case "backends observationally equal" `Quick test_sealed_equivalence;
+          Alcotest.test_case "snapshot boundaries seal segments" `Quick
+            test_snapshot_boundary_seals;
+          Alcotest.test_case "tamper ops on sealed logs" `Quick test_tamper_on_sealed;
+          Alcotest.test_case "fork with sealed segments" `Quick test_fork_with_sealed_segments;
+          Alcotest.test_case "compression accounting" `Quick test_compression_accounting;
         ] );
       ( "authenticators",
         [
