@@ -11,8 +11,12 @@ build:
 test:
 	dune runtest
 
+# Two passes: sequential and 4-way parallel. The bench exits non-zero
+# (failing this target) whenever any verdict cross-check — list vs
+# segment, sequential vs parallel, honest vs tampered — mismatches.
 bench-smoke:
-	dune exec bench/audit_bench.exe -- --smoke --out BENCH_audit.smoke.json
+	dune exec bench/audit_bench.exe -- --smoke --jobs 1 --out BENCH_audit.smoke.json
+	dune exec bench/audit_bench.exe -- --smoke --jobs 4 --out BENCH_audit.smoke.json
 	@cat BENCH_audit.smoke.json
 
 # Full bench runs (slow): refreshes the committed BENCH_audit.json.

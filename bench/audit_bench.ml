@@ -8,11 +8,18 @@
      streamed segment-by-segment off the compressed store;
    - semantic entries/sec: deterministic replay via
      Replay.replay_chunks over the same segment feed;
+   - the same two passes with a --jobs N domain pool (parallel
+     syntactic over sealed segments, snapshot-partitioned parallel
+     replay), reported as speedups over the sequential pass;
    - the at-rest compression ratio of the audited log;
 
-   and cross-checks that the segment-driven audit reaches the same
-   verdict as the audit of the materialized entry list. Results land in
-   a small JSON file (default BENCH_audit.json). *)
+   and cross-checks that (a) the segment-driven audit reaches the same
+   verdict as the audit of the materialized entry list, and (b) the
+   parallel audit produces reports identical to the sequential one on
+   both the honest session and tampered forks of it. Any mismatch is
+   fatal (exit 1). Rates use wall-clock time, since with a pool the
+   process CPU clock counts every domain. Results land in a small JSON
+   file (default BENCH_audit.json). *)
 
 open Avm_core
 open Avm_tamperlog
@@ -82,30 +89,35 @@ let record_session ~slices =
   done;
   (b, Identity.certificate bob, [ ("alice", cert_of "alice"); ("bob", cert_of "bob") ], !auths)
 
-(* Repeat [f] until at least [min_seconds] of CPU time accumulates, so
-   short logs still produce a stable rate. *)
+(* Repeat [f] until at least [min_seconds] of wall-clock time
+   accumulates, so short logs still produce a stable rate. *)
 let rate ~min_seconds ~units f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let reps = ref 0 in
-  while Sys.time () -. t0 < min_seconds || !reps = 0 do
+  while Unix.gettimeofday () -. t0 < min_seconds || !reps = 0 do
     f ();
     incr reps
   done;
-  float_of_int (units * !reps) /. (Sys.time () -. t0)
+  float_of_int (units * !reps) /. (Unix.gettimeofday () -. t0)
 
 let () =
   let slices = ref 400 in
   let out = ref "BENCH_audit.json" in
   let smoke = ref false in
+  let jobs = ref (Avm_util.Domain_pool.recommended_jobs ()) in
   Arg.parse
     [
       ("--slices", Arg.Set_int slices, "N  session length in 10ms slices (default 400)");
       ("--out", Arg.Set_string out, "PATH  where to write the JSON report");
       ("--smoke", Arg.Set smoke, "  tiny run for CI smoke checks");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  parallel audit lanes (default: recommended domain count)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "audit_bench [--slices N] [--out PATH] [--smoke]";
+    "audit_bench [--slices N] [--out PATH] [--smoke] [--jobs N]";
   if !smoke then slices := 60;
+  let jobs = max 1 !jobs in
   let min_seconds = if !smoke then 0.2 else 1.0 in
   let avmm, node_cert, peer_certs, auths = record_session ~slices:!slices in
   let log = Avmm.log avmm in
@@ -136,6 +148,51 @@ let () =
     exit 1
   end;
 
+  (* Parallel cross-check, honest session: the parallel audit (and its
+     snapshot-partitioned semantic pass) must reproduce the sequential
+     report exactly — same counters, same failures, same verdict. *)
+  let snapshots = Avmm.snapshots avmm in
+  let full_par =
+    Audit.full_of_log ~node_cert ~peer_certs ~image:guest_image ~mem_words:4096
+      ~peers:peers_b ~log ~snapshots ~auths ~jobs ()
+  in
+  if
+    not
+      (full_par.Audit.syntactic = full_seg.Audit.syntactic
+      && full_par.Audit.verdict = full_seg.Audit.verdict)
+  then begin
+    Printf.eprintf "FATAL: parallel audit differs from sequential on the honest session\n";
+    exit 1
+  end;
+
+  (* Parallel cross-check, cheating sessions: tampered forks must draw
+     byte-identical syntactic reports from both passes. *)
+  let tamper_check ?(expect_detect = true) name tamper =
+    let forked = Log.fork log in
+    tamper forked;
+    let bad = Log.segment forked ~from:1 ~upto:(Log.length forked) in
+    let audit j =
+      Audit.syntactic ~node_cert ~peer_certs ~prev_hash:Log.genesis_hash ~entries:bad
+        ~auths ~jobs:j ()
+    in
+    let seq = audit 1 and par = audit jobs in
+    if expect_detect && seq.Audit.failures = [] then begin
+      Printf.eprintf "FATAL: %s went undetected\n" name;
+      exit 1
+    end;
+    if seq <> par then begin
+      Printf.eprintf "FATAL: parallel audit differs from sequential on %s\n" name;
+      exit 1
+    end
+  in
+  let decoy = (Log.entry log 1).Entry.content in
+  tamper_check "tamper_replace" (fun l -> Log.tamper_replace l (n / 2) decoy);
+  tamper_check "tamper_reseal" (fun l -> Log.tamper_reseal l (n / 2) decoy);
+  (* A truncated chain is a valid prefix — the syntactic pass alone
+     does not flag it (the latest authenticator would); only equality
+     of the two passes is asserted. *)
+  tamper_check ~expect_detect:false "tamper_truncate" (fun l -> Log.tamper_truncate l (n / 2));
+
   let syntactic_rate =
     rate ~min_seconds ~units:n (fun () ->
         ignore (Audit.syntactic_of_log ~node_cert ~peer_certs ~log ~auths ()))
@@ -151,9 +208,35 @@ let () =
           Printf.eprintf "FATAL: honest log diverged: %s\n" d.Replay.detail;
           exit 1)
   in
+  let syntactic_rate_par, semantic_rate_par =
+    if jobs = 1 then (syntactic_rate, semantic_rate)
+    else
+      Avm_util.Domain_pool.with_pool ~jobs (fun pool ->
+          let syn =
+            rate ~min_seconds ~units:n (fun () ->
+                ignore (Audit.syntactic_of_log ~node_cert ~peer_certs ~log ~auths ~pool ()))
+          in
+          let sem =
+            rate ~min_seconds ~units:n (fun () ->
+                match
+                  Spot_check.parallel_replay ~pool ~image:guest_image ~mem_words:4096
+                    ~snapshots ~log ~peers:peers_b ()
+                with
+                | Replay.Verified _ -> ()
+                | Replay.Diverged d ->
+                  Printf.eprintf "FATAL: honest log diverged in parallel replay: %s\n"
+                    d.Replay.detail;
+                  exit 1)
+          in
+          (syn, sem))
+  in
+  let syntactic_speedup = syntactic_rate_par /. syntactic_rate in
+  let semantic_speedup = semantic_rate_par /. semantic_rate in
   let ratio = Log.compression_ratio log in
-  Printf.printf "syntactic: %.0f entries/sec\n%!" syntactic_rate;
-  Printf.printf "semantic:  %.0f entries/sec\n%!" semantic_rate;
+  Printf.printf "syntactic: %.0f entries/sec (x%.2f at %d jobs)\n%!" syntactic_rate
+    syntactic_speedup jobs;
+  Printf.printf "semantic:  %.0f entries/sec (x%.2f at %d jobs)\n%!" semantic_rate
+    semantic_speedup jobs;
   Printf.printf "compression: %.2fx (%d -> %d bytes at rest)\n%!" ratio (Log.byte_size log)
     (Log.stored_bytes log);
 
@@ -165,12 +248,15 @@ let () =
     \  \"sealed_segments\": %d,\n\
     \  \"syntactic_entries_per_sec\": %.1f,\n\
     \  \"semantic_entries_per_sec\": %.1f,\n\
+    \  \"parallel_jobs\": %d,\n\
+    \  \"syntactic_speedup\": %.3f,\n\
+    \  \"semantic_speedup\": %.3f,\n\
     \  \"log_bytes\": %d,\n\
     \  \"stored_bytes\": %d,\n\
     \  \"compression_ratio\": %.3f,\n\
     \  \"verdict_match\": %b\n\
      }\n"
-    !slices n nsegs syntactic_rate semantic_rate (Log.byte_size log) (Log.stored_bytes log)
-    ratio verdict_match;
+    !slices n nsegs syntactic_rate semantic_rate jobs syntactic_speedup semantic_speedup
+    (Log.byte_size log) (Log.stored_bytes log) ratio verdict_match;
   close_out oc;
   Printf.printf "wrote %s\n%!" !out

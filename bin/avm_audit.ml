@@ -9,7 +9,7 @@ open Avm_scenario
 module Audit = Avm_core.Audit
 module Evidence = Avm_core.Evidence
 
-let audit_file path evidence_out =
+let audit_file path evidence_out jobs =
   let r = Recording.load ~path in
   Printf.printf "auditing %s (%s scenario, %d entries, %d authenticators)\n%!"
     r.Recording.node
@@ -37,12 +37,12 @@ let audit_file path evidence_out =
     | log ->
       Audit.full_of_log ~node_cert ~peer_certs:r.Recording.certificates ~image
         ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers ~log
-        ~auths:r.Recording.auths ()
+        ~auths:r.Recording.auths ~jobs ()
     | exception Invalid_argument _ ->
       Audit.full ~node_cert ~peer_certs:r.Recording.certificates ~image
         ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
         ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries
-        ~auths:r.Recording.auths ()
+        ~auths:r.Recording.auths ~jobs ()
   in
   Format.printf "%a@." Audit.pp_report report;
   match report.Audit.verdict with
@@ -112,15 +112,25 @@ let check_arg =
     & info [ "check-evidence" ] ~docv:"EVIDENCE"
         ~doc:"Act as the third party: verify an evidence file against RECORDING's session data.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Avm_util.Domain_pool.recommended_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the audit (default: the machine's recommended domain \
+           count). The syntactic check fans out across sealed segments; the verdict is \
+           identical to $(b,--jobs 1).")
+
 let cmd =
   let doc = "audit an AVM recording (syntactic + semantic checks)" in
   let term =
     Term.(
-      const (fun check file evidence ->
+      const (fun check file evidence jobs ->
           match check with
           | Some ev_path -> Stdlib.exit (check_evidence ev_path file)
-          | None -> Stdlib.exit (audit_file file evidence))
-      $ check_arg $ file_arg $ evidence_arg)
+          | None -> Stdlib.exit (audit_file file evidence jobs))
+      $ check_arg $ file_arg $ evidence_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "avm_audit" ~doc) term
 

@@ -106,17 +106,294 @@ let syntactic_feed ~node_cert ~peer_certs ~prev_hash ~feed ~auths ?(ack_grace = 
     failures = List.rev !failures;
   }
 
-let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?ack_grace () =
-  syntactic_feed ~node_cert ~peer_certs ~prev_hash
-    ~feed:(fun f -> List.iter f entries)
-    ~auths ?ack_grace ()
+(* --- parallel syntactic check ------------------------------------------- *)
 
-let syntactic_of_log ~node_cert ~peer_certs ~log ?(from = 1) ?upto ~auths ?ack_grace () =
+module Pool = Avm_util.Domain_pool
+
+(* Resolve the [?jobs] / [?pool] pair every entry point takes: an
+   explicit pool wins; otherwise [jobs > 1] borrows a scoped pool; and
+   [jobs = 1] (the default) stays on the sequential code path. *)
+let with_pool ?jobs ?pool f =
+  match pool with
+  | Some p -> f (if Pool.jobs p > 1 then Some p else None)
+  | None -> (
+    match jobs with
+    | Some j when j > 1 -> Pool.with_pool ~jobs:j (fun p -> f (Some p))
+    | _ -> f None)
+
+(* The parallel pass splits the entry stream into chunks that workers
+   check independently, then stitches the per-chunk results back
+   together sequentially. Everything order- or history-sensitive is
+   carried as an *event*, replayed at stitch time in exact log order,
+   so the stitched report is bit-identical to the streaming fold's:
+
+   - [Ev_fail] is a finished failure message at its entry position.
+   - [Ev_chain] is a chain failure; the stitcher drops it when an
+     earlier chunk already broke, reproducing the single global
+     "first break only" flag. A worker can evaluate the chain checks
+     of a later chunk without knowing whether an earlier one broke,
+     because the sequential fold advances [prev]/[expected] from the
+     *stored* hashes regardless of validity — its state at a chunk
+     boundary is exactly the segment index's [prev_hash]/[from].
+   - [Ev_recv]/[Ev_xref] defer the "rx read references non-RECV
+     entry" membership test: the stitcher grows the recv-seq table in
+     event order and resolves each cross-reference against precisely
+     the RECVs the sequential fold would have seen at that point. *)
+type syn_event =
+  | Ev_fail of string
+  | Ev_chain of string
+  | Ev_recv of int
+  | Ev_xref of int * int  (* (entry seq, referenced msg seq) *)
+
+type syn_chunk = {
+  sc_prev_hash : string;  (* chain hash just before the chunk *)
+  sc_expected_first : int;  (* expected first seq; -1 = no check (first chunk) *)
+  sc_load : unit -> Entry.t list;
+}
+
+type chunk_pass = {
+  cp_events : syn_event list;  (* entry order *)
+  cp_sends : int list;
+  cp_acked : int list;
+  cp_entries : int;
+  cp_auths : int;
+  cp_recv_sigs : int;
+  cp_broke : bool;
+  cp_last : int;  (* seq of the chunk's last entry *)
+}
+
+(* One worker's pass over one chunk: the same five checks as
+   [syntactic_feed], emitting events instead of final failures. *)
+let run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash ~expected_first
+    entries =
+  let events = ref [] in
+  let ev e = events := e :: !events in
+  let failf fmt = Printf.ksprintf (fun m -> ev (Ev_fail m)) fmt in
+  let entries_checked = ref 0 in
+  let auths_matched = ref 0 in
+  let recv_sigs = ref 0 in
+  let prev = ref prev_hash in
+  let expected_seq = ref expected_first in
+  let chain_broken = ref false in
+  let sends = ref [] in
+  let acked = ref [] in
+  let last_seq = ref 0 in
+  List.iter
+    (fun (e : Entry.t) ->
+      incr entries_checked;
+      last_seq := e.seq;
+      if not !chain_broken then begin
+        if !expected_seq >= 0 && e.seq <> !expected_seq then begin
+          chain_broken := true;
+          ev
+            (Ev_chain
+               (Printf.sprintf "chain: sequence gap: expected %d, found %d" !expected_seq
+                  e.seq))
+        end
+        else if
+          not (String.equal (Entry.chain_hash ~prev:!prev ~seq:e.seq e.content) e.hash)
+        then begin
+          chain_broken := true;
+          ev (Ev_chain (Printf.sprintf "chain: hash chain broken at entry %d" e.seq))
+        end
+      end;
+      prev := e.hash;
+      expected_seq := e.seq + 1;
+      List.iter
+        (fun (a : Auth.t) ->
+          if Auth.matches_entry a e then incr auths_matched
+          else
+            failf "authenticator #%d does not match the log (forked or rewritten log)"
+              a.seq)
+        (Hashtbl.find_all auth_by_seq e.seq);
+      match e.content with
+      | Entry.Recv { src; nonce; payload; signature } ->
+        ev (Ev_recv e.seq);
+        if signature <> "" then begin
+          match List.assoc_opt src peer_certs with
+          | None -> failf "entry #%d: no certificate for sender %s" e.seq src
+          | Some cert ->
+            let body = Wireformat.message_body ~src ~dest:node ~nonce ~payload in
+            if Avm_crypto.Identity.verify cert ~msg:body ~signature then incr recv_sigs
+            else failf "entry #%d: forged RECV — sender signature invalid" e.seq
+        end
+      | Entry.Ack { acked_seq; _ } -> acked := acked_seq :: !acked
+      | Entry.Send _ -> sends := e.seq :: !sends
+      | Entry.Exec (Avm_machine.Event.Io_in { msg; _ }) when msg >= 0 ->
+        if msg >= e.seq then failf "entry #%d: rx read references future entry %d" e.seq msg
+        else if msg >= first_seq then ev (Ev_xref (e.seq, msg))
+      | _ -> ())
+    entries;
+  {
+    cp_events = List.rev !events;
+    cp_sends = !sends;
+    cp_acked = !acked;
+    cp_entries = !entries_checked;
+    cp_auths = !auths_matched;
+    cp_recv_sigs = !recv_sigs;
+    cp_broke = !chain_broken;
+    cp_last = !last_seq;
+  }
+
+(* Split [xs] into at most [n] contiguous slices, preserving order. *)
+let slice_list n xs =
+  let len = List.length xs in
+  if len = 0 then []
+  else begin
+    let n = max 1 (min n len) in
+    let per = (len + n - 1) / n in
+    let rec go i acc cur = function
+      | [] -> List.rev (List.rev cur :: acc)
+      | x :: rest ->
+        if i = per then go 1 (List.rev cur :: acc) [ x ] rest
+        else go (i + 1) acc (x :: cur) rest
+    in
+    go 0 [] [] xs
+  end
+
+(* Authenticator signature checks are embarrassingly parallel; slice
+   order is preserved so both the failure list and the [Hashtbl.add]
+   order (which [find_all] reflects) match the sequential pre-pass. *)
+let verify_auth_slice ~node ~node_cert slice =
+  let oks = ref [] in
+  let fails = ref [] in
+  List.iter
+    (fun (a : Auth.t) ->
+      if String.equal a.node node then begin
+        if Auth.verify node_cert a then oks := a :: !oks
+        else
+          fails :=
+            Printf.sprintf "authenticator #%d: bad signature or inconsistent hash" a.seq
+            :: !fails
+      end)
+    slice;
+  (List.rev !oks, List.rev !fails)
+
+let stitch ~ack_grace ~auth_failures passes =
+  let failures = ref [] in
+  let push m = failures := m :: !failures in
+  List.iter push auth_failures;
+  let recv_seqs = Hashtbl.create 256 in
+  let broke = ref false in
+  List.iter
+    (fun cp ->
+      List.iter
+        (function
+          | Ev_fail m -> push m
+          | Ev_chain m -> if not !broke then push m
+          | Ev_recv s -> Hashtbl.replace recv_seqs s ()
+          | Ev_xref (seq, msg) ->
+            if not (Hashtbl.mem recv_seqs msg) then
+              push (Printf.sprintf "entry #%d: rx read references non-RECV entry %d" seq msg))
+        cp.cp_events;
+      if cp.cp_broke then broke := true)
+    passes;
+  let acked = Hashtbl.create 64 in
+  List.iter (fun cp -> List.iter (fun s -> Hashtbl.replace acked s ()) cp.cp_acked) passes;
+  let last_seq = List.fold_left (fun _ cp -> cp.cp_last) 0 passes in
+  List.iter
+    (fun seq ->
+      if seq <= last_seq - ack_grace && not (Hashtbl.mem acked seq) then
+        push (Printf.sprintf "entry #%d: SEND was never acknowledged" seq))
+    (List.sort compare (List.concat_map (fun cp -> cp.cp_sends) passes));
+  {
+    entries_checked = List.fold_left (fun n cp -> n + cp.cp_entries) 0 passes;
+    auths_matched = List.fold_left (fun n cp -> n + cp.cp_auths) 0 passes;
+    recv_signatures_verified = List.fold_left (fun n cp -> n + cp.cp_recv_sigs) 0 passes;
+    failures = List.rev !failures;
+  }
+
+let syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace ~first_seq chunks =
+  let node = Avm_crypto.Identity.cert_name node_cert in
+  let verified =
+    Pool.map_list pool (verify_auth_slice ~node ~node_cert) (slice_list (Pool.jobs pool) auths)
+  in
+  let auth_by_seq = Hashtbl.create 256 in
+  List.iter
+    (fun (oks, _) -> List.iter (fun (a : Auth.t) -> Hashtbl.add auth_by_seq a.seq a) oks)
+    verified;
+  let auth_failures = List.concat_map snd verified in
+  let passes =
+    Pool.map_list pool
+      (fun c ->
+        run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash:c.sc_prev_hash
+          ~expected_first:c.sc_expected_first (c.sc_load ()))
+      chunks
+  in
+  stitch ~ack_grace ~auth_failures passes
+
+(* Chunking a materialized list: contiguous near-equal slices, one per
+   pool lane; boundary state comes from the previous slice's last
+   entry, exactly the values the sequential fold carries there. *)
+let list_chunks ~prev_hash ~lanes entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let lanes = max 1 (min lanes n) in
+  let per = (n + lanes - 1) / lanes in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      let hi = min n (i + per) in
+      let sub = Array.sub arr i (hi - i) in
+      go hi
+        ({
+           sc_prev_hash = (if i = 0 then prev_hash else arr.(i - 1).Entry.hash);
+           sc_expected_first = (if i = 0 then -1 else arr.(i - 1).Entry.seq + 1);
+           sc_load = (fun () -> Array.to_list sub);
+         }
+        :: acc)
+    end
+  in
+  go 0 []
+
+(* Chunking a segment store: one chunk per sealed segment (tail last),
+   straight off the index — compressed segments inflate inside the
+   worker, through the per-domain cache. *)
+let log_chunks log ~from ~upto =
+  List.map
+    (fun (s : Log.chunk_spec) ->
+      {
+        sc_prev_hash = s.Log.spec_prev_hash;
+        sc_expected_first = (if s.Log.spec_from <= from then -1 else s.Log.spec_from);
+        sc_load = s.Log.spec_load;
+      })
+    (Log.chunk_specs log ~from ~upto)
+
+let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?(ack_grace = 50) ?jobs
+    ?pool () =
+  let sequential () =
+    syntactic_feed ~node_cert ~peer_certs ~prev_hash
+      ~feed:(fun f -> List.iter f entries)
+      ~auths ~ack_grace ()
+  in
+  with_pool ?jobs ?pool (fun p ->
+      match p with
+      | Some pool -> (
+        match list_chunks ~prev_hash ~lanes:(Pool.jobs pool) entries with
+        | [] | [ _ ] -> sequential ()
+        | chunks ->
+          syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace
+            ~first_seq:(List.hd entries).Entry.seq chunks)
+      | None -> sequential ())
+
+let syntactic_of_log ~node_cert ~peer_certs ~log ?(from = 1) ?upto ~auths ?(ack_grace = 50)
+    ?jobs ?pool () =
   let upto = match upto with Some u -> u | None -> Log.length log in
-  syntactic_feed ~node_cert ~peer_certs
-    ~prev_hash:(Log.prev_hash log from)
-    ~feed:(fun f -> Log.iter_range log ~from ~upto f)
-    ~auths ?ack_grace ()
+  let sequential () =
+    syntactic_feed ~node_cert ~peer_certs
+      ~prev_hash:(Log.prev_hash log from)
+      ~feed:(fun f -> Log.iter_range log ~from ~upto f)
+      ~auths ~ack_grace ()
+  in
+  with_pool ?jobs ?pool (fun p ->
+      match p with
+      | Some pool -> (
+        match log_chunks log ~from ~upto with
+        | [] | [ _ ] -> sequential ()
+        | chunks ->
+          syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace
+            ~first_seq:(max 1 from) chunks)
+      | None -> sequential ())
 
 type report = {
   node : string;
@@ -156,22 +433,34 @@ let conclude ~node ~syn ~t0 ~t1 ~semantic =
   end
 
 let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
-    ~auths () =
-  let t0 = Sys.time () in
-  let syn = syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths () in
-  let t1 = Sys.time () in
-  conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1 ~semantic:(fun () ->
-      Replay.replay ~image ?mem_words ?start ?fuel ~peers ~entries ())
+    ~auths ?jobs ?pool () =
+  with_pool ?jobs ?pool (fun p ->
+      let t0 = Sys.time () in
+      let syn = syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?pool:p () in
+      let t1 = Sys.time () in
+      conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1
+        ~semantic:(fun () -> Replay.replay ~image ?mem_words ?start ?fuel ~peers ~entries ()))
 
 let full_of_log ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~log ?(from = 1)
-    ?upto ~auths () =
+    ?upto ?snapshots ~auths ?jobs ?pool () =
   let upto = match upto with Some u -> u | None -> Log.length log in
-  let t0 = Sys.time () in
-  let syn = syntactic_of_log ~node_cert ~peer_certs ~log ~from ~upto ~auths () in
-  let t1 = Sys.time () in
-  conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1 ~semantic:(fun () ->
-      Replay.replay_chunks ~image ?mem_words ?start ?fuel ~peers
-        ~chunks:(Log.chunk_seq log ~from ~upto) ())
+  with_pool ?jobs ?pool (fun p ->
+      let t0 = Sys.time () in
+      let syn = syntactic_of_log ~node_cert ~peer_certs ~log ~from ~upto ~auths ?pool:p () in
+      let t1 = Sys.time () in
+      (* The semantic pass partitions at snapshot boundaries only when
+         it owns the whole run: a caller-supplied start state or a
+         partial range keeps the plain streaming replay. *)
+      let semantic () =
+        match (p, snapshots, start) with
+        | Some pool, Some snaps, None when from = 1 ->
+          Spot_check.parallel_replay ~pool ~image ?mem_words ?fuel ~snapshots:snaps ~log
+            ~peers ~upto ()
+        | _ ->
+          Replay.replay_chunks ~image ?mem_words ?start ?fuel ~peers
+            ~chunks:(Log.chunk_seq log ~from ~upto) ()
+      in
+      conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1 ~semantic)
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>audit of %s:@ syntactic: %d entries, %d auths, %d recv sigs — %s@ "

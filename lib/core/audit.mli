@@ -14,7 +14,18 @@
     it segment-by-segment via {!Replay.replay_chunks}.
 
     Both are deterministic, so any third party repeating them obtains
-    the same verdict — that is what makes the output {!Evidence}. *)
+    the same verdict — that is what makes the output {!Evidence}.
+
+    {b Parallelism.} Every entry point takes [?jobs] / [?pool]: with
+    [jobs > 1] (or a multi-lane {!Avm_util.Domain_pool.t}) the
+    syntactic pass fans out one worker per sealed segment and the
+    semantic pass replays snapshot-delimited pieces concurrently
+    ({!Spot_check.parallel_replay}). The parallel passes are stitched
+    so that the report — verdict, counters and the failure list, byte
+    for byte — is identical to the sequential pass; [jobs = 1] (the
+    default) runs the original sequential code. Timing fields use
+    process CPU time and therefore over-count wall-clock when
+    parallel; benchmarks should measure wall-clock externally. *)
 
 type syntactic_report = {
   entries_checked : int;
@@ -45,12 +56,16 @@ val syntactic :
   entries:Avm_tamperlog.Entry.t list ->
   auths:Avm_tamperlog.Auth.t list ->
   ?ack_grace:int ->
+  ?jobs:int ->
+  ?pool:Avm_util.Domain_pool.t ->
   unit ->
   syntactic_report
 (** {!syntactic_feed} over a materialized list. [ack_grace] (default
     50) exempts the most recent sends from the every-send-is-acked
     rule: their acks may legitimately still be in flight when the log
-    was cut. *)
+    was cut. With [jobs > 1] or a multi-lane [pool], the list is cut
+    into one contiguous slice per lane and checked in parallel, with
+    a report identical to the sequential pass. *)
 
 val syntactic_of_log :
   node_cert:Avm_crypto.Identity.certificate ->
@@ -60,12 +75,17 @@ val syntactic_of_log :
   ?upto:int ->
   auths:Avm_tamperlog.Auth.t list ->
   ?ack_grace:int ->
+  ?jobs:int ->
+  ?pool:Avm_util.Domain_pool.t ->
   unit ->
   syntactic_report
 (** {!syntactic_feed} over a segment store: streams [from..upto]
     (default: the whole log) segment by segment, inflating compressed
     segments one at a time. [prev_hash] is taken from the log's own
-    index. *)
+    index. With [jobs > 1] or a multi-lane [pool], sealed segments are
+    checked concurrently (each worker inflating through its own
+    domain-local cache) and the per-segment results stitched into the
+    same report the sequential stream produces. *)
 
 type report = {
   node : string;
@@ -87,10 +107,15 @@ val full :
   prev_hash:string ->
   entries:Avm_tamperlog.Entry.t list ->
   auths:Avm_tamperlog.Auth.t list ->
+  ?jobs:int ->
+  ?pool:Avm_util.Domain_pool.t ->
   unit ->
   report
 (** Complete audit of one log segment. The semantic check runs only if
-    the syntactic check passes (a broken chain is already evidence). *)
+    the syntactic check passes (a broken chain is already evidence).
+    [jobs]/[pool] parallelize the syntactic pass; the semantic replay
+    of a bare entry list has no snapshot boundaries to cut at and
+    stays sequential. *)
 
 val full_of_log :
   node_cert:Avm_crypto.Identity.certificate ->
@@ -103,13 +128,23 @@ val full_of_log :
   log:Avm_tamperlog.Log.t ->
   ?from:int ->
   ?upto:int ->
+  ?snapshots:Avm_machine.Snapshot.t list ->
   auths:Avm_tamperlog.Auth.t list ->
+  ?jobs:int ->
+  ?pool:Avm_util.Domain_pool.t ->
   unit ->
   report
 (** {!full} driven straight off a segment store: both checks stream
     [from..upto] (default: the whole log) one sealed segment at a
     time — the syntactic pass via {!syntactic_of_log}, the semantic
     pass via {!Replay.replay_chunks} — with identical verdicts to
-    {!full} on the materialized entry list. *)
+    {!full} on the materialized entry list.
+
+    With [jobs > 1] (or a multi-lane [pool]) the syntactic pass runs
+    one worker per sealed segment, and — when [snapshots] are supplied,
+    [from = 1] and no [start] state overrides the boot image — the
+    semantic pass becomes {!Spot_check.parallel_replay}, cutting the
+    log at snapshot boundaries and replaying the pieces concurrently
+    from authenticated downloaded state. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,18 +1,46 @@
 type t = {
   engine : Replay.engine;
   replay_rate : float;
+  pool : Avm_util.Domain_pool.t option;
   mutable fed_upto : int; (* last log seq pulled *)
   mutable fault : Replay.divergence option;
+  mutable tampered : string option;
 }
 
-let create ~image ?mem_words ?(replay_rate = 0.955) ~peers () =
-  { engine = Replay.engine ~image ?mem_words ~peers (); replay_rate; fed_upto = 0; fault = None }
+let create ~image ?mem_words ?(replay_rate = 0.955) ?(jobs = 1) ~peers () =
+  let pool = if jobs > 1 then Some (Avm_util.Domain_pool.create ~jobs ()) else None in
+  {
+    engine = Replay.engine ~image ?mem_words ~peers ();
+    replay_rate;
+    pool;
+    fed_upto = 0;
+    fault = None;
+    tampered = None;
+  }
+
+(* Syntactic fast path: recompute the hash chain of the newly observed
+   range, one worker per sealed segment, off the segment index. The
+   replay engine would eventually trip over most tampering too, but
+   only after replaying up to it — this flags a broken chain the
+   moment it is observed, at memory bandwidth rather than replay
+   speed. *)
+let verify_new_range pool log ~from ~upto =
+  let module L = Avm_tamperlog.Log in
+  let check (s : L.chunk_spec) = L.verify_segment ~prev:s.L.spec_prev_hash (s.L.spec_load ()) in
+  Avm_util.Domain_pool.map_list pool check (L.chunk_specs log ~from ~upto)
+  |> List.find_map (function Error reason -> Some reason | Ok () -> None)
 
 let observe_log t log =
   let len = Avm_tamperlog.Log.length log in
   if len > t.fed_upto then begin
-    Avm_tamperlog.Log.iter_range log ~from:(t.fed_upto + 1) ~upto:len
-      (Replay.feed_entry t.engine);
+    let from = t.fed_upto + 1 in
+    (match t.pool with
+    | Some pool when t.tampered = None -> (
+      match verify_new_range pool log ~from ~upto:len with
+      | Some reason -> t.tampered <- Some reason
+      | None -> ())
+    | _ -> ());
+    Avm_tamperlog.Log.iter_range log ~from ~upto:len (Replay.feed_entry t.engine);
     t.fed_upto <- len
   end
 
@@ -30,3 +58,5 @@ let advance t ~budget_instructions =
 let lag_entries t = Replay.pending_entries t.engine
 let replayed_instructions t = Replay.replayed_instructions t.engine
 let fault t = t.fault
+let tamper_detected t = t.tampered
+let close t = Option.iter Avm_util.Domain_pool.shutdown t.pool

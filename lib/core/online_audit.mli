@@ -17,6 +17,7 @@ val create :
   image:int array ->
   ?mem_words:int ->
   ?replay_rate:float ->
+  ?jobs:int ->
   peers:(int * string) list ->
   unit ->
   t
@@ -24,11 +25,19 @@ val create :
     {!advance} gets relative to the recorded rate, modeling replay
     running a few percent slower than the original execution — which is
     why the auditor falls behind unless the recorded execution is
-    artificially slowed by 5% (paper §6.11). *)
+    artificially slowed by 5% (paper §6.11).
+
+    [jobs > 1] (default 1) gives the auditor a private
+    {!Avm_util.Domain_pool.t}: each {!observe_log} then re-verifies the
+    hash chain of the newly observed range in parallel, one worker per
+    sealed segment, so a broken chain surfaces via {!tamper_detected}
+    the moment it is observed instead of when replay reaches it. Call
+    {!close} when done to join the workers. *)
 
 val observe_log : t -> Avm_tamperlog.Log.t -> unit
 (** Pull any entries appended since the last call (the auditor
-    streaming the log during the game). *)
+    streaming the log during the game). The log must not be mutated
+    during the call. *)
 
 val advance : t -> budget_instructions:int -> [ `Ok | `Fault of Replay.divergence ]
 (** Replay up to [budget_instructions x replay_rate] more instructions.
@@ -41,3 +50,13 @@ val lag_entries : t -> int
 
 val replayed_instructions : t -> int
 val fault : t -> Replay.divergence option
+
+val tamper_detected : t -> string option
+(** Human-readable reason if the parallel chain pre-verification (only
+    active with [jobs > 1]) has caught a broken hash chain in an
+    observed range. Independent of {!fault}, which reports semantic
+    divergence found by replay. *)
+
+val close : t -> unit
+(** Join the worker domains of a [jobs > 1] auditor. Idempotent; a
+    [jobs = 1] auditor needs no close. *)

@@ -11,6 +11,68 @@ let boundaries log =
     (fun (entry_seq, snapshot_seq, at_icount) -> { entry_seq; snapshot_seq; at_icount })
     (Log.snapshot_index log)
 
+(* A prepared audit plan: the boundary index as an array + hashtable
+   (one O(n) build instead of a List.find_opt scan per lookup) and the
+   snapshot chain sorted once, so every chunk slices a prefix instead
+   of re-filtering the full snapshot list. *)
+type plan = {
+  p_bounds : boundary array; (* ascending entry_seq *)
+  p_by_snap : (int, boundary) Hashtbl.t; (* snapshot_seq -> boundary *)
+  p_chain : Snapshot.t array; (* ascending snapshot seq *)
+}
+
+let plan ~log ~snapshots =
+  let p_bounds = Array.of_list (boundaries log) in
+  let p_by_snap = Hashtbl.create (max 16 (Array.length p_bounds)) in
+  Array.iter (fun b -> Hashtbl.replace p_by_snap b.snapshot_seq b) p_bounds;
+  { p_bounds; p_by_snap; p_chain = Array.of_list (Snapshot.chain_upto snapshots max_int) }
+
+let plan_boundaries pl = Array.to_list pl.p_bounds
+
+let boundary_of pl i =
+  match Hashtbl.find_opt pl.p_by_snap i with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Spot_check: no snapshot %d in log" i)
+
+(* The pre-filtered chain for [Snapshot.materialize]: the prefix of the
+   sorted snapshot array with seq <= s. *)
+let chain_to pl s =
+  let n = Array.length pl.p_chain in
+  let k = ref 0 in
+  while !k < n && pl.p_chain.(!k).Snapshot.seq <= s do
+    incr k
+  done;
+  Array.to_list (Array.sub pl.p_chain 0 !k)
+
+let has_snapshot pl s = Array.exists (fun (sn : Snapshot.t) -> sn.seq = s) pl.p_chain
+
+(* Materialize the downloaded state at a boundary and authenticate it
+   against the logged digest; a forged download is itself evidence. *)
+let downloaded_state pl ~image ?mem_words ~log (b : boundary) =
+  let machine = Snapshot.materialize ?mem_words ~image (chain_to pl b.snapshot_seq) in
+  let logged_digest =
+    match (Log.entry log b.entry_seq).Entry.content with
+    | Entry.Snapshot_ref { digest; _ } -> digest
+    | _ -> assert false
+  in
+  let meta = Machine.serialize_meta machine in
+  let root = Avm_crypto.Merkle.root (Snapshot.merkle_of_machine machine) in
+  let recomputed =
+    Avm_crypto.Sha256.digest_list [ meta; root; string_of_int b.at_icount ]
+  in
+  let fault =
+    if String.equal recomputed logged_digest then None
+    else
+      Some
+        {
+          Replay.kind = Replay.Snapshot_mismatch;
+          at = Machine.landmark machine;
+          entry_seq = Some b.entry_seq;
+          detail = "downloaded snapshot does not match the logged digest";
+        }
+  in
+  (machine, fault)
+
 type chunk_report = {
   start_snapshot : int;
   k : int;
@@ -20,48 +82,25 @@ type chunk_report = {
   outcome : Replay.outcome;
 }
 
-let check_chunk ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k =
-  let bounds = boundaries log in
-  let nth i =
-    match List.find_opt (fun b -> b.snapshot_seq = i) bounds with
-    | Some b -> b
-    | None -> invalid_arg (Printf.sprintf "Spot_check: no snapshot %d in log" i)
-  in
-  let start_b = nth start_snapshot in
-  let end_b = nth (start_snapshot + k) in
-  (* Materialize the authenticated state at the chunk's first snapshot. *)
-  let chain =
-    List.filter (fun (s : Snapshot.t) -> s.seq <= start_snapshot) snapshots
-  in
-  let machine = Snapshot.materialize ~mem_words ~image chain in
-  (* Authenticate the downloaded state against the logged digest. *)
-  let logged_digest =
-    match (Log.entry log start_b.entry_seq).Entry.content with
-    | Entry.Snapshot_ref { digest; _ } -> digest
-    | _ -> assert false
-  in
-  let meta = Machine.serialize_meta machine in
-  let root = Avm_crypto.Merkle.root (Snapshot.merkle_of_machine machine) in
-  let recomputed =
-    Avm_crypto.Sha256.digest_list [ meta; root; string_of_int start_b.at_icount ]
-  in
+let check_chunk ?plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k () =
+  let pl = match pl with Some pl -> pl | None -> plan ~log ~snapshots in
+  let start_b = boundary_of pl start_snapshot in
+  let end_b = boundary_of pl (start_snapshot + k) in
+  (* Materialize the authenticated state at the chunk's first snapshot;
+     a forged download is itself the divergence. *)
+  let machine, digest_fault = downloaded_state pl ~image ~mem_words ~log start_b in
   (* What the auditor transfers: the full state at the chunk start (the
      paper's "memory + disk snapshots") plus the compressed log. *)
   let state_bytes =
-    String.length meta + (Memory.page_count (Machine.mem machine) * Memory.page_size * 4)
+    String.length (Machine.serialize_meta machine)
+    + (Memory.page_count (Machine.mem machine) * Memory.page_size * 4)
   in
   let from = start_b.entry_seq + 1 and upto = end_b.entry_seq in
   let log_bytes_compressed = Log.transfer_bytes log ~from ~upto in
   let outcome =
-    if not (String.equal recomputed logged_digest) then
-      Replay.Diverged
-        {
-          Replay.kind = Replay.Snapshot_mismatch;
-          at = Machine.landmark machine;
-          entry_seq = Some start_b.entry_seq;
-          detail = "downloaded snapshot does not match the logged digest";
-        }
-    else
+    match digest_fault with
+    | Some d -> Replay.Diverged d
+    | None ->
       Replay.replay_chunks ~image ~mem_words ~start:machine ~peers
         ~chunks:(Log.chunk_seq log ~from ~upto) ()
   in
@@ -78,3 +117,79 @@ let check_chunk ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k =
     replay_instructions;
     outcome;
   }
+
+let check_chunks ?pool ~image ~mem_words ~snapshots ~log ~peers chunks =
+  let pl = plan ~log ~snapshots in
+  let job (start_snapshot, k) =
+    check_chunk ~plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k ()
+  in
+  match pool with
+  | Some p when Avm_util.Domain_pool.jobs p > 1 -> Avm_util.Domain_pool.map_list p job chunks
+  | _ -> List.map job chunks
+
+(* --- snapshot-partitioned full replay (the parallel semantic audit) ------ *)
+
+(* The full log [1..upto] cut at every snapshot boundary whose state the
+   auditor can actually materialize. Each piece replays independently:
+   the first from the boot image, the rest from downloaded snapshot
+   state, exactly like a k=1 spot check. *)
+type piece = {
+  pc_start : [ `Fresh | `Boundary of boundary ];
+  pc_from : int;
+  pc_upto : int;
+}
+
+let pieces pl ~upto =
+  let cuts =
+    List.filter
+      (fun b -> b.entry_seq < upto && has_snapshot pl b.snapshot_seq)
+      (Array.to_list pl.p_bounds)
+  in
+  let rec go start from = function
+    | [] -> [ { pc_start = start; pc_from = from; pc_upto = upto } ]
+    | b :: rest ->
+      { pc_start = start; pc_from = from; pc_upto = b.entry_seq }
+      :: go (`Boundary b) (b.entry_seq + 1) rest
+  in
+  go `Fresh 1 cuts
+
+let replay_piece pl ~image ?mem_words ?fuel ~peers ~log piece =
+  let replay start =
+    Replay.replay_chunks ~image ?mem_words ?start ?fuel ~peers
+      ~chunks:(Log.chunk_seq log ~from:piece.pc_from ~upto:piece.pc_upto)
+      ()
+  in
+  match piece.pc_start with
+  | `Fresh -> replay None
+  | `Boundary b -> (
+    match downloaded_state pl ~image ?mem_words ~log b with
+    | _, Some d -> Replay.Diverged d
+    | machine, None -> replay (Some machine))
+
+(* Merge per-piece outcomes in sequence order: the earliest diverged
+   piece wins (its replay saw exactly the states the sequential pass
+   would have seen there — see the mli), and an all-verified run sums
+   to the sequential totals because piece boundaries telescope. *)
+let merge_outcomes outcomes =
+  let rec go instructions fed = function
+    | [] -> Replay.Verified { instructions; entries_consumed = fed }
+    | Replay.Diverged d :: _ -> Replay.Diverged d
+    | Replay.Verified { instructions = i; entries_consumed = f } :: rest ->
+      go (instructions + i) (fed + f) rest
+  in
+  go 0 0 outcomes
+
+let parallel_replay ~pool ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto () =
+  let upto = match upto with Some u -> u | None -> Log.length log in
+  let pl = plan ~log ~snapshots in
+  match pieces pl ~upto with
+  | [ _ ] | [] ->
+    (* nothing to partition: plain streaming replay *)
+    Replay.replay_chunks ~image ?mem_words ?fuel ~peers
+      ~chunks:(Log.chunk_seq log ~from:1 ~upto)
+      ()
+  | ps ->
+    merge_outcomes
+      (Avm_util.Domain_pool.map_list pool
+         (replay_piece pl ~image ?mem_words ?fuel ~peers ~log)
+         ps)

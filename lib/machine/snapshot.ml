@@ -80,11 +80,23 @@ let decode s =
 
 let size_bytes t = String.length (encode t)
 
-let materialize ~mem_words ~image chain =
+(* Snapshots with seq <= upto, in the ascending-seq order [materialize]
+   applies them. Callers replaying many chunks should sort/filter once
+   and slice prefixes rather than calling this per chunk. *)
+let chain_upto snapshots upto =
+  List.sort
+    (fun a b -> compare a.seq b.seq)
+    (List.filter (fun s -> s.seq <= upto) snapshots)
+
+let materialize ?mem_words ~image chain =
   match chain with
   | [] -> invalid_arg "Snapshot.materialize: empty chain"
   | first :: _ ->
-    let machine = Machine.create ~mem_words image in
+    let machine =
+      match mem_words with
+      | Some w -> Machine.create ~mem_words:w image
+      | None -> Machine.create image
+    in
     ignore first;
     let mem = Machine.mem machine in
     let last = List.fold_left (fun _ snap -> Some snap) None chain in

@@ -37,11 +37,18 @@ val encode : t -> string
 val decode : string -> t
 (** @raise Avm_util.Wire.Malformed on garbage. *)
 
-val materialize : mem_words:int -> image:int array -> t list -> Machine.t
+val chain_upto : t list -> int -> t list
+(** [chain_upto snapshots upto] is the snapshots with [seq <= upto] in
+    ascending-seq order — the pre-filtered chain {!materialize}
+    expects. Callers replaying many chunks should build the sorted
+    chain once and slice prefixes instead of calling this per chunk. *)
+
+val materialize : ?mem_words:int -> image:int array -> t list -> Machine.t
 (** [materialize ~mem_words ~image chain] reconstructs the machine at
     the last snapshot of [chain] by starting from [image] and applying
-    each snapshot's page deltas in order (the chain must start with a
-    full snapshot or cover every changed page since boot).
+    each snapshot's page deltas in order (the chain must be ascending
+    and start with a full snapshot or cover every changed page since
+    boot — see {!chain_upto}).
     @raise Invalid_argument on an empty chain. *)
 
 val verify : Machine.t -> expected_root:string -> bool

@@ -35,7 +35,7 @@ let audit_server_chunk o ~start_snapshot ~k =
   let server = Net.node_avmm (Net.node o.net 0) in
   Spot_check.check_chunk ~image:(server_image ()) ~mem_words:Guests.mem_words
     ~snapshots:o.server_snapshots ~log:(Avmm.log server) ~peers:(Net.peers o.net)
-    ~start_snapshot ~k
+    ~start_snapshot ~k ()
 
 let full_audit_cost o =
   let server = Net.node_avmm (Net.node o.net 0) in

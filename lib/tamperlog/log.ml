@@ -7,13 +7,16 @@ let genesis_hash = String.make 32 '\000'
    paper's auditors fetch snapshot-bounded segments, so snapshots are
    natural seal points). With the [Compressed] backend, sealed segments
    live compressed at rest and are only inflated when a reader streams
-   them; a one-slot cache keeps random access over a hot segment cheap.
+   them; a per-domain one-slot cache keeps random access over a hot
+   segment cheap, and lets parallel audit jobs inflate different
+   segments concurrently without sharing mutable state.
 
    Tamper operations (the test adversary) first flatten the log back
    into a plain in-memory tail: a broken hash chain cannot survive the
    body-only sealed encoding, and segments are immutable by design. *)
 
 type t = {
+  mutable id : int; (* per-domain cache key; bumped when sealed data changes *)
   mutable sealed : Segment_store.seg array; (* chronological; [nsealed] live *)
   mutable nsealed : int;
   mutable tail : Entry.t array;
@@ -25,8 +28,10 @@ type t = {
   backend : Segment_store.backend;
   seal_every : int;
   mutable sealable : bool; (* cleared by tamper_replace: broken chains must stay verbatim *)
-  mutable cache : (int * Entry.t array) option; (* last inflated sealed segment *)
 }
+
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1
 
 let dummy_entry = { Entry.seq = 0; content = Entry.Note ""; hash = "" }
 let no_seg : Segment_store.seg array = [||]
@@ -34,6 +39,7 @@ let no_seg : Segment_store.seg array = [||]
 let create ?(backend = Segment_store.Memory) ?(seal_every = 1024) () =
   if seal_every < 1 then invalid_arg "Log.create: seal_every < 1";
   {
+    id = fresh_id ();
     sealed = no_seg;
     nsealed = 0;
     tail = Array.make 64 dummy_entry;
@@ -44,7 +50,6 @@ let create ?(backend = Segment_store.Memory) ?(seal_every = 1024) () =
     backend;
     seal_every;
     sealable = true;
-    cache = None;
   }
 
 let sealed_upto t =
@@ -150,12 +155,20 @@ let find_seg t seq =
   done;
   !lo
 
+(* One inflated segment per domain: concurrent audit jobs each keep
+   their own hot segment, with no cross-domain mutable state. Keyed by
+   the log's [id], which is bumped whenever sealed data changes, so a
+   slot can never serve stale entries. *)
+let inflate_slot : (int * int * Entry.t array) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let inflate t i =
-  match t.cache with
-  | Some (j, a) when j = i -> a
+  let slot = Domain.DLS.get inflate_slot in
+  match !slot with
+  | Some (id, j, a) when id = t.id && j = i -> a
   | _ ->
     let a = Segment_store.inflate t.sealed.(i) in
-    t.cache <- Some (i, a);
+    slot := Some (t.id, i, a);
     a
 
 let entry t seq =
@@ -224,6 +237,60 @@ let iter t f = iter_range t ~from:1 ~upto:(length t) f
 let segment t ~from ~upto =
   List.rev (fold_range t ~from ~upto ~init:[] (fun acc e -> e :: acc))
 
+(* The same partition as [chunk_seq], but with the index metadata a
+   parallel auditor needs to check each chunk independently: the chain
+   hash just before the chunk and its seq range, plus a load thunk
+   that is safe to force from a worker domain (inflation goes through
+   the per-domain cache; the log must be quiescent meanwhile). *)
+
+type chunk_spec = {
+  spec_from : int;
+  spec_upto : int;
+  spec_prev_hash : string;
+  spec_load : unit -> Entry.t list;
+}
+
+let chunk_specs t ~from ~upto =
+  let from = max 1 from and upto = min (length t) upto in
+  if upto < from then []
+  else begin
+    let su = sealed_upto t in
+    let specs = ref [] in
+    if upto > su then begin
+      (* materialized eagerly: the tail array may grow under appends *)
+      let entries = slice t.tail ~first_seq:(su + 1) ~len:t.tail_count ~from ~upto in
+      let c_from = max from (su + 1) in
+      specs :=
+        {
+          spec_from = c_from;
+          spec_upto = upto;
+          spec_prev_hash = prev_hash t c_from;
+          spec_load = (fun () -> entries);
+        }
+        :: !specs
+    end;
+    for i = t.nsealed - 1 downto 0 do
+      let info = t.sealed.(i).Segment_store.info in
+      if info.last_seq >= from && info.first_seq <= upto then begin
+        let c_from = max from info.first_seq in
+        let ph = if c_from = info.first_seq then info.prev_hash else prev_hash t c_from in
+        specs :=
+          {
+            spec_from = c_from;
+            spec_upto = min upto info.last_seq;
+            spec_prev_hash = ph;
+            spec_load =
+              (fun () ->
+                slice (inflate t i) ~first_seq:info.first_seq
+                  ~len:(info.last_seq - info.first_seq + 1)
+                  ~from ~upto);
+          }
+          :: !specs
+      end
+    done;
+    !specs
+  end
+
 (* --- wire form ---------------------------------------------------------- *)
 
 let encode_segment entries = Segment_store.encode_entries entries
@@ -253,6 +320,80 @@ let verify_segment ~prev entries =
   match entries with
   | [] -> Ok ()
   | first :: _ -> go prev first.Entry.seq entries
+
+(* --- parallel at-rest conversion ---------------------------------------- *)
+
+(* The codec work dominates conversion, so both directions fan the
+   per-segment encode/decode out over a pool when one is given; the
+   [t.sealed] writes happen on the calling domain only, after every
+   job has settled. Entry identity is preserved, so cache slots keyed
+   by [t.id] stay valid and the id is not bumped. *)
+
+let map_jobs pool f xs =
+  match pool with
+  | Some p when Avm_util.Domain_pool.jobs p > 1 -> Avm_util.Domain_pool.map_list p f xs
+  | _ -> List.map f xs
+
+(* Compressing an inconsistent segment would silently repair tamper
+   evidence (the Compressed form recomputes hashes from [prev_hash]),
+   so a segment is converted only if its stored chain verifies end to
+   end, including the index endpoints. *)
+let seg_compressible (seg : Segment_store.seg) entries =
+  let info = seg.Segment_store.info in
+  match verify_segment ~prev:info.prev_hash entries with
+  | Error _ -> false
+  | Ok () -> (
+    match (entries, List.rev entries) with
+    | first :: _, last :: _ ->
+      first.Entry.seq = info.first_seq
+      && last.Entry.seq = info.last_seq
+      && String.equal last.Entry.hash info.head_hash
+    | _ -> false)
+
+let compress_sealed ?pool t =
+  let pending = ref [] in
+  for i = t.nsealed - 1 downto 0 do
+    match t.sealed.(i).Segment_store.repr with
+    | Segment_store.Entries _ -> pending := i :: !pending
+    | Segment_store.Blob _ -> ()
+  done;
+  let converted =
+    map_jobs pool
+      (fun i ->
+        let seg = t.sealed.(i) in
+        let entries = Array.to_list (Segment_store.inflate seg) in
+        if not (seg_compressible seg entries) then None
+        else
+          Some
+            ( i,
+              Segment_store.seal Segment_store.Compressed ~info:seg.Segment_store.info
+                (Segment_store.inflate seg) ))
+      !pending
+  in
+  List.fold_left
+    (fun n -> function
+      | None -> n
+      | Some (i, seg) ->
+        t.sealed.(i) <- seg;
+        n + 1)
+    0 converted
+
+let inflate_sealed ?pool t =
+  let pending = ref [] in
+  for i = t.nsealed - 1 downto 0 do
+    match t.sealed.(i).Segment_store.repr with
+    | Segment_store.Blob _ -> pending := i :: !pending
+    | Segment_store.Entries _ -> ()
+  done;
+  let converted =
+    map_jobs pool
+      (fun i ->
+        let seg = t.sealed.(i) in
+        (i, { seg with Segment_store.repr = Segment_store.Entries (Segment_store.inflate seg) }))
+      !pending
+  in
+  List.iter (fun (i, seg) -> t.sealed.(i) <- seg) converted;
+  List.length converted
 
 (* --- storage accounting ------------------------------------------------- *)
 
@@ -321,7 +462,8 @@ let flatten t =
         incr k);
     t.sealed <- no_seg;
     t.nsealed <- 0;
-    t.cache <- None;
+    (* fresh cache key: later re-seals must not hit a stale slot *)
+    t.id <- fresh_id ();
     t.tail <- all;
     t.tail_count <- n;
     t.tail_bytes <- t.bytes
@@ -357,7 +499,7 @@ let tamper_reseal t seq content =
 let fork t =
   {
     t with
+    id = fresh_id ();
     sealed = Array.copy t.sealed;
     tail = Array.copy t.tail;
-    cache = None;
   }

@@ -72,6 +72,20 @@ val fold_range : t -> from:int -> upto:int -> init:'a -> ('a -> Entry.t -> 'a) -
 val iter_range : t -> from:int -> upto:int -> (Entry.t -> unit) -> unit
 val iter : t -> (Entry.t -> unit) -> unit
 
+type chunk_spec = {
+  spec_from : int;  (** first seq of the chunk *)
+  spec_upto : int;  (** last seq (inclusive) *)
+  spec_prev_hash : string;  (** stored chain hash just before [spec_from] *)
+  spec_load : unit -> Entry.t list;  (** materialize the chunk's entries *)
+}
+
+val chunk_specs : t -> from:int -> upto:int -> chunk_spec list
+(** The {!chunk_seq} partition (one chunk per overlapping sealed
+    segment, tail last) with the index metadata a {e parallel} auditor
+    needs to verify each chunk independently. The load thunks are safe
+    to force concurrently from worker domains — inflation goes through
+    a per-domain cache — provided the log is not mutated meanwhile. *)
+
 (** {1 Index and accounting} *)
 
 val backend : t -> Segment_store.backend
@@ -97,6 +111,22 @@ val transfer_bytes : t -> from:int -> upto:int -> int
 (** Compressed bytes an auditor downloads to stream [from..upto]:
     resident blobs ship whole (segment granularity), memory segments
     and the tail are compressed transiently. *)
+
+val compress_sealed : ?pool:Avm_util.Domain_pool.t -> t -> int
+(** Re-seal resident [Memory] segments in the [Compressed] form,
+    fanning the per-segment codec work out over [pool] when given.
+    Only segments whose {e stored} chain verifies end to end are
+    converted — the compressed encoding recomputes hashes on
+    inflation, so converting an inconsistent segment would silently
+    repair tamper evidence; such segments stay verbatim. Returns the
+    number of segments converted. Not safe to run concurrently with
+    readers of the same log. *)
+
+val inflate_sealed : ?pool:Avm_util.Domain_pool.t -> t -> int
+(** The reverse migration: decompress every [Compressed] segment back
+    to resident entries (in parallel when [pool] is given), e.g. before
+    a burst of random access. Returns the number converted. Not safe to
+    run concurrently with readers of the same log. *)
 
 (** {1 Wire form} *)
 

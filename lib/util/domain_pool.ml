@@ -1,0 +1,146 @@
+(* A reusable fixed-size worker pool on OCaml 5 domains.
+
+   [create ~jobs ()] spawns [jobs - 1] worker domains; the [jobs]-th
+   lane is the caller itself, which helps drain the queue whenever it
+   blocks in [await]. A pool with [jobs = 1] therefore spawns no
+   domains at all and runs every task inline on first await — the
+   degenerate case costs nothing beyond a queue push.
+
+   One mutex guards the queue and every task cell. Workers sleep on
+   [work] (signalled per submission); awaiters sleep on [finished]
+   (broadcast per completion) but only after the queue is empty — an
+   awaiter with runnable tasks executes them itself, so submit-all /
+   await-all never deadlocks even with zero workers. Task bodies never
+   run under the lock.
+
+   Results are delivered per task, so batch combinators ([map_list],
+   [run]) recover deterministic ordering simply by awaiting in
+   submission order. Exceptions raised by a task are captured with
+   their backtrace and re-raised in the awaiter; a batch awaits every
+   task before re-raising the failure of the smallest job index, so a
+   crash in one task cannot leave siblings running against torn
+   state. *)
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t; (* a job was queued, or the pool is closing *)
+  finished : Condition.t; (* some task completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+type 'a cell = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+type 'a task = { pool : t; mutable cell : 'a cell }
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.jobs
+
+let worker_loop t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work t.lock
+    done;
+    match Queue.take_opt t.queue with
+    | Some job ->
+      Mutex.unlock t.lock;
+      job ()
+    | None ->
+      (* closed and drained *)
+      Mutex.unlock t.lock;
+      continue := false
+  done
+
+let create ?(jobs = recommended_jobs ()) () =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+      jobs;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t f =
+  let task = { pool = t; cell = Pending } in
+  let job () =
+    let r =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.lock;
+    task.cell <- r;
+    Condition.broadcast t.finished;
+    Mutex.unlock t.lock
+  in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Domain_pool.submit: pool is closed"
+  end;
+  Queue.add job t.queue;
+  Condition.signal t.work;
+  Mutex.unlock t.lock;
+  task
+
+let rec await task =
+  let t = task.pool in
+  Mutex.lock t.lock;
+  match task.cell with
+  | Done v ->
+    Mutex.unlock t.lock;
+    v
+  | Failed (e, bt) ->
+    Mutex.unlock t.lock;
+    Printexc.raise_with_backtrace e bt
+  | Pending -> (
+    (* Help: run queued work instead of going idle. *)
+    match Queue.take_opt t.queue with
+    | Some job ->
+      Mutex.unlock t.lock;
+      job ();
+      await task
+    | None ->
+      Condition.wait t.finished t.lock;
+      Mutex.unlock t.lock;
+      await task)
+
+let try_await task = match await task with v -> Ok v | exception e -> Error e
+
+let await_all tasks =
+  (* Settle every task before raising, then re-raise the failure with
+     the smallest job index (deterministic regardless of scheduling). *)
+  let settled = List.map try_await tasks in
+  List.map (function Ok v -> v | Error e -> raise e) settled
+
+let run t thunks = await_all (List.map (submit t) thunks)
+let map_list t f xs = run t (List.map (fun x () -> f x) xs)
+
+let map_array t f xs =
+  let tasks = Array.map (fun x -> submit t (fun () -> f x)) xs in
+  let settled = Array.map try_await tasks in
+  Array.map (function Ok v -> v | Error e -> raise e) settled
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,52 @@
+(** A reusable fixed-size worker pool on OCaml 5 domains.
+
+    [create ~jobs ()] provides [jobs]-way parallelism using [jobs - 1]
+    spawned domains plus the calling domain, which helps drain the
+    queue whenever it blocks in {!await} — so submit-all / await-all
+    never deadlocks, and a [jobs = 1] pool spawns no domains and runs
+    everything inline.
+
+    Tasks are plain thunks; results come back per task in whatever
+    order the caller awaits them, so the batch combinators recover
+    deterministic ordering by awaiting in submission order. A task
+    that raises has its exception (and backtrace) captured and
+    re-raised in the awaiter; batch combinators settle {e every} task
+    first and then re-raise the failure of the smallest job index. *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!recommended_jobs}; values below 1 are clamped
+    to 1. Spawns [jobs - 1] worker domains immediately; the pool is
+    reusable across any number of submissions until {!shutdown}. *)
+
+val jobs : t -> int
+(** The parallelism this pool was created with (including the caller's
+    lane). *)
+
+type 'a task
+
+val submit : t -> (unit -> 'a) -> 'a task
+(** Queue a task. @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a task -> 'a
+(** Block until the task settles, executing other queued tasks while
+    waiting. Re-raises the task's exception with its backtrace. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Submit all thunks, await all, results in submission order. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map with results in input order. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val shutdown : t -> unit
+(** Close the queue and join the workers; queued tasks still complete
+    first. Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and {!shutdown} (also on exception). *)

@@ -422,7 +422,7 @@ let test_spot_check_chunks () =
   Alcotest.(check bool) "several snapshots" true (List.length bounds >= 4);
   let report =
     Spot_check.check_chunk ~image:(guest_image ()) ~mem_words:4096
-      ~snapshots:(Avmm.snapshots b) ~log ~peers:peers_b ~start_snapshot:1 ~k:2
+      ~snapshots:(Avmm.snapshots b) ~log ~peers:peers_b ~start_snapshot:1 ~k:2 ()
   in
   (match report.Spot_check.outcome with
   | Replay.Verified _ -> ()
@@ -452,7 +452,7 @@ let test_spot_check_incompleteness () =
   Alcotest.(check bool) "enough segments" true (List.length bounds >= 5);
   let early =
     Spot_check.check_chunk ~image:(guest_image ()) ~mem_words:4096 ~snapshots:(Avmm.snapshots b)
-      ~log ~peers:peers_b ~start_snapshot:1 ~k:1
+      ~log ~peers:peers_b ~start_snapshot:1 ~k:1 ()
   in
   (match early.Spot_check.outcome with
   | Replay.Diverged _ -> ()
@@ -460,7 +460,7 @@ let test_spot_check_incompleteness () =
   (* Checking only a later chunk misses it. *)
   let late =
     Spot_check.check_chunk ~image:(guest_image ()) ~mem_words:4096 ~snapshots:(Avmm.snapshots b)
-      ~log ~peers:peers_b ~start_snapshot:3 ~k:1
+      ~log ~peers:peers_b ~start_snapshot:3 ~k:1 ()
   in
   match late.Spot_check.outcome with
   | Replay.Verified _ -> ()
@@ -971,6 +971,168 @@ let test_syntactic_single_pass () =
   in
   Alcotest.(check bool) "same report" true (syn = listed)
 
+(* --- parallel audit = sequential audit --------------------------------------- *)
+
+(* The acceptance bar for the domain-parallel engine: at any job count,
+   both syntactic entry points must produce reports *structurally
+   identical* to the sequential pass — same counters, same failure
+   strings in the same order — on honest logs and on every tamper op. *)
+let check_parallel_syntactic ~name entries auths =
+  let syn ?jobs ~entries () =
+    Audit.syntactic ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+      ~prev_hash:Log.genesis_hash ~entries ~auths ?jobs ()
+  in
+  let seq = syn ~entries () in
+  let seg_log = Log.of_entries ~seal_every:50 entries in
+  List.iter
+    (fun jobs ->
+      let par = syn ~jobs ~entries () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: list failures (jobs=%d)" name jobs)
+        seq.Audit.failures par.Audit.failures;
+      Alcotest.(check bool) (Printf.sprintf "%s: list report (jobs=%d)" name jobs) true
+        (seq = par);
+      let par_log =
+        Audit.syntactic_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+          ~log:seg_log ~auths ~jobs ()
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: store failures (jobs=%d)" name jobs)
+        seq.Audit.failures par_log.Audit.failures;
+      Alcotest.(check bool) (Printf.sprintf "%s: store report (jobs=%d)" name jobs) true
+        (seq = par_log))
+    [ 1; 2; 4 ]
+
+let test_parallel_syntactic_honest_and_tampered () =
+  let b, auths = record_with_auths () in
+  let honest = entries_of b in
+  check_parallel_syntactic ~name:"honest" honest auths;
+  (* naive in-place replace: hash chain breaks mid-log *)
+  let b, auths = record_with_auths () in
+  Log.tamper_replace (Avmm.log b) 5 (Entry.Note "swapped");
+  check_parallel_syntactic ~name:"replace" (entries_of b) auths;
+  (* a second break in a later chunk must still report only the first *)
+  let broken_twice =
+    List.map
+      (fun (e : Entry.t) ->
+        if e.Entry.seq = 5 || e.Entry.seq = List.length honest - 10 then
+          { e with Entry.content = Entry.Note "evil" }
+        else e)
+      honest
+  in
+  check_parallel_syntactic ~name:"two breaks" broken_twice auths;
+  (* reseal: consistent chain, caught by the collected authenticators *)
+  let b, auths = record_with_auths () in
+  (match
+     List.find_map
+       (fun (e : Entry.t) -> match e.content with Entry.Send _ -> Some e.seq | _ -> None)
+       (entries_of b)
+   with
+  | None -> Alcotest.fail "no send"
+  | Some seq ->
+    Log.tamper_reseal (Avmm.log b) seq
+      (Entry.Send { dest = "alice"; nonce = 999; payload = "forged" }));
+  check_parallel_syntactic ~name:"reseal" (entries_of b) auths;
+  (* truncate: valid prefix; reports must still agree *)
+  let b, auths = record_with_auths () in
+  Log.tamper_truncate (Avmm.log b) (Log.length (Avmm.log b) / 2);
+  check_parallel_syntactic ~name:"truncate" (entries_of b) auths;
+  (* forged RECV signature *)
+  let b, auths = record_with_auths () in
+  (match
+     List.find_map
+       (fun (e : Entry.t) -> match e.content with Entry.Recv _ -> Some e.seq | _ -> None)
+       (entries_of b)
+   with
+  | None -> Alcotest.fail "no recv"
+  | Some seq ->
+    Log.tamper_reseal (Avmm.log b) seq
+      (Entry.Recv { src = "alice"; nonce = 9; payload = "gift"; signature = "forged" }));
+  check_parallel_syntactic ~name:"forged-recv" (entries_of b) auths
+
+(* Full audits (syntactic + snapshot-partitioned semantic replay) at
+   jobs in {1, 2, 4} against the sequential report. The semantic
+   outcomes must be structurally identical: same Verified totals
+   (piece boundaries telescope) or the same first divergence. *)
+let check_parallel_full ~name b auths =
+  let log = Avmm.log b in
+  let snapshots = Avmm.snapshots b in
+  let full ?jobs ?snapshots () =
+    Audit.full_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+      ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ~log ?snapshots ~auths ?jobs ()
+  in
+  let seq = full () in
+  List.iter
+    (fun jobs ->
+      let par = full ~jobs ~snapshots () in
+      Alcotest.(check bool) (Printf.sprintf "%s: syntactic (jobs=%d)" name jobs) true
+        (seq.Audit.syntactic = par.Audit.syntactic);
+      (match (seq.Audit.semantic, par.Audit.semantic) with
+      | Some o1, Some o2 ->
+        if o1 <> o2 then
+          Alcotest.failf "%s: semantic outcomes differ at jobs=%d: %s vs %s" name jobs
+            (Format.asprintf "%a" Replay.pp_outcome o1)
+            (Format.asprintf "%a" Replay.pp_outcome o2)
+      | None, None -> ()
+      | _ -> Alcotest.failf "%s: one audit skipped semantic, the other did not" name);
+      Alcotest.(check bool) (Printf.sprintf "%s: verdict (jobs=%d)" name jobs) true
+        (seq.Audit.verdict = par.Audit.verdict))
+    [ 1; 2; 4 ]
+
+let test_parallel_full_audit () =
+  (* honest session: everything verifies, totals telescope *)
+  let b, auths = record_with_auths () in
+  check_parallel_full ~name:"honest" b auths;
+  (* hidden state poke: the same first divergence from every job count *)
+  let b, auths = record_with_auths ~poke_at:15 () in
+  check_parallel_full ~name:"poke" b auths
+
+let test_parallel_replay_forged_snapshot () =
+  (* A forged *downloaded* snapshot is evidence only the parallel
+     replay can see: the sequential replay never materializes state, so
+     this is a documented (strict) extra detection, not a divergence
+     between the two passes. *)
+  let _, b = run_pair ~slices:60 () in
+  let log = Avmm.log b in
+  let snapshots = Avmm.snapshots b in
+  Alcotest.(check bool) "several snapshots" true (List.length snapshots >= 3);
+  let forged =
+    List.map
+      (fun (s : Avm_machine.Snapshot.t) ->
+        if s.seq <> 0 then s
+        else
+          match s.pages with
+          | (p, data) :: rest ->
+            let bad = Bytes.of_string data in
+            Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 1));
+            { s with Avm_machine.Snapshot.pages = (p, Bytes.to_string bad) :: rest }
+          | [] -> Alcotest.fail "full snapshot has no pages")
+      snapshots
+  in
+  Avm_util.Domain_pool.with_pool ~jobs:2 (fun pool ->
+      expect_verified
+        (Spot_check.parallel_replay ~pool ~image:(guest_image ()) ~mem_words:4096 ~snapshots
+           ~log ~peers:peers_b ());
+      expect_diverged Replay.Snapshot_mismatch
+        (Spot_check.parallel_replay ~pool ~image:(guest_image ()) ~mem_words:4096
+           ~snapshots:forged ~log ~peers:peers_b ()))
+
+let test_spot_check_plan_and_pool () =
+  let _, b = run_pair ~slices:60 () in
+  let log = Avmm.log b in
+  let snapshots = Avmm.snapshots b in
+  let pl = Spot_check.plan ~log ~snapshots in
+  Alcotest.(check bool) "plan indexes every boundary" true
+    (Spot_check.plan_boundaries pl = Spot_check.boundaries log);
+  let chunks = [ (1, 1); (2, 2); (1, 2) ] in
+  let check ?pool () =
+    Spot_check.check_chunks ?pool ~image:(guest_image ()) ~mem_words:4096 ~snapshots ~log
+      ~peers:peers_b chunks
+  in
+  let seq = check () in
+  Avm_util.Domain_pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check bool) "pooled spot checks identical" true (seq = check ~pool ()))
+
 (* --- online auditing (paper §6.11) ------------------------------------------ *)
 
 let test_online_audit_honest_keeps_up () =
@@ -1028,6 +1190,45 @@ let test_online_audit_catches_cheat_mid_game () =
        poke's effect reached a snapshot or output *)
     Alcotest.(check bool) "caught mid-game" true (slice < 40);
     Alcotest.(check bool) "fault is terminal" true (Online_audit.fault oa <> None)
+
+let test_online_audit_parallel_chain_check () =
+  (* A jobs > 1 online auditor re-verifies the hash chain of each newly
+     observed range on its pool; a naive in-place rewrite is flagged on
+     the very observation that delivers it, before replay reaches it. *)
+  let a, b, a_out, b_out = make_pair () in
+  let oa =
+    Online_audit.create ~image:(guest_image ()) ~mem_words:4096 ~replay_rate:1.0 ~jobs:2
+      ~peers:peers_b ()
+  in
+  let t = ref 0.0 in
+  for _ = 1 to 10 do
+    t := !t +. 10_000.0;
+    ignore (Avmm.run_slice a ~until_us:!t);
+    ignore (Avmm.run_slice b ~until_us:!t);
+    ignore (shuttle a b a_out);
+    ignore (shuttle b a b_out);
+    Online_audit.observe_log oa (Avmm.log b);
+    (match Online_audit.advance oa ~budget_instructions:1_000_000 with
+    | `Ok -> ()
+    | `Fault _ -> Alcotest.fail "honest prefix faulted");
+    Alcotest.(check bool) "honest chain clean" true (Online_audit.tamper_detected oa = None)
+  done;
+  (* two more slices land in the yet-unobserved range; rewrite one of
+     those entries in place, then let the auditor pull the range *)
+  for _ = 1 to 2 do
+    t := !t +. 10_000.0;
+    ignore (Avmm.run_slice a ~until_us:!t);
+    ignore (Avmm.run_slice b ~until_us:!t);
+    ignore (shuttle a b a_out);
+    ignore (shuttle b a b_out)
+  done;
+  let log = Avmm.log b in
+  Log.tamper_replace log (Log.length log) (Entry.Note "rewritten");
+  Online_audit.observe_log oa log;
+  (match Online_audit.tamper_detected oa with
+  | Some reason -> Alcotest.(check bool) "reason given" true (String.length reason > 0)
+  | None -> Alcotest.fail "in-place rewrite not caught on observation");
+  Online_audit.close oa
 
 (* --- remaining divergence kinds ---------------------------------------------- *)
 
@@ -1096,6 +1297,17 @@ let () =
           Alcotest.test_case "honest keeps up" `Quick test_online_audit_honest_keeps_up;
           Alcotest.test_case "cheat caught mid-game" `Quick
             test_online_audit_catches_cheat_mid_game;
+          Alcotest.test_case "parallel chain pre-check" `Quick
+            test_online_audit_parallel_chain_check;
+        ] );
+      ( "parallel-audit",
+        [
+          Alcotest.test_case "syntactic = sequential (honest + tampers)" `Slow
+            test_parallel_syntactic_honest_and_tampered;
+          Alcotest.test_case "full audit = sequential" `Slow test_parallel_full_audit;
+          Alcotest.test_case "forged downloaded snapshot" `Quick
+            test_parallel_replay_forged_snapshot;
+          Alcotest.test_case "spot-check plan + pool" `Quick test_spot_check_plan_and_pool;
         ] );
       ( "properties",
         [

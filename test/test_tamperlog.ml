@@ -348,6 +348,104 @@ let test_auth_roundtrip () =
   let a = Auth.make alice ~entry:(Log.entry log 1) ~prev_hash:Log.genesis_hash in
   Alcotest.(check bool) "roundtrip" true (Auth.decode (Auth.encode a) = a)
 
+(* --- chunk specs and sealed-segment conversion ------------------------------ *)
+
+let many_notes n =
+  List.init n (fun i -> Entry.Note (Printf.sprintf "note %d %s" i (String.make 80 'x')))
+
+let test_chunk_specs_partition () =
+  List.iter
+    (fun backend ->
+      let log = build_backed backend (many_notes 50) in
+      let n = Log.length log in
+      List.iter
+        (fun (from, upto) ->
+          let specs = Log.chunk_specs log ~from ~upto in
+          (* the specs tile [from..upto] in order, each one loading its
+             exact range with the index's chain hash at its door *)
+          let expect = ref from in
+          List.iter
+            (fun (s : Log.chunk_spec) ->
+              Alcotest.(check int) "contiguous" !expect s.Log.spec_from;
+              Alcotest.(check string)
+                "prev hash from index"
+                (Log.prev_hash log s.Log.spec_from)
+                s.Log.spec_prev_hash;
+              let entries = s.Log.spec_load () in
+              List.iteri
+                (fun i (e : Entry.t) ->
+                  Alcotest.(check int) "entry seq" (s.Log.spec_from + i) e.Entry.seq)
+                entries;
+              Alcotest.(check int)
+                "load covers range"
+                (s.Log.spec_upto - s.Log.spec_from + 1)
+                (List.length entries);
+              (match Log.verify_segment ~prev:s.Log.spec_prev_hash entries with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "chunk does not verify: %s" e);
+              expect := s.Log.spec_upto + 1)
+            specs;
+          Alcotest.(check int) "tiles the whole range" (upto + 1) !expect;
+          Alcotest.(check bool)
+            "concatenation = flat segment" true
+            (List.concat_map (fun (s : Log.chunk_spec) -> s.Log.spec_load ()) specs
+            = Log.segment log ~from ~upto))
+        [ (1, n); (7, n - 3); (1, 1); (n, n) ];
+      Alcotest.(check (list int)) "empty range" []
+        (List.map
+           (fun (s : Log.chunk_spec) -> s.Log.spec_from)
+           (Log.chunk_specs log ~from:5 ~upto:4)))
+    [ Segment_store.Memory; Segment_store.Compressed ]
+
+let test_compress_sealed_roundtrip () =
+  let entries_of l = Log.segment l ~from:1 ~upto:(Log.length l) in
+  let make () =
+    let log = build_backed Segment_store.Memory (many_notes 60) in
+    Log.seal_active log;
+    log
+  in
+  let log = make () in
+  let before = entries_of log in
+  let resident = Log.stored_bytes log in
+  let converted = Log.compress_sealed log in
+  Alcotest.(check bool) "segments converted" true (converted > 0);
+  Alcotest.(check bool) "smaller at rest" true (Log.stored_bytes log < resident);
+  Alcotest.(check bool) "entries unchanged" true (entries_of log = before);
+  Alcotest.(check int) "idempotent" 0 (Log.compress_sealed log);
+  let compressed_at_rest = Log.stored_bytes log in
+  Alcotest.(check int) "inflate reverses" converted (Log.inflate_sealed log);
+  Alcotest.(check bool) "entries unchanged after round trip" true (entries_of log = before);
+  (* the pooled variant converts the same segments to the same bytes *)
+  Avm_util.Domain_pool.with_pool ~jobs:3 (fun pool ->
+      let par = make () in
+      Alcotest.(check int) "parallel converts equally" converted
+        (Log.compress_sealed ~pool par);
+      Alcotest.(check int) "parallel stored bytes" compressed_at_rest (Log.stored_bytes par);
+      Alcotest.(check bool) "parallel entries equal" true (entries_of par = before);
+      Alcotest.(check int) "parallel inflate" converted (Log.inflate_sealed ~pool par))
+
+let test_compress_sealed_skips_tampered () =
+  (* A broken chain must never be "repaired" by re-encoding: the
+     Compressed form recomputes hashes on inflation, so a segment that
+     does not verify stays verbatim. *)
+  let honest = build_log (many_notes 40) in
+  let tampered =
+    List.map
+      (fun (e : Entry.t) ->
+        if e.Entry.seq = 20 then { e with Entry.content = Entry.Note "evil" } else e)
+      (full_segment honest)
+  in
+  let log = Log.of_entries ~seal_every:8 tampered in
+  Log.seal_active log;
+  let nsegs = List.length (Log.segments log) in
+  let converted = Log.compress_sealed log in
+  Alcotest.(check int) "all but the broken segment" (nsegs - 1) converted;
+  Alcotest.(check bool) "tamper evidence survives" true
+    (Log.segment log ~from:1 ~upto:(Log.length log) = tampered);
+  match Log.verify_segment ~prev:Log.genesis_hash (Log.segment log ~from:1 ~upto:(Log.length log)) with
+  | Ok () -> Alcotest.fail "tampering was silently repaired"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "tamperlog"
     [
@@ -379,6 +477,11 @@ let () =
           Alcotest.test_case "backends observationally equal" `Quick test_sealed_equivalence;
           Alcotest.test_case "snapshot boundaries seal segments" `Quick
             test_snapshot_boundary_seals;
+          Alcotest.test_case "chunk specs tile the log" `Quick test_chunk_specs_partition;
+          Alcotest.test_case "compress/inflate sealed round trip" `Quick
+            test_compress_sealed_roundtrip;
+          Alcotest.test_case "broken segment never re-encoded" `Quick
+            test_compress_sealed_skips_tampered;
           Alcotest.test_case "tamper ops on sealed logs" `Quick test_tamper_on_sealed;
           Alcotest.test_case "fork with sealed segments" `Quick test_fork_with_sealed_segments;
           Alcotest.test_case "compression accounting" `Quick test_compression_accounting;

@@ -234,6 +234,79 @@ let test_tablefmt_fixed () =
   Alcotest.(check string) "decimals" "1.500" (Tablefmt.fixed ~decimals:3 1.5);
   Alcotest.(check string) "mb" "2.00" (Tablefmt.mb (2.0 *. 1024.0 *. 1024.0))
 
+(* --- Domain_pool ------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_pool_ordering () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 (fun i -> i) in
+      Alcotest.(check (list int))
+        "map_list keeps input order"
+        (List.map (fun i -> i * i) xs)
+        (Domain_pool.map_list pool (fun i -> i * i) xs);
+      let arr = Array.init 37 (fun i -> i) in
+      Alcotest.(check (array int))
+        "map_array keeps input order"
+        (Array.map (fun i -> i + 1) arr)
+        (Domain_pool.map_array pool (fun i -> i + 1) arr))
+
+let test_pool_exception () =
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      (* await re-raises the task's own exception *)
+      let t = Domain_pool.submit pool (fun () -> raise (Boom 7)) in
+      (match Domain_pool.await t with
+      | _ -> Alcotest.fail "await should re-raise"
+      | exception Boom 7 -> ());
+      (* batch combinators settle everything, then re-raise the failure
+         of the smallest job index *)
+      match
+        Domain_pool.run pool
+          [
+            (fun () -> 1);
+            (fun () -> raise (Boom 1));
+            (fun () -> raise (Boom 2));
+            (fun () -> 4);
+          ]
+      with
+      | _ -> Alcotest.fail "run should re-raise"
+      | exception Boom 1 -> ())
+
+let test_pool_reuse () =
+  (* One pool across many submission rounds, including after a failed
+     round. *)
+  Domain_pool.with_pool ~jobs:2 (fun pool ->
+      (try ignore (Domain_pool.run pool [ (fun () -> raise (Boom 0)) ]) with Boom 0 -> ());
+      for round = 1 to 10 do
+        let got = Domain_pool.map_list pool (fun i -> i * round) [ 1; 2; 3 ] in
+        Alcotest.(check (list int)) "round result" [ round; 2 * round; 3 * round ] got
+      done)
+
+let test_pool_stress () =
+  (* Far more tasks than workers: everything queues and completes. *)
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      let n = 500 in
+      let total = Domain_pool.map_list pool (fun i -> i) (List.init n (fun i -> i)) in
+      Alcotest.(check int) "all tasks ran" (n * (n - 1) / 2) (List.fold_left ( + ) 0 total))
+
+let test_pool_single_lane () =
+  (* jobs = 1 spawns no domains; everything runs in the caller. *)
+  Domain_pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "clamped" 1 (Domain_pool.jobs pool);
+      let d0 = Domain.self () in
+      let ran_on = Domain_pool.await (Domain_pool.submit pool (fun () -> Domain.self ())) in
+      Alcotest.(check bool) "inline" true (ran_on = d0))
+
+let test_pool_shutdown () =
+  let pool = Domain_pool.create ~jobs:2 () in
+  Alcotest.(check (list int)) "before" [ 1 ] (Domain_pool.map_list pool (fun i -> i) [ 1 ]);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* idempotent *)
+  match Domain_pool.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "util"
     [
@@ -251,6 +324,15 @@ let () =
           prop_wire_string_roundtrip;
           prop_wire_u32_roundtrip;
           prop_wire_varint_roundtrip;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "reuse across rounds" `Quick test_pool_reuse;
+          Alcotest.test_case "stress (tasks >> workers)" `Quick test_pool_stress;
+          Alcotest.test_case "single lane runs inline" `Quick test_pool_single_lane;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
         ] );
       ( "rng",
         [
