@@ -1,9 +1,10 @@
 # One-command tier-1 verification: full build, the whole test suite,
-# and a short smoke run of the audit-throughput bench.
+# a short smoke run of the audit-throughput bench, and an end-to-end
+# observability smoke (record, audit with --metrics, assert counters).
 
-.PHONY: verify build test bench-smoke bench clean
+.PHONY: verify build test bench-smoke bench obs-smoke clean
 
-verify: build test bench-smoke
+verify: build test bench-smoke obs-smoke
 
 build:
 	dune build
@@ -22,6 +23,22 @@ bench-smoke:
 # Full bench runs (slow): refreshes the committed BENCH_audit.json.
 bench:
 	dune exec bench/audit_bench.exe -- --out BENCH_audit.json
+
+# Record a short session, audit it sequentially and in parallel with
+# --metrics, and assert the snapshot parses with nonzero core counters
+# and at least one per-chunk audit span. Both job counts must reach
+# the same (clean) verdict.
+obs-smoke:
+	dune exec bin/avm_run.exe -- --players 2 --seconds 4 --seed 5 --out obs_smoke_recordings
+	dune exec bin/avm_audit.exe -- --jobs 1 --metrics obs_smoke_j1.json obs_smoke_recordings/player0.avmrec
+	dune exec bin/avm_audit.exe -- --jobs 4 --metrics obs_smoke_j4.json obs_smoke_recordings/player0.avmrec
+	dune exec bin/avm_obs_check.exe -- obs_smoke_j1.json \
+	  --counter audit.entries_checked --counter log.segments_sealed \
+	  --counter replay.entries_fed --span audit.chunk --span audit.semantic
+	dune exec bin/avm_obs_check.exe -- obs_smoke_j4.json \
+	  --counter audit.entries_checked --counter log.segments_sealed \
+	  --counter replay.entries_fed --span audit.chunk --span audit.semantic
+	rm -rf obs_smoke_recordings obs_smoke_j1.json obs_smoke_j4.json
 
 clean:
 	dune clean

@@ -126,15 +126,15 @@ let () =
   Printf.printf "recorded %d entries in %d sealed segments (+tail), backend=%s\n%!" n nsegs
     (Segment_store.backend_name (Log.backend log));
   let entries = Log.segment log ~from:1 ~upto:n in
+  let ctx = Audit.ctx ~node_cert ~peer_certs ~auths () in
 
   (* Verdict cross-check: list-fed vs segment-driven audit. *)
   let full_list =
-    Audit.full ~node_cert ~peer_certs ~image:guest_image ~mem_words:4096 ~peers:peers_b
-      ~prev_hash:Log.genesis_hash ~entries ~auths ()
+    Audit.full ~ctx ~image:guest_image ~mem_words:4096 ~peers:peers_b
+      ~prev_hash:Log.genesis_hash ~entries ()
   in
   let full_seg =
-    Audit.full_of_log ~node_cert ~peer_certs ~image:guest_image ~mem_words:4096 ~peers:peers_b
-      ~log ~auths ()
+    Audit.full_of_log ~ctx ~image:guest_image ~mem_words:4096 ~peers:peers_b ~log ()
   in
   let verdict_match =
     (match (full_list.Audit.verdict, full_seg.Audit.verdict) with
@@ -153,8 +153,8 @@ let () =
      report exactly — same counters, same failures, same verdict. *)
   let snapshots = Avmm.snapshots avmm in
   let full_par =
-    Audit.full_of_log ~node_cert ~peer_certs ~image:guest_image ~mem_words:4096
-      ~peers:peers_b ~log ~snapshots ~auths ~jobs ()
+    Audit.full_of_log ~ctx ~image:guest_image ~mem_words:4096 ~peers:peers_b ~log
+      ~snapshots ~par:(Audit.parallel jobs) ()
   in
   if
     not
@@ -172,8 +172,8 @@ let () =
     tamper forked;
     let bad = Log.segment forked ~from:1 ~upto:(Log.length forked) in
     let audit j =
-      Audit.syntactic ~node_cert ~peer_certs ~prev_hash:Log.genesis_hash ~entries:bad
-        ~auths ~jobs:j ()
+      Audit.syntactic ~ctx ~prev_hash:Log.genesis_hash ~entries:bad
+        ~par:(Audit.parallel j) ()
     in
     let seq = audit 1 and par = audit jobs in
     if expect_detect && seq.Audit.failures = [] then begin
@@ -194,8 +194,7 @@ let () =
   tamper_check ~expect_detect:false "tamper_truncate" (fun l -> Log.tamper_truncate l (n / 2));
 
   let syntactic_rate =
-    rate ~min_seconds ~units:n (fun () ->
-        ignore (Audit.syntactic_of_log ~node_cert ~peer_certs ~log ~auths ()))
+    rate ~min_seconds ~units:n (fun () -> ignore (Audit.syntactic_of_log ~ctx ~log ()))
   in
   let semantic_rate =
     rate ~min_seconds ~units:n (fun () ->
@@ -212,14 +211,15 @@ let () =
     if jobs = 1 then (syntactic_rate, semantic_rate)
     else
       Avm_util.Domain_pool.with_pool ~jobs (fun pool ->
+          let par = Audit.parallel ~pool jobs in
           let syn =
             rate ~min_seconds ~units:n (fun () ->
-                ignore (Audit.syntactic_of_log ~node_cert ~peer_certs ~log ~auths ~pool ()))
+                ignore (Audit.syntactic_of_log ~ctx ~log ~par ()))
           in
           let sem =
             rate ~min_seconds ~units:n (fun () ->
                 match
-                  Spot_check.parallel_replay ~pool ~image:guest_image ~mem_words:4096
+                  Spot_check.parallel_replay ~par ~image:guest_image ~mem_words:4096
                     ~snapshots ~log ~peers:peers_b ()
                 with
                 | Replay.Verified _ -> ()
@@ -240,6 +240,12 @@ let () =
   Printf.printf "compression: %.2fx (%d -> %d bytes at rest)\n%!" ratio (Log.byte_size log)
     (Log.stored_bytes log);
 
+  (* Counters/histograms accumulated over every pass above; embedding
+     the snapshot lets the CI trend internal rates (entries checked,
+     signatures verified, chunk replays) alongside the headline ones. *)
+  let metrics =
+    Avm_obs.Json.to_string (Avm_obs.Metrics.to_json (Avm_obs.Metrics.snapshot ()))
+  in
   let oc = open_out !out in
   Printf.fprintf oc
     "{\n\
@@ -254,9 +260,10 @@ let () =
     \  \"log_bytes\": %d,\n\
     \  \"stored_bytes\": %d,\n\
     \  \"compression_ratio\": %.3f,\n\
-    \  \"verdict_match\": %b\n\
+    \  \"verdict_match\": %b,\n\
+    \  \"metrics\": %s\n\
      }\n"
     !slices n nsegs syntactic_rate semantic_rate jobs syntactic_speedup semantic_speedup
-    (Log.byte_size log) (Log.stored_bytes log) ratio verdict_match;
+    (Log.byte_size log) (Log.stored_bytes log) ratio verdict_match metrics;
   close_out oc;
   Printf.printf "wrote %s\n%!" !out

@@ -154,18 +154,30 @@ let tests =
       (stage (fun () ->
            ignore
              (Audit.syntactic
-                ~node_cert:(Identity.certificate bob)
-                ~peer_certs:
-                  [ ("alice", Identity.certificate alice); ("bob", Identity.certificate bob) ]
-                ~prev_hash:Log.genesis_hash ~entries:honest_entries ~auths:[] ())));
+                ~ctx:
+                  (Audit.ctx
+                     ~node_cert:(Identity.certificate bob)
+                     ~peer_certs:
+                       [
+                         ("alice", Identity.certificate alice);
+                         ("bob", Identity.certificate bob);
+                       ]
+                     ())
+                ~prev_hash:Log.genesis_hash ~entries:honest_entries ())));
     Test.make ~name:"s6.6/syntactic-streaming-compressed"
       (stage (fun () ->
            ignore
              (Audit.syntactic_of_log
-                ~node_cert:(Identity.certificate bob)
-                ~peer_certs:
-                  [ ("alice", Identity.certificate alice); ("bob", Identity.certificate bob) ]
-                ~log:(Avmm.log honest) ~auths:[] ())));
+                ~ctx:
+                  (Audit.ctx
+                     ~node_cert:(Identity.certificate bob)
+                     ~peer_certs:
+                       [
+                         ("alice", Identity.certificate alice);
+                         ("bob", Identity.certificate bob);
+                       ]
+                     ())
+                ~log:(Avmm.log honest) ())));
     Test.make ~name:"s6.6/semantic-replay-chunked"
       (stage (fun () ->
            let log = Avmm.log honest in

@@ -9,7 +9,13 @@ open Avm_scenario
 module Audit = Avm_core.Audit
 module Evidence = Avm_core.Evidence
 
-let audit_file path evidence_out jobs =
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+    Avm_obs.Report.write_file path;
+    Printf.printf "metrics written to %s\n" path
+
+let audit_file path evidence_out jobs metrics_out metrics_table =
   let r = Recording.load ~path in
   Printf.printf "auditing %s (%s scenario, %d entries, %d authenticators)\n%!"
     r.Recording.node
@@ -24,7 +30,12 @@ let audit_file path evidence_out jobs =
         exit 2
       end)
     r.Recording.certificates;
-  let node_cert = List.assoc r.Recording.node r.Recording.certificates in
+  let ctx =
+    Audit.ctx
+      ~node_cert:(List.assoc r.Recording.node r.Recording.certificates)
+      ~peer_certs:r.Recording.certificates ~auths:r.Recording.auths ()
+  in
+  let par = Audit.parallel jobs in
   let image = Recording.image_of_scenario r.Recording.scenario in
   (* Load into a segment store and audit it with the streaming
      pipeline; [of_entries] keeps the recorded hashes verbatim, so
@@ -32,41 +43,24 @@ let audit_file path evidence_out jobs =
      sequence numbers do not even form a contiguous run cannot be
      indexed as segments — audit the raw list instead, which reports
      the gap as a chain failure. *)
-  let report =
+  let outcome =
     match Avm_tamperlog.Log.of_entries r.Recording.entries with
     | log ->
-      Audit.full_of_log ~node_cert ~peer_certs:r.Recording.certificates ~image
-        ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers ~log
-        ~auths:r.Recording.auths ~jobs ()
+      Audit.full_of_log ~ctx ~image ~mem_words:r.Recording.mem_words
+        ~peers:r.Recording.peers ~log ~par ()
     | exception Invalid_argument _ ->
-      Audit.full ~node_cert ~peer_certs:r.Recording.certificates ~image
-        ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
-        ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries
-        ~auths:r.Recording.auths ~jobs ()
+      Audit.full ~ctx ~image ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
+        ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries ~par ()
   in
-  Format.printf "%a@." Audit.pp_report report;
-  match report.Audit.verdict with
+  Format.printf "%a@." Audit.pp_outcome outcome;
+  write_metrics metrics_out;
+  if metrics_table then print_string (Avm_obs.Report.table ());
+  match outcome.Audit.verdict with
   | Ok () -> 0
   | Error _ ->
-    (match evidence_out with
-    | None -> ()
-    | Some out ->
-      let accusation =
-        match report.Audit.semantic with
-        | Some (Avm_core.Replay.Diverged d) -> Evidence.Replay_divergence d
-        | _ ->
-          Evidence.Tampered_log
-            { reason = String.concat "; " report.Audit.syntactic.Audit.failures }
-      in
-      let ev =
-        {
-          Evidence.accused = r.Recording.node;
-          prev_hash = Avm_tamperlog.Log.genesis_hash;
-          segment = r.Recording.entries;
-          auths = r.Recording.auths;
-          accusation;
-        }
-      in
+    (match (evidence_out, outcome.Audit.evidence) with
+    | None, _ | _, None -> ()
+    | Some out, Some ev ->
       let oc = open_out_bin out in
       output_string oc (Evidence.encode ev);
       close_out oc;
@@ -81,9 +75,13 @@ let check_evidence path recording_path =
      in any recording of the same session. *)
   let r = Recording.load ~path:recording_path in
   Printf.printf "checking %s\n%!" (Evidence.describe ev);
-  let node_cert = List.assoc ev.Evidence.accused r.Recording.certificates in
+  let ctx =
+    Audit.ctx
+      ~node_cert:(List.assoc ev.Evidence.accused r.Recording.certificates)
+      ~peer_certs:r.Recording.certificates ()
+  in
   let confirmed =
-    Evidence.check ev ~node_cert ~peer_certs:r.Recording.certificates
+    Audit.check_evidence ev ~ctx
       ~image:(Recording.image_of_scenario r.Recording.scenario)
       ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers ()
   in
@@ -122,15 +120,29 @@ let jobs_arg =
            count). The syntactic check fans out across sealed segments; the verdict is \
            identical to $(b,--jobs 1).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability snapshot (counters, gauges, histograms, trace spans) \
+           as JSON to $(docv) after the audit.")
+
+let metrics_table_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics-table" ] ~doc:"Print the metrics snapshot as an aligned text table.")
+
 let cmd =
   let doc = "audit an AVM recording (syntactic + semantic checks)" in
   let term =
     Term.(
-      const (fun check file evidence jobs ->
+      const (fun check file evidence jobs metrics table ->
           match check with
           | Some ev_path -> Stdlib.exit (check_evidence ev_path file)
-          | None -> Stdlib.exit (audit_file file evidence jobs))
-      $ check_arg $ file_arg $ evidence_arg $ jobs_arg)
+          | None -> Stdlib.exit (audit_file file evidence jobs metrics table))
+      $ check_arg $ file_arg $ evidence_arg $ jobs_arg $ metrics_arg $ metrics_table_arg)
   in
   Cmd.v (Cmd.info "avm_audit" ~doc) term
 

@@ -1,0 +1,93 @@
+(* CI smoke checker for observability snapshots: parse a metrics JSON
+   file written by avm_audit/avm_run --metrics and assert that named
+   counters are nonzero and named trace spans were recorded. Exits
+   nonzero with a diagnostic on the first failed assertion, so it can
+   gate `make verify`. *)
+
+open Cmdliner
+module Json = Avm_obs.Json
+
+let load path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.parse text with
+  | j -> j
+  | exception Json.Parse_error msg ->
+    Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+    exit 2
+
+let counter_value json name =
+  match Json.member "counters" json with
+  | Some counters -> (
+    match Json.member name counters with
+    | Some v -> Json.to_int_opt v
+    | None -> None)
+  | None -> None
+
+let span_count json name =
+  match Json.member "spans" json with
+  | None -> 0
+  | Some spans -> (
+    match Json.to_list_opt spans with
+    | None -> 0
+    | Some l ->
+      List.length
+        (List.filter
+           (fun s ->
+             match Json.member "name" s with
+             | Some n -> Json.to_string_opt n = Some name
+             | None -> false)
+           l))
+
+let run path counters spans quiet =
+  let json = load path in
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> incr failures; Printf.eprintf "FAIL %s\n" m) fmt in
+  let ok fmt = Printf.ksprintf (fun m -> if not quiet then Printf.printf "ok   %s\n" m) fmt in
+  List.iter
+    (fun name ->
+      match counter_value json name with
+      | None -> fail "counter %s: missing from %s" name path
+      | Some 0 -> fail "counter %s: present but zero" name
+      | Some v -> ok "counter %s = %d" name v)
+    counters;
+  List.iter
+    (fun name ->
+      match span_count json name with
+      | 0 -> fail "span %s: no occurrences in %s" name path
+      | n -> ok "span %s: %d occurrence%s" name n (if n = 1 then "" else "s"))
+    spans;
+  if !failures = 0 then 0
+  else begin
+    Printf.eprintf "%d assertion%s failed\n" !failures (if !failures = 1 then "" else "s");
+    1
+  end
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS" ~doc:"Metrics JSON file.")
+
+let counter_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "counter" ] ~docv:"NAME" ~doc:"Assert counter $(docv) exists and is nonzero.")
+
+let span_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "span" ] ~docv:"NAME" ~doc:"Assert at least one trace span named $(docv).")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print failures.")
+
+let cmd =
+  let doc = "assert counters/spans in an observability snapshot" in
+  let term =
+    Term.(
+      const (fun file counters spans quiet -> Stdlib.exit (run file counters spans quiet))
+      $ file_arg $ counter_arg $ span_arg $ quiet_arg)
+  in
+  Cmd.v (Cmd.info "avm_obs_check" ~doc) term
+
+let () = Stdlib.exit (Cmd.eval cmd)

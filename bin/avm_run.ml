@@ -5,7 +5,7 @@
 open Cmdliner
 open Avm_scenario
 
-let run players seconds cheat_name cheater outdir seed =
+let run players seconds cheat_name cheater outdir seed metrics_out =
   (match Sys.is_directory outdir with
   | true -> ()
   | false ->
@@ -48,6 +48,11 @@ let run players seconds cheat_name cheater outdir seed =
       (List.length rec_.Recording.auths)
       o.Game_run.fps.(i) path
   done;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    Avm_obs.Report.write_file path;
+    Printf.printf "metrics written to %s\n" path);
   print_endline "done; audit any file with: avm_audit <file>"
 
 let list_cheats () =
@@ -79,13 +84,24 @@ let outdir_arg =
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"World seed.")
 let list_arg = Arg.(value & flag & info [ "list-cheats" ] ~doc:"List the cheat catalog and exit.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability snapshot (counters, gauges, histograms, trace spans) \
+           as JSON to $(docv) after the session.")
+
 let cmd =
   let doc = "record an accountable multiplayer game session" in
   let term =
     Term.(
-      const (fun list players seconds cheat cheater outdir seed ->
-          if list then list_cheats () else run players seconds cheat cheater outdir seed)
-      $ list_arg $ players_arg $ seconds_arg $ cheat_arg $ cheater_arg $ outdir_arg $ seed_arg)
+      const (fun list players seconds cheat cheater outdir seed metrics ->
+          if list then list_cheats ()
+          else run players seconds cheat cheater outdir seed metrics)
+      $ list_arg $ players_arg $ seconds_arg $ cheat_arg $ cheater_arg $ outdir_arg
+      $ seed_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "avm_run" ~doc) term
 

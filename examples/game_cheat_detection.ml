@@ -44,28 +44,22 @@ let () =
   let net = o.Game_run.net in
   List.iter
     (fun (target, report) ->
-      match (report.Audit.verdict, report.Audit.semantic) with
-      | Error _, Some (Replay.Diverged d) ->
+      (* The faulty outcome already carries the transferable evidence
+         (log segment + authenticators + accusation). *)
+      match (report.Audit.verdict, report.Audit.evidence) with
+      | Error _, Some ev ->
         let name = Avm_netsim.Net.node_name (Avm_netsim.Net.node net target) in
-        let log = Avmm.log (Avm_netsim.Net.node_avmm (Avm_netsim.Net.node net target)) in
-        let ev =
-          {
-            Evidence.accused = name;
-            prev_hash = Avm_tamperlog.Log.genesis_hash;
-            segment = Avm_tamperlog.Log.segment log ~from:1 ~upto:(Avm_tamperlog.Log.length log);
-            auths = Game_run.collect_auths net ~target;
-            accusation = Evidence.Replay_divergence d;
-          }
-        in
         Printf.printf "   %s\n" (Evidence.describe ev);
         (* every honest player verifies independently and shuns *)
         Array.iter
           (fun node ->
             if Avm_netsim.Net.node_name node <> name then begin
               let confirmed =
-                Evidence.check ev
-                  ~node_cert:(List.assoc name (Avm_netsim.Net.certificates net))
-                  ~peer_certs:(Avm_netsim.Net.certificates net)
+                Audit.check_evidence ev
+                  ~ctx:
+                    (Audit.ctx
+                       ~node_cert:(List.assoc name (Avm_netsim.Net.certificates net))
+                       ~peer_certs:(Avm_netsim.Net.certificates net) ())
                   ~image:(Game_run.reference_image ())
                   ~mem_words:Guests.mem_words ~peers:(Avm_netsim.Net.peers net) ()
               in

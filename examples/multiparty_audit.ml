@@ -77,9 +77,12 @@ let () =
   in
   Printf.printf "   %s\n" (Evidence.describe ev);
   Printf.printf "   third party verifies the committed-log claim: %b\n%!"
-    (Evidence.check ev
-       ~node_cert:(List.assoc (name 0) (Net.certificates net))
-       ~peer_certs:(Net.certificates net) ~image:(Game_run.reference_image ())
+    (Audit.check_evidence ev
+       ~ctx:
+         (Audit.ctx
+            ~node_cert:(List.assoc (name 0) (Net.certificates net))
+            ~peer_certs:(Net.certificates net) ())
+       ~image:(Game_run.reference_image ())
        ~mem_words:Guests.mem_words ~peers:(Net.peers net) ());
 
   print_endline "== 4. Bob reconnects, answers, and normal play resumes ==";

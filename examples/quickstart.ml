@@ -119,14 +119,17 @@ let () =
   print_endline "== 3. Alice audits: fetch the log, check it, replay it ==";
   let log = Avmm.log bob_avmm in
   let entries = Log.segment log ~from:1 ~upto:(Log.length log) in
-  let report =
-    Audit.full ~node_cert:(Identity.certificate bob)
+  let audit_ctx () =
+    Audit.ctx ~node_cert:(Identity.certificate bob)
       ~peer_certs:[ ("alice", Identity.certificate alice); ("bob", Identity.certificate bob) ]
-      ~image ~mem_words:4096
-      ~peers:[ (0, "bob"); (1, "alice") ]
-      ~prev_hash:Log.genesis_hash ~entries ~auths:!alice_auths ()
+      ~auths:!alice_auths ()
   in
-  Format.printf "   %a@." Audit.pp_report report;
+  let report =
+    Audit.full ~ctx:(audit_ctx ()) ~image ~mem_words:4096
+      ~peers:[ (0, "bob"); (1, "alice") ]
+      ~prev_hash:Log.genesis_hash ~entries ()
+  in
+  Format.printf "   %a@." Audit.pp_outcome report;
 
   print_endline "== 4. Bob cheats: he pokes S's memory to inflate 'served' ==";
   let served_addr =
@@ -143,32 +146,21 @@ let () =
   print_endline "== 5. the next audit detects it and produces evidence ==";
   let entries = Log.segment log ~from:1 ~upto:(Log.length log) in
   let report =
-    Audit.full ~node_cert:(Identity.certificate bob)
-      ~peer_certs:[ ("alice", Identity.certificate alice); ("bob", Identity.certificate bob) ]
-      ~image ~mem_words:4096
+    Audit.full ~ctx:(audit_ctx ()) ~image ~mem_words:4096
       ~peers:[ (0, "bob"); (1, "alice") ]
-      ~prev_hash:Log.genesis_hash ~entries ~auths:!alice_auths ()
+      ~prev_hash:Log.genesis_hash ~entries ()
   in
-  Format.printf "   %a@." Audit.pp_report report;
-  (match (report.Audit.verdict, report.Audit.semantic) with
-  | Error _, Some (Replay.Diverged d) ->
-    let ev =
-      {
-        Evidence.accused = "bob";
-        prev_hash = Log.genesis_hash;
-        segment = entries;
-        auths = !alice_auths;
-        accusation = Evidence.Replay_divergence d;
-      }
-    in
+  Format.printf "   %a@." Audit.pp_outcome report;
+  (* A faulty outcome already carries transferable evidence — no need
+     to assemble the accusation by hand. *)
+  (match report.Audit.evidence with
+  | Some ev ->
     Printf.printf "   evidence: %s\n" (Evidence.describe ev);
     let confirmed =
-      Evidence.check ev ~node_cert:(Identity.certificate bob)
-        ~peer_certs:[ ("alice", Identity.certificate alice); ("bob", Identity.certificate bob) ]
-        ~image ~mem_words:4096
+      Audit.check_evidence ev ~ctx:(audit_ctx ()) ~image ~mem_words:4096
         ~peers:[ (0, "bob"); (1, "alice") ]
         ()
     in
     Printf.printf "   a third party re-checks the evidence: %s\n"
       (if confirmed then "CONFIRMED — Bob is provably faulty" else "rejected")
-  | _ -> print_endline "   (unexpected: cheat not detected)")
+  | None -> print_endline "   (unexpected: cheat not detected)")

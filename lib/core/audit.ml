@@ -1,4 +1,24 @@
 open Avm_tamperlog
+module Metrics = Avm_obs.Metrics
+module Trace = Avm_obs.Trace
+module Clock = Avm_obs.Clock
+
+type ctx = Audit_ctx.ctx = {
+  node_cert : Avm_crypto.Identity.certificate;
+  peer_certs : (string * Avm_crypto.Identity.certificate) list;
+  auths : Auth.t list;
+  ack_grace : int;
+}
+
+let ctx = Audit_ctx.ctx
+
+type parallelism = Audit_ctx.parallelism = {
+  jobs : int;
+  pool : Avm_util.Domain_pool.t option;
+}
+
+let sequential = Audit_ctx.sequential
+let parallel = Audit_ctx.parallel
 
 type syntactic_report = {
   entries_checked : int;
@@ -6,6 +26,15 @@ type syntactic_report = {
   recv_signatures_verified : int;
   failures : string list;
 }
+
+(* Both the streaming fold and the parallel stitcher account through
+   here, so the [audit.*] counters agree with the report whichever
+   path produced it. *)
+let record_syntactic_metrics r =
+  Metrics.incr ~by:r.entries_checked "audit.entries_checked";
+  Metrics.incr ~by:r.auths_matched "audit.auths_matched";
+  Metrics.incr ~by:r.recv_signatures_verified "audit.recv_signatures_verified";
+  Metrics.incr ~by:(List.length r.failures) "audit.failures"
 
 (* The syntactic check as a single streaming fold: [feed] pushes every
    entry of the segment exactly once, in log order, and all five checks
@@ -15,7 +44,7 @@ type syntactic_report = {
    log — are pre-indexed up front; obligations that can only be settled
    once the cut point is known (unacked sends) are resolved at end of
    stream. *)
-let syntactic_feed ~node_cert ~peer_certs ~prev_hash ~feed ~auths ?(ack_grace = 50) () =
+let syntactic_feed ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash ~feed () =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
   let node = Avm_crypto.Identity.cert_name node_cert in
@@ -99,27 +128,20 @@ let syntactic_feed ~node_cert ~peer_certs ~prev_hash ~feed ~auths ?(ack_grace = 
       if seq <= !last_seq - ack_grace && not (Hashtbl.mem acked seq) then
         fail "entry #%d: SEND was never acknowledged" seq)
     (List.sort compare !pending_sends);
-  {
-    entries_checked = !entries_checked;
-    auths_matched = !auths_matched;
-    recv_signatures_verified = !recv_sigs;
-    failures = List.rev !failures;
-  }
+  let report =
+    {
+      entries_checked = !entries_checked;
+      auths_matched = !auths_matched;
+      recv_signatures_verified = !recv_sigs;
+      failures = List.rev !failures;
+    }
+  in
+  record_syntactic_metrics report;
+  report
 
 (* --- parallel syntactic check ------------------------------------------- *)
 
 module Pool = Avm_util.Domain_pool
-
-(* Resolve the [?jobs] / [?pool] pair every entry point takes: an
-   explicit pool wins; otherwise [jobs > 1] borrows a scoped pool; and
-   [jobs = 1] (the default) stays on the sequential code path. *)
-let with_pool ?jobs ?pool f =
-  match pool with
-  | Some p -> f (if Pool.jobs p > 1 then Some p else None)
-  | None -> (
-    match jobs with
-    | Some j when j > 1 -> Pool.with_pool ~jobs:j (fun p -> f (Some p))
-    | _ -> f None)
 
 (* The parallel pass splits the entry stream into chunks that workers
    check independently, then stitches the per-chunk results back
@@ -296,12 +318,19 @@ let stitch ~ack_grace ~auth_failures passes =
       if seq <= last_seq - ack_grace && not (Hashtbl.mem acked seq) then
         push (Printf.sprintf "entry #%d: SEND was never acknowledged" seq))
     (List.sort compare (List.concat_map (fun cp -> cp.cp_sends) passes));
-  {
-    entries_checked = List.fold_left (fun n cp -> n + cp.cp_entries) 0 passes;
-    auths_matched = List.fold_left (fun n cp -> n + cp.cp_auths) 0 passes;
-    recv_signatures_verified = List.fold_left (fun n cp -> n + cp.cp_recv_sigs) 0 passes;
-    failures = List.rev !failures;
-  }
+  let report =
+    {
+      entries_checked = List.fold_left (fun n cp -> n + cp.cp_entries) 0 passes;
+      auths_matched = List.fold_left (fun n cp -> n + cp.cp_auths) 0 passes;
+      recv_signatures_verified = List.fold_left (fun n cp -> n + cp.cp_recv_sigs) 0 passes;
+      failures = List.rev !failures;
+    }
+  in
+  record_syntactic_metrics report;
+  report
+
+let chunk_span i f =
+  Trace.with_span ~name:"audit.chunk" ~attrs:[ ("chunk", string_of_int i) ] f
 
 let syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace ~first_seq chunks =
   let node = Avm_crypto.Identity.cert_name node_cert in
@@ -315,10 +344,11 @@ let syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace ~first_seq
   let auth_failures = List.concat_map snd verified in
   let passes =
     Pool.map_list pool
-      (fun c ->
-        run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash:c.sc_prev_hash
-          ~expected_first:c.sc_expected_first (c.sc_load ()))
-      chunks
+      (fun (i, c) ->
+        chunk_span i (fun () ->
+            run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq
+              ~prev_hash:c.sc_prev_hash ~expected_first:c.sc_expected_first (c.sc_load ())))
+      (List.mapi (fun i c -> (i, c)) chunks)
   in
   stitch ~ack_grace ~auth_failures passes
 
@@ -359,110 +389,181 @@ let log_chunks log ~from ~upto =
       })
     (Log.chunk_specs log ~from ~upto)
 
-let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?(ack_grace = 50) ?jobs
-    ?pool () =
+let syntactic ~ctx ~prev_hash ~entries ?par () =
   let sequential () =
-    syntactic_feed ~node_cert ~peer_certs ~prev_hash
-      ~feed:(fun f -> List.iter f entries)
-      ~auths ~ack_grace ()
+    chunk_span 0 (fun () ->
+        syntactic_feed ~ctx ~prev_hash ~feed:(fun f -> List.iter f entries) ())
   in
-  with_pool ?jobs ?pool (fun p ->
+  Audit_ctx.with_parallelism ?par (fun p ->
       match p with
       | Some pool -> (
         match list_chunks ~prev_hash ~lanes:(Pool.jobs pool) entries with
         | [] | [ _ ] -> sequential ()
         | chunks ->
-          syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace
+          syntactic_parallel ~pool ~node_cert:ctx.node_cert ~peer_certs:ctx.peer_certs
+            ~auths:ctx.auths ~ack_grace:ctx.ack_grace
             ~first_seq:(List.hd entries).Entry.seq chunks)
       | None -> sequential ())
 
-let syntactic_of_log ~node_cert ~peer_certs ~log ?(from = 1) ?upto ~auths ?(ack_grace = 50)
-    ?jobs ?pool () =
+let syntactic_of_log ~ctx ~log ?(from = 1) ?upto ?par () =
   let upto = match upto with Some u -> u | None -> Log.length log in
+  (* The sequential stream walks the same per-segment chunk specs the
+     parallel pass fans out over (their concatenation is exactly
+     [iter_range from..upto]), so both paths record one [audit.chunk]
+     span per sealed segment. *)
   let sequential () =
-    syntactic_feed ~node_cert ~peer_certs
+    syntactic_feed ~ctx
       ~prev_hash:(Log.prev_hash log from)
-      ~feed:(fun f -> Log.iter_range log ~from ~upto f)
-      ~auths ~ack_grace ()
+      ~feed:(fun f ->
+        List.iteri
+          (fun i (s : Log.chunk_spec) ->
+            chunk_span i (fun () -> List.iter f (s.Log.spec_load ())))
+          (Log.chunk_specs log ~from ~upto))
+      ()
   in
-  with_pool ?jobs ?pool (fun p ->
+  Audit_ctx.with_parallelism ?par (fun p ->
       match p with
       | Some pool -> (
         match log_chunks log ~from ~upto with
         | [] | [ _ ] -> sequential ()
         | chunks ->
-          syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace
-            ~first_seq:(max 1 from) chunks)
+          syntactic_parallel ~pool ~node_cert:ctx.node_cert ~peer_certs:ctx.peer_certs
+            ~auths:ctx.auths ~ack_grace:ctx.ack_grace ~first_seq:(max 1 from) chunks)
       | None -> sequential ())
 
-type report = {
+(* --- the unified outcome ------------------------------------------------- *)
+
+type outcome = {
   node : string;
   syntactic : syntactic_report;
   semantic : Replay.outcome option;
   syntactic_seconds : float;
   semantic_seconds : float;
   verdict : (unit, string) result;
+  evidence : Evidence.t option;
 }
 
 (* Shared tail of [full] / [full_of_log]: run the semantic check only
-   if the syntactic check passed (a broken chain is already evidence). *)
-let conclude ~node ~syn ~t0 ~t1 ~semantic =
-  if syn.failures <> [] then
+   if the syntactic check passed (a broken chain is already evidence),
+   and package the evidence on any fault. [segment] materializes the
+   accused entries lazily — a log-backed audit inflates them only when
+   it actually has an accusation to ship. *)
+let conclude ~(ctx : ctx) ~syn ~prev_hash ~segment ~t0 ~t1 ~semantic =
+  let node = Avm_crypto.Identity.cert_name ctx.node_cert in
+  let evidence accusation =
+    Some
+      {
+        Evidence.accused = node;
+        prev_hash;
+        segment = segment ();
+        auths = ctx.auths;
+        accusation;
+      }
+  in
+  Metrics.observe "audit.syntactic_seconds" (t1 -. t0);
+  if syn.failures <> [] then begin
+    let reason = String.concat "; " syn.failures in
+    Metrics.incr "audit.verdicts_faulty";
     {
       node;
       syntactic = syn;
       semantic = None;
       syntactic_seconds = t1 -. t0;
       semantic_seconds = 0.0;
-      verdict = Error (String.concat "; " syn.failures);
-    }
-  else begin
-    let outcome = semantic () in
-    let t2 = Sys.time () in
-    {
-      node;
-      syntactic = syn;
-      semantic = Some outcome;
-      syntactic_seconds = t1 -. t0;
-      semantic_seconds = t2 -. t1;
-      verdict =
-        (match outcome with
-        | Replay.Verified _ -> Ok ()
-        | Replay.Diverged d -> Error (Format.asprintf "%a" Replay.pp_outcome (Replay.Diverged d)));
+      verdict = Error reason;
+      evidence = evidence (Evidence.Tampered_log { reason });
     }
   end
+  else begin
+    let outcome = Trace.with_span ~name:"audit.semantic" semantic in
+    let t2 = Clock.now_s () in
+    Metrics.observe "audit.semantic_seconds" (t2 -. t1);
+    let semantic_seconds = t2 -. t1 in
+    match outcome with
+    | Replay.Verified _ ->
+      Metrics.incr "audit.verdicts_correct";
+      {
+        node;
+        syntactic = syn;
+        semantic = Some outcome;
+        syntactic_seconds = t1 -. t0;
+        semantic_seconds;
+        verdict = Ok ();
+        evidence = None;
+      }
+    | Replay.Diverged d ->
+      Metrics.incr "audit.verdicts_faulty";
+      {
+        node;
+        syntactic = syn;
+        semantic = Some outcome;
+        syntactic_seconds = t1 -. t0;
+        semantic_seconds;
+        verdict = Error (Format.asprintf "%a" Replay.pp_outcome (Replay.Diverged d));
+        evidence = evidence (Evidence.Replay_divergence d);
+      }
+  end
 
-let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
-    ~auths ?jobs ?pool () =
-  with_pool ?jobs ?pool (fun p ->
-      let t0 = Sys.time () in
-      let syn = syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?pool:p () in
-      let t1 = Sys.time () in
-      conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1
+let full ~ctx ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries ?par () =
+  Audit_ctx.with_parallelism ?par (fun p ->
+      let par = { jobs = 1; pool = p } in
+      let t0 = Clock.now_s () in
+      let syn =
+        Trace.with_span ~name:"audit.syntactic" (fun () ->
+            syntactic ~ctx ~prev_hash ~entries ~par ())
+      in
+      let t1 = Clock.now_s () in
+      conclude ~ctx ~syn ~prev_hash
+        ~segment:(fun () -> entries)
+        ~t0 ~t1
         ~semantic:(fun () -> Replay.replay ~image ?mem_words ?start ?fuel ~peers ~entries ()))
 
-let full_of_log ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~log ?(from = 1)
-    ?upto ?snapshots ~auths ?jobs ?pool () =
+let full_of_log ~ctx ~image ?mem_words ?start ?fuel ~peers ~log ?(from = 1) ?upto ?snapshots
+    ?par () =
   let upto = match upto with Some u -> u | None -> Log.length log in
-  with_pool ?jobs ?pool (fun p ->
-      let t0 = Sys.time () in
-      let syn = syntactic_of_log ~node_cert ~peer_certs ~log ~from ~upto ~auths ?pool:p () in
-      let t1 = Sys.time () in
+  Audit_ctx.with_parallelism ?par (fun p ->
+      let par = { jobs = 1; pool = p } in
+      let t0 = Clock.now_s () in
+      let syn =
+        Trace.with_span ~name:"audit.syntactic" (fun () ->
+            syntactic_of_log ~ctx ~log ~from ~upto ~par ())
+      in
+      let t1 = Clock.now_s () in
       (* The semantic pass partitions at snapshot boundaries only when
          it owns the whole run: a caller-supplied start state or a
          partial range keeps the plain streaming replay. *)
       let semantic () =
         match (p, snapshots, start) with
         | Some pool, Some snaps, None when from = 1 ->
-          Spot_check.parallel_replay ~pool ~image ?mem_words ?fuel ~snapshots:snaps ~log
-            ~peers ~upto ()
+          Spot_check.parallel_replay ~par:{ jobs = Pool.jobs pool; pool = Some pool } ~image
+            ?mem_words ?fuel ~snapshots:snaps ~log ~peers ~upto ()
         | _ ->
           Replay.replay_chunks ~image ?mem_words ?start ?fuel ~peers
             ~chunks:(Log.chunk_seq log ~from ~upto) ()
       in
-      conclude ~node:(Avm_crypto.Identity.cert_name node_cert) ~syn ~t0 ~t1 ~semantic)
+      conclude ~ctx ~syn
+        ~prev_hash:(Log.prev_hash log from)
+        ~segment:(fun () -> Log.segment log ~from ~upto)
+        ~t0 ~t1 ~semantic)
 
-let pp_report fmt r =
+let check_evidence (ev : Evidence.t) ~ctx ~image ?mem_words ?start ?fuel ~peers () =
+  if not (String.equal (Avm_crypto.Identity.cert_name ctx.node_cert) ev.accused) then false
+  else begin
+    match ev.accusation with
+    | Evidence.Unanswered_challenge { auth } ->
+      (* The authenticator proves entries up to [auth.seq] exist; that
+         is all a third party can verify offline. *)
+      Auth.verify ctx.node_cert auth
+    | Evidence.Tampered_log _ | Evidence.Replay_divergence _ -> (
+      let ctx = { ctx with auths = ev.auths } in
+      let o =
+        full ~ctx ~image ?mem_words ?start ?fuel ~peers ~prev_hash:ev.prev_hash
+          ~entries:ev.segment ()
+      in
+      match o.verdict with Ok () -> false | Error _ -> true)
+  end
+
+let pp_outcome fmt r =
   Format.fprintf fmt "@[<v>audit of %s:@ syntactic: %d entries, %d auths, %d recv sigs — %s@ "
     r.node r.syntactic.entries_checked r.syntactic.auths_matched
     r.syntactic.recv_signatures_verified
@@ -473,3 +574,48 @@ let pp_report fmt r =
   | Some o -> Format.fprintf fmt "semantic: %a@ " Replay.pp_outcome o);
   Format.fprintf fmt "verdict: %s@]"
     (match r.verdict with Ok () -> "CORRECT" | Error e -> "FAULTY (" ^ e ^ ")")
+
+type report = outcome
+
+let pp_report = pp_outcome
+
+(* --- deprecated pre-ctx signatures --------------------------------------- *)
+
+module Legacy = struct
+  let par ?jobs ?pool () = { jobs = Option.value jobs ~default:1; pool }
+
+  let syntactic_feed ~node_cert ~peer_certs ~prev_hash ~feed ~auths ?(ack_grace = 50) () =
+    syntactic_feed ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash ~feed ()
+
+  let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?(ack_grace = 50) ?jobs
+      ?pool () =
+    syntactic
+      ~ctx:{ node_cert; peer_certs; auths; ack_grace }
+      ~prev_hash ~entries
+      ~par:(par ?jobs ?pool ())
+      ()
+
+  let syntactic_of_log ~node_cert ~peer_certs ~log ?from ?upto ~auths ?(ack_grace = 50)
+      ?jobs ?pool () =
+    syntactic_of_log
+      ~ctx:{ node_cert; peer_certs; auths; ack_grace }
+      ~log ?from ?upto
+      ~par:(par ?jobs ?pool ())
+      ()
+
+  let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
+      ~auths ?jobs ?pool () =
+    full
+      ~ctx:{ node_cert; peer_certs; auths; ack_grace = 50 }
+      ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
+      ~par:(par ?jobs ?pool ())
+      ()
+
+  let full_of_log ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~log ?from
+      ?upto ?snapshots ~auths ?jobs ?pool () =
+    full_of_log
+      ~ctx:{ node_cert; peer_certs; auths; ack_grace = 50 }
+      ~image ?mem_words ?start ?fuel ~peers ~log ?from ?upto ?snapshots
+      ~par:(par ?jobs ?pool ())
+      ()
+end

@@ -14,18 +14,57 @@
     it segment-by-segment via {!Replay.replay_chunks}.
 
     Both are deterministic, so any third party repeating them obtains
-    the same verdict — that is what makes the output {!Evidence}.
+    the same verdict — that is what makes the output {!Evidence};
+    failed audits come back with the transferable {!Evidence.t}
+    already attached ({!outcome.evidence}), and {!check_evidence} is
+    the third party's side of the exchange.
 
-    {b Parallelism.} Every entry point takes [?jobs] / [?pool]: with
-    [jobs > 1] (or a multi-lane {!Avm_util.Domain_pool.t}) the
-    syntactic pass fans out one worker per sealed segment and the
-    semantic pass replays snapshot-delimited pieces concurrently
-    ({!Spot_check.parallel_replay}). The parallel passes are stitched
-    so that the report — verdict, counters and the failure list, byte
-    for byte — is identical to the sequential pass; [jobs = 1] (the
-    default) runs the original sequential code. Timing fields use
-    process CPU time and therefore over-count wall-clock when
-    parallel; benchmarks should measure wall-clock externally. *)
+    {b Configuration.} Every entry point takes [~ctx] (who is audited,
+    whose signatures appear in its log, the collected authenticators,
+    the ack grace window — see {!ctx}) and [?par] (worker count or a
+    borrowed {!Avm_util.Domain_pool.t} — see {!parallelism}). With
+    more than one lane the syntactic pass fans out one worker per
+    sealed segment and the semantic pass replays snapshot-delimited
+    pieces concurrently ({!Spot_check.parallel_replay}). The parallel
+    passes are stitched so that the outcome — verdict, counters and
+    the failure list, byte for byte — is identical to the sequential
+    pass; the default [par] runs the original sequential code.
+
+    {b Observability.} Timing fields are monotonic wall-clock
+    ({!Avm_obs.Clock}), correct under parallelism. Each pass bumps
+    [audit.*] counters in {!Avm_obs.Metrics} and records one
+    [audit.chunk] span per sealed segment (sequential and parallel
+    alike) plus [audit.syntactic] / [audit.semantic] phase spans in
+    {!Avm_obs.Trace}. *)
+
+type ctx = Audit_ctx.ctx = {
+  node_cert : Avm_crypto.Identity.certificate;
+  peer_certs : (string * Avm_crypto.Identity.certificate) list;
+  auths : Avm_tamperlog.Auth.t list;
+  ack_grace : int;
+}
+(** See {!Audit_ctx.ctx}. [ack_grace] (conventionally 50) exempts the
+    most recent sends from the every-send-is-acked rule: their acks
+    may legitimately still be in flight when the log was cut. *)
+
+val ctx :
+  node_cert:Avm_crypto.Identity.certificate ->
+  ?peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  ?auths:Avm_tamperlog.Auth.t list ->
+  ?ack_grace:int ->
+  unit ->
+  ctx
+(** {!Audit_ctx.ctx}: the smart constructor ([peer_certs], [auths]
+    default empty, [ack_grace] 50). *)
+
+type parallelism = Audit_ctx.parallelism = {
+  jobs : int;
+  pool : Avm_util.Domain_pool.t option;
+}
+(** See {!Audit_ctx.parallelism}. *)
+
+val sequential : parallelism
+val parallel : ?pool:Avm_util.Domain_pool.t -> int -> parallelism
 
 type syntactic_report = {
   entries_checked : int;
@@ -35,13 +74,7 @@ type syntactic_report = {
 }
 
 val syntactic_feed :
-  node_cert:Avm_crypto.Identity.certificate ->
-  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
-  prev_hash:string ->
-  feed:((Avm_tamperlog.Entry.t -> unit) -> unit) ->
-  auths:Avm_tamperlog.Auth.t list ->
-  ?ack_grace:int ->
-  unit ->
+  ctx:ctx -> prev_hash:string -> feed:((Avm_tamperlog.Entry.t -> unit) -> unit) -> unit ->
   syntactic_report
 (** The streaming core: [feed push] must call [push] exactly once per
     entry, in log order. All checks are evaluated in that single pass;
@@ -50,55 +83,49 @@ val syntactic_feed :
     fed entry. *)
 
 val syntactic :
-  node_cert:Avm_crypto.Identity.certificate ->
-  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  ctx:ctx ->
   prev_hash:string ->
   entries:Avm_tamperlog.Entry.t list ->
-  auths:Avm_tamperlog.Auth.t list ->
-  ?ack_grace:int ->
-  ?jobs:int ->
-  ?pool:Avm_util.Domain_pool.t ->
+  ?par:parallelism ->
   unit ->
   syntactic_report
-(** {!syntactic_feed} over a materialized list. [ack_grace] (default
-    50) exempts the most recent sends from the every-send-is-acked
-    rule: their acks may legitimately still be in flight when the log
-    was cut. With [jobs > 1] or a multi-lane [pool], the list is cut
-    into one contiguous slice per lane and checked in parallel, with
-    a report identical to the sequential pass. *)
+(** {!syntactic_feed} over a materialized list. With more than one
+    lane, the list is cut into one contiguous slice per lane and
+    checked in parallel, with a report identical to the sequential
+    pass. *)
 
 val syntactic_of_log :
-  node_cert:Avm_crypto.Identity.certificate ->
-  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  ctx:ctx ->
   log:Avm_tamperlog.Log.t ->
   ?from:int ->
   ?upto:int ->
-  auths:Avm_tamperlog.Auth.t list ->
-  ?ack_grace:int ->
-  ?jobs:int ->
-  ?pool:Avm_util.Domain_pool.t ->
+  ?par:parallelism ->
   unit ->
   syntactic_report
 (** {!syntactic_feed} over a segment store: streams [from..upto]
     (default: the whole log) segment by segment, inflating compressed
     segments one at a time. [prev_hash] is taken from the log's own
-    index. With [jobs > 1] or a multi-lane [pool], sealed segments are
-    checked concurrently (each worker inflating through its own
-    domain-local cache) and the per-segment results stitched into the
-    same report the sequential stream produces. *)
+    index. With more than one lane, sealed segments are checked
+    concurrently (each worker inflating through its own domain-local
+    cache) and the per-segment results stitched into the same report
+    the sequential stream produces. *)
 
-type report = {
+(** {1 The unified audit outcome} *)
+
+type outcome = {
   node : string;
   syntactic : syntactic_report;
   semantic : Replay.outcome option;  (** [None] if syntactic failed *)
-  syntactic_seconds : float;
-  semantic_seconds : float;
+  syntactic_seconds : float;  (** wall-clock *)
+  semantic_seconds : float;  (** wall-clock *)
   verdict : (unit, string) result;
+  evidence : Evidence.t option;
+      (** on [Error _]: the transferable evidence, ready to hand to a
+          third party ({!check_evidence}); [None] on [Ok ()] *)
 }
 
 val full :
-  node_cert:Avm_crypto.Identity.certificate ->
-  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  ctx:ctx ->
   image:int array ->
   ?mem_words:int ->
   ?start:Avm_machine.Machine.t ->
@@ -106,20 +133,17 @@ val full :
   peers:(int * string) list ->
   prev_hash:string ->
   entries:Avm_tamperlog.Entry.t list ->
-  auths:Avm_tamperlog.Auth.t list ->
-  ?jobs:int ->
-  ?pool:Avm_util.Domain_pool.t ->
+  ?par:parallelism ->
   unit ->
-  report
+  outcome
 (** Complete audit of one log segment. The semantic check runs only if
     the syntactic check passes (a broken chain is already evidence).
-    [jobs]/[pool] parallelize the syntactic pass; the semantic replay
-    of a bare entry list has no snapshot boundaries to cut at and
-    stays sequential. *)
+    [par] parallelizes the syntactic pass; the semantic replay of a
+    bare entry list has no snapshot boundaries to cut at and stays
+    sequential. *)
 
 val full_of_log :
-  node_cert:Avm_crypto.Identity.certificate ->
-  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+  ctx:ctx ->
   image:int array ->
   ?mem_words:int ->
   ?start:Avm_machine.Machine.t ->
@@ -129,22 +153,125 @@ val full_of_log :
   ?from:int ->
   ?upto:int ->
   ?snapshots:Avm_machine.Snapshot.t list ->
-  auths:Avm_tamperlog.Auth.t list ->
-  ?jobs:int ->
-  ?pool:Avm_util.Domain_pool.t ->
+  ?par:parallelism ->
   unit ->
-  report
+  outcome
 (** {!full} driven straight off a segment store: both checks stream
     [from..upto] (default: the whole log) one sealed segment at a
     time — the syntactic pass via {!syntactic_of_log}, the semantic
     pass via {!Replay.replay_chunks} — with identical verdicts to
-    {!full} on the materialized entry list.
+    {!full} on the materialized entry list. The log segment is
+    materialized into {!outcome.evidence} only when the audit fails.
 
-    With [jobs > 1] (or a multi-lane [pool]) the syntactic pass runs
-    one worker per sealed segment, and — when [snapshots] are supplied,
-    [from = 1] and no [start] state overrides the boot image — the
-    semantic pass becomes {!Spot_check.parallel_replay}, cutting the
-    log at snapshot boundaries and replaying the pieces concurrently
-    from authenticated downloaded state. *)
+    With more than one lane the syntactic pass runs one worker per
+    sealed segment, and — when [snapshots] are supplied, [from = 1]
+    and no [start] state overrides the boot image — the semantic pass
+    becomes {!Spot_check.parallel_replay}, cutting the log at snapshot
+    boundaries and replaying the pieces concurrently from
+    authenticated downloaded state. *)
 
-val pp_report : Format.formatter -> report -> unit
+val check_evidence :
+  Evidence.t ->
+  ctx:ctx ->
+  image:int array ->
+  ?mem_words:int ->
+  ?start:Avm_machine.Machine.t ->
+  ?fuel:int ->
+  peers:(int * string) list ->
+  unit ->
+  bool
+(** The third party's verification: re-run the audit on the evidence
+    (its own segment and authenticators; [ctx] supplies the
+    certificates) and confirm a fault really is present. [true] means
+    the evidence is valid and the accused is provably faulty; [false]
+    means the evidence does not hold up (and the accuser is making an
+    unsupported claim). For {!Evidence.Unanswered_challenge}, validity
+    means the authenticator is genuine — the third party should then
+    challenge the machine itself. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Deprecated aliases} *)
+
+type report = outcome
+[@@deprecated "use Audit.outcome"]
+
+val pp_report : Format.formatter -> outcome -> unit
+[@@deprecated "use Audit.pp_outcome"]
+
+(** The pre-[ctx] signatures, kept as thin wrappers for one release. *)
+module Legacy : sig
+  val syntactic_feed :
+    node_cert:Avm_crypto.Identity.certificate ->
+    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+    prev_hash:string ->
+    feed:((Avm_tamperlog.Entry.t -> unit) -> unit) ->
+    auths:Avm_tamperlog.Auth.t list ->
+    ?ack_grace:int ->
+    unit ->
+    syntactic_report
+  [@@deprecated "use Audit.syntactic_feed ~ctx"]
+
+  val syntactic :
+    node_cert:Avm_crypto.Identity.certificate ->
+    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+    prev_hash:string ->
+    entries:Avm_tamperlog.Entry.t list ->
+    auths:Avm_tamperlog.Auth.t list ->
+    ?ack_grace:int ->
+    ?jobs:int ->
+    ?pool:Avm_util.Domain_pool.t ->
+    unit ->
+    syntactic_report
+  [@@deprecated "use Audit.syntactic ~ctx ?par"]
+
+  val syntactic_of_log :
+    node_cert:Avm_crypto.Identity.certificate ->
+    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+    log:Avm_tamperlog.Log.t ->
+    ?from:int ->
+    ?upto:int ->
+    auths:Avm_tamperlog.Auth.t list ->
+    ?ack_grace:int ->
+    ?jobs:int ->
+    ?pool:Avm_util.Domain_pool.t ->
+    unit ->
+    syntactic_report
+  [@@deprecated "use Audit.syntactic_of_log ~ctx ?par"]
+
+  val full :
+    node_cert:Avm_crypto.Identity.certificate ->
+    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+    image:int array ->
+    ?mem_words:int ->
+    ?start:Avm_machine.Machine.t ->
+    ?fuel:int ->
+    peers:(int * string) list ->
+    prev_hash:string ->
+    entries:Avm_tamperlog.Entry.t list ->
+    auths:Avm_tamperlog.Auth.t list ->
+    ?jobs:int ->
+    ?pool:Avm_util.Domain_pool.t ->
+    unit ->
+    outcome
+  [@@deprecated "use Audit.full ~ctx ?par"]
+
+  val full_of_log :
+    node_cert:Avm_crypto.Identity.certificate ->
+    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
+    image:int array ->
+    ?mem_words:int ->
+    ?start:Avm_machine.Machine.t ->
+    ?fuel:int ->
+    peers:(int * string) list ->
+    log:Avm_tamperlog.Log.t ->
+    ?from:int ->
+    ?upto:int ->
+    ?snapshots:Avm_machine.Snapshot.t list ->
+    auths:Avm_tamperlog.Auth.t list ->
+    ?jobs:int ->
+    ?pool:Avm_util.Domain_pool.t ->
+    unit ->
+    outcome
+  [@@deprecated "use Audit.full_of_log ~ctx ?par"]
+end

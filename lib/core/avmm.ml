@@ -312,6 +312,10 @@ let run_slice t ~until_us =
     end;
     continue := Machine.step t.machine b
   done;
+  Avm_obs.Metrics.incr ~by:(Machine.icount t.machine - start_instr) "avmm.instructions";
+  Avm_obs.Metrics.incr ~by:t.slice_events "avmm.events_logged";
+  Avm_obs.Metrics.incr ~by:t.slice_sends "avmm.sends";
+  Avm_obs.Metrics.observe "avmm.slice_daemon_us" t.slice_daemon_us;
   {
     instructions = Machine.icount t.machine - start_instr;
     events_logged = t.slice_events;

@@ -23,22 +23,6 @@ let describe t =
   Printf.sprintf "evidence against %s (%d entries, %d authenticators): %s" t.accused
     (List.length t.segment) (List.length t.auths) what
 
-let check t ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers () =
-  if not (String.equal (Avm_crypto.Identity.cert_name node_cert) t.accused) then false
-  else begin
-    match t.accusation with
-    | Unanswered_challenge { auth } ->
-      (* The authenticator proves entries up to [auth.seq] exist; that
-         is all a third party can verify offline. *)
-      Auth.verify node_cert auth
-    | Tampered_log _ | Replay_divergence _ -> (
-      let report =
-        Audit.full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers
-          ~prev_hash:t.prev_hash ~entries:t.segment ~auths:t.auths ()
-      in
-      match report.Audit.verdict with Ok () -> false | Error _ -> true)
-  end
-
 (* --- serialization ------------------------------------------------------ *)
 
 let divergence_kinds =

@@ -25,25 +25,12 @@ type t = {
 }
 
 val describe : t -> string
+(** A one-line human-readable summary of the accusation.
 
-val check :
-  t ->
-  node_cert:Avm_crypto.Identity.certificate ->
-  peer_certs:(string * Avm_crypto.Identity.certificate) list ->
-  image:int array ->
-  ?mem_words:int ->
-  ?start:Avm_machine.Machine.t ->
-  ?fuel:int ->
-  peers:(int * string) list ->
-  unit ->
-  bool
-(** [check e ...] is the third party's verification: re-run the audit
-    on the evidence and confirm a fault really is present. [true]
-    means the evidence is valid and [e.accused] is provably faulty;
-    [false] means the evidence does not hold up (and the accuser is
-    making an unsupported claim). For [Unanswered_challenge], validity
-    means the authenticator is genuine — the third party should then
-    challenge the machine itself. *)
+    The third party's verification — re-running the audit on the
+    evidence — lives in {!Audit.check_evidence}, so that {!Audit} can
+    in turn attach a ready-made [t] to every failed audit outcome;
+    this module is pure data plus its wire format. *)
 
 val encode : t -> string
 val decode : string -> t

@@ -2,17 +2,27 @@ type t = {
   engine : Replay.engine;
   replay_rate : float;
   pool : Avm_util.Domain_pool.t option;
+  owns_pool : bool; (* borrowed pools (par.pool) are not ours to shut down *)
   mutable fed_upto : int; (* last log seq pulled *)
   mutable fault : Replay.divergence option;
   mutable tampered : string option;
 }
 
-let create ~image ?mem_words ?(replay_rate = 0.955) ?(jobs = 1) ~peers () =
-  let pool = if jobs > 1 then Some (Avm_util.Domain_pool.create ~jobs ()) else None in
+let create ~image ?mem_words ?(replay_rate = 0.955) ?(par = Audit_ctx.sequential) ~peers ()
+    =
+  let pool, owns_pool =
+    match par.Audit_ctx.pool with
+    | Some p -> ((if Avm_util.Domain_pool.jobs p > 1 then Some p else None), false)
+    | None ->
+      if par.Audit_ctx.jobs > 1 then
+        (Some (Avm_util.Domain_pool.create ~jobs:par.Audit_ctx.jobs ()), true)
+      else (None, false)
+  in
   {
     engine = Replay.engine ~image ?mem_words ~peers ();
     replay_rate;
     pool;
+    owns_pool;
     fed_upto = 0;
     fault = None;
     tampered = None;
@@ -27,6 +37,9 @@ let create ~image ?mem_words ?(replay_rate = 0.955) ?(jobs = 1) ~peers () =
 let verify_new_range pool log ~from ~upto =
   let module L = Avm_tamperlog.Log in
   let check (s : L.chunk_spec) = L.verify_segment ~prev:s.L.spec_prev_hash (s.L.spec_load ()) in
+  Avm_obs.Trace.with_span ~name:"online_audit.verify_range"
+    ~attrs:[ ("from", string_of_int from); ("upto", string_of_int upto) ]
+  @@ fun () ->
   Avm_util.Domain_pool.map_list pool check (L.chunk_specs log ~from ~upto)
   |> List.find_map (function Error reason -> Some reason | Ok () -> None)
 
@@ -34,10 +47,13 @@ let observe_log t log =
   let len = Avm_tamperlog.Log.length log in
   if len > t.fed_upto then begin
     let from = t.fed_upto + 1 in
+    Avm_obs.Metrics.incr ~by:(len - t.fed_upto) "online_audit.entries_observed";
     (match t.pool with
     | Some pool when t.tampered = None -> (
       match verify_new_range pool log ~from ~upto:len with
-      | Some reason -> t.tampered <- Some reason
+      | Some reason ->
+        Avm_obs.Metrics.incr "online_audit.tampering_detected";
+        t.tampered <- Some reason
       | None -> ())
     | _ -> ());
     Avm_tamperlog.Log.iter_range log ~from ~upto:len (Replay.feed_entry t.engine);
@@ -45,6 +61,7 @@ let observe_log t log =
   end
 
 let advance t ~budget_instructions =
+  Avm_obs.Metrics.incr "online_audit.advances";
   match t.fault with
   | Some d -> `Fault d
   | None -> (
@@ -52,6 +69,7 @@ let advance t ~budget_instructions =
     match Replay.crank t.engine ~fuel with
     | `Blocked | `Fuel_exhausted -> `Ok
     | `Fault d ->
+      Avm_obs.Metrics.incr "online_audit.faults";
       t.fault <- Some d;
       `Fault d)
 
@@ -59,4 +77,9 @@ let lag_entries t = Replay.pending_entries t.engine
 let replayed_instructions t = Replay.replayed_instructions t.engine
 let fault t = t.fault
 let tamper_detected t = t.tampered
-let close t = Option.iter Avm_util.Domain_pool.shutdown t.pool
+let close t = if t.owns_pool then Option.iter Avm_util.Domain_pool.shutdown t.pool
+
+module Legacy = struct
+  let create ~image ?mem_words ?replay_rate ?(jobs = 1) ~peers () =
+    create ~image ?mem_words ?replay_rate ~par:{ Audit_ctx.jobs; pool = None } ~peers ()
+end

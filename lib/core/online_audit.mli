@@ -17,7 +17,7 @@ val create :
   image:int array ->
   ?mem_words:int ->
   ?replay_rate:float ->
-  ?jobs:int ->
+  ?par:Audit_ctx.parallelism ->
   peers:(int * string) list ->
   unit ->
   t
@@ -27,12 +27,14 @@ val create :
     why the auditor falls behind unless the recorded execution is
     artificially slowed by 5% (paper §6.11).
 
-    [jobs > 1] (default 1) gives the auditor a private
-    {!Avm_util.Domain_pool.t}: each {!observe_log} then re-verifies the
-    hash chain of the newly observed range in parallel, one worker per
-    sealed segment, so a broken chain surfaces via {!tamper_detected}
-    the moment it is observed instead of when replay reaches it. Call
-    {!close} when done to join the workers. *)
+    When [par] ({!Audit_ctx.parallelism}, default sequential) resolves
+    to more than one lane, the auditor verifies in parallel: each
+    {!observe_log} re-verifies the hash chain of the newly observed
+    range, one worker per sealed segment, so a broken chain surfaces
+    via {!tamper_detected} the moment it is observed instead of when
+    replay reaches it. A [par.jobs > 1] auditor owns a private pool —
+    call {!close} when done to join the workers; a [par.pool] is
+    borrowed and stays the caller's to shut down. *)
 
 val observe_log : t -> Avm_tamperlog.Log.t -> unit
 (** Pull any entries appended since the last call (the auditor
@@ -58,5 +60,20 @@ val tamper_detected : t -> string option
     divergence found by replay. *)
 
 val close : t -> unit
-(** Join the worker domains of a [jobs > 1] auditor. Idempotent; a
-    [jobs = 1] auditor needs no close. *)
+(** Join the worker domains of an auditor that owns its pool.
+    Idempotent; a sequential or borrowed-pool auditor needs no
+    close. *)
+
+(** The pre-[parallelism] signature, kept as a thin wrapper for one
+    release. *)
+module Legacy : sig
+  val create :
+    image:int array ->
+    ?mem_words:int ->
+    ?replay_rate:float ->
+    ?jobs:int ->
+    peers:(int * string) list ->
+    unit ->
+    t
+  [@@deprecated "use Online_audit.create ?par"]
+end

@@ -81,6 +81,7 @@ let push_active e entry =
   e.len <- e.len + 1
 
 let feed_entry e (entry : Entry.t) =
+  Avm_obs.Metrics.incr "replay.entries_fed";
   e.fed <- e.fed + 1;
   if e.first_seq < 0 then e.first_seq <- entry.Entry.seq;
   (match entry.content with
@@ -284,6 +285,7 @@ let crank e ~fuel =
   match e.fault with
   | Some d -> `Fault d
   | None -> (
+    let icount0 = Machine.icount e.machine in
     let budget = ref fuel in
     let result = ref None in
     (try
@@ -307,6 +309,7 @@ let crank e ~fuel =
        done
      with
     | Fault_exn d ->
+      Avm_obs.Metrics.incr "replay.divergences";
       e.fault <- Some d;
       result := Some (`Fault d)
     | Machine.Runtime_fault { pc; reason } ->
@@ -318,8 +321,10 @@ let crank e ~fuel =
           detail = Printf.sprintf "reference guest faulted at pc=0x%x: %s" pc reason;
         }
       in
+      Avm_obs.Metrics.incr "replay.divergences";
       e.fault <- Some d;
       result := Some (`Fault d));
+    Avm_obs.Metrics.incr ~by:(Machine.icount e.machine - icount0) "replay.instructions";
     match !result with Some r -> r | None -> assert false)
 
 (* Drive an engine over a lazy stream of log chunks. Compressed
@@ -347,8 +352,19 @@ let replay_chunks ~image ?mem_words ?start ?(fuel = 200_000_000) ?strict_landmar
       let left = fuel - replayed_instructions e in
       if left <= 0 then `Done (stalled ()) else drain left
   in
+  (* Each drain after a feed replays exactly that chunk ([`Blocked]
+     means every fed entry was consumed), so spanning the drain gives
+     one wall-clock [replay.chunk] span per chunk. *)
+  let chunk_no = ref (-1) in
+  let spanned_drain remaining =
+    if !chunk_no < 0 then drain remaining
+    else
+      Avm_obs.Trace.with_span ~name:"replay.chunk"
+        ~attrs:[ ("chunk", string_of_int !chunk_no) ]
+        (fun () -> drain remaining)
+  in
   let rec go chunks remaining =
-    match drain remaining with
+    match spanned_drain remaining with
     | `Done outcome -> outcome
     | `More remaining -> (
       match chunks () with
@@ -356,6 +372,8 @@ let replay_chunks ~image ?mem_words ?start ?(fuel = 200_000_000) ?strict_landmar
         (* [`Blocked] means every fed entry was consumed and verified. *)
         Verified { instructions = replayed_instructions e; entries_consumed = e.fed }
       | Seq.Cons (chunk, rest) ->
+        incr chunk_no;
+        Avm_obs.Metrics.incr "replay.chunks_replayed";
         feed e chunk;
         go rest remaining)
   in

@@ -83,6 +83,9 @@ type chunk_report = {
 }
 
 let check_chunk ?plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k () =
+  Avm_obs.Trace.with_span ~name:"spot_check.chunk"
+    ~attrs:[ ("start_snapshot", string_of_int start_snapshot); ("k", string_of_int k) ]
+  @@ fun () ->
   let pl = match pl with Some pl -> pl | None -> plan ~log ~snapshots in
   let start_b = boundary_of pl start_snapshot in
   let end_b = boundary_of pl (start_snapshot + k) in
@@ -109,6 +112,10 @@ let check_chunk ?plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapsho
     | Replay.Verified { instructions; _ } -> instructions
     | Replay.Diverged _ -> Machine.icount machine - start_b.at_icount
   in
+  Avm_obs.Metrics.incr "spot_check.chunks_checked";
+  Avm_obs.Metrics.incr ~by:state_bytes "spot_check.state_bytes";
+  Avm_obs.Metrics.incr ~by:log_bytes_compressed "spot_check.log_bytes_compressed";
+  Avm_obs.Metrics.incr ~by:replay_instructions "spot_check.replay_instructions";
   {
     start_snapshot;
     k;
@@ -118,14 +125,15 @@ let check_chunk ?plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapsho
     outcome;
   }
 
-let check_chunks ?pool ~image ~mem_words ~snapshots ~log ~peers chunks =
+let check_chunks ?par ~image ~mem_words ~snapshots ~log ~peers chunks =
   let pl = plan ~log ~snapshots in
   let job (start_snapshot, k) =
     check_chunk ~plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k ()
   in
-  match pool with
-  | Some p when Avm_util.Domain_pool.jobs p > 1 -> Avm_util.Domain_pool.map_list p job chunks
-  | _ -> List.map job chunks
+  Audit_ctx.with_parallelism ?par (fun p ->
+      match p with
+      | Some pool -> Avm_util.Domain_pool.map_list pool job chunks
+      | None -> List.map job chunks)
 
 (* --- snapshot-partitioned full replay (the parallel semantic audit) ------ *)
 
@@ -154,6 +162,11 @@ let pieces pl ~upto =
   go `Fresh 1 cuts
 
 let replay_piece pl ~image ?mem_words ?fuel ~peers ~log piece =
+  Avm_obs.Trace.with_span ~name:"replay.piece"
+    ~attrs:
+      [ ("from", string_of_int piece.pc_from); ("upto", string_of_int piece.pc_upto) ]
+  @@ fun () ->
+  Avm_obs.Metrics.incr "spot_check.pieces_replayed";
   let replay start =
     Replay.replay_chunks ~image ?mem_words ?start ?fuel ~peers
       ~chunks:(Log.chunk_seq log ~from:piece.pc_from ~upto:piece.pc_upto)
@@ -179,17 +192,41 @@ let merge_outcomes outcomes =
   in
   go 0 0 outcomes
 
-let parallel_replay ~pool ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto () =
+let parallel_replay ?par ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto () =
   let upto = match upto with Some u -> u | None -> Log.length log in
-  let pl = plan ~log ~snapshots in
-  match pieces pl ~upto with
-  | [ _ ] | [] ->
-    (* nothing to partition: plain streaming replay *)
+  let streaming () =
     Replay.replay_chunks ~image ?mem_words ?fuel ~peers
       ~chunks:(Log.chunk_seq log ~from:1 ~upto)
       ()
-  | ps ->
-    merge_outcomes
-      (Avm_util.Domain_pool.map_list pool
-         (replay_piece pl ~image ?mem_words ?fuel ~peers ~log)
-         ps)
+  in
+  Audit_ctx.with_parallelism ?par (fun p ->
+      match p with
+      | None -> streaming ()
+      | Some pool -> (
+        let pl = plan ~log ~snapshots in
+        match pieces pl ~upto with
+        | [ _ ] | [] ->
+          (* nothing to partition: plain streaming replay *)
+          streaming ()
+        | ps ->
+          merge_outcomes
+            (Avm_util.Domain_pool.map_list pool
+               (replay_piece pl ~image ?mem_words ?fuel ~peers ~log)
+               ps)))
+
+(* --- deprecated pre-parallelism signatures ------------------------------- *)
+
+module Legacy = struct
+  let check_chunks ?pool ~image ~mem_words ~snapshots ~log ~peers chunks =
+    let par =
+      match pool with
+      | Some p -> { Audit_ctx.jobs = Avm_util.Domain_pool.jobs p; pool = Some p }
+      | None -> Audit_ctx.sequential
+    in
+    check_chunks ~par ~image ~mem_words ~snapshots ~log ~peers chunks
+
+  let parallel_replay ~pool ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto () =
+    parallel_replay
+      ~par:{ Audit_ctx.jobs = Avm_util.Domain_pool.jobs pool; pool = Some pool }
+      ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto ()
+end

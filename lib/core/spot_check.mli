@@ -60,7 +60,7 @@ val check_chunk :
     @raise Invalid_argument if the chunk runs past the last snapshot. *)
 
 val check_chunks :
-  ?pool:Avm_util.Domain_pool.t ->
+  ?par:Audit_ctx.parallelism ->
   image:int array ->
   mem_words:int ->
   snapshots:Avm_machine.Snapshot.t list ->
@@ -70,11 +70,11 @@ val check_chunks :
   chunk_report list
 (** [check_chunks ... [(start, k); ...]] runs {!check_chunk} for every
     [(start_snapshot, k)] pair against one shared {!plan} — in
-    parallel when [pool] has more than one lane. Reports come back in
-    input order. *)
+    parallel when [par] resolves to more than one lane
+    ({!Audit_ctx.parallelism}). Reports come back in input order. *)
 
 val parallel_replay :
-  pool:Avm_util.Domain_pool.t ->
+  ?par:Audit_ctx.parallelism ->
   image:int array ->
   ?mem_words:int ->
   ?fuel:int ->
@@ -101,4 +101,35 @@ val parallel_replay :
     genuinely differ: a forged {e downloaded} snapshot is reported
     here (kind [Snapshot_mismatch]) but invisible to a sequential
     replay that never downloads state, and [fuel] bounds each piece
-    rather than the whole run. *)
+    rather than the whole run.
+
+    When [par] resolves to a single lane the whole range is replayed
+    by the plain streaming pass (no pieces, no downloaded state). *)
+
+(** The pre-[parallelism] signatures, kept as thin wrappers for one
+    release. *)
+module Legacy : sig
+  val check_chunks :
+    ?pool:Avm_util.Domain_pool.t ->
+    image:int array ->
+    mem_words:int ->
+    snapshots:Avm_machine.Snapshot.t list ->
+    log:Avm_tamperlog.Log.t ->
+    peers:(int * string) list ->
+    (int * int) list ->
+    chunk_report list
+  [@@deprecated "use Spot_check.check_chunks ?par"]
+
+  val parallel_replay :
+    pool:Avm_util.Domain_pool.t ->
+    image:int array ->
+    ?mem_words:int ->
+    ?fuel:int ->
+    snapshots:Avm_machine.Snapshot.t list ->
+    log:Avm_tamperlog.Log.t ->
+    peers:(int * string) list ->
+    ?upto:int ->
+    unit ->
+    Replay.outcome
+  [@@deprecated "use Spot_check.parallel_replay ?par"]
+end

@@ -49,6 +49,8 @@ let rec transmit t src_node env =
   if src_node.isolated then ()
   else begin
     let send_at = Float.max (Sim.now t.sim) (Avmm.now_us src_node.avmm) in
+    Avm_obs.Metrics.incr "net.packets_sent";
+    Avm_obs.Metrics.incr ~by:(Wireformat.envelope_wire_size env) "net.bytes_sent";
     if t.loss = 0.0 || Avm_util.Rng.float t.rng 1.0 >= t.loss then
       Sim.schedule t.sim ~at:(send_at +. t.latency_us) (fun () ->
           let dst = node_of t env.Wireformat.dest in
@@ -56,6 +58,7 @@ let rec transmit t src_node env =
             match Avmm.deliver dst.avmm env ~sender_cert:(cert_of t env.Wireformat.src) with
             | `Rejected _ -> ()
             | `Ack ack | `Duplicate ack ->
+              Avm_obs.Metrics.incr "net.packets_delivered";
               (* The receiver keeps the sender's authenticator. *)
               if Config.accountable t.config then
                 Multiparty.record_auth dst.ledger env.Wireformat.auth;
@@ -70,7 +73,9 @@ let rec transmit t src_node env =
                           Multiparty.record_auth src_node.ledger ack.Wireformat.recv_auth
                       | Error _ -> ()
                     end)
+              else Avm_obs.Metrics.incr "net.packets_dropped"
           end)
+    else Avm_obs.Metrics.incr "net.packets_dropped"
   end
 
 and retransmit_sweep t =

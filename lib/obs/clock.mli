@@ -1,0 +1,12 @@
+(** The observability clock: host wall-clock time.
+
+    Every timing field and span in {!Metrics} / {!Trace} uses this
+    clock, never [Sys.time] — process CPU time over-counts wall-clock
+    by roughly the worker count once a {!Avm_util.Domain_pool} is
+    involved, which is exactly when measurements matter most. *)
+
+val now_s : unit -> float
+(** Seconds since the epoch, sub-microsecond resolution. *)
+
+val now_us : unit -> float
+(** Microseconds since the epoch. *)

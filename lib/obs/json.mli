@@ -1,0 +1,37 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability exports ({!Metrics.to_json}, {!Trace.to_json})
+    build this tree and print it, so emitted files are valid by
+    construction; the parser lets tests and the [avm_obs_check] smoke
+    tool read them back without external dependencies. Numbers that
+    JSON cannot represent ([nan], [infinity]) print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent] (default 2) pretty-prints, [indent = 0] is
+    compact. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on anything that is not a single JSON value. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert; everything else is [None]. *)
+
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option

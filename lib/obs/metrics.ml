@@ -1,0 +1,189 @@
+module Stats = Avm_util.Stats
+
+(* One shard per domain. A domain only ever touches its own shard (no
+   locks on the write path); the registry mutex guards the shard list
+   itself, which changes only when a new domain records its first
+   metric, and serializes readers. *)
+type shard = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, (int * float) ref) Hashtbl.t; (* (write seq, value) *)
+  histograms : (string, Stats.t) Hashtbl.t;
+}
+
+let registry_mu = Mutex.create ()
+let registry : shard list ref = ref []
+
+(* Orders gauge writes across domains so a merged read can report the
+   most recent one. *)
+let gauge_seq = Atomic.make 0
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          counters = Hashtbl.create 32;
+          gauges = Hashtbl.create 16;
+          histograms = Hashtbl.create 16;
+        }
+      in
+      Mutex.protect registry_mu (fun () -> registry := s :: !registry);
+      s)
+
+let shard () = Domain.DLS.get shard_key
+
+let incr ?(by = 1) name =
+  let s = shard () in
+  match Hashtbl.find_opt s.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add s.counters name (ref by)
+
+let set name value =
+  let s = shard () in
+  let stamped = (Atomic.fetch_and_add gauge_seq 1, value) in
+  match Hashtbl.find_opt s.gauges name with
+  | Some r -> r := stamped
+  | None -> Hashtbl.add s.gauges name (ref stamped)
+
+let observe name x =
+  let s = shard () in
+  match Hashtbl.find_opt s.histograms name with
+  | Some st -> Stats.add st x
+  | None ->
+    let st = Stats.create () in
+    Stats.add st x;
+    Hashtbl.add s.histograms name st
+
+let time name f =
+  let t0 = Clock.now_s () in
+  Fun.protect ~finally:(fun () -> observe name (Clock.now_s () -. t0)) f
+
+(* --- reading ------------------------------------------------------------ *)
+
+type histogram = {
+  count : int;
+  total : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram) list;
+}
+
+let sorted_bindings merge tbls =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name v ->
+          match Hashtbl.find_opt acc name with
+          | Some prev -> Hashtbl.replace acc name (merge prev v)
+          | None -> Hashtbl.replace acc name v)
+        tbl)
+    tbls;
+  List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v l -> (k, v) :: l) acc [])
+
+(* Histogram statistics are computed off the *sorted* merged samples,
+   so two snapshots of the same data are identical no matter how the
+   samples were scattered across shards (float addition is not
+   associative; a fixed order makes it deterministic). *)
+let summarize samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let st = Stats.create () in
+  Array.iter (Stats.add st) a;
+  {
+    count = Stats.count st;
+    total = Stats.total st;
+    mean = Stats.mean st;
+    min = Stats.min_value st;
+    max = Stats.max_value st;
+    p50 = Stats.percentile st 50.0;
+    p90 = Stats.percentile st 90.0;
+    p99 = Stats.percentile st 99.0;
+  }
+
+let snapshot () =
+  let shards = Mutex.protect registry_mu (fun () -> !registry) in
+  let counters =
+    sorted_bindings (fun a b -> ref (!a + !b)) (List.map (fun (s : shard) -> s.counters) shards)
+    |> List.map (fun (k, r) -> (k, !r))
+  in
+  let gauges =
+    sorted_bindings
+      (fun a b -> if fst !a >= fst !b then a else b)
+      (List.map (fun (s : shard) -> s.gauges) shards)
+    |> List.map (fun (k, r) -> (k, snd !r))
+  in
+  let histograms =
+    sorted_bindings
+      (fun a b ->
+        let m = Stats.create () in
+        Stats.merge_into ~dst:m a;
+        Stats.merge_into ~dst:m b;
+        m)
+      (List.map (fun (s : shard) -> s.histograms) shards)
+    |> List.map (fun (k, st) -> (k, summarize (Stats.samples st)))
+  in
+  { counters; gauges; histograms }
+
+let counter snap name =
+  match List.assoc_opt name snap.counters with Some n -> n | None -> 0
+
+let reset () =
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun (s : shard) ->
+          Hashtbl.reset s.counters;
+          Hashtbl.reset s.gauges;
+          Hashtbl.reset s.histograms)
+        !registry)
+
+(* --- export ------------------------------------------------------------- *)
+
+let to_json snap =
+  let histo h =
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("total", Json.Float h.total);
+        ("mean", Json.Float h.mean);
+        ("min", Json.Float h.min);
+        ("max", Json.Float h.max);
+        ("p50", Json.Float h.p50);
+        ("p90", Json.Float h.p90);
+        ("p99", Json.Float h.p99);
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.gauges));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, histo h)) snap.histograms));
+    ]
+
+let render_table snap =
+  let g x = Printf.sprintf "%g" x in
+  let counter_rows = List.map (fun (k, v) -> [ k; "counter"; string_of_int v; "" ]) snap.counters in
+  let gauge_rows = List.map (fun (k, v) -> [ k; "gauge"; g v; "" ]) snap.gauges in
+  let histo_rows =
+    List.map
+      (fun (k, h) ->
+        [
+          k;
+          "histogram";
+          string_of_int h.count;
+          Printf.sprintf "mean=%s p50=%s p90=%s p99=%s max=%s" (g h.mean) (g h.p50) (g h.p90)
+            (g h.p99) (g h.max);
+        ])
+      snap.histograms
+  in
+  Avm_util.Tablefmt.render
+    ~header:[ "metric"; "kind"; "value"; "distribution" ]
+    (counter_rows @ gauge_rows @ histo_rows)

@@ -1,0 +1,67 @@
+(** Process-global named metrics: counters, gauges and histograms.
+
+    Writes go to a {e per-domain shard} (a [Domain.DLS] slot registered
+    with the global registry on first use), so {!Avm_util.Domain_pool}
+    workers record without taking any lock — the hot paths of the AVMM,
+    the log and the parallel auditor all instrument themselves through
+    this module. Reads ({!snapshot}) merge every shard:
+
+    - counters sum across shards;
+    - a gauge reports its most recently {!set} value (a global write
+      sequence orders sets across domains);
+    - histograms (built on {!Avm_util.Stats}) pool their samples, and
+      the merged samples are sorted before any statistic is computed,
+      so a snapshot is deterministic regardless of which domain
+      recorded which sample.
+
+    Metric names are dotted paths by convention ([audit.entries_checked],
+    [log.segments_sealed]); the registry is flat. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter (created at 0 on first use). *)
+
+val set : string -> float -> unit
+(** Set a gauge. *)
+
+val observe : string -> float -> unit
+(** Record one histogram sample. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] and {!observe}s its wall-clock duration in
+    seconds under [name]. *)
+
+(** {1 Reading} *)
+
+type histogram = {
+  count : int;
+  total : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name *)
+  histograms : (string * histogram) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge all shards. Safe to call while other domains are recording;
+    concurrent updates may or may not be included. *)
+
+val counter : snapshot -> string -> int
+(** Value of a counter in a snapshot; 0 if absent. *)
+
+val reset : unit -> unit
+(** Zero every metric in every shard (test isolation, or the start of
+    a measured phase). Concurrent writers should be quiescent. *)
+
+val to_json : snapshot -> Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {..}}]. *)
+
+val render_table : snapshot -> string
+(** The {!Avm_core.Logstats}-style aligned text table. *)

@@ -1,0 +1,18 @@
+let to_json () =
+  match Metrics.to_json (Metrics.snapshot ()) with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("spans", Trace.to_json ()) ])
+  | other -> other
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ()));
+      output_char oc '\n')
+
+let table () =
+  let snap = Metrics.snapshot () in
+  let nspans = List.length (Trace.spans ()) in
+  Printf.sprintf "%s\n%d trace span%s retained\n" (Metrics.render_table snap) nspans
+    (if nspans = 1 then "" else "s")

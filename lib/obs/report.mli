@@ -1,0 +1,17 @@
+(** Combined observability export: one snapshot of {!Metrics} plus the
+    retained {!Trace} spans, as the JSON document that
+    [avm_audit --metrics FILE] / [avm_run --metrics FILE] write and
+    that [BENCH_audit.json] embeds. *)
+
+val to_json : unit -> Json.t
+(** [{"counters": .., "gauges": .., "histograms": .., "spans": ..}] —
+    the {!Metrics.to_json} fields plus {!Trace.to_json} under
+    ["spans"]. *)
+
+val write_file : string -> unit
+(** Serialize {!to_json} (pretty-printed, trailing newline) to a file.
+    @raise Sys_error on I/O failure. *)
+
+val table : unit -> string
+(** Human-readable summary: the {!Metrics.render_table} of the current
+    snapshot, followed by a one-line span count. *)

@@ -1,0 +1,102 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;
+  dur_us : float;
+  domain : int;
+  depth : int;
+  seq : int;
+}
+
+(* The ring holds the [capacity] most recent spans. Pushes are rare
+   relative to metric increments (one per audit chunk, not one per log
+   entry), so a single mutex is fine here where it would not be in
+   Metrics. *)
+let mu = Mutex.create ()
+let capacity = ref 4096
+let ring : span option array ref = ref (Array.make !capacity None)
+let next = ref 0
+let seq = Atomic.make 0
+
+(* Nesting depth is tracked per domain: a worker's chunk span should
+   not appear nested under whatever the coordinating domain happens to
+   be doing. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let push s =
+  Mutex.protect mu (fun () ->
+      !ring.(!next mod Array.length !ring) <- Some s;
+      incr next)
+
+let with_span ~name ?(attrs = []) f =
+  let depth = Domain.DLS.get depth_key in
+  let d = !depth in
+  depth := d + 1;
+  let start_us = Clock.now_us () in
+  let record () =
+    depth := d;
+    push
+      {
+        name;
+        attrs;
+        start_us;
+        dur_us = Clock.now_us () -. start_us;
+        domain = (Domain.self () :> int);
+        depth = d;
+        seq = Atomic.fetch_and_add seq 1;
+      }
+  in
+  Fun.protect ~finally:record f
+
+let spans () =
+  let retained =
+    Mutex.protect mu (fun () -> Array.to_list (Array.map Fun.id !ring))
+    |> List.filter_map Fun.id
+  in
+  List.sort (fun a b -> compare a.seq b.seq) retained
+
+let set_capacity n =
+  let n = max 1 n in
+  Mutex.protect mu (fun () ->
+      capacity := n;
+      ring := Array.make n None;
+      next := 0)
+
+let clear () =
+  Mutex.protect mu (fun () ->
+      ring := Array.make (Array.length !ring) None;
+      next := 0)
+
+let attrs_json attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs)
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("name", Json.String s.name);
+             ("start_us", Json.Float s.start_us);
+             ("dur_us", Json.Float s.dur_us);
+             ("domain", Json.Int s.domain);
+             ("depth", Json.Int s.depth);
+             ("seq", Json.Int s.seq);
+             ("attrs", attrs_json s.attrs);
+           ])
+       (spans ()))
+
+let to_chrome_json () =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("name", Json.String s.name);
+             ("ph", Json.String "X");
+             ("ts", Json.Float s.start_us);
+             ("dur", Json.Float s.dur_us);
+             ("pid", Json.Int 0);
+             ("tid", Json.Int s.domain);
+             ("args", attrs_json s.attrs);
+           ])
+       (spans ()))

@@ -1,0 +1,48 @@
+(** Lightweight in-process tracing: timed, named spans in a bounded
+    ring buffer.
+
+    {!with_span} wraps a computation, records its wall-clock start and
+    duration ({!Clock}), and files the finished span into a
+    process-global ring. The ring is bounded ({!set_capacity}, default
+    4096 spans): when it fills, the oldest spans are overwritten, so
+    tracing a long audit costs O(capacity) memory no matter how many
+    chunks it touches.
+
+    Spans nest — each records the {!span.depth} of enclosing
+    [with_span]s on the same domain — and carry the recording domain's
+    id, so a parallel audit's per-chunk spans can be laid out one lane
+    per worker in a trace viewer ({!to_chrome_json}). *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_us : float;  (** wall-clock start, µs since the epoch *)
+  dur_us : float;  (** wall-clock duration, µs *)
+  domain : int;  (** id of the domain that ran the span *)
+  depth : int;  (** nesting level within that domain, outermost = 0 *)
+  seq : int;  (** global completion order *)
+}
+
+val with_span : name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** [with_span ~name f] runs [f], recording a span even if [f]
+    raises. [attrs] are free-form key/value annotations (chunk index,
+    entry counts, …). *)
+
+val spans : unit -> span list
+(** Retained spans, oldest first (completion order). *)
+
+val set_capacity : int -> unit
+(** Resize the ring, discarding retained spans. Capacity is clamped to
+    at least 1. *)
+
+val clear : unit -> unit
+(** Drop all retained spans (capacity unchanged). *)
+
+val to_json : unit -> Json.t
+(** The retained spans as a JSON array of objects
+    [{"name","start_us","dur_us","domain","depth","seq","attrs"}]. *)
+
+val to_chrome_json : unit -> Json.t
+(** The retained spans as a Chrome [trace_event] array (load in
+    [chrome://tracing] or Perfetto): complete events ([ph = "X"]) with
+    one [tid] per domain. *)

@@ -177,8 +177,10 @@ let audit outcome ~target =
     (2 * Avm_machine.Machine.icount (Avmm.machine (Net.node_avmm node))) + 5_000_000
   in
   Audit.full
-    ~node_cert:(List.assoc name (Net.certificates net))
-    ~peer_certs:(Net.certificates net)
+    ~ctx:
+      (Audit.ctx
+         ~node_cert:(List.assoc name (Net.certificates net))
+         ~peer_certs:(Net.certificates net)
+         ~auths:(Multiparty.auths_for pool name) ())
     ~image:(auction_image ()).Avm_isa.Asm.words ~mem_words:Guests.mem_words ~fuel
-    ~peers:(Net.peers net) ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries
-    ~auths:(Multiparty.auths_for pool name) ()
+    ~peers:(Net.peers net) ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries ()

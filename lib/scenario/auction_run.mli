@@ -35,6 +35,6 @@ val run :
     [rigged] makes the auctioneer poke himself in as winner of every
     round. *)
 
-val audit : outcome -> target:int -> Avm_core.Audit.report
+val audit : outcome -> target:int -> Avm_core.Audit.outcome
 (** Audit any participant (bidders pool their authenticators, as in
     §4.6). *)

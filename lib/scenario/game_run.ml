@@ -123,10 +123,11 @@ let audit_player outcome ~auditor ~target =
     (2 * Avm_machine.Machine.icount (Avmm.machine (Net.node_avmm node))) + 5_000_000
   in
   Audit.full
-    ~node_cert:(List.assoc name certs)
-    ~peer_certs:certs ~image:(reference_image ()) ~mem_words:Guests.mem_words ~fuel
-    ~peers:(Net.peers net) ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries
-    ~auths:(collect_auths net ~target) ()
+    ~ctx:
+      (Audit.ctx ~node_cert:(List.assoc name certs) ~peer_certs:certs
+         ~auths:(collect_auths net ~target) ())
+    ~image:(reference_image ()) ~mem_words:Guests.mem_words ~fuel ~peers:(Net.peers net)
+    ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries ()
 
 let audit_inputs outcome ~target =
   let node = Net.node outcome.net target in

@@ -44,7 +44,7 @@ val collect_auths : Avm_netsim.Net.t -> target:int -> Avm_tamperlog.Auth.t list
 (** Pool every participant's collected authenticators for one node —
     the §4.6 step Alice performs before auditing Bob. *)
 
-val audit_player : outcome -> auditor:int -> target:int -> Avm_core.Audit.report
+val audit_player : outcome -> auditor:int -> target:int -> Avm_core.Audit.outcome
 (** Full audit of [target]'s log using the reference image and the
     authenticators collected by all participants. [auditor] is kept
     for symmetry (any participant reaches the same verdict). *)

@@ -36,4 +36,4 @@ val run :
 (** Defaults: 4 peers, 20 virtual seconds, no freerider, 512-bit
     keys. *)
 
-val audit : outcome -> target:int -> Avm_core.Audit.report
+val audit : outcome -> target:int -> Avm_core.Audit.outcome

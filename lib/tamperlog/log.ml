@@ -97,6 +97,8 @@ let seal_active t =
       }
     in
     push_sealed t (Segment_store.seal t.backend ~info (Array.sub t.tail 0 t.tail_count));
+    Avm_obs.Metrics.incr "log.segments_sealed";
+    Avm_obs.Metrics.incr ~by:t.tail_bytes "log.bytes_sealed";
     t.tail_count <- 0;
     t.tail_bytes <- 0
   end
@@ -110,6 +112,7 @@ let ensure_tail_capacity t =
 
 (* Install an already-sealed entry (its stored hash is kept verbatim). *)
 let push_raw t (e : Entry.t) =
+  Avm_obs.Metrics.incr "log.entries_appended";
   ensure_tail_capacity t;
   t.tail.(t.tail_count) <- e;
   t.tail_count <- t.tail_count + 1;
@@ -165,8 +168,11 @@ let inflate_slot : (int * int * Entry.t array) option ref Domain.DLS.key =
 let inflate t i =
   let slot = Domain.DLS.get inflate_slot in
   match !slot with
-  | Some (id, j, a) when id = t.id && j = i -> a
+  | Some (id, j, a) when id = t.id && j = i ->
+    Avm_obs.Metrics.incr "log.inflate_cache_hits";
+    a
   | _ ->
+    Avm_obs.Metrics.incr "log.inflate_cache_misses";
     let a = Segment_store.inflate t.sealed.(i) in
     slot := Some (t.id, i, a);
     a

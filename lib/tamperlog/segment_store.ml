@@ -62,6 +62,7 @@ let seal backend ~info entries =
   | Memory -> { info; repr = Entries entries }
   | Compressed ->
     let blob = Avm_compress.Codec.compress (encode_entries (Array.to_list entries)) in
+    Avm_obs.Metrics.incr ~by:(String.length blob) "log.bytes_compressed";
     { info; repr = Blob blob }
 
 let inflate seg =

@@ -36,6 +36,12 @@ let percentile t p =
   end
 
 let median t = percentile t 50.0
+let samples t = t.samples
+
+let merge_into ~dst src =
+  dst.samples <- List.rev_append src.samples dst.samples;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum
 
 type rate = {
   mutable first : float option;

@@ -38,6 +38,14 @@ val percentile : t -> float -> float
 val median : t -> float
 (** [median t] is [percentile t 50.0]. *)
 
+val samples : t -> float list
+(** The raw observations, most recent first. *)
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds every observation of [src] to [dst]
+    (e.g. combining per-domain accumulators on read). [src] is not
+    modified. *)
+
 (** {1 Rates} *)
 
 type rate

@@ -286,10 +286,13 @@ let test_full_audit_honest () =
     ignore (shuttle b a b_out)
   done;
   let report =
-    Audit.full ~node_cert:(cert_of "bob")
-      ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+    Audit.full
+      ~ctx:
+        (Audit.ctx ~node_cert:(cert_of "bob")
+           ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+           ~auths:!auths_b ())
       ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ~prev_hash:Log.genesis_hash
-      ~entries:(entries_of b) ~auths:!auths_b ()
+      ~entries:(entries_of b) ()
   in
   (match report.Audit.verdict with
   | Ok () -> ()
@@ -322,9 +325,12 @@ let test_audit_detects_reseal () =
   | Some seq ->
     Log.tamper_reseal log seq (Entry.Send { dest = "alice"; nonce = 12345; payload = "forged" }));
   let syn =
-    Audit.syntactic ~node_cert:(cert_of "bob")
-      ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
-      ~prev_hash:Log.genesis_hash ~entries:(entries_of b) ~auths:!auths_b ()
+    Audit.syntactic
+      ~ctx:
+        (Audit.ctx ~node_cert:(cert_of "bob")
+           ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+           ~auths:!auths_b ())
+      ~prev_hash:Log.genesis_hash ~entries:(entries_of b) ()
   in
   Alcotest.(check bool) "syntactic failure" true (syn.Audit.failures <> [])
 
@@ -343,9 +349,12 @@ let test_audit_detects_forged_recv () =
     Log.tamper_reseal log seq
       (Entry.Recv { src = "alice"; nonce = 9; payload = "gift"; signature = "forged" }));
   let syn =
-    Audit.syntactic ~node_cert:(cert_of "bob")
-      ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
-      ~prev_hash:Log.genesis_hash ~entries:(entries_of b) ~auths:[] ()
+    Audit.syntactic
+      ~ctx:
+        (Audit.ctx ~node_cert:(cert_of "bob")
+           ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+           ())
+      ~prev_hash:Log.genesis_hash ~entries:(entries_of b) ()
   in
   Alcotest.(check bool) "forged recv caught" true
     (List.exists (fun f -> String.length f > 0) syn.Audit.failures)
@@ -379,16 +388,20 @@ let test_evidence_roundtrip_and_check () =
   Alcotest.(check string) "roundtrip accused" "bob" ev'.Evidence.accused;
   (* A third party confirms the fault... *)
   Alcotest.(check bool) "third party confirms" true
-    (Evidence.check ev'
-       ~node_cert:(cert_of "bob")
-       ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+    (Audit.check_evidence ev'
+       ~ctx:
+         (Audit.ctx ~node_cert:(cert_of "bob")
+            ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+            ())
        ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ());
   (* ... and rejects the same accusation against an honest log. *)
   let honest_ev = { ev with Evidence.segment = entries_of a; accused = "alice" } in
   Alcotest.(check bool) "honest log clears" false
-    (Evidence.check honest_ev
-       ~node_cert:(cert_of "alice")
-       ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+    (Audit.check_evidence honest_ev
+       ~ctx:
+         (Audit.ctx ~node_cert:(cert_of "alice")
+            ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+            ())
        ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_a ())
 
 let test_unanswered_challenge_evidence () =
@@ -406,12 +419,14 @@ let test_unanswered_challenge_evidence () =
     }
   in
   Alcotest.(check bool) "auth-backed challenge valid" true
-    (Evidence.check ev ~node_cert:(cert_of "bob")
-       ~peer_certs:[] ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ());
+    (Audit.check_evidence ev
+       ~ctx:(Audit.ctx ~node_cert:(cert_of "bob") ())
+       ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ());
   let forged = { ev with Evidence.accusation = Evidence.Unanswered_challenge { auth = { auth with Auth.signature = "zz" } } } in
   Alcotest.(check bool) "forged auth invalid" false
-    (Evidence.check forged ~node_cert:(cert_of "bob")
-       ~peer_certs:[] ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ())
+    (Audit.check_evidence forged
+       ~ctx:(Audit.ctx ~node_cert:(cert_of "bob") ())
+       ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ())
 
 (* --- spot checks --------------------------------------------------------------------- *)
 
@@ -795,10 +810,13 @@ let test_property_any_tamper_detected () =
   Alcotest.(check bool) "collected auths" true (max_auth_seq > 0);
   let rng = Rng.create 4242L in
   let audit_bob entries =
-    Audit.full ~node_cert:(cert_of "bob")
-      ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+    Audit.full
+      ~ctx:
+        (Audit.ctx ~node_cert:(cert_of "bob")
+           ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+           ~auths:!auths ())
       ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b
-      ~prev_hash:Log.genesis_hash ~entries ~auths:!auths ()
+      ~prev_hash:Log.genesis_hash ~entries ()
   in
   (match (audit_bob (entries_of b)).Audit.verdict with
   | Ok () -> ()
@@ -866,17 +884,19 @@ let record_with_auths ?poke_at () =
 (* The acceptance bar for the segmented pipeline: auditing through the
    segment store — sealed segments, streamed one at a time — must be
    indistinguishable from auditing the materialized entry list. *)
+let ctx_ab auths = Audit.ctx ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab ~auths ()
+
 let check_equivalent ~name entries auths =
   let whole =
-    Audit.full ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab ~image:(guest_image ())
-      ~mem_words:4096 ~peers:peers_b ~prev_hash:Log.genesis_hash ~entries ~auths ()
+    Audit.full ~ctx:(ctx_ab auths) ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b
+      ~prev_hash:Log.genesis_hash ~entries ()
   in
   let seg_log = Log.of_entries ~seal_every:50 entries in
   Alcotest.(check bool) (name ^ ": several sealed segments") true
     (List.length (Log.segments seg_log) >= 2);
   let seg =
-    Audit.full_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-      ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ~log:seg_log ~auths ()
+    Audit.full_of_log ~ctx:(ctx_ab auths) ~image:(guest_image ()) ~mem_words:4096
+      ~peers:peers_b ~log:seg_log ()
   in
   Alcotest.(check (list string))
     (name ^ ": same syntactic failures")
@@ -897,8 +917,8 @@ let test_segmented_audit_honest () =
   check_equivalent ~name:"honest" (entries_of b) auths;
   (* and straight off the AVMM's own (compressed) segment store *)
   let direct =
-    Audit.full_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-      ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ~log:(Avmm.log b) ~auths ()
+    Audit.full_of_log ~ctx:(ctx_ab auths) ~image:(guest_image ()) ~mem_words:4096
+      ~peers:peers_b ~log:(Avmm.log b) ()
   in
   match direct.Audit.verdict with
   | Ok () -> ()
@@ -955,8 +975,7 @@ let test_syntactic_single_pass () =
       entries
   in
   let syn =
-    Audit.syntactic_feed ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-      ~prev_hash:Log.genesis_hash ~feed ~auths ()
+    Audit.syntactic_feed ~ctx:(ctx_ab auths) ~prev_hash:Log.genesis_hash ~feed ()
   in
   Alcotest.(check int) "feed invoked once" 1 !feed_calls;
   Alcotest.(check int) "every entry checked" (List.length entries) syn.Audit.entries_checked;
@@ -966,8 +985,7 @@ let test_syntactic_single_pass () =
   Alcotest.(check (list string)) "clean" [] syn.Audit.failures;
   (* and it reports exactly what the list-based entry point reports *)
   let listed =
-    Audit.syntactic ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-      ~prev_hash:Log.genesis_hash ~entries ~auths ()
+    Audit.syntactic ~ctx:(ctx_ab auths) ~prev_hash:Log.genesis_hash ~entries ()
   in
   Alcotest.(check bool) "same report" true (syn = listed)
 
@@ -978,23 +996,22 @@ let test_syntactic_single_pass () =
    identical* to the sequential pass — same counters, same failure
    strings in the same order — on honest logs and on every tamper op. *)
 let check_parallel_syntactic ~name entries auths =
-  let syn ?jobs ~entries () =
-    Audit.syntactic ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-      ~prev_hash:Log.genesis_hash ~entries ~auths ?jobs ()
+  let syn ?par ~entries () =
+    Audit.syntactic ~ctx:(ctx_ab auths) ~prev_hash:Log.genesis_hash ~entries ?par ()
   in
   let seq = syn ~entries () in
   let seg_log = Log.of_entries ~seal_every:50 entries in
   List.iter
     (fun jobs ->
-      let par = syn ~jobs ~entries () in
+      let par = syn ~par:(Audit.parallel jobs) ~entries () in
       Alcotest.(check (list string))
         (Printf.sprintf "%s: list failures (jobs=%d)" name jobs)
         seq.Audit.failures par.Audit.failures;
       Alcotest.(check bool) (Printf.sprintf "%s: list report (jobs=%d)" name jobs) true
         (seq = par);
       let par_log =
-        Audit.syntactic_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-          ~log:seg_log ~auths ~jobs ()
+        Audit.syntactic_of_log ~ctx:(ctx_ab auths) ~log:seg_log
+          ~par:(Audit.parallel jobs) ()
       in
       Alcotest.(check (list string))
         (Printf.sprintf "%s: store failures (jobs=%d)" name jobs)
@@ -1057,14 +1074,14 @@ let test_parallel_syntactic_honest_and_tampered () =
 let check_parallel_full ~name b auths =
   let log = Avmm.log b in
   let snapshots = Avmm.snapshots b in
-  let full ?jobs ?snapshots () =
-    Audit.full_of_log ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-      ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b ~log ?snapshots ~auths ?jobs ()
+  let full ?par ?snapshots () =
+    Audit.full_of_log ~ctx:(ctx_ab auths) ~image:(guest_image ()) ~mem_words:4096
+      ~peers:peers_b ~log ?snapshots ?par ()
   in
   let seq = full () in
   List.iter
     (fun jobs ->
-      let par = full ~jobs ~snapshots () in
+      let par = full ~par:(Audit.parallel jobs) ~snapshots () in
       Alcotest.(check bool) (Printf.sprintf "%s: syntactic (jobs=%d)" name jobs) true
         (seq.Audit.syntactic = par.Audit.syntactic);
       (match (seq.Audit.semantic, par.Audit.semantic) with
@@ -1110,11 +1127,12 @@ let test_parallel_replay_forged_snapshot () =
       snapshots
   in
   Avm_util.Domain_pool.with_pool ~jobs:2 (fun pool ->
+      let par = Audit.parallel ~pool 2 in
       expect_verified
-        (Spot_check.parallel_replay ~pool ~image:(guest_image ()) ~mem_words:4096 ~snapshots
+        (Spot_check.parallel_replay ~par ~image:(guest_image ()) ~mem_words:4096 ~snapshots
            ~log ~peers:peers_b ());
       expect_diverged Replay.Snapshot_mismatch
-        (Spot_check.parallel_replay ~pool ~image:(guest_image ()) ~mem_words:4096
+        (Spot_check.parallel_replay ~par ~image:(guest_image ()) ~mem_words:4096
            ~snapshots:forged ~log ~peers:peers_b ()))
 
 let test_spot_check_plan_and_pool () =
@@ -1125,13 +1143,14 @@ let test_spot_check_plan_and_pool () =
   Alcotest.(check bool) "plan indexes every boundary" true
     (Spot_check.plan_boundaries pl = Spot_check.boundaries log);
   let chunks = [ (1, 1); (2, 2); (1, 2) ] in
-  let check ?pool () =
-    Spot_check.check_chunks ?pool ~image:(guest_image ()) ~mem_words:4096 ~snapshots ~log
+  let check ?par () =
+    Spot_check.check_chunks ?par ~image:(guest_image ()) ~mem_words:4096 ~snapshots ~log
       ~peers:peers_b chunks
   in
   let seq = check () in
   Avm_util.Domain_pool.with_pool ~jobs:3 (fun pool ->
-      Alcotest.(check bool) "pooled spot checks identical" true (seq = check ~pool ()))
+      Alcotest.(check bool) "pooled spot checks identical" true
+        (seq = check ~par:(Audit.parallel ~pool 3) ()))
 
 (* --- online auditing (paper §6.11) ------------------------------------------ *)
 
@@ -1197,8 +1216,8 @@ let test_online_audit_parallel_chain_check () =
      the very observation that delivers it, before replay reaches it. *)
   let a, b, a_out, b_out = make_pair () in
   let oa =
-    Online_audit.create ~image:(guest_image ()) ~mem_words:4096 ~replay_rate:1.0 ~jobs:2
-      ~peers:peers_b ()
+    Online_audit.create ~image:(guest_image ()) ~mem_words:4096 ~replay_rate:1.0
+      ~par:(Audit.parallel 2) ~peers:peers_b ()
   in
   let t = ref 0.0 in
   for _ = 1 to 10 do
@@ -1229,6 +1248,107 @@ let test_online_audit_parallel_chain_check () =
   | Some reason -> Alcotest.(check bool) "reason given" true (String.length reason > 0)
   | None -> Alcotest.fail "in-place rewrite not caught on observation");
   Online_audit.close oa
+
+(* --- legacy wrappers = ctx API ------------------------------------------------ *)
+
+(* The pre-[ctx] entry points survive one release as [Audit.Legacy]
+   thin wrappers; until they go, every one of them must produce
+   reports structurally identical to the [~ctx]/[?par] API — honest
+   and tampered logs, sequential and parallel alike. *)
+module Legacy_equivalence = struct
+  [@@@alert "-deprecated"]
+  [@@@warning "-3"]
+
+  let syntactic_equal ~name entries auths =
+    let ctx = ctx_ab auths in
+    List.for_all
+      (fun jobs ->
+        let modern =
+          Audit.syntactic ~ctx ~prev_hash:Log.genesis_hash ~entries
+            ~par:(Audit.parallel jobs) ()
+        in
+        let legacy =
+          Audit.Legacy.syntactic ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+            ~prev_hash:Log.genesis_hash ~entries ~auths ~jobs ()
+        in
+        if modern <> legacy then
+          QCheck2.Test.fail_reportf "%s: ctx and legacy syntactic reports differ at jobs=%d"
+            name jobs
+        else true)
+      [ 1; 4 ]
+
+  let full_equal ~name entries auths =
+    let outcome_modern =
+      Audit.full ~ctx:(ctx_ab auths) ~image:(guest_image ()) ~mem_words:4096
+        ~peers:peers_b ~prev_hash:Log.genesis_hash ~entries ()
+    in
+    let outcome_legacy =
+      Audit.Legacy.full ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
+        ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b
+        ~prev_hash:Log.genesis_hash ~entries ~auths ()
+    in
+    (* Everything but the wall-clock timings must agree exactly,
+       evidence included. *)
+    Alcotest.(check bool) (name ^ ": full syntactic identical") true
+      (outcome_modern.Audit.syntactic = outcome_legacy.Audit.syntactic);
+    Alcotest.(check bool) (name ^ ": full semantic identical") true
+      (outcome_modern.Audit.semantic = outcome_legacy.Audit.semantic);
+    Alcotest.(check bool) (name ^ ": full verdict identical") true
+      (outcome_modern.Audit.verdict = outcome_legacy.Audit.verdict);
+    Alcotest.(check bool) (name ^ ": full evidence identical") true
+      (outcome_modern.Audit.evidence = outcome_legacy.Audit.evidence)
+
+  let session = lazy (record_with_auths ())
+
+  let prop_tampered =
+    let gen =
+      QCheck2.Gen.(pair (oneofl [ `Replace; `Reseal; `Truncate ]) (int_range 2 200))
+    in
+    QCheck2.Test.make ~count:12 ~name:"legacy = ctx on random tampers" gen
+      (fun (kind, pos) ->
+        let b, auths = Lazy.force session in
+        let forked = Log.fork (Avmm.log b) in
+        let pos = 1 + (pos mod Log.length forked) in
+        (match kind with
+        | `Replace -> Log.tamper_replace forked pos (Entry.Note "evil")
+        | `Reseal -> Log.tamper_reseal forked pos (Entry.Note "evil")
+        | `Truncate -> Log.tamper_truncate forked pos);
+        let entries = Log.segment forked ~from:1 ~upto:(Log.length forked) in
+        syntactic_equal ~name:(Printf.sprintf "tamper@%d" pos) entries auths)
+
+  let test_honest_and_poked () =
+    let b, auths = Lazy.force session in
+    ignore (syntactic_equal ~name:"honest" (entries_of b) auths : bool);
+    full_equal ~name:"honest" (entries_of b) auths;
+    let b, auths = record_with_auths ~poke_at:15 () in
+    full_equal ~name:"poke" (entries_of b) auths
+
+  let test_spot_check_and_online () =
+    let b, auths = Lazy.force session in
+    ignore auths;
+    let log = Avmm.log b in
+    let snapshots = Avmm.snapshots b in
+    Avm_util.Domain_pool.with_pool ~jobs:2 (fun pool ->
+        let legacy =
+          Spot_check.Legacy.parallel_replay ~pool ~image:(guest_image ()) ~mem_words:4096
+            ~snapshots ~log ~peers:peers_b ()
+        in
+        let modern =
+          Spot_check.parallel_replay ~par:(Audit.parallel ~pool 2) ~image:(guest_image ())
+            ~mem_words:4096 ~snapshots ~log ~peers:peers_b ()
+        in
+        Alcotest.(check bool) "parallel_replay wrapper identical" true (legacy = modern));
+    let oa = Online_audit.Legacy.create ~image:(guest_image ()) ~mem_words:4096 ~jobs:2
+        ~peers:peers_b ()
+    in
+    Online_audit.observe_log oa log;
+    (match Online_audit.advance oa ~budget_instructions:1_000_000 with
+    | `Ok -> ()
+    | `Fault _ -> Alcotest.fail "legacy online auditor faulted on honest log");
+    Alcotest.(check bool) "legacy online auditor clean" true
+      (Online_audit.tamper_detected oa = None);
+    Online_audit.close oa
+end
 
 (* --- remaining divergence kinds ---------------------------------------------- *)
 
@@ -1308,6 +1428,14 @@ let () =
           Alcotest.test_case "forged downloaded snapshot" `Quick
             test_parallel_replay_forged_snapshot;
           Alcotest.test_case "spot-check plan + pool" `Quick test_spot_check_plan_and_pool;
+        ] );
+      ( "legacy-wrappers",
+        [
+          Alcotest.test_case "full + syntactic = ctx API" `Slow
+            Legacy_equivalence.test_honest_and_poked;
+          Alcotest.test_case "spot-check + online = ctx API" `Quick
+            Legacy_equivalence.test_spot_check_and_online;
+          QCheck_alcotest.to_alcotest Legacy_equivalence.prop_tampered;
         ] );
       ( "properties",
         [

@@ -1,0 +1,195 @@
+(* Tests for the zero-dependency observability layer (lib/obs):
+   per-domain metric shards merged deterministically on read, the
+   bounded trace ring, and the JSON codec the exporters share. *)
+
+module Json = Avm_obs.Json
+module Metrics = Avm_obs.Metrics
+module Trace = Avm_obs.Trace
+
+let reset () =
+  Metrics.reset ();
+  Trace.clear ()
+
+(* --- json codec -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("int", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("float", Json.Float 1.5);
+        ("string", Json.String "with \"quotes\" and \n control \x01 bytes");
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  let text = Json.to_string j in
+  Alcotest.(check bool) "compact roundtrip" true (Json.parse text = j);
+  let pretty = Json.to_string ~indent:2 j in
+  Alcotest.(check bool) "pretty roundtrip" true (Json.parse pretty = j);
+  (* non-finite floats degrade to null rather than emitting invalid JSON *)
+  (match Json.parse (Json.to_string (Json.Float Float.nan)) with
+  | Json.Null -> ()
+  | _ -> Alcotest.fail "nan must serialize as null");
+  Alcotest.(check bool) "garbage rejected" true
+    (match Json.parse "{\"a\": }" with
+    | _ -> false
+    | exception Json.Parse_error _ -> true);
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (match Json.parse "1 2" with
+    | _ -> false
+    | exception Json.Parse_error _ -> true)
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  reset ();
+  Metrics.incr "c";
+  Metrics.incr ~by:4 "c";
+  Metrics.set "g" 2.5;
+  Metrics.set "g" 7.25;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter summed" 5 (Metrics.counter snap "c");
+  Alcotest.(check int) "absent counter is 0" 0 (Metrics.counter snap "nope");
+  Alcotest.(check (list (pair string (float 0.0)))) "last gauge write wins"
+    [ ("g", 7.25) ] snap.Metrics.gauges;
+  Metrics.reset ();
+  Alcotest.(check int) "reset clears" 0 (Metrics.counter (Metrics.snapshot ()) "c")
+
+let test_histogram_percentiles () =
+  reset ();
+  (* 1..100, shuffled: order must not matter to the summary. *)
+  let xs = List.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  List.iter (fun x -> Metrics.observe "h" x) xs;
+  let snap = Metrics.snapshot () in
+  match List.assoc_opt "h" snap.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 100 h.Metrics.count;
+    Alcotest.(check (float 1e-9)) "min" 1.0 h.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 100.0 h.Metrics.max;
+    Alcotest.(check (float 1e-9)) "total" 5050.0 h.Metrics.total;
+    Alcotest.(check (float 1e-9)) "mean" 50.5 h.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "p50" 50.0 h.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "p90" 90.0 h.Metrics.p90;
+    Alcotest.(check (float 1e-9)) "p99" 99.0 h.Metrics.p99
+
+(* Worker domains write to their own shards lock-free; the snapshot
+   merges them. Whatever the interleaving, the merged result must be
+   the same as a single-domain run recording the same values. *)
+let test_shard_merge_determinism () =
+  reset ();
+  let jobs = 4 in
+  let per_worker = 250 in
+  Avm_util.Domain_pool.with_pool ~jobs (fun pool ->
+      ignore
+        (Avm_util.Domain_pool.run pool
+           (List.init jobs (fun w ->
+                fun () ->
+                 for i = 1 to per_worker do
+                   Metrics.incr "shard.counter";
+                   Metrics.observe "shard.histo" (float_of_int (((w * per_worker) + i) mod 97))
+                 done))));
+  let parallel = Metrics.snapshot () in
+  Metrics.reset ();
+  for w = 0 to jobs - 1 do
+    for i = 1 to per_worker do
+      Metrics.incr "shard.counter";
+      Metrics.observe "shard.histo" (float_of_int (((w * per_worker) + i) mod 97))
+    done
+  done;
+  let serial = Metrics.snapshot () in
+  Alcotest.(check int) "all writes counted" (jobs * per_worker)
+    (Metrics.counter parallel "shard.counter");
+  Alcotest.(check bool) "merged snapshot equals single-domain run" true
+    (parallel.Metrics.counters = serial.Metrics.counters
+    && parallel.Metrics.histograms = serial.Metrics.histograms)
+
+let test_time_records_duration () =
+  reset ();
+  let r = Metrics.time "timed" (fun () -> 41 + 1) in
+  Alcotest.(check int) "returns result" 42 r;
+  let snap = Metrics.snapshot () in
+  match List.assoc_opt "timed" snap.Metrics.histograms with
+  | None -> Alcotest.fail "no duration recorded"
+  | Some h -> Alcotest.(check int) "one sample" 1 h.Metrics.count
+
+(* --- tracing ----------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  reset ();
+  let r =
+    Trace.with_span ~name:"outer" (fun () ->
+        Trace.with_span ~name:"inner" ~attrs:[ ("k", "v") ] (fun () -> 7))
+  in
+  Alcotest.(check int) "result" 7 r;
+  let spans = Trace.spans () in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let find name = List.find (fun (s : Trace.span) -> s.Trace.name = name) spans in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check int) "outer at depth 0" 0 outer.Trace.depth;
+  Alcotest.(check int) "inner at depth 1" 1 inner.Trace.depth;
+  Alcotest.(check bool) "inner contained" true (inner.Trace.dur_us <= outer.Trace.dur_us);
+  Alcotest.(check (list (pair string string))) "attrs kept" [ ("k", "v") ] inner.Trace.attrs
+
+let test_span_depth_restored_on_exception () =
+  reset ();
+  (try Trace.with_span ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+  Trace.with_span ~name:"after" ignore;
+  let after = List.find (fun (s : Trace.span) -> s.Trace.name = "after") (Trace.spans ()) in
+  Alcotest.(check int) "depth back to 0" 0 after.Trace.depth
+
+let test_ring_bound () =
+  reset ();
+  Trace.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_capacity 4096)
+    (fun () ->
+      for i = 1 to 20 do
+        Trace.with_span ~name:(Printf.sprintf "s%d" i) ignore
+      done;
+      let spans = Trace.spans () in
+      Alcotest.(check int) "ring keeps capacity" 8 (List.length spans);
+      (* the survivors are the most recent spans, in order *)
+      Alcotest.(check (list string)) "most recent retained"
+        (List.init 8 (fun i -> Printf.sprintf "s%d" (i + 13)))
+        (List.map (fun (s : Trace.span) -> s.Trace.name) spans))
+
+let test_report_json_parses () =
+  reset ();
+  Metrics.incr "r.counter";
+  Metrics.observe "r.histo" 3.0;
+  Trace.with_span ~name:"r.span" ignore;
+  let j = Json.parse (Json.to_string (Avm_obs.Report.to_json ())) in
+  (match Json.member "counters" j with
+  | Some (Json.Obj [ ("r.counter", Json.Int 1) ]) -> ()
+  | _ -> Alcotest.fail "counters block wrong");
+  match Json.member "spans" j with
+  | Some (Json.List [ Json.Obj fields ]) ->
+    Alcotest.(check bool) "span name exported" true
+      (List.assoc_opt "name" fields = Some (Json.String "r.span"))
+  | _ -> Alcotest.fail "spans block wrong"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [ Alcotest.test_case "roundtrip and rejection" `Quick test_json_roundtrip ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "shard merge determinism" `Quick test_shard_merge_determinism;
+          Alcotest.test_case "time records duration" `Quick test_time_records_duration;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "depth restored on exception" `Quick
+            test_span_depth_restored_on_exception;
+          Alcotest.test_case "ring bound" `Quick test_ring_bound;
+          Alcotest.test_case "report json parses" `Quick test_report_json_parses;
+        ] );
+    ]

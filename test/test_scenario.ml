@@ -161,11 +161,13 @@ let test_recording_roundtrip () =
   (* and the recording audits clean end-to-end, like bin/avm_audit *)
   let node_cert = List.assoc r.Recording.node r.Recording.certificates in
   let report =
-    Avm_core.Audit.full ~node_cert ~peer_certs:r.Recording.certificates
+    Avm_core.Audit.full
+      ~ctx:
+        (Avm_core.Audit.ctx ~node_cert ~peer_certs:r.Recording.certificates
+           ~auths:r.Recording.auths ())
       ~image:(Recording.image_of_scenario r.Recording.scenario)
       ~mem_words:r.Recording.mem_words ~peers:r.Recording.peers
-      ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries
-      ~auths:r.Recording.auths ()
+      ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries:r.Recording.entries ()
   in
   Alcotest.(check bool) "audits clean" true (report.Avm_core.Audit.verdict = Ok ())
 
