@@ -1,10 +1,11 @@
 # One-command tier-1 verification: full build, the whole test suite,
-# a short smoke run of the audit-throughput bench, and an end-to-end
-# observability smoke (record, audit with --metrics, assert counters).
+# a short smoke run of the audit-throughput bench, an end-to-end
+# observability smoke (record, audit with --metrics, assert counters),
+# and the fault-vs-verdict sweep.
 
-.PHONY: verify build test bench-smoke bench obs-smoke clean
+.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke clean
 
-verify: build test bench-smoke obs-smoke
+verify: build test bench-smoke obs-smoke fault-smoke
 
 build:
 	dune build
@@ -39,6 +40,13 @@ obs-smoke:
 	  --counter audit.entries_checked --counter log.segments_sealed \
 	  --counter replay.entries_fed --span audit.chunk --span audit.semantic
 	rm -rf obs_smoke_recordings obs_smoke_j1.json obs_smoke_j4.json
+
+# Sweep the seeded fault schedules (loss, duplication, reordering,
+# corruption, partition+crash) over an honest and a cheating session;
+# exits non-zero if any schedule changes any auditor's verdict
+# relative to the fault-free baseline.
+fault-smoke:
+	dune exec bin/avm_fault_sweep.exe -- --seconds 3
 
 clean:
 	dune clean

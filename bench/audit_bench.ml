@@ -89,6 +89,21 @@ let record_session ~slices =
   done;
   (b, Identity.certificate bob, [ ("alice", cert_of "alice"); ("bob", cert_of "bob") ], !auths)
 
+(* One short two-node session over a 20% lossy wire, to record how
+   much work the backoff retransmission layer does for the report's
+   [net_retransmissions] field (a storm here is a regression: the
+   count should stay logarithmic per in-flight envelope). *)
+let lossy_retransmissions ~virtual_seconds =
+  let config =
+    Config.make ~retrans_base_us:60_000.0 ~retrans_cap_us:500_000.0 Config.Avmm_rsa768
+  in
+  let net =
+    Avm_netsim.Net.create ~rsa_bits:512 ~loss:0.2 ~config
+      ~images:[ guest_image; guest_image ] ~mem_words:4096 ~names:[ "alice"; "bob" ] ()
+  in
+  Avm_netsim.Net.run net ~until_us:(virtual_seconds *. 1.0e6) ();
+  Avm_netsim.Net.retransmissions net
+
 (* Repeat [f] until at least [min_seconds] of wall-clock time
    accumulates, so short logs still produce a stable rate. *)
 let rate ~min_seconds ~units f =
@@ -239,6 +254,8 @@ let () =
     semantic_speedup jobs;
   Printf.printf "compression: %.2fx (%d -> %d bytes at rest)\n%!" ratio (Log.byte_size log)
     (Log.stored_bytes log);
+  let net_retransmissions = lossy_retransmissions ~virtual_seconds:(if !smoke then 1.0 else 3.0) in
+  Printf.printf "lossy session: %d backoff retransmissions\n%!" net_retransmissions;
 
   (* Counters/histograms accumulated over every pass above; embedding
      the snapshot lets the CI trend internal rates (entries checked,
@@ -261,9 +278,10 @@ let () =
     \  \"stored_bytes\": %d,\n\
     \  \"compression_ratio\": %.3f,\n\
     \  \"verdict_match\": %b,\n\
+    \  \"net_retransmissions\": %d,\n\
     \  \"metrics\": %s\n\
      }\n"
     !slices n nsegs syntactic_rate semantic_rate jobs syntactic_speedup semantic_speedup
-    (Log.byte_size log) (Log.stored_bytes log) ratio verdict_match metrics;
+    (Log.byte_size log) (Log.stored_bytes log) ratio verdict_match net_retransmissions metrics;
   close_out oc;
   Printf.printf "wrote %s\n%!" !out

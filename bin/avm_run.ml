@@ -4,8 +4,34 @@
 
 open Cmdliner
 open Avm_scenario
+module Faults = Avm_netsim.Faults
 
-let run players seconds cheat_name cheater outdir seed metrics_out =
+(* "start:stop:node" in virtual seconds, e.g. --partition 2:5:1 *)
+let parse_window flag s =
+  match Scanf.sscanf s "%f:%f:%d%!" (fun a b n -> (a, b, n)) with
+  | a, b, n -> { Faults.from_us = a *. 1.0e6; to_us = b *. 1.0e6; node = n }
+  | exception _ ->
+    Printf.eprintf "--%s expects START:STOP:NODE (virtual seconds), got %S\n" flag s;
+    exit 2
+
+let faults_of ~loss ~dup ~reorder ~corrupt ~partitions ~crashes ~duration_us =
+  if loss = 0.0 && dup = 0.0 && reorder = 0.0 && corrupt = 0.0 && partitions = []
+     && crashes = []
+  then None
+  else
+    Some
+      (Faults.make ~drop:loss ~duplicate:dup ~reorder ~corrupt
+         (* Heal the wire for the last 15% of the session: the audit's
+            every-send-acked rule exempts only a short in-flight tail,
+            so retransmissions of faulted sends need a clean stretch to
+            converge before the log is cut — otherwise the network
+            itself would frame honest players. *)
+         ~until_us:(0.85 *. duration_us)
+         ~partitions:(List.map (parse_window "partition") partitions)
+         ~crashes:(List.map (parse_window "crash") crashes)
+         ())
+
+let run players seconds cheat_name cheater outdir seed metrics_out faults =
   (match Sys.is_directory outdir with
   | true -> ()
   | false ->
@@ -26,11 +52,21 @@ let run players seconds cheat_name cheater outdir seed metrics_out =
     {
       Game_run.players;
       duration_us = float_of_int seconds *. 1.0e6;
-      config = Avm_core.Config.make ~snapshot_every_us:(Some 10_000_000) Avm_core.Config.Avmm_rsa768;
+      config =
+        (match faults with
+        | None ->
+          Avm_core.Config.make ~snapshot_every_us:(Some 10_000_000) Avm_core.Config.Avmm_rsa768
+        | Some _ ->
+          (* Under faults, retransmit aggressively enough that every
+             pending envelope gets a clean round trip inside the healed
+             tail (worst wait after heal = the backoff cap). *)
+          Avm_core.Config.make ~snapshot_every_us:(Some 10_000_000) ~retrans_base_us:60_000.0
+            ~retrans_cap_us:500_000.0 Avm_core.Config.Avmm_rsa768);
       cheat;
       frame_cap = false;
       seed = Int64.of_int seed;
       rsa_bits = 768;
+      faults;
     }
   in
   Printf.printf "recording %d players for %ds of game time%s...\n%!" players seconds
@@ -48,6 +84,16 @@ let run players seconds cheat_name cheater outdir seed metrics_out =
       (List.length rec_.Recording.auths)
       o.Game_run.fps.(i) path
   done;
+  (match faults with
+  | None -> ()
+  | Some f ->
+    Printf.printf "network faults active (%s): %d retransmissions, %d gave up\n%!"
+      (Format.asprintf "%a" Faults.pp f)
+      (Avm_netsim.Net.retransmissions o.Game_run.net)
+      (Array.fold_left
+         (fun acc n -> acc + Avm_core.Avmm.retransmissions_gaveup (Avm_netsim.Net.node_avmm n))
+         0
+         (Avm_netsim.Net.nodes o.Game_run.net)));
   (match metrics_out with
   | None -> ()
   | Some path ->
@@ -93,15 +139,58 @@ let metrics_arg =
           "Write the observability snapshot (counters, gauges, histograms, trace spans) \
            as JSON to $(docv) after the session.")
 
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P" ~doc:"Drop each transmission with probability $(docv).")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P" ~doc:"Duplicate each delivery with probability $(docv).")
+
+let reorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:"Add reordering latency jitter to each delivery with probability $(docv).")
+
+let corrupt_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "corrupt" ] ~docv:"P"
+        ~doc:"Flip a payload byte of each delivery with probability $(docv).")
+
+let partition_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "partition" ] ~docv:"S:E:N"
+        ~doc:
+          "Partition node $(i,N) from the network between virtual seconds $(i,S) and \
+           $(i,E). Repeatable.")
+
+let crash_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "crash" ] ~docv:"S:E:N"
+        ~doc:
+          "Crash node $(i,N) (fail-stop freeze + partition) between virtual seconds \
+           $(i,S) and $(i,E), restarting at $(i,E). Repeatable.")
+
 let cmd =
   let doc = "record an accountable multiplayer game session" in
   let term =
     Term.(
-      const (fun list players seconds cheat cheater outdir seed metrics ->
+      const (fun list players seconds cheat cheater outdir seed metrics loss dup reorder
+                 corrupt partitions crashes ->
           if list then list_cheats ()
-          else run players seconds cheat cheater outdir seed metrics)
+          else
+            run players seconds cheat cheater outdir seed metrics
+              (faults_of ~loss ~dup ~reorder ~corrupt ~partitions ~crashes
+                 ~duration_us:(float_of_int seconds *. 1.0e6)))
       $ list_arg $ players_arg $ seconds_arg $ cheat_arg $ cheater_arg $ outdir_arg
-      $ seed_arg $ metrics_arg)
+      $ seed_arg $ metrics_arg $ loss_arg $ dup_arg $ reorder_arg $ corrupt_arg
+      $ partition_arg $ crash_arg)
   in
   Cmd.v (Cmd.info "avm_run" ~doc) term
 

@@ -21,6 +21,7 @@ let () =
       frame_cap = false;
       seed = 7L;
       rsa_bits = 512;
+      faults = None;
     }
   in
   let o = Game_run.play spec in

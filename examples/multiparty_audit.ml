@@ -25,6 +25,7 @@ let () =
       frame_cap = false;
       seed = 3L;
       rsa_bits = 512;
+      faults = None;
     }
   in
   let o = Game_run.play spec in

@@ -4,9 +4,12 @@ module Identity = Avm_crypto.Identity
 
 type pending_send = {
   envelope : Wireformat.envelope;
-  sent_at_us : float;
+  sent_at_us : float; (* first transmission; never changes *)
   send_seq : int;
   mutable acked : bool;
+  mutable last_sent_us : float; (* most recent (re)transmission *)
+  mutable attempts : int; (* transmissions so far, initial send included *)
+  mutable gave_up : bool;
 }
 
 type slice_stats = {
@@ -35,7 +38,9 @@ type t = {
   clock_opt : Clock_opt.t;
   mutable next_nonce : int;
   sends : (int, pending_send) Hashtbl.t; (* nonce -> pending *)
-  seen : (string * int, Wireformat.ack option) Hashtbl.t; (* dedup for rx *)
+  seen : (string * int, Wireformat.ack) Hashtbl.t; (* dedup for accepted rx *)
+  mutable retrans_count : int;
+  mutable gaveup_count : int;
   snapshot_tracker : Snapshot.tracker;
   mutable snapshots_taken : Snapshot.t list; (* newest first *)
   mutable next_snapshot_us : float;
@@ -93,6 +98,8 @@ let create ~identity ~config ~image ?mem_words
     next_nonce = 1;
     sends = Hashtbl.create 64;
     seen = Hashtbl.create 64;
+    retrans_count = 0;
+    gaveup_count = 0;
     snapshot_tracker = Snapshot.tracker ();
     snapshots_taken = [];
     next_snapshot_us =
@@ -232,8 +239,17 @@ let handle_packet_sent t words =
         charge_daemon t (2.0 *. Config.sign_cost_us t.config);
         (* one signature for the message, one inside the authenticator *)
         let envelope = { Wireformat.src; dest; nonce; payload; signature; auth } in
+        let now = now_us t in
         Hashtbl.replace t.sends nonce
-          { envelope; sent_at_us = now_us t; send_seq = entry.Entry.seq; acked = false };
+          {
+            envelope;
+            sent_at_us = now;
+            send_seq = entry.Entry.seq;
+            acked = false;
+            last_sent_us = now;
+            attempts = 1;
+            gave_up = false;
+          };
         t.wire_bytes <- t.wire_bytes + Wireformat.envelope_wire_size envelope;
         t.slice_sends <- t.slice_sends + 1;
         t.on_send envelope
@@ -241,8 +257,17 @@ let handle_packet_sent t words =
       else begin
         (* Non-accountable levels still ship the packet, bare. *)
         let envelope = Wireformat.bare_envelope ~src ~dest ~nonce ~payload in
+        let now = now_us t in
         Hashtbl.replace t.sends nonce
-          { envelope; sent_at_us = now_us t; send_seq = 0; acked = true };
+          {
+            envelope;
+            sent_at_us = now;
+            send_seq = 0;
+            acked = true;
+            last_sent_us = now;
+            attempts = 1;
+            gave_up = false;
+          };
         t.wire_bytes <- t.wire_bytes + Wireformat.envelope_wire_size envelope;
         t.slice_sends <- t.slice_sends + 1;
         t.on_send envelope
@@ -339,15 +364,15 @@ let make_ack t env recv_entry =
 let deliver t env ~sender_cert =
   let key = (env.Wireformat.src, env.Wireformat.nonce) in
   match Hashtbl.find_opt t.seen key with
-  | Some (Some ack) -> `Duplicate ack
-  | Some None -> `Rejected "previously rejected"
+  | Some ack -> `Duplicate ack
   | None ->
     if Config.accountable t.config && Config.signing t.config
        && not (Wireformat.verify_envelope sender_cert env)
-    then begin
-      Hashtbl.replace t.seen key None;
+    then
+      (* Not cached: a corrupted copy must not blacklist the nonce, or
+         a later clean retransmission of the same message could never
+         be accepted and an honest sender would look unresponsive. *)
       `Rejected "bad envelope signature or authenticator"
-    end
     else begin
       let words = Wireformat.words_of_payload env.Wireformat.payload in
       let ack =
@@ -379,7 +404,7 @@ let deliver t env ~sender_cert =
         end
       in
       t.nic_irq_pending <- true;
-      Hashtbl.replace t.seen key (Some ack);
+      Hashtbl.replace t.seen key ack;
       `Ack ack
     end
 
@@ -413,8 +438,40 @@ let accept_ack t ack ~acker_cert =
 let unacked t ~older_than_us =
   Hashtbl.fold
     (fun _ p acc ->
-      if (not p.acked) && p.sent_at_us < older_than_us then p.envelope :: acc else acc)
+      if (not p.acked) && p.last_sent_us < older_than_us then p.envelope :: acc else acc)
     t.sends []
+  |> List.sort (fun (a : Wireformat.envelope) b -> compare a.Wireformat.nonce b.Wireformat.nonce)
+
+let retransmit_due t ~now_us =
+  let max_attempts = t.config.Config.retrans_max_attempts in
+  let due =
+    Hashtbl.fold
+      (fun _ p acc ->
+        if p.acked || p.gave_up then acc
+        else if max_attempts > 0 && p.attempts >= max_attempts then begin
+          p.gave_up <- true;
+          t.gaveup_count <- t.gaveup_count + 1;
+          Avm_obs.Metrics.incr "net.backoff_gaveup";
+          acc
+        end
+        else if now_us >= p.last_sent_us +. Config.retrans_delay_us t.config ~attempts:p.attempts
+        then p :: acc
+        else acc)
+      t.sends []
+    (* Hashtbl order is unspecified: sort for bit-determinism. *)
+    |> List.sort (fun a b -> compare a.envelope.Wireformat.nonce b.envelope.Wireformat.nonce)
+  in
+  List.map
+    (fun p ->
+      p.last_sent_us <- now_us;
+      p.attempts <- p.attempts + 1;
+      t.retrans_count <- t.retrans_count + 1;
+      Avm_obs.Metrics.incr "net.retransmissions";
+      p.envelope)
+    due
+
+let retransmissions_sent t = t.retrans_count
+let retransmissions_gaveup t = t.gaveup_count
 
 (* --- Local inputs, notes, adversary ------------------------------------ *)
 

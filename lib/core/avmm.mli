@@ -83,8 +83,25 @@ val accept_ack :
 (** Validate an acknowledgment for one of our sends and log it. *)
 
 val unacked : t -> older_than_us:float -> Wireformat.envelope list
-(** Sends not yet acknowledged that were handed to the network before
-    [older_than_us] — the harness's retransmission queue. *)
+(** Sends not yet acknowledged whose most recent transmission is older
+    than [older_than_us], sorted by nonce. Pure query: does not touch
+    the retransmission schedule (see {!retransmit_due}). *)
+
+val retransmit_due : t -> now_us:float -> Wireformat.envelope list
+(** Unacked sends whose exponential-backoff timer has expired
+    ({!Config.retrans_delay_us} past their last transmission), sorted
+    by nonce. Each returned envelope is marked retransmitted: its
+    last-sent time becomes [now_us] and its attempt count increments,
+    so the next sweep backs off instead of returning the same stale
+    set — the fix for the retransmission storm. Envelopes that exhaust
+    [Config.retrans_max_attempts] are dropped from the schedule (once,
+    counted in [net.backoff_gaveup]). Bumps [net.retransmissions]. *)
+
+val retransmissions_sent : t -> int
+(** Total envelopes handed back by {!retransmit_due} so far. *)
+
+val retransmissions_gaveup : t -> int
+(** Envelopes abandoned after [Config.retrans_max_attempts]. *)
 
 (** {1 Guest-facing inputs} *)
 

@@ -16,6 +16,9 @@ type t = {
   clock_opt : bool;
   rsa_bits : int;
   artificial_slowdown : float;
+  retrans_base_us : float;
+  retrans_cap_us : float;
+  retrans_max_attempts : int;
 }
 
 let virtualized t = t.level <> Bare_hw
@@ -24,12 +27,30 @@ let accountable t = match t.level with Avmm_nosig | Avmm_rsa768 -> true | _ -> f
 let signing t = t.level = Avmm_rsa768
 
 let make ?(snapshot_every_us = None) ?clock_opt ?(rsa_bits = 768)
-    ?(artificial_slowdown = 1.0) ?(mips = 0.26) level =
+    ?(artificial_slowdown = 1.0) ?(mips = 0.26) ?(retrans_base_us = 250_000.0)
+    ?(retrans_cap_us = 4_000_000.0) ?(retrans_max_attempts = 0) level =
   let t0 =
-    { level; mips; snapshot_every_us; clock_opt = false; rsa_bits; artificial_slowdown }
+    {
+      level;
+      mips;
+      snapshot_every_us;
+      clock_opt = false;
+      rsa_bits;
+      artificial_slowdown;
+      retrans_base_us;
+      retrans_cap_us;
+      retrans_max_attempts;
+    }
   in
   let clock_opt = match clock_opt with Some c -> c | None -> accountable t0 in
   { t0 with clock_opt }
+
+(* Exponential backoff ladder: the k-th transmission of an envelope is
+   followed by a silence of base * 2^(k-1), capped. The exponent is
+   clamped so the ladder cannot overflow to infinity. *)
+let retrans_delay_us t ~attempts =
+  let n = min 30 (max 0 (attempts - 1)) in
+  Float.min t.retrans_cap_us (t.retrans_base_us *. (2.0 ** float_of_int n))
 
 (* Per-instruction slowdown factors, calibrated to Figure 7's ladder:
    virtualization costs ~2%, recording another ~11%, tamper-evident

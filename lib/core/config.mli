@@ -28,14 +28,22 @@ type t = {
   artificial_slowdown : float;
       (** extra execution slowdown factor (>= 1.0); §6.11 uses 1.05 to
           let online auditors keep up *)
+  retrans_base_us : float;
+      (** backoff before the first retransmission of an unacked send *)
+  retrans_cap_us : float;  (** backoff ceiling *)
+  retrans_max_attempts : int;
+      (** give up retransmitting after this many transmissions;
+          0 = never give up *)
 }
 
 val make : ?snapshot_every_us:int option -> ?clock_opt:bool -> ?rsa_bits:int ->
-  ?artificial_slowdown:float -> ?mips:float -> level -> t
+  ?artificial_slowdown:float -> ?mips:float -> ?retrans_base_us:float ->
+  ?retrans_cap_us:float -> ?retrans_max_attempts:int -> level -> t
 (** Defaults: 0.26 instructions/us (the down-scaled guest speed that
     calibrates the bare-hardware frame rate to the paper's 158 fps —
     see DESIGN.md §2), no snapshots, clock-opt on for AVMM levels,
-    768-bit keys, no artificial slowdown. *)
+    768-bit keys, no artificial slowdown, retransmission backoff
+    starting at 250 ms and doubling up to a 4 s cap, never giving up. *)
 
 (** {1 Derived cost model} *)
 
@@ -65,3 +73,8 @@ val packet_process_us : t -> float
 
 val per_event_log_us : t -> float
 (** Host cost of appending one execution event to the log. *)
+
+val retrans_delay_us : t -> attempts:int -> float
+(** Silence after the [attempts]-th transmission of an envelope before
+    it becomes due for retransmission: [retrans_base_us * 2^(attempts-1)],
+    capped at [retrans_cap_us]. *)

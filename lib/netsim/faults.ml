@@ -1,0 +1,104 @@
+module Rng = Avm_util.Rng
+module Auth = Avm_tamperlog.Auth
+open Avm_core
+
+type window = { from_us : float; to_us : float; node : int }
+
+type t = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  jitter_us : float;
+  corrupt : float;
+  from_us : float;
+  until_us : float;
+  partitions : window list;
+  crashes : window list;
+}
+
+let none =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    jitter_us = 0.0;
+    corrupt = 0.0;
+    from_us = 0.0;
+    until_us = infinity;
+    partitions = [];
+    crashes = [];
+  }
+
+let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(jitter_us = 20_000.0)
+    ?(corrupt = 0.0) ?(from_us = 0.0) ?(until_us = infinity) ?(partitions = [])
+    ?(crashes = []) () =
+  let check name p =
+    if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Faults.make: %s not in [0,1]" name)
+  in
+  check "drop" drop;
+  check "duplicate" duplicate;
+  check "reorder" reorder;
+  check "corrupt" corrupt;
+  if until_us < from_us then invalid_arg "Faults.make: active window ends before it starts";
+  List.iter
+    (fun w -> if w.to_us < w.from_us then invalid_arg "Faults.make: window ends before it starts")
+    (partitions @ crashes);
+  { drop; duplicate; reorder; jitter_us; corrupt; from_us; until_us; partitions; crashes }
+
+type delivery = { extra_delay_us : float; corrupt : bool }
+type decision = Dropped | Deliver of delivery list
+
+(* Probability-zero faults draw nothing, so a [none] policy leaves the
+   harness's RNG stream exactly as it was without a fault layer. *)
+let hit rng p = p > 0.0 && Rng.float rng 1.0 < p
+
+let clean = Deliver [ { extra_delay_us = 0.0; corrupt = false } ]
+
+let decide t rng ~now_us =
+  (* Outside the active window the wire is clean and no RNG is drawn:
+     a healed network converges deterministically, and the draw stream
+     up to the heal point is unchanged by the tail's traffic volume. *)
+  if now_us < t.from_us || now_us > t.until_us then clean
+  else if hit rng t.drop then Dropped
+  else begin
+    let leg () =
+      let extra_delay_us = if hit rng t.reorder then Rng.float rng t.jitter_us else 0.0 in
+      { extra_delay_us; corrupt = hit rng t.corrupt }
+    in
+    let first = leg () in
+    if hit rng t.duplicate then Deliver [ first; leg () ] else Deliver [ first ]
+  end
+
+(* Flip one byte: xor with a nonzero mask guarantees the value really
+   changes, and the length (hence payload word alignment) is kept. *)
+let flip_byte rng s =
+  let i = Rng.int rng (String.length s) in
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Rng.int rng 255)));
+  Bytes.to_string b
+
+let corrupt_envelope rng (env : Wireformat.envelope) =
+  if String.length env.Wireformat.payload > 0 then
+    { env with Wireformat.payload = flip_byte rng env.Wireformat.payload }
+  else if String.length env.Wireformat.signature > 0 then
+    { env with Wireformat.signature = flip_byte rng env.Wireformat.signature }
+  else { env with Wireformat.nonce = env.Wireformat.nonce lxor 0x40000000 }
+
+let corrupt_ack rng (ack : Wireformat.ack) =
+  let auth = ack.Wireformat.recv_auth in
+  if String.length auth.Auth.signature > 0 then
+    {
+      ack with
+      Wireformat.recv_auth = { auth with Auth.signature = flip_byte rng auth.Auth.signature };
+    }
+  else if String.length auth.Auth.hash > 0 then
+    { ack with Wireformat.recv_auth = { auth with Auth.hash = flip_byte rng auth.Auth.hash } }
+  else { ack with Wireformat.nonce = ack.Wireformat.nonce lxor 0x40000000 }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "drop=%.2f dup=%.2f reorder=%.2f(jitter %.0fus) corrupt=%.2f partitions=%d crashes=%d"
+    t.drop t.duplicate t.reorder t.jitter_us t.corrupt (List.length t.partitions)
+    (List.length t.crashes);
+  if t.from_us > 0.0 || t.until_us < infinity then
+    Format.fprintf ppf " active=[%.0fus,%.0fus]" t.from_us t.until_us

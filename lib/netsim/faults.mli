@@ -1,0 +1,87 @@
+(** Deterministic fault-injection policies for the network harness.
+
+    PeerReview-style accountability is only convincing if an
+    adversarial network can neither mask a cheat nor frame an honest
+    node, so the simulator consults one of these policies on every
+    transmission (message and ack legs alike). All randomness is drawn
+    from the harness's seeded {!Avm_util.Rng}, so a fault schedule is
+    bit-reproducible under a fixed seed: replays, parallel audits and
+    regression tests all see the same packet fates.
+
+    Four per-packet faults (each an independent probability):
+
+    - {b drop} — the transmission vanishes;
+    - {b duplicate} — a second, independently jittered/corrupted copy
+      is delivered;
+    - {b reorder} — extra latency jitter in [\[0, jitter_us)], enough
+      to overtake packets sent later;
+    - {b corrupt} — one byte of the payload (or signature) is flipped;
+      the receiving AVMM rejects the envelope at {!Avm_core.Avmm.deliver}
+      without logging it, and a clean retransmission still goes through.
+
+    Two scheduled, per-node faults (absolute virtual-time windows):
+
+    - {b partitions} — the node is unreachable (traffic in and out is
+      dropped) between [from_us] and [to_us];
+    - {b crashes} — fail-stop: the node additionally freezes (no guest
+      execution, no retransmission sweeps) and resumes at [to_us] with
+      its virtual clock advanced past the outage. *)
+
+type window = { from_us : float; to_us : float; node : int }
+
+type t = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  jitter_us : float;
+  corrupt : float;
+  from_us : float;  (** probabilistic faults active from this time … *)
+  until_us : float;  (** … until this time (default: always) *)
+  partitions : window list;
+  crashes : window list;
+}
+
+val none : t
+(** The fault-free policy. Draws nothing from the RNG, so adding the
+    fault layer with [none] leaves fault-free runs bit-identical. *)
+
+val make :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?jitter_us:float ->
+  ?corrupt:float ->
+  ?from_us:float ->
+  ?until_us:float ->
+  ?partitions:window list ->
+  ?crashes:window list ->
+  unit ->
+  t
+(** Probabilities default to 0, [jitter_us] to 20 ms, windows to none.
+    [from_us]/[until_us] bound the per-packet faults in virtual time
+    (default: the whole run); outside the window the wire is clean and
+    no RNG draws are consumed, which models a lossy episode that heals
+    — the accountability invariant demands verdicts converge once
+    retransmissions get through.
+    @raise Invalid_argument on probabilities outside [0,1] or windows
+    that end before they start. *)
+
+type delivery = { extra_delay_us : float; corrupt : bool }
+
+type decision = Dropped | Deliver of delivery list
+(** [Deliver] carries one leg per copy to put on the wire (two when
+    duplicated), each with its own jitter and corruption flag. *)
+
+val decide : t -> Avm_util.Rng.t -> now_us:float -> decision
+(** Draw the fate of one transmission at virtual time [now_us].
+    Consumes RNG draws only for faults with nonzero probability, and
+    none at all outside the active window. *)
+
+val corrupt_envelope : Avm_util.Rng.t -> Avm_core.Wireformat.envelope -> Avm_core.Wireformat.envelope
+(** Flip one payload byte (falling back to the signature, then the
+    nonce, when empty) — length and word alignment are preserved. *)
+
+val corrupt_ack : Avm_util.Rng.t -> Avm_core.Wireformat.ack -> Avm_core.Wireformat.ack
+(** Flip one byte of the ack's authenticator. *)
+
+val pp : Format.formatter -> t -> unit

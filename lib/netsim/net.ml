@@ -9,6 +9,7 @@ type node = {
   ledger : Multiparty.t;
   mutable same_ht : bool;
   mutable isolated : bool;
+  mutable crashed : bool;
 }
 
 let node_name n = n.name
@@ -26,10 +27,15 @@ type t = {
   ca_ : Identity.ca;
   latency_us : float;
   loss : float;
+  faults : Faults.t;
   rng : Avm_util.Rng.t;
   retrans_every_us : float;
   peer_map : (int * string) list;
   mutable next_retrans_us : float;
+  (* per-packet lookups were Array.to_list |> List.find / List.assoc —
+     O(nodes) on every delivery; precomputed tables make them O(1) *)
+  node_tbl : (string, node) Hashtbl.t;
+  cert_tbl : (string, Identity.certificate) Hashtbl.t;
 }
 
 let nodes t = t.node_array
@@ -40,55 +46,136 @@ let identities t = t.idents
 let ca t = t.ca_
 let peers t = t.peer_map
 let config t = t.config
+let faults t = t.faults
 
-let cert_of t name = List.assoc name t.certs
-let node_of t name = Array.to_list t.node_array |> List.find (fun n -> n.name = name)
+let cert_of t name =
+  match Hashtbl.find_opt t.cert_tbl name with Some c -> c | None -> raise Not_found
 
-(* Deliver an envelope to its destination and route the ack back. *)
+let node_of t name = Hashtbl.find t.node_tbl name
+
+(* One fate per transmission: the legacy i.i.d. [loss] first (so
+   existing callers keep their semantics), then the fault policy. *)
+let packet_fate t =
+  if t.loss > 0.0 && Avm_util.Rng.float t.rng 1.0 < t.loss then Faults.Dropped
+  else Faults.decide t.faults t.rng ~now_us:(Sim.now t.sim)
+
+(* Deliver an envelope to its destination and route the ack back, each
+   leg subject to the fault policy. *)
 let rec transmit t src_node env =
-  if src_node.isolated then ()
+  if src_node.isolated || src_node.crashed then ()
   else begin
     let send_at = Float.max (Sim.now t.sim) (Avmm.now_us src_node.avmm) in
     Avm_obs.Metrics.incr "net.packets_sent";
     Avm_obs.Metrics.incr ~by:(Wireformat.envelope_wire_size env) "net.bytes_sent";
-    if t.loss = 0.0 || Avm_util.Rng.float t.rng 1.0 >= t.loss then
-      Sim.schedule t.sim ~at:(send_at +. t.latency_us) (fun () ->
-          let dst = node_of t env.Wireformat.dest in
-          if not dst.isolated then begin
-            match Avmm.deliver dst.avmm env ~sender_cert:(cert_of t env.Wireformat.src) with
-            | `Rejected _ -> ()
-            | `Ack ack | `Duplicate ack ->
-              Avm_obs.Metrics.incr "net.packets_delivered";
-              (* The receiver keeps the sender's authenticator. *)
-              if Config.accountable t.config then
-                Multiparty.record_auth dst.ledger env.Wireformat.auth;
-              if t.loss = 0.0 || Avm_util.Rng.float t.rng 1.0 >= t.loss then
-                Sim.after t.sim t.latency_us (fun () ->
-                    if not src_node.isolated then begin
-                      match
-                        Avmm.accept_ack src_node.avmm ack ~acker_cert:(cert_of t ack.Wireformat.acker)
-                      with
-                      | Ok () ->
-                        if Config.accountable t.config then
-                          Multiparty.record_auth src_node.ledger ack.Wireformat.recv_auth
-                      | Error _ -> ()
-                    end)
-              else Avm_obs.Metrics.incr "net.packets_dropped"
-          end)
-    else Avm_obs.Metrics.incr "net.packets_dropped"
+    match packet_fate t with
+    | Faults.Dropped -> Avm_obs.Metrics.incr "net.packets_dropped"
+    | Faults.Deliver legs ->
+      List.iter
+        (fun (leg : Faults.delivery) ->
+          let env =
+            if leg.Faults.corrupt then begin
+              Avm_obs.Metrics.incr "net.faults.corrupted";
+              Faults.corrupt_envelope t.rng env
+            end
+            else env
+          in
+          Sim.schedule t.sim
+            ~at:(send_at +. t.latency_us +. leg.Faults.extra_delay_us)
+            (fun () -> deliver_envelope t src_node env))
+        legs
   end
 
-and retransmit_sweep t =
+and deliver_envelope t src_node env =
+  let dst = node_of t env.Wireformat.dest in
+  if not (dst.isolated || dst.crashed) then begin
+    match Avmm.deliver dst.avmm env ~sender_cert:(cert_of t env.Wireformat.src) with
+    | `Rejected _ -> Avm_obs.Metrics.incr "net.packets_rejected"
+    | (`Ack ack | `Duplicate ack) as r ->
+      Avm_obs.Metrics.incr "net.packets_delivered";
+      (match r with
+      | `Duplicate _ -> Avm_obs.Metrics.incr "net.packets_duplicate"
+      | _ -> ());
+      (* The receiver keeps the sender's authenticator. *)
+      if Config.accountable t.config then
+        Multiparty.record_auth dst.ledger env.Wireformat.auth;
+      route_ack t src_node ack
+  end
+
+and route_ack t src_node ack =
+  match packet_fate t with
+  | Faults.Dropped -> Avm_obs.Metrics.incr "net.packets_dropped"
+  | Faults.Deliver legs ->
+    List.iter
+      (fun (leg : Faults.delivery) ->
+        let ack =
+          if leg.Faults.corrupt then begin
+            Avm_obs.Metrics.incr "net.faults.corrupted";
+            Faults.corrupt_ack t.rng ack
+          end
+          else ack
+        in
+        Sim.after t.sim
+          (t.latency_us +. leg.Faults.extra_delay_us)
+          (fun () ->
+            if not (src_node.isolated || src_node.crashed) then begin
+              match
+                Avmm.accept_ack src_node.avmm ack ~acker_cert:(cert_of t ack.Wireformat.acker)
+              with
+              | Ok () ->
+                if Config.accountable t.config then
+                  Multiparty.record_auth src_node.ledger ack.Wireformat.recv_auth
+              | Error _ -> Avm_obs.Metrics.incr "net.acks_rejected"
+            end))
+      legs
+
+(* Resend only what the per-envelope backoff schedule says is due; a
+   crashed monitor does not sweep at all. *)
+let retransmit_sweep t =
   Array.iter
     (fun n ->
-      let stale = Avmm.unacked n.avmm ~older_than_us:(Sim.now t.sim -. t.retrans_every_us) in
-      List.iter (fun env -> transmit t n env) stale)
+      if not n.crashed then
+        let due = Avmm.retransmit_due n.avmm ~now_us:(Sim.now t.sim) in
+        List.iter (fun env -> transmit t n env) due)
     t.node_array
 
-let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(rsa_bits = 768)
-    ?(retrans_every_us = 250_000.0) ?mem_words ~config ~images ~names () =
+let schedule_faults t =
+  let check_node w =
+    if w.Faults.node < 0 || w.Faults.node >= Array.length t.node_array then
+      invalid_arg "Net.create: fault window names an unknown node"
+  in
+  List.iter
+    (fun (w : Faults.window) ->
+      check_node w;
+      let n = t.node_array.(w.Faults.node) in
+      Sim.schedule t.sim ~at:w.Faults.from_us (fun () -> n.isolated <- true);
+      Sim.schedule t.sim ~at:w.Faults.to_us (fun () -> n.isolated <- false))
+    t.faults.Faults.partitions;
+  List.iter
+    (fun (w : Faults.window) ->
+      check_node w;
+      let n = t.node_array.(w.Faults.node) in
+      Sim.schedule t.sim ~at:w.Faults.from_us (fun () ->
+          n.crashed <- true;
+          n.isolated <- true);
+      Sim.schedule t.sim ~at:w.Faults.to_us (fun () ->
+          n.crashed <- false;
+          n.isolated <- false;
+          (* Fail-stop restart: the guest did not execute during the
+             outage; advance its virtual clock past it. *)
+          Avmm.add_stall_us n.avmm (w.Faults.to_us -. w.Faults.from_us)))
+    t.faults.Faults.crashes
+
+let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(faults = Faults.none)
+    ?(rsa_bits = 768) ?retrans_every_us ?mem_words ~config ~images ~names () =
   if List.length images <> List.length names then
     invalid_arg "Net.create: images and names must have equal length";
+  let retrans_every_us =
+    (* The sweep only has to notice due envelopes promptly: sample the
+       backoff schedule at twice its base rate unless overridden. *)
+    match retrans_every_us with
+    | Some p -> p
+    | None -> Float.max 10_000.0 (config.Config.retrans_base_us /. 2.0)
+  in
   let rng = Avm_util.Rng.create seed in
   let ca_ = Identity.create_ca rng ~bits:rsa_bits "avm-ca" in
   let idents = List.map (fun name -> (name, Identity.issue ca_ rng ~bits:rsa_bits name)) names in
@@ -104,12 +191,16 @@ let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(rsa_bits = 768
       ca_;
       latency_us;
       loss;
+      faults;
       rng;
       retrans_every_us;
       peer_map;
       next_retrans_us = retrans_every_us;
+      node_tbl = Hashtbl.create 16;
+      cert_tbl = Hashtbl.create 16;
     }
   in
+  List.iter (fun (name, cert) -> Hashtbl.replace t.cert_tbl name cert) certs;
   let make_node index (name, image) =
     (* Recursive knot: the avmm's on_send needs the node record. *)
     let node_ref = ref None in
@@ -132,12 +223,15 @@ let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(rsa_bits = 768
         ledger = Multiparty.create ~self:name;
         same_ht = false;
         isolated = false;
+        crashed = false;
       }
     in
     node_ref := Some n;
+    Hashtbl.replace t.node_tbl name n;
     n
   in
   t.node_array <- Array.of_list (List.mapi make_node (List.combine names images));
+  schedule_faults t;
   t
 
 let run t ~until_us ?(slice_us = 10_000.0) () =
@@ -146,10 +240,12 @@ let run t ~until_us ?(slice_us = 10_000.0) () =
     let next = Float.min until_us (Sim.now t.sim +. slice_us) in
     Array.iter
       (fun n ->
-        let stats = Avmm.run_slice n.avmm ~until_us:next in
-        Host.charge_game n.host (float_of_int stats.Avmm.instructions *. upi);
-        Host.charge_daemon n.host stats.Avmm.daemon_us;
-        if n.same_ht then Avmm.add_stall_us n.avmm stats.Avmm.daemon_us)
+        if not n.crashed then begin
+          let stats = Avmm.run_slice n.avmm ~until_us:next in
+          Host.charge_game n.host (float_of_int stats.Avmm.instructions *. upi);
+          Host.charge_daemon n.host stats.Avmm.daemon_us;
+          if n.same_ht then Avmm.add_stall_us n.avmm stats.Avmm.daemon_us
+        end)
       t.node_array;
     Sim.run_until t.sim next;
     if Sim.now t.sim >= t.next_retrans_us then begin
@@ -162,9 +258,10 @@ let queue_input t i event = Avmm.queue_input t.node_array.(i).avmm event
 let isolate t i = t.node_array.(i).isolated <- true
 let heal t i = t.node_array.(i).isolated <- false
 
-let ping_rtts_us t ~src ~dst ~samples =
-  ignore src;
-  ignore dst;
+let retransmissions t =
+  Array.fold_left (fun acc n -> acc + Avmm.retransmissions_sent n.avmm) 0 t.node_array
+
+let ping_rtts_us t ~samples =
   let cfg = t.config in
   let stats = Avm_util.Stats.create () in
   let base =

@@ -27,6 +27,7 @@ val create :
   ?seed:int64 ->
   ?latency_us:float ->
   ?loss:float ->
+  ?faults:Faults.t ->
   ?rsa_bits:int ->
   ?retrans_every_us:float ->
   ?mem_words:int ->
@@ -38,8 +39,17 @@ val create :
 (** One image per node (pass the same image N times for a symmetric
     game). Guest packets address peers by node index: the first word
     of an outgoing packet is the destination node's index in [names].
-    Defaults: 30 us switch latency, no loss, 768-bit keys,
-    retransmission sweep every 250 ms. *)
+    Defaults: 30 us switch latency, no loss, no faults, 768-bit keys,
+    retransmission sweep at half the configured backoff base
+    (125 ms under the default config, floored at 10 ms).
+
+    [faults] is consulted on every transmission (message and ack legs)
+    and its partition/crash windows are scheduled at creation; the
+    legacy [loss] is applied first, as before, so old callers see
+    unchanged behaviour. Retransmissions follow the per-envelope
+    exponential backoff in [config] ({!Avm_core.Config.retrans_delay_us});
+    the sweep period only sets the granularity at which due envelopes
+    are noticed. *)
 
 val nodes : t -> node array
 val node : t -> int -> node
@@ -49,6 +59,7 @@ val identities : t -> (string * Avm_crypto.Identity.t) list
 val ca : t -> Avm_crypto.Identity.ca
 val peers : t -> (int * string) list
 val config : t -> Avm_core.Config.t
+val faults : t -> Faults.t
 
 val run : t -> until_us:float -> ?slice_us:float -> unit -> unit
 (** Advance the whole world to the given virtual time (default slice
@@ -67,13 +78,19 @@ val heal : t -> int -> unit
 
 (** {1 Measurement helpers} *)
 
-val ping_rtts_us : t -> src:int -> dst:int -> samples:int -> Avm_util.Stats.t
+val retransmissions : t -> int
+(** Total backoff-scheduled retransmissions across all nodes. *)
+
+val ping_rtts_us : t -> samples:int -> Avm_util.Stats.t
 (** Host-level ICMP echo round-trip times between two nodes under the
     current configuration (Figure 5). Modeled from the configuration's
     cost ladder: per-endpoint packet processing, signature generate /
     verify on the critical path (four of each under avmm-rsa768, as in
     §6.8), switch latency, plus scheduling jitter. Guest instruction
-    costs are excluded, as in the paper's ICMP measurement. *)
+    costs are excluded, as in the paper's ICMP measurement. (The model
+    is endpoint-symmetric, which is why — unlike a real echo — it
+    takes no src/dst pair; earlier versions accepted and silently
+    ignored one.) *)
 
 val wire_kbps : t -> int -> elapsed_us:float -> float
 (** Average outbound wire traffic of a node (§6.7). *)

@@ -20,6 +20,7 @@ let game_spec ?(players = 3) ?(snapshot_every_us = Some 10_000_000) ?cheat ?(fra
     frame_cap;
     seed = 11L;
     rsa_bits = rsa_bits scale;
+    faults = None;
   }
 
 (* --- Table 1 ------------------------------------------------------------ *)
@@ -313,7 +314,7 @@ let fig5 ?(scale = Full) () =
           Net.create ~rsa_bits:512 ~config ~images:[ tiny_image; tiny_image ]
             ~names:[ "a"; "b" ] ()
         in
-        let stats = Net.ping_rtts_us net ~src:0 ~dst:1 ~samples:100 in
+        let stats = Net.ping_rtts_us net ~samples:100 in
         {
           level;
           median_us = Avm_util.Stats.median stats;

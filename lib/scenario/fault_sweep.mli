@@ -1,0 +1,50 @@
+(** The fault-vs-verdict invariant, end to end.
+
+    The accountability guarantee (paper §3, §4) must be independent of
+    network behaviour: lost, delayed, reordered, duplicated and
+    corrupted messages — even partitions and crash-restarts — must
+    neither mask a cheat nor cause an honest node to be accused. This
+    module sweeps seeded fault schedules over a short game session run
+    twice, all-honest and with one cheater, audits every player in
+    both, and checks that each schedule's verdict vector is identical
+    to the fault-free baseline's (which itself must pass every honest
+    node and detect the cheat). *)
+
+type schedule = { label : string; faults : Avm_netsim.Faults.t option }
+
+val schedules : duration_us:float -> victim:int -> schedule list
+(** The standard six: fault-free baseline, 20% loss, 30% duplication,
+    50% reordering (20 ms jitter), 15% corruption, and a
+    partition-then-crash-restart of node [victim]. Windows are placed
+    inside [duration_us] with enough slack after healing for the
+    retransmission backoff to converge before the log is cut. *)
+
+type verdicts = {
+  honest_ok : bool array;  (** audit verdict per player, all-honest session *)
+  cheat_ok : bool array;  (** audit verdict per player, one player cheating *)
+}
+
+type row = {
+  label : string;
+  verdicts : verdicts;
+  retransmissions : int;  (** backoff-scheduled resends, both sessions pooled *)
+  gaveup : int;  (** envelopes abandoned after max attempts *)
+}
+
+type outcome = { rows : row list; invariant_holds : bool }
+
+val sweep :
+  ?players:int ->
+  ?duration_us:float ->
+  ?seed:int64 ->
+  ?rsa_bits:int ->
+  ?cheat:Cheats.t ->
+  ?cheater:int ->
+  ?schedules:schedule list ->
+  unit ->
+  outcome
+(** Run every schedule (default {!schedules}). Defaults: 2 players,
+    4 virtual seconds, seed 21, 512-bit keys, the class-1
+    ["aimbot-zeus"] cheat on player 1. [invariant_holds] is true iff
+    the baseline is sane (honest pass, cheat caught, bystanders clear)
+    and every fault schedule reproduces the baseline verdict vector. *)

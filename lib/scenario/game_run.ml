@@ -9,6 +9,7 @@ type spec = {
   frame_cap : bool;
   seed : int64;
   rsa_bits : int;
+  faults : Faults.t option;
 }
 
 let default_spec =
@@ -20,6 +21,7 @@ let default_spec =
     frame_cap = false;
     seed = 1L;
     rsa_bits = 768;
+    faults = None;
   }
 
 type outcome = {
@@ -42,8 +44,9 @@ let play ?(on_slice = fun _ _ -> ()) spec =
         | _ -> reference_image ())
   in
   let net =
-    Net.create ~seed:spec.seed ~rsa_bits:spec.rsa_bits ~config:spec.config ~images
-      ~mem_words:Guests.mem_words ~names:(player_names spec.players) ()
+    Net.create ~seed:spec.seed ?faults:spec.faults ~rsa_bits:spec.rsa_bits
+      ~config:spec.config ~images ~mem_words:Guests.mem_words
+      ~names:(player_names spec.players) ()
   in
   (* Every player has a signing keyboard (§7.2); genuine inputs are
      attested as they are typed. Forged inputs (the external aimbot's)
@@ -109,7 +112,7 @@ let collect_auths net ~target =
     (Net.nodes net);
   Multiparty.auths_for pool name
 
-let audit_player outcome ~auditor ~target =
+let audit_player ?par outcome ~auditor ~target =
   ignore auditor;
   let net = outcome.net in
   let node = Net.node net target in
@@ -127,7 +130,7 @@ let audit_player outcome ~auditor ~target =
       (Audit.ctx ~node_cert:(List.assoc name certs) ~peer_certs:certs
          ~auths:(collect_auths net ~target) ())
     ~image:(reference_image ()) ~mem_words:Guests.mem_words ~fuel ~peers:(Net.peers net)
-    ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries ()
+    ~prev_hash:Avm_tamperlog.Log.genesis_hash ~entries ?par ()
 
 let audit_inputs outcome ~target =
   let node = Net.node outcome.net target in

@@ -14,11 +14,13 @@ type spec = {
   frame_cap : bool;  (** boot with the 72 fps cap enabled *)
   seed : int64;
   rsa_bits : int;  (** identity key size (tests shrink this for speed) *)
+  faults : Avm_netsim.Faults.t option;
+      (** network fault policy for the session; [None] = fault-free *)
 }
 
 val default_spec : spec
 (** 3 players, 60 virtual seconds, avmm-rsa768 with 30 s snapshots, no
-    cheat, no cap, 768-bit keys. *)
+    cheat, no cap, 768-bit keys, no network faults. *)
 
 type outcome = {
   net : Avm_netsim.Net.t;
@@ -44,10 +46,13 @@ val collect_auths : Avm_netsim.Net.t -> target:int -> Avm_tamperlog.Auth.t list
 (** Pool every participant's collected authenticators for one node —
     the §4.6 step Alice performs before auditing Bob. *)
 
-val audit_player : outcome -> auditor:int -> target:int -> Avm_core.Audit.outcome
+val audit_player :
+  ?par:Avm_core.Audit.parallelism -> outcome -> auditor:int -> target:int -> Avm_core.Audit.outcome
 (** Full audit of [target]'s log using the reference image and the
     authenticators collected by all participants. [auditor] is kept
-    for symmetry (any participant reaches the same verdict). *)
+    for symmetry (any participant reaches the same verdict). [par]
+    parallelizes the syntactic pass; the verdict must not depend on
+    the lane count. *)
 
 val audit_inputs : outcome -> target:int -> (int, string) result
 (** The §7.2 secure-input check: verify every input event in

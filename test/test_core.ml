@@ -587,6 +587,35 @@ let test_avmm_rejects_bad_signature () =
   | `Rejected _ -> ()
   | _ -> Alcotest.fail "forged envelope accepted"
 
+let test_avmm_corrupt_then_clean_retransmit () =
+  (* A corrupted copy must be rejected WITHOUT logging anything, and
+     must not poison the duplicate cache: the sender's clean
+     retransmission of the very same nonce still has to go through
+     (regression — rejections were once cached by (src, nonce), so one
+     flipped byte on the wire blacklisted the message forever and
+     retransmission could never converge). *)
+  let a, b, a_out, _ = make_pair () in
+  let t = ref 0.0 in
+  while Queue.is_empty a_out do
+    t := !t +. 10_000.0;
+    ignore (Avmm.run_slice a ~until_us:!t)
+  done;
+  let env = Queue.pop a_out in
+  let corrupted =
+    let p = Bytes.of_string env.Wireformat.payload in
+    Bytes.set p 0 (Char.chr (Char.code (Bytes.get p 0) lxor 0x20));
+    { env with Wireformat.payload = Bytes.to_string p }
+  in
+  let len_before = List.length (entries_of b) in
+  (match Avmm.deliver b corrupted ~sender_cert:(cert_of "alice") with
+  | `Rejected _ -> ()
+  | _ -> Alcotest.fail "corrupted envelope accepted");
+  Alcotest.(check int) "nothing appended to the log" len_before (List.length (entries_of b));
+  match Avmm.deliver b env ~sender_cert:(cert_of "alice") with
+  | `Ack _ -> ()
+  | `Duplicate _ -> Alcotest.fail "clean retransmission treated as duplicate"
+  | `Rejected r -> Alcotest.failf "clean retransmission rejected: %s" r
+
 let test_avmm_unacked_tracking () =
   let a, _, a_out, _ = make_pair () in
   let t = ref 0.0 in
@@ -1471,6 +1500,8 @@ let () =
         [
           Alcotest.test_case "duplicate delivery" `Quick test_avmm_duplicate_delivery;
           Alcotest.test_case "bad signature rejected" `Quick test_avmm_rejects_bad_signature;
+          Alcotest.test_case "corrupt copy, clean retransmit" `Quick
+            test_avmm_corrupt_then_clean_retransmit;
           Alcotest.test_case "unacked tracking" `Quick test_avmm_unacked_tracking;
         ] );
       ( "multiparty",

@@ -149,6 +149,76 @@ let test_net_isolation () =
   Net.run net ~until_us:2_000_000.0 ();
   Alcotest.(check int) "retransmission heals" 1 (recv_count net 1)
 
+let test_net_backoff_regression () =
+  (* The retransmission-storm regression: a 10 s outage spans ~80
+     sweep ticks (125 ms cadence under the default 250 ms base), but
+     per-envelope exponential backoff must keep actual resends
+     logarithmic — 250 ms, 750 ms, 1.75 s, 3.75 s, 7.75 s — not one
+     per sweep. *)
+  let net = make_net () in
+  Net.isolate net 1;
+  Net.run net ~until_us:10_000_000.0 ();
+  let r = Avm_core.Avmm.retransmissions_sent (Net.node_avmm (Net.node net 0)) in
+  if r < 3 || r > 8 then
+    Alcotest.failf "expected O(log) retransmissions for one envelope over 10 s, got %d" r;
+  (* the healed network still converges *)
+  Net.heal net 1;
+  Net.run net ~until_us:25_000_000.0 ();
+  Alcotest.(check int) "delivered after heal" 1 (recv_count net 1)
+
+let test_net_backoff_gives_up () =
+  let config = Config.make ~retrans_max_attempts:3 Config.Avmm_rsa768 in
+  let net = make_net ~config () in
+  Net.isolate net 1;
+  Net.run net ~until_us:10_000_000.0 ();
+  let a = Net.node_avmm (Net.node net 0) in
+  (* attempts 2 and 3 go out, then the envelope is abandoned *)
+  Alcotest.(check int) "stopped at max attempts" 2 (Avm_core.Avmm.retransmissions_sent a);
+  Alcotest.(check int) "gave up once" 1 (Avm_core.Avmm.retransmissions_gaveup a)
+
+let test_net_duplicate_idempotent () =
+  (* Every packet delivered twice: the duplicate cache must keep the
+     logs identical to a clean run — one RECV per message, all sends
+     acked. *)
+  let img = chatty_image () in
+  let net =
+    Net.create ~rsa_bits:512 ~faults:(Faults.make ~duplicate:1.0 ())
+      ~config:(Config.make Config.Avmm_rsa768) ~images:[ img; img ] ~mem_words:4096
+      ~names:[ "n0"; "n1" ] ()
+  in
+  Net.queue_input net 0 1;
+  Net.queue_input net 1 0;
+  Net.run net ~until_us:500_000.0 ();
+  Alcotest.(check int) "one recv despite duplicates" 1 (recv_count net 1);
+  Alcotest.(check int) "one recv despite duplicates" 1 (recv_count net 0);
+  Array.iter
+    (fun n ->
+      Alcotest.(check int) "acked"
+        0
+        (List.length (Avm_core.Avmm.unacked (Net.node_avmm n) ~older_than_us:infinity)))
+    (Net.nodes net)
+
+let test_net_fault_determinism () =
+  (* A fixed seed must pin every packet fate: two identical runs under
+     an aggressive fault policy end with bit-identical logs. *)
+  let run () =
+    let img = chatty_image () in
+    let faults =
+      Faults.make ~drop:0.2 ~duplicate:0.2 ~reorder:0.3 ~jitter_us:15_000.0 ~corrupt:0.1 ()
+    in
+    let net =
+      Net.create ~seed:99L ~rsa_bits:512 ~faults ~config:(Config.make Config.Avmm_rsa768)
+        ~images:[ img; img ] ~mem_words:4096 ~names:[ "n0"; "n1" ] ()
+    in
+    Net.queue_input net 0 1;
+    Net.queue_input net 1 0;
+    Net.run net ~until_us:2_000_000.0 ();
+    ( Avm_tamperlog.Log.head_hash (Avm_core.Avmm.log (Net.node_avmm (Net.node net 0))),
+      Avm_tamperlog.Log.head_hash (Avm_core.Avmm.log (Net.node_avmm (Net.node net 1))),
+      Net.retransmissions net )
+  in
+  Alcotest.(check bool) "same logs and retransmission count" true (run () = run ())
+
 let test_net_auth_collection () =
   let net = make_net () in
   Net.run net ~until_us:500_000.0 ();
@@ -168,7 +238,7 @@ let test_net_ping_ladder () =
           Net.create ~rsa_bits:512 ~config:(Config.make level) ~images:[ img; img ]
             ~mem_words:4096 ~names:[ "a"; "b" ] ()
         in
-        Avm_util.Stats.median (Net.ping_rtts_us net ~src:0 ~dst:1 ~samples:60))
+        Avm_util.Stats.median (Net.ping_rtts_us net ~samples:60))
       Config.all_levels
   in
   let rec monotone = function
@@ -215,6 +285,10 @@ let () =
           Alcotest.test_case "delivery and acks" `Quick test_net_delivery_and_acks;
           Alcotest.test_case "loss + retransmission" `Quick test_net_loss_retransmission;
           Alcotest.test_case "isolation and healing" `Quick test_net_isolation;
+          Alcotest.test_case "backoff is O(log), not per-sweep" `Quick test_net_backoff_regression;
+          Alcotest.test_case "backoff gives up at max attempts" `Quick test_net_backoff_gives_up;
+          Alcotest.test_case "duplicates are idempotent" `Quick test_net_duplicate_idempotent;
+          Alcotest.test_case "faults are seed-deterministic" `Quick test_net_fault_determinism;
           Alcotest.test_case "authenticator collection" `Quick test_net_auth_collection;
           Alcotest.test_case "ping ladder" `Quick test_net_ping_ladder;
           Alcotest.test_case "wire accounting" `Quick test_net_wire_accounting;

@@ -13,6 +13,7 @@ let quick_spec ?cheat ?(duration = 6.0e6) ?(level = Config.Avmm_rsa768) () =
     frame_cap = false;
     seed = 42L;
     rsa_bits = 512;
+    faults = None;
   }
 
 let test_guests_compile () =
@@ -82,6 +83,44 @@ let test_game_runs_and_audits () =
     match report.Audit.verdict with
     | Ok () -> ()
     | Error e -> Alcotest.failf "honest player %d failed audit: %s" target e
+  done
+
+let test_partition_heal_verdicts_parallel () =
+  (* ISSUE 4 acceptance: 20% loss plus a partition window that heals
+     mid-session; every player's log still converges (all sends acked
+     once the wire clears) and the audit verdict is identical whether
+     the syntactic pass runs on 1 lane or 4. *)
+  let d = 3.0e6 in
+  let faults =
+    Avm_netsim.Faults.make ~drop:0.2 ~until_us:(0.8 *. d)
+      ~partitions:[ { Avm_netsim.Faults.from_us = 0.2 *. d; to_us = 0.4 *. d; node = 1 } ]
+      ()
+  in
+  let spec =
+    {
+      (quick_spec ~duration:d ()) with
+      Game_run.faults = Some faults;
+      config =
+        (* fast backoff so the post-heal tail converges within 3 s *)
+        Config.make
+          ~snapshot_every_us:(Some 1_500_000)
+          ~retrans_base_us:60_000.0 ~retrans_cap_us:500_000.0 Config.Avmm_rsa768;
+    }
+  in
+  let o = Game_run.play spec in
+  Alcotest.(check bool) "loss caused retransmissions" true
+    (Avm_netsim.Net.retransmissions o.Game_run.net > 0);
+  for target = 0 to 2 do
+    let auditor = (target + 1) mod 3 in
+    let seq = Game_run.audit_player ~par:Audit.sequential o ~auditor ~target in
+    let par = Game_run.audit_player ~par:(Audit.parallel 4) o ~auditor ~target in
+    Alcotest.(check bool)
+      (Printf.sprintf "player %d: same verdict at 1 and 4 lanes" target)
+      true
+      (seq.Audit.verdict = par.Audit.verdict);
+    match seq.Audit.verdict with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "honest player %d failed under faults: %s" target e
   done
 
 let test_fps_ladder () =
@@ -227,6 +266,8 @@ let () =
         [
           Alcotest.test_case "bots deterministic" `Quick test_bots_deterministic;
           Alcotest.test_case "runs and audits" `Slow test_game_runs_and_audits;
+          Alcotest.test_case "partition+loss heals, verdicts lane-invariant" `Slow
+            test_partition_heal_verdicts_parallel;
           Alcotest.test_case "fps ladder" `Slow test_fps_ladder;
           Alcotest.test_case "frame cap holds" `Slow test_frame_cap_holds;
         ] );
