@@ -3,9 +3,9 @@
 # observability smoke (record, audit with --metrics, assert counters),
 # and the fault-vs-verdict sweep.
 
-.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke clean
+.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke clean
 
-verify: build test bench-smoke obs-smoke fault-smoke
+verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke
 
 build:
 	dune build
@@ -40,6 +40,16 @@ obs-smoke:
 	  --counter audit.entries_checked --counter log.segments_sealed \
 	  --counter replay.entries_fed --span audit.chunk --span audit.semantic
 	rm -rf obs_smoke_recordings obs_smoke_j1.json obs_smoke_j4.json
+
+# Crypto hot path (DESIGN.md §12): the FIPS/RFC vector + Montgomery
+# equivalence + sig-cache test suite, then the crypto bench's verdict
+# cross-check — a tampered log audited at jobs {1,4} with the
+# signature cache {on,off} must yield four identical failing reports
+# (the bench exits non-zero otherwise).
+crypto-smoke:
+	dune exec test/test_crypto.exe
+	dune exec bench/crypto_bench.exe -- --smoke --out BENCH_crypto.smoke.json
+	@cat BENCH_crypto.smoke.json
 
 # Sweep the seeded fault schedules (loss, duplication, reordering,
 # corruption, partition+crash) over an honest and a cheating session;

@@ -83,9 +83,7 @@ let syntactic_feed ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash ~
         chain_broken := true;
         fail "chain: sequence gap: expected %d, found %d" !expected_seq e.seq
       end
-      else if
-        not (String.equal (Entry.chain_hash ~prev:!prev ~seq:e.seq e.content) e.hash)
-      then begin
+      else if not (Entry.chain_ok ~prev:!prev e) then begin
         chain_broken := true;
         fail "chain: hash chain broken at entry %d" e.seq
       end
@@ -212,9 +210,7 @@ let run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash ~expecte
                (Printf.sprintf "chain: sequence gap: expected %d, found %d" !expected_seq
                   e.seq))
         end
-        else if
-          not (String.equal (Entry.chain_hash ~prev:!prev ~seq:e.seq e.content) e.hash)
-        then begin
+        else if not (Entry.chain_ok ~prev:!prev e) then begin
           chain_broken := true;
           ev (Ev_chain (Printf.sprintf "chain: hash chain broken at entry %d" e.seq))
         end

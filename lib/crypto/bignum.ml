@@ -271,7 +271,7 @@ let rem_int a v =
   if v <= 0 then invalid_arg "Bignum.rem_int";
   if v < base then snd (divmod_limb a v) else to_int (rem a (of_int v))
 
-let mod_pow b e m =
+let mod_pow_classic b e m =
   if is_zero m then raise Division_by_zero;
   if equal m one then zero
   else begin
@@ -283,6 +283,183 @@ let mod_pow b e m =
       if i < nbits - 1 then b := rem (mul !b !b) m
     done;
     !result
+  end
+
+(* Montgomery-form modular arithmetic (REDC), the audit-side hot path
+   behind RSA (DESIGN.md §12). A context precomputes, per odd modulus
+   m of k limbs: n0' = -m^{-1} mod 2^26 and R^2 mod m where R = 2^(26k).
+   [mul_into] computes REDC(a*b) = a*b*R^{-1} mod m with one schoolbook
+   product and one reduction sweep — no Knuth long division — into
+   caller-provided scratch, so a whole exponentiation allocates only a
+   handful of k-limb arrays up front. *)
+module Mont = struct
+  type nonrec ctx = {
+    m : t; (* modulus, normalized, length k *)
+    k : int;
+    n0' : int; (* -m^{-1} mod base *)
+    r2 : int array; (* R^2 mod m, padded to k limbs *)
+  }
+
+  let modulus c = c.m
+
+  (* Inverse of the odd low limb mod 2^26 by Newton iteration
+     (x := x * (2 - m0*x) doubles the number of correct low bits;
+     x = m0 is correct mod 8), then negated. *)
+  let neg_inv_limb m0 =
+    let x = ref m0 in
+    for _ = 1 to 5 do
+      let d = (2 - (m0 * !x)) land limb_mask in
+      x := !x * d land limb_mask
+    done;
+    (base - !x) land limb_mask
+
+  let pad k a =
+    let r = Array.make k 0 in
+    Array.blit a 0 r 0 (Array.length a);
+    r
+
+  let make m =
+    if Array.length m < 2 || is_even m then None
+    else begin
+      let k = Array.length m in
+      let r2 = rem (shift_left one (2 * k * bits_per_limb)) m in
+      Some { m; k; n0' = neg_inv_limb m.(0); r2 = pad k r2 }
+    end
+
+  (* dest <- REDC(a * b). [a], [b], [dest] have k limbs with values
+     < m; [t] is scratch of 2k+1 limbs. [dest] may alias [a] and/or
+     [b]: both operands are fully consumed (into [t]) before [dest] is
+     written. *)
+  let mul_into ctx ~t ~dest a b =
+    let k = ctx.k and n = ctx.m and n0' = ctx.n0' in
+    Array.fill t 0 ((2 * k) + 1) 0;
+    (* t = a * b *)
+    for i = 0 to k - 1 do
+      let ai = Array.unsafe_get a i in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to k - 1 do
+          let x = Array.unsafe_get t (i + j) + (ai * Array.unsafe_get b j) + !carry in
+          Array.unsafe_set t (i + j) (x land limb_mask);
+          carry := x lsr bits_per_limb
+        done;
+        Array.unsafe_set t (i + k) !carry
+      end
+    done;
+    (* Reduction: k sweeps each cancelling the lowest live limb. *)
+    for i = 0 to k - 1 do
+      let mi = Array.unsafe_get t i * n0' land limb_mask in
+      if mi <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to k - 1 do
+          let x = Array.unsafe_get t (i + j) + (mi * Array.unsafe_get n j) + !carry in
+          Array.unsafe_set t (i + j) (x land limb_mask);
+          carry := x lsr bits_per_limb
+        done;
+        let idx = ref (i + k) in
+        while !carry <> 0 do
+          let x = Array.unsafe_get t !idx + !carry in
+          Array.unsafe_set t !idx (x land limb_mask);
+          carry := x lsr bits_per_limb;
+          incr idx
+        done
+      end
+    done;
+    (* dest <- t[k..2k-1] (- m if the result reached it). *)
+    let ge =
+      if t.((2 * k)) <> 0 then true
+      else begin
+        let rec cmp i =
+          if i < 0 then true
+          else begin
+            let ti = Array.unsafe_get t (k + i) and ni = Array.unsafe_get n i in
+            if ti <> ni then ti > ni else cmp (i - 1)
+          end
+        in
+        cmp (k - 1)
+      end
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = Array.unsafe_get t (k + i) - Array.unsafe_get n i - !borrow in
+        if d < 0 then begin
+          Array.unsafe_set dest i (d + base);
+          borrow := 1
+        end
+        else begin
+          Array.unsafe_set dest i d;
+          borrow := 0
+        end
+      done
+    end
+    else Array.blit t k dest 0 k
+
+  (* base^exp mod m: plain left-to-right binary for short exponents,
+     4-bit windows (15 precomputed odd-and-even powers) when the table
+     cost amortizes — a 768-bit private exponent does ~206 multiplies
+     instead of ~384. *)
+  let pow ctx b e =
+    let k = ctx.k in
+    if is_zero e then rem one ctx.m
+    else begin
+      let b = rem b ctx.m in
+      let t = Array.make ((2 * k) + 1) 0 in
+      let bm = Array.make k 0 in
+      mul_into ctx ~t ~dest:bm (pad k b) ctx.r2;
+      let acc = Array.make k 0 in
+      let nbits = bit_length e in
+      if nbits <= 64 then begin
+        Array.blit bm 0 acc 0 k;
+        for i = nbits - 2 downto 0 do
+          mul_into ctx ~t ~dest:acc acc acc;
+          if testbit e i then mul_into ctx ~t ~dest:acc acc bm
+        done
+      end
+      else begin
+        let tbl = Array.init 16 (fun _ -> Array.make k 0) in
+        Array.blit bm 0 tbl.(1) 0 k;
+        for i = 2 to 15 do
+          mul_into ctx ~t ~dest:tbl.(i) tbl.(i - 1) bm
+        done;
+        let nwin = (nbits + 3) / 4 in
+        let started = ref false in
+        for wdx = nwin - 1 downto 0 do
+          if !started then
+            for _ = 1 to 4 do
+              mul_into ctx ~t ~dest:acc acc acc
+            done;
+          let lo = 4 * wdx in
+          let nib =
+            (if testbit e (lo + 3) then 8 else 0)
+            lor (if testbit e (lo + 2) then 4 else 0)
+            lor (if testbit e (lo + 1) then 2 else 0)
+            lor if testbit e lo then 1 else 0
+          in
+          if nib <> 0 then begin
+            if !started then mul_into ctx ~t ~dest:acc acc tbl.(nib)
+            else begin
+              Array.blit tbl.(nib) 0 acc 0 k;
+              started := true
+            end
+          end
+        done
+      end;
+      (* Leave Montgomery form: REDC(acc * 1). *)
+      let one_limbs = Array.make k 0 in
+      one_limbs.(0) <- 1;
+      mul_into ctx ~t ~dest:acc acc one_limbs;
+      normalize acc
+    end
+end
+
+let mod_pow b e m =
+  if is_zero m then raise Division_by_zero;
+  if equal m one then zero
+  else begin
+    match Mont.make m with
+    | Some c -> Mont.pow c b e
+    | None -> mod_pow_classic b e m
   end
 
 (* Extended Euclid on signed magnitudes, for modular inverses. *)

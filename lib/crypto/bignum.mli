@@ -57,8 +57,34 @@ val testbit : t -> int -> bool
 val is_even : t -> bool
 
 val mod_pow : t -> t -> t -> t
-(** [mod_pow base exp m] is [base^exp mod m].
+(** [mod_pow base exp m] is [base^exp mod m]. Odd moduli of at least
+    two limbs go through {!Mont} (REDC with a 4-bit window); everything
+    else falls back to {!mod_pow_classic}.
     @raise Division_by_zero if [m] is zero. *)
+
+val mod_pow_classic : t -> t -> t -> t
+(** Reference square-and-multiply with a full division after every
+    step. Kept as the oracle the Montgomery path is tested against.
+    @raise Division_by_zero if [m] is zero. *)
+
+(** Montgomery-form modular exponentiation. A context precomputes
+    [-m^-1 mod 2^26] and [R^2 mod m] for one odd modulus; callers that
+    verify or sign repeatedly under the same key cache the context
+    (see {!Rsa}) so each exponentiation pays no division at all. *)
+module Mont : sig
+  type ctx
+  (** Precomputed state for one odd modulus of >= 2 limbs. *)
+
+  val make : t -> ctx option
+  (** [make m] is [None] when [m] is even or fits in a single limb
+      (callers should use {!mod_pow_classic} there). *)
+
+  val modulus : ctx -> t
+  (** The modulus the context was built for. *)
+
+  val pow : ctx -> t -> t -> t
+  (** [pow ctx base exp] is [base^exp mod (modulus ctx)]. *)
+end
 
 val mod_inv : t -> t -> t option
 (** [mod_inv a m] is [Some x] with [a*x = 1 (mod m)] when

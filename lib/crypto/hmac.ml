@@ -1,13 +1,30 @@
 let block_size = 64
 
+(* HMAC needs its own streaming context: the one-shot [Sha256.digest]
+   helpers share a per-domain scratch, which must stay free for the
+   key-shortening digest below. *)
+let hmac_ctx = Domain.DLS.new_key (fun () -> Sha256.init ())
+
 let mac ~key msg =
   let key = if String.length key > block_size then Sha256.digest key else key in
-  let pad fill =
-    String.init block_size (fun i ->
-        let k = if i < String.length key then Char.code key.[i] else 0 in
-        Char.chr (k lxor fill))
+  let kl = String.length key in
+  let ctx = Domain.DLS.get hmac_ctx in
+  let pad = Bytes.create block_size in
+  let fill_pad x =
+    for i = 0 to block_size - 1 do
+      let k = if i < kl then Char.code (String.unsafe_get key i) else 0 in
+      Bytes.unsafe_set pad i (Char.unsafe_chr (k lxor x))
+    done
   in
-  let inner = Sha256.digest_list [ pad 0x36; msg ] in
-  Sha256.digest_list [ pad 0x5c; inner ]
+  fill_pad 0x36;
+  Sha256.reset ctx;
+  Sha256.feed_bytes ctx pad ~pos:0 ~len:block_size;
+  Sha256.feed ctx msg;
+  let inner = Sha256.finalize ctx in
+  fill_pad 0x5c;
+  Sha256.reset ctx;
+  Sha256.feed_bytes ctx pad ~pos:0 ~len:block_size;
+  Sha256.feed ctx inner;
+  Sha256.finalize ctx
 
 let hex ~key msg = Avm_util.Hex.encode (mac ~key msg)

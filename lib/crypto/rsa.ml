@@ -1,3 +1,5 @@
+module Metrics = Avm_obs.Metrics
+
 type public_key = { n : Bignum.t; e : Bignum.t }
 
 type private_key = {
@@ -42,37 +44,37 @@ let pad_digest ~len digest =
   let ff_len = len - String.length digest - 3 in
   String.concat "" [ "\x00\x01"; String.make ff_len '\xff'; "\x00"; digest ]
 
-(* m^d mod n via the Chinese Remainder Theorem: two half-size
-   exponentiations instead of one full-size one (~4x faster). *)
-let private_power key m =
-  let mp = Bignum.mod_pow (Bignum.rem m key.p) key.dp key.p in
-  let mq = Bignum.mod_pow (Bignum.rem m key.q) key.dq key.q in
-  (* h = qinv * (mp - mq) mod p; result = mq + h * q *)
-  let diff =
-    if Bignum.compare mp mq >= 0 then Bignum.sub mp mq
-    else Bignum.sub key.p (Bignum.rem (Bignum.sub mq mp) key.p)
+(* --- per-domain precomputation caches ------------------------------------ *)
+
+(* Montgomery contexts, keyed by the physical identity of the modulus:
+   a key's Bignum fields are stable for the key's lifetime, and audits
+   verify thousands of signatures under a handful of keys, so a short
+   association list probed by [==] makes the precomputed n', R^2 pair
+   effectively "cached on the key" without widening the key types.
+   Each domain keeps its own list (no locks); a structural miss just
+   recomputes. *)
+let mont_cache : (Bignum.t * Bignum.Mont.ctx option) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let mont_of (n : Bignum.t) =
+  let cache = Domain.DLS.get mont_cache in
+  let rec find = function
+    | [] -> None
+    | (m, c) :: _ when m == n -> Some c
+    | _ :: rest -> find rest
   in
-  let h = Bignum.rem (Bignum.mul key.qinv diff) key.p in
-  Bignum.add mq (Bignum.mul h key.q)
+  match find !cache with
+  | Some c -> c
+  | None ->
+    let c = Bignum.Mont.make n in
+    cache := (n, c) :: (if List.length !cache >= 32 then [] else !cache);
+    c
 
-let sign (key : private_key) msg =
-  let len = (Bignum.bit_length key.n + 7) / 8 in
-  let em = pad_digest ~len (Sha256.digest msg) in
-  let m = Bignum.of_bytes_be em in
-  Bignum.to_bytes_be ~len (private_power key m)
-
-let verify (key : public_key) ~msg ~signature =
-  let len = signature_length key in
-  if String.length signature <> len then false
-  else begin
-    let s = Bignum.of_bytes_be signature in
-    if Bignum.compare s key.n >= 0 then false
-    else begin
-      let m = Bignum.mod_pow s key.e key.n in
-      let expected = pad_digest ~len (Sha256.digest msg) in
-      String.equal (Bignum.to_bytes_be ~len m) expected
-    end
-  end
+(* base^exp mod m through the cached Montgomery context. *)
+let pow_mod ~m b e =
+  match mont_of m with
+  | Some c -> Bignum.Mont.pow c b e
+  | None -> Bignum.mod_pow b e m
 
 let public_to_string (key : public_key) =
   let w = Avm_util.Wire.writer () in
@@ -86,3 +88,62 @@ let public_of_string s =
   let e = Bignum.of_bytes_be (Avm_util.Wire.read_bytes r) in
   Avm_util.Wire.expect_end r;
   { n; e }
+
+(* Key fingerprints for the verified-signature cache, memoized per
+   domain by physical identity like the Montgomery contexts. *)
+let fp_cache : (public_key * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let fingerprint (key : public_key) =
+  let cache = Domain.DLS.get fp_cache in
+  let rec find = function
+    | [] -> None
+    | (k, fp) :: _ when k == key -> Some fp
+    | _ :: rest -> find rest
+  in
+  match find !cache with
+  | Some fp -> fp
+  | None ->
+    let fp = Sha256.digest (public_to_string key) in
+    cache := (key, fp) :: (if List.length !cache >= 32 then [] else !cache);
+    fp
+
+(* m^d mod n via the Chinese Remainder Theorem: two half-size
+   exponentiations instead of one full-size one (~4x faster). *)
+let private_power key m =
+  let mp = pow_mod ~m:key.p (Bignum.rem m key.p) key.dp in
+  let mq = pow_mod ~m:key.q (Bignum.rem m key.q) key.dq in
+  (* h = qinv * (mp - mq) mod p; result = mq + h * q *)
+  let diff =
+    if Bignum.compare mp mq >= 0 then Bignum.sub mp mq
+    else Bignum.sub key.p (Bignum.rem (Bignum.sub mq mp) key.p)
+  in
+  let h = Bignum.rem (Bignum.mul key.qinv diff) key.p in
+  Bignum.add mq (Bignum.mul h key.q)
+
+let sign (key : private_key) msg =
+  Metrics.incr "crypto.rsa_signs";
+  let len = (Bignum.bit_length key.n + 7) / 8 in
+  let em = pad_digest ~len (Sha256.digest msg) in
+  let m = Bignum.of_bytes_be em in
+  Bignum.to_bytes_be ~len (private_power key m)
+
+let verify (key : public_key) ~msg ~signature =
+  let len = signature_length key in
+  if String.length signature <> len then false
+  else begin
+    let digest = Sha256.digest msg in
+    let fp = fingerprint key in
+    if Sigcache.check ~fingerprint:fp ~signature ~digest then true
+    else begin
+      let s = Bignum.of_bytes_be signature in
+      if Bignum.compare s key.n >= 0 then false
+      else begin
+        Metrics.incr "crypto.rsa_verifies";
+        let m = pow_mod ~m:key.n s key.e in
+        let ok = String.equal (Bignum.to_bytes_be ~len m) (pad_digest ~len digest) in
+        if ok then Sigcache.remember ~fingerprint:fp ~signature ~digest;
+        ok
+      end
+    end
+  end

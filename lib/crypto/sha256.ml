@@ -1,5 +1,14 @@
 (* SHA-256 over native ints; every 32-bit word is kept masked to
-   [mask32] so the implementation is correct on 63-bit OCaml ints. *)
+   [mask32] so the implementation is correct on 63-bit OCaml ints.
+
+   The common path is allocation-free: contexts are resettable (the
+   one-shot [digest]/[digest_list]/[digest_buffer] entry points reuse a
+   per-domain scratch context), whole input blocks are scheduled
+   straight from the caller's string/bytes without an intermediate
+   copy, and finalization pads with a single fill instead of repeated
+   feeds. *)
+
+module Metrics = Avm_obs.Metrics
 
 let mask32 = 0xffffffff
 
@@ -26,47 +35,69 @@ type ctx = {
   w : int array; (* 64-entry message schedule, reused *)
 }
 
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
 let init () =
-  {
-    h =
-      [|
-        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
-        0x1f83d9ab; 0x5be0cd19;
-      |];
-    block = Bytes.create 64;
-    fill = 0;
-    total = 0;
-    w = Array.make 64 0;
-  }
+  { h = Array.copy iv; block = Bytes.create 64; fill = 0; total = 0; w = Array.make 64 0 }
+
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.fill <- 0;
+  ctx.total <- 0
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-let compress ctx =
-  let w = ctx.w in
+(* Fill the first 16 schedule words from 64 source bytes starting at
+   [off]; the three variants differ only in the source container. *)
+let fill_w_bytes w (b : Bytes.t) off =
   for i = 0 to 15 do
-    w.(i) <-
-      (Char.code (Bytes.get ctx.block (4 * i)) lsl 24)
-      lor (Char.code (Bytes.get ctx.block ((4 * i) + 1)) lsl 16)
-      lor (Char.code (Bytes.get ctx.block ((4 * i) + 2)) lsl 8)
-      lor Char.code (Bytes.get ctx.block ((4 * i) + 3))
-  done;
+    let p = off + (4 * i) in
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get b p) lsl 24)
+      lor (Char.code (Bytes.unsafe_get b (p + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get b (p + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get b (p + 3)))
+  done
+
+let fill_w_string w (s : string) off =
+  for i = 0 to 15 do
+    let p = off + (4 * i) in
+    Array.unsafe_set w i
+      ((Char.code (String.unsafe_get s p) lsl 24)
+      lor (Char.code (String.unsafe_get s (p + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (p + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (p + 3)))
+  done
+
+(* One compression round over the already-filled schedule [ctx.w]. *)
+let compress_w ctx =
+  let w = ctx.w in
   for i = 16 to 63 do
-    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
-    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+    let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1) land mask32)
   done;
-  let a = ref ctx.h.(0)
-  and b = ref ctx.h.(1)
-  and c = ref ctx.h.(2)
-  and d = ref ctx.h.(3)
-  and e = ref ctx.h.(4)
-  and f = ref ctx.h.(5)
-  and g = ref ctx.h.(6)
-  and hh = ref ctx.h.(7) in
+  let h = ctx.h in
+  let a = ref (Array.unsafe_get h 0)
+  and b = ref (Array.unsafe_get h 1)
+  and c = ref (Array.unsafe_get h 2)
+  and d = ref (Array.unsafe_get h 3)
+  and e = ref (Array.unsafe_get h 4)
+  and f = ref (Array.unsafe_get h 5)
+  and g = ref (Array.unsafe_get h 6)
+  and hh = ref (Array.unsafe_get h 7) in
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = !e land !f lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask32 in
+    let t1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask32
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask32 in
@@ -79,24 +110,87 @@ let compress ctx =
     b := !a;
     a := (t1 + t2) land mask32
   done;
-  ctx.h.(0) <- (ctx.h.(0) + !a) land mask32;
-  ctx.h.(1) <- (ctx.h.(1) + !b) land mask32;
-  ctx.h.(2) <- (ctx.h.(2) + !c) land mask32;
-  ctx.h.(3) <- (ctx.h.(3) + !d) land mask32;
-  ctx.h.(4) <- (ctx.h.(4) + !e) land mask32;
-  ctx.h.(5) <- (ctx.h.(5) + !f) land mask32;
-  ctx.h.(6) <- (ctx.h.(6) + !g) land mask32;
-  ctx.h.(7) <- (ctx.h.(7) + !hh) land mask32
+  Array.unsafe_set h 0 ((Array.unsafe_get h 0 + !a) land mask32);
+  Array.unsafe_set h 1 ((Array.unsafe_get h 1 + !b) land mask32);
+  Array.unsafe_set h 2 ((Array.unsafe_get h 2 + !c) land mask32);
+  Array.unsafe_set h 3 ((Array.unsafe_get h 3 + !d) land mask32);
+  Array.unsafe_set h 4 ((Array.unsafe_get h 4 + !e) land mask32);
+  Array.unsafe_set h 5 ((Array.unsafe_get h 5 + !f) land mask32);
+  Array.unsafe_set h 6 ((Array.unsafe_get h 6 + !g) land mask32);
+  Array.unsafe_set h 7 ((Array.unsafe_get h 7 + !hh) land mask32)
 
-let feed ctx s =
-  let n = String.length s in
-  ctx.total <- ctx.total + n;
-  let pos = ref 0 in
-  while !pos < n do
-    let take = min (64 - ctx.fill) (n - !pos) in
-    Bytes.blit_string s !pos ctx.block ctx.fill take;
+let compress ctx =
+  fill_w_bytes ctx.w ctx.block 0;
+  compress_w ctx
+
+let feed_sub ctx s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Sha256.feed_sub";
+  ctx.total <- ctx.total + len;
+  let p = ref pos in
+  let stop = pos + len in
+  (* Top up a partial block first. *)
+  if ctx.fill > 0 then begin
+    let take = min (64 - ctx.fill) (stop - !p) in
+    Bytes.blit_string s !p ctx.block ctx.fill take;
     ctx.fill <- ctx.fill + take;
-    pos := !pos + take;
+    p := !p + take;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  end;
+  (* Whole blocks are scheduled straight from the source string. *)
+  while stop - !p >= 64 do
+    fill_w_string ctx.w s !p;
+    compress_w ctx;
+    p := !p + 64
+  done;
+  if stop - !p > 0 then begin
+    Bytes.blit_string s !p ctx.block 0 (stop - !p);
+    ctx.fill <- stop - !p
+  end
+
+let feed ctx s = feed_sub ctx s ~pos:0 ~len:(String.length s)
+
+let feed_bytes ctx b ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bytes.length b - len then
+    invalid_arg "Sha256.feed_bytes";
+  ctx.total <- ctx.total + len;
+  let p = ref pos in
+  let stop = pos + len in
+  if ctx.fill > 0 then begin
+    let take = min (64 - ctx.fill) (stop - !p) in
+    Bytes.blit b !p ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    p := !p + take;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  end;
+  while stop - !p >= 64 do
+    fill_w_bytes ctx.w b !p;
+    compress_w ctx;
+    p := !p + 64
+  done;
+  if stop - !p > 0 then begin
+    Bytes.blit b !p ctx.block 0 (stop - !p);
+    ctx.fill <- stop - !p
+  end
+
+(* Absorb a [Buffer.t] (e.g. a wire writer's accumulator) without
+   materializing its contents: blocks are blitted straight from the
+   buffer into the context. *)
+let feed_buffer ctx b =
+  let n = Buffer.length b in
+  ctx.total <- ctx.total + n;
+  let p = ref 0 in
+  while !p < n do
+    let take = min (64 - ctx.fill) (n - !p) in
+    Buffer.blit b !p ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    p := !p + take;
     if ctx.fill = 64 then begin
       compress ctx;
       ctx.fill <- 0
@@ -105,30 +199,56 @@ let feed ctx s =
 
 let finalize ctx =
   let bit_len = ctx.total * 8 in
-  (* Padding: 0x80, zeros, 64-bit big-endian bit length. *)
-  feed ctx "\x80";
-  while ctx.fill <> 56 do
-    feed ctx "\x00"
-  done;
-  let len = Bytes.create 8 in
+  let fill = ctx.fill in
+  (* Padding: 0x80, zeros, 64-bit big-endian bit length — written with
+     single fills, not byte-at-a-time feeds. *)
+  Bytes.unsafe_set ctx.block fill '\x80';
+  if fill >= 56 then begin
+    if fill < 63 then Bytes.fill ctx.block (fill + 1) (63 - fill) '\000';
+    compress ctx;
+    Bytes.fill ctx.block 0 56 '\000'
+  end
+  else if fill < 55 then Bytes.fill ctx.block (fill + 1) (55 - fill) '\000';
   for i = 0 to 7 do
-    Bytes.set len i (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xff))
+    Bytes.unsafe_set ctx.block (56 + i)
+      (Char.unsafe_chr ((bit_len lsr (8 * (7 - i))) land 0xff))
   done;
-  (* feed of the length must not re-count it in [total]; total is no
-     longer consulted, so this is harmless. *)
-  feed ctx (Bytes.to_string len);
-  assert (ctx.fill = 0);
-  String.init 32 (fun i ->
-      Char.chr ((ctx.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
+  compress ctx;
+  ctx.fill <- 0;
+  Metrics.incr ~by:ctx.total "crypto.digest_bytes";
+  Metrics.incr "crypto.digests";
+  let out = Bytes.create 32 in
+  let h = ctx.h in
+  for i = 0 to 7 do
+    let v = Array.unsafe_get h i in
+    Bytes.unsafe_set out (4 * i) (Char.unsafe_chr ((v lsr 24) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 3) (Char.unsafe_chr (v land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+(* One scratch context per domain: the one-shot helpers below never
+   run user code between [reset] and [finalize], so reuse is safe even
+   though the helpers are called from every audit worker. *)
+let scratch = Domain.DLS.new_key (fun () -> init ())
 
 let digest s =
-  let ctx = init () in
+  let ctx = Domain.DLS.get scratch in
+  reset ctx;
   feed ctx s;
   finalize ctx
 
 let digest_list parts =
-  let ctx = init () in
+  let ctx = Domain.DLS.get scratch in
+  reset ctx;
   List.iter (feed ctx) parts;
+  finalize ctx
+
+let digest_buffer b =
+  let ctx = Domain.DLS.get scratch in
+  reset ctx;
+  feed_buffer ctx b;
   finalize ctx
 
 let hex s = Avm_util.Hex.encode (digest s)

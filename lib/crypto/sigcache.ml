@@ -1,0 +1,63 @@
+(* Bounded, domain-safe cache of successful RSA signature
+   verifications (DESIGN.md §12).
+
+   Each domain owns a private shard (no locks on the audit hot path);
+   entries map (key fingerprint, signature) to the digest the
+   signature was proven valid for. Only *successful* verifications are
+   remembered: RSA verification is a pure function of (key, digest,
+   signature), so replaying a remembered triple is sound — the cache
+   can never turn an invalid signature valid, and a mismatching digest
+   simply falls through to the real verification. Eviction is FIFO via
+   a per-shard queue, bounded by [set_capacity]. *)
+
+module Metrics = Avm_obs.Metrics
+
+let enabled = Atomic.make true
+let cap = Atomic.make 8192
+
+type shard = {
+  tbl : (string, string) Hashtbl.t; (* fingerprint ^ signature -> digest *)
+  order : string Queue.t; (* insertion order, for FIFO eviction *)
+}
+
+let shard =
+  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 1024; order = Queue.create () })
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+let set_capacity n = Atomic.set cap (max 1 n)
+let capacity () = Atomic.get cap
+
+let clear () =
+  let s = Domain.DLS.get shard in
+  Hashtbl.reset s.tbl;
+  Queue.clear s.order
+
+let size () = Hashtbl.length (Domain.DLS.get shard).tbl
+
+let check ~fingerprint ~signature ~digest =
+  if not (Atomic.get enabled) then false
+  else begin
+    let s = Domain.DLS.get shard in
+    match Hashtbl.find_opt s.tbl (fingerprint ^ signature) with
+    | Some d when String.equal d digest ->
+      Metrics.incr "crypto.sig_cache_hits";
+      true
+    | _ ->
+      Metrics.incr "crypto.sig_cache_misses";
+      false
+  end
+
+let remember ~fingerprint ~signature ~digest =
+  if Atomic.get enabled then begin
+    let s = Domain.DLS.get shard in
+    let key = fingerprint ^ signature in
+    if not (Hashtbl.mem s.tbl key) then begin
+      let cap = Atomic.get cap in
+      while Hashtbl.length s.tbl >= cap && not (Queue.is_empty s.order) do
+        Hashtbl.remove s.tbl (Queue.pop s.order)
+      done;
+      Hashtbl.replace s.tbl key digest;
+      Queue.add key s.order
+    end
+  end

@@ -1,0 +1,51 @@
+(** Bounded, domain-safe cache of successful signature verifications.
+
+    Spot checks, online audit, multi-auditor runs and repeated audit
+    passes all re-verify the same authenticators under the same public
+    keys; this cache lets {!Rsa.verify} answer those repeats with one
+    hash lookup instead of a modular exponentiation.
+
+    {b Soundness} (why a cache is acceptable for transferable
+    evidence): verification is a pure function of the triple
+    (public key, message digest, signature). Only triples that
+    {e passed} full verification in this process are stored, keyed by
+    (key fingerprint, signature bytes) and guarded by an exact digest
+    comparison on lookup — so a hit replays a computation that already
+    succeeded, and anything else (different digest, different
+    signature, unknown key) falls through to the real check. The cache
+    can therefore change only the cost, never the verdict, of an
+    audit; [make crypto-smoke] asserts exactly that on a tampered log.
+
+    Each domain owns a private shard: workers in a
+    {!Avm_util.Domain_pool} populate their own shard with the
+    authenticators of the chunks they audit, without locks. Entries
+    are evicted FIFO once the shard exceeds the configured capacity.
+
+    Hits and misses are counted under [crypto.sig_cache_hits] /
+    [crypto.sig_cache_misses]. *)
+
+val set_enabled : bool -> unit
+(** Globally enable or disable the cache (default: enabled). Takes
+    effect on every domain; disabling does not drop existing entries,
+    it just bypasses them. *)
+
+val is_enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Per-domain shard bound (default 8192 entries; clamped to >= 1). *)
+
+val capacity : unit -> int
+
+val clear : unit -> unit
+(** Drop every entry of the {e calling} domain's shard. *)
+
+val size : unit -> int
+(** Number of entries in the calling domain's shard. *)
+
+val check : fingerprint:string -> signature:string -> digest:string -> bool
+(** [check] is [true] iff this exact (fingerprint, signature, digest)
+    triple was previously {!remember}ed on this domain. *)
+
+val remember : fingerprint:string -> signature:string -> digest:string -> unit
+(** Record a verification that succeeded. Call only after a full
+    verification has returned [true]. *)

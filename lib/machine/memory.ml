@@ -29,9 +29,17 @@ let write m addr v =
   m.words.(addr) <- v land mask32;
   m.dirty.(addr / page_size) <- true
 
+(* Bulk path: images are loaded before any watchpoint is attached, so
+   skip the per-word hook/bounds machinery of [write]. *)
 let load_image m image =
-  if Array.length image > Array.length m.words then raise (Fault (Array.length image));
-  Array.iteri (fun i w -> write m i w) image
+  let n = Array.length image in
+  if n > Array.length m.words then raise (Fault n);
+  Array.blit image 0 m.words 0 n;
+  for i = 0 to n - 1 do
+    let w = Array.unsafe_get m.words i in
+    if w land mask32 <> w then Array.unsafe_set m.words i (w land mask32)
+  done;
+  if n > 0 then Array.fill m.dirty 0 (((n - 1) / page_size) + 1) true
 
 let page_data m p =
   let base = p * page_size in

@@ -25,7 +25,7 @@ let make identity ~entry ~prev_hash =
     hash;
     prev_hash;
     tag = Entry.type_tag content;
-    content_digest = Avm_crypto.Sha256.digest (Entry.content_bytes content);
+    content_digest = Entry.content_digest content;
     signature = Avm_crypto.Identity.sign identity (signed_payload ~node ~seq ~hash);
   }
 
@@ -43,7 +43,7 @@ let verify cert a =
 
 let matches_content a content =
   a.tag = Entry.type_tag content
-  && String.equal a.content_digest (Avm_crypto.Sha256.digest (Entry.content_bytes content))
+  && String.equal a.content_digest (Entry.content_digest content)
   && hash_consistent a
 
 let matches_send a ~payload ~dest ~nonce =

@@ -16,10 +16,9 @@ let type_tag = function
   | Snapshot_ref _ -> 5
   | Note _ -> 6
 
-let content_bytes content =
+let write_content w content =
   let open Avm_util in
-  let w = Wire.writer () in
-  (match content with
+  match content with
   | Send { dest; nonce; payload } ->
     Wire.bytes w dest;
     Wire.varint w nonce;
@@ -38,8 +37,23 @@ let content_bytes content =
     Wire.bytes w digest;
     Wire.varint w snapshot_seq;
     Wire.varint w at_icount
-  | Note s -> Wire.bytes w s);
-  Wire.contents w
+  | Note s -> Wire.bytes w s
+
+let content_bytes content =
+  let w = Avm_util.Wire.writer () in
+  write_content w content;
+  Avm_util.Wire.contents w
+
+(* Hashing the chain is the audit engine's innermost loop, so the
+   serialized forms below are digested straight from per-domain
+   scratch writers — no intermediate strings. *)
+let content_scratch = Domain.DLS.new_key (fun () -> Avm_util.Wire.writer ())
+
+let content_digest content =
+  let w = Domain.DLS.get content_scratch in
+  Avm_util.Wire.reset w;
+  write_content w content;
+  Avm_crypto.Sha256.digest_buffer (Avm_util.Wire.buffer w)
 
 let content_of_bytes ~tag bytes =
   let open Avm_util in
@@ -74,19 +88,23 @@ let content_of_bytes ~tag bytes =
   Wire.expect_end r;
   content
 
+let chain_scratch = Domain.DLS.new_key (fun () -> Avm_util.Wire.writer ())
+
 let chain_hash_raw ~prev ~seq ~tag ~content_digest =
   let open Avm_util in
-  let w = Wire.writer () in
+  let w = Domain.DLS.get chain_scratch in
+  Wire.reset w;
   Wire.raw w prev;
   Wire.varint w seq;
   Wire.u8 w tag;
   Wire.raw w content_digest;
-  Avm_crypto.Sha256.digest (Wire.contents w)
+  Avm_crypto.Sha256.digest_buffer (Wire.buffer w)
 
 let chain_hash ~prev ~seq content =
   chain_hash_raw ~prev ~seq ~tag:(type_tag content)
-    ~content_digest:(Avm_crypto.Sha256.digest (content_bytes content))
+    ~content_digest:(content_digest content)
 
+let chain_ok ~prev t = String.equal (chain_hash ~prev ~seq:t.seq t.content) t.hash
 let seal ~prev ~seq content = { seq; content; hash = chain_hash ~prev ~seq content }
 
 let write w t =

@@ -33,12 +33,21 @@ val type_tag : content -> int
 val content_bytes : content -> string
 (** Canonical serialization of [c_i] (what gets hashed). *)
 
+val content_digest : content -> string
+(** [H(c_i)]: SHA-256 of {!content_bytes}, streamed from a per-domain
+    scratch writer without materializing the serialization. *)
+
 val content_of_bytes : tag:int -> string -> content
 (** Inverse of {!content_bytes}.
     @raise Avm_util.Wire.Malformed on garbage. *)
 
 val chain_hash : prev:string -> seq:int -> content -> string
 (** [h_i] as defined above. *)
+
+val chain_ok : prev:string -> t -> bool
+(** [chain_ok ~prev e] recomputes [e]'s chain hash from [prev] and
+    compares it to the stored one — the audit engine's innermost
+    check. *)
 
 val chain_hash_raw : prev:string -> seq:int -> tag:int -> content_digest:string -> string
 (** Same, for verifiers that only hold [t_i] and [H(c_i)] — this is

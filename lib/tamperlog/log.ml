@@ -316,12 +316,9 @@ let verify_segment ~prev entries =
     | (e : Entry.t) :: rest ->
       if expected_seq >= 0 && e.seq <> expected_seq then
         Error (Printf.sprintf "sequence gap: expected %d, found %d" expected_seq e.seq)
-      else begin
-        let recomputed = Entry.chain_hash ~prev ~seq:e.seq e.content in
-        if not (String.equal recomputed e.hash) then
-          Error (Printf.sprintf "hash chain broken at entry %d" e.seq)
-        else go e.hash (e.seq + 1) rest
-      end
+      else if not (Entry.chain_ok ~prev e) then
+        Error (Printf.sprintf "hash chain broken at entry %d" e.seq)
+      else go e.hash (e.seq + 1) rest
   in
   match entries with
   | [] -> Ok ()

@@ -3,6 +3,8 @@ type writer = Buffer.t
 let writer () = Buffer.create 256
 let contents w = Buffer.contents w
 let length w = Buffer.length w
+let buffer w = w
+let reset w = Buffer.clear w
 let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
 
 let u16 w v =

@@ -19,6 +19,14 @@ val contents : writer -> string
 val length : writer -> int
 (** [length w] is the number of bytes written so far. *)
 
+val buffer : writer -> Buffer.t
+(** [buffer w] is the writer's accumulator, exposed so hashing can
+    stream straight from it (e.g. {!Avm_crypto.Sha256.digest_buffer})
+    without materializing {!contents}. Treat it as read-only. *)
+
+val reset : writer -> unit
+(** [reset w] empties the writer for reuse. *)
+
 val u8 : writer -> int -> unit
 (** [u8 w v] writes the low 8 bits of [v]. *)
 

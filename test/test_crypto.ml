@@ -46,6 +46,56 @@ let test_sha_streaming_chunks () =
   Alcotest.(check string) "streaming" (Sha256.hex data)
     (Avm_util.Hex.encode (Sha256.finalize ctx))
 
+let test_sha_million_a () =
+  (* FIPS 180-4 long-message vector: one million 'a's, fed in uneven
+     chunks so the multi-block streaming path is exercised. *)
+  let chunk = String.make 9973 'a' in
+  let ctx = Sha256.init () in
+  let left = ref 1_000_000 in
+  while !left > 0 do
+    let take = min !left (String.length chunk) in
+    Sha256.feed_sub ctx chunk ~pos:0 ~len:take;
+    left := !left - take
+  done;
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Avm_util.Hex.encode (Sha256.finalize ctx))
+
+let test_sha_feed_sub () =
+  let data = "..prefix.." ^ String.make 200 'q' ^ "..suffix.." in
+  let ctx = Sha256.init () in
+  Sha256.feed_sub ctx data ~pos:10 ~len:200;
+  Alcotest.(check string) "feed_sub window" (Sha256.hex (String.make 200 'q'))
+    (Avm_util.Hex.encode (Sha256.finalize ctx));
+  let b = Bytes.of_string data in
+  Sha256.reset ctx;
+  Sha256.feed_bytes ctx b ~pos:10 ~len:200;
+  Alcotest.(check string) "feed_bytes window" (Sha256.hex (String.make 200 'q'))
+    (Avm_util.Hex.encode (Sha256.finalize ctx))
+
+let test_sha_feed_buffer () =
+  let buf = Buffer.create 16 in
+  for i = 0 to 999 do
+    Buffer.add_char buf (Char.chr (i mod 251))
+  done;
+  Alcotest.(check string) "digest_buffer"
+    (Sha256.digest (Buffer.contents buf))
+    (Sha256.digest_buffer buf)
+
+let test_sha_reset_reuse () =
+  (* A context survives finalize + reset without bleeding state. *)
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "abc";
+  let first = Sha256.finalize ctx in
+  Sha256.reset ctx;
+  Sha256.feed ctx "abc";
+  Alcotest.(check string) "same digest after reset" (Avm_util.Hex.encode first)
+    (Avm_util.Hex.encode (Sha256.finalize ctx));
+  Sha256.reset ctx;
+  Alcotest.(check string) "empty after reset"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Avm_util.Hex.encode (Sha256.finalize ctx))
+
 let prop_sha_digest_list =
   qtest "sha256: digest_list = digest of concat"
     QCheck2.Gen.(list_size (int_range 0 5) string)
@@ -222,6 +272,36 @@ let test_bignum_hex_roundtrip () =
   Alcotest.(check bool) "testbit" true (Bignum.testbit v 0);
   Alcotest.(check bool) "even check" false (Bignum.is_even v)
 
+(* --- Montgomery ----------------------------------------------------------------- *)
+
+let prop_mont_matches_classic =
+  qtest ~count:80 "bignum: Montgomery mod_pow = classic"
+    QCheck2.Gen.(triple (int_range 60 512) (int_range 1 512) (int_range 0 1_000_000))
+    (fun (mbits, ebits, seed) ->
+      let rng = Rng.create (Int64.of_int ((mbits * 1_000_003) + (ebits * 7) + seed)) in
+      (* Force the modulus odd (and >= 2 limbs wide) so Mont.make accepts it. *)
+      let m =
+        let c = Bignum.random_bits rng mbits in
+        if Bignum.is_even c then Bignum.add_int c 1 else c
+      in
+      let b = Bignum.random_below rng m in
+      let e = Bignum.random_bits rng ebits in
+      Bignum.equal (Bignum.mod_pow b e m) (Bignum.mod_pow_classic b e m))
+
+let test_mont_make_guards () =
+  let odd = Bignum.of_hex "deadbeefdeadbeefdeadbeefdeadbeefdeadbeef" in
+  let even = Bignum.of_hex "deadbeefdeadbeefdeadbeefdeadbeefdeadbee0" in
+  Alcotest.(check bool) "even rejected" true (Bignum.Mont.make even = None);
+  Alcotest.(check bool) "single limb rejected" true
+    (Bignum.Mont.make (Bignum.of_int 1_000_003) = None);
+  match Bignum.Mont.make odd with
+  | None -> Alcotest.fail "odd wide modulus accepted"
+  | Some c ->
+    Alcotest.(check bool) "modulus kept" true (Bignum.equal (Bignum.Mont.modulus c) odd);
+    let b = Bignum.of_int 123_456_789 and e = Bignum.of_int 65537 in
+    Alcotest.(check bool) "pow matches classic" true
+      (Bignum.equal (Bignum.Mont.pow c b e) (Bignum.mod_pow_classic b e odd))
+
 (* --- RSA ----------------------------------------------------------------------- *)
 
 let test_rsa_sign_verify () =
@@ -276,11 +356,85 @@ let test_rsa_public_key_roundtrip () =
   Alcotest.(check bool) "n" true (Bignum.equal pk.Rsa.n kp.Rsa.public.Rsa.n);
   Alcotest.(check bool) "e" true (Bignum.equal pk.Rsa.e kp.Rsa.public.Rsa.e)
 
+let test_rsa_known_answer () =
+  (* Pinned signature: keygen is deterministic in the seed, and PKCS#1
+     v1.5 signing is deterministic in the key, so any drift in keygen,
+     padding, CRT or the Montgomery exponentiation shows up here. *)
+  let rng = Rng.create 4242L in
+  let kp = Rsa.generate rng ~bits:512 in
+  Alcotest.(check string) "modulus"
+    "906fca9e25b26c71a37db91b24abc6bb7604245e84df51dc161d5500ef0ab285288698782163411551447e4cd170ba3e197ec47e210d07ddf36f487ad1ef8b27"
+    (Bignum.to_hex kp.Rsa.public.Rsa.n);
+  let msg = "accountable virtual machines" in
+  let s = Rsa.sign kp.Rsa.private_ msg in
+  Alcotest.(check string) "signature"
+    "60ef4f8e1162fa2ae57f1978627d4fed6eae73a3a650c40886a3f790ee6d1d76bd4472ee1350e1305d0772549c026c388a0d34709177b249886744ee6cb4b707"
+    (Avm_util.Hex.encode s);
+  Alcotest.(check bool) "verifies" true (Rsa.verify kp.Rsa.public ~msg ~signature:s)
+
 let test_rsa_deterministic_keygen () =
   let kp1 = Rsa.generate (Rng.create 7L) ~bits:256 in
   let kp2 = Rsa.generate (Rng.create 7L) ~bits:256 in
   Alcotest.(check bool) "same seed same key" true
     (Bignum.equal kp1.Rsa.public.Rsa.n kp2.Rsa.public.Rsa.n)
+
+(* --- Signature cache --------------------------------------------------------------- *)
+
+let test_sigcache_basic () =
+  Sigcache.set_enabled true;
+  Sigcache.clear ();
+  let fp = String.make 32 'f' and s = String.make 64 's' and d = String.make 32 'd' in
+  Alcotest.(check bool) "cold miss" false (Sigcache.check ~fingerprint:fp ~signature:s ~digest:d);
+  Sigcache.remember ~fingerprint:fp ~signature:s ~digest:d;
+  Alcotest.(check bool) "hit" true (Sigcache.check ~fingerprint:fp ~signature:s ~digest:d);
+  Alcotest.(check bool) "digest guard" false
+    (Sigcache.check ~fingerprint:fp ~signature:s ~digest:(String.make 32 'x'));
+  Alcotest.(check bool) "other signature" false
+    (Sigcache.check ~fingerprint:fp ~signature:(String.make 64 'z') ~digest:d);
+  Sigcache.set_enabled false;
+  Alcotest.(check bool) "disabled bypasses" false
+    (Sigcache.check ~fingerprint:fp ~signature:s ~digest:d);
+  Sigcache.set_enabled true;
+  Alcotest.(check bool) "re-enabled keeps entries" true
+    (Sigcache.check ~fingerprint:fp ~signature:s ~digest:d)
+
+let test_sigcache_eviction () =
+  Sigcache.set_enabled true;
+  Sigcache.clear ();
+  let old_cap = Sigcache.capacity () in
+  Sigcache.set_capacity 4;
+  let fp i = Printf.sprintf "fp-%d" i in
+  for i = 1 to 7 do
+    Sigcache.remember ~fingerprint:(fp i) ~signature:"sig" ~digest:"digest"
+  done;
+  Alcotest.(check int) "bounded" 4 (Sigcache.size ());
+  Alcotest.(check bool) "oldest evicted" false
+    (Sigcache.check ~fingerprint:(fp 1) ~signature:"sig" ~digest:"digest");
+  Alcotest.(check bool) "newest kept" true
+    (Sigcache.check ~fingerprint:(fp 7) ~signature:"sig" ~digest:"digest");
+  Sigcache.set_capacity old_cap;
+  Sigcache.clear ()
+
+let test_sigcache_rsa_verdicts () =
+  (* Caching must never change a verdict: repeated verifies stay true,
+     and a cached signature does not leak validity onto other
+     messages or keys. *)
+  Sigcache.set_enabled true;
+  Sigcache.clear ();
+  let rng = Rng.create 83L in
+  let kp = Rsa.generate rng ~bits:512 in
+  let other = Rsa.generate rng ~bits:512 in
+  let s = Rsa.sign kp.Rsa.private_ "m" in
+  Alcotest.(check bool) "first (cold)" true (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:s);
+  Alcotest.(check bool) "second (cached)" true (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:s);
+  Alcotest.(check bool) "cached sig, other msg" false
+    (Rsa.verify kp.Rsa.public ~msg:"m2" ~signature:s);
+  Alcotest.(check bool) "cached sig, other key" false
+    (Rsa.verify other.Rsa.public ~msg:"m" ~signature:s);
+  Sigcache.set_enabled false;
+  Alcotest.(check bool) "cache off, still true" true
+    (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:s);
+  Sigcache.set_enabled true
 
 (* --- Identity --------------------------------------------------------------------- *)
 
@@ -360,6 +514,10 @@ let () =
         [
           Alcotest.test_case "NIST vectors" `Quick test_sha_vectors;
           Alcotest.test_case "streaming chunks" `Quick test_sha_streaming_chunks;
+          Alcotest.test_case "FIPS million-a" `Quick test_sha_million_a;
+          Alcotest.test_case "feed_sub/feed_bytes windows" `Quick test_sha_feed_sub;
+          Alcotest.test_case "digest_buffer" `Quick test_sha_feed_buffer;
+          Alcotest.test_case "reset reuse" `Quick test_sha_reset_reuse;
           Alcotest.test_case "output length" `Quick test_sha_length;
           prop_sha_digest_list;
         ] );
@@ -392,6 +550,11 @@ let () =
           prop_bignum_mod_inv;
           prop_bignum_bytes_roundtrip;
         ] );
+      ( "montgomery",
+        [
+          Alcotest.test_case "make guards" `Quick test_mont_make_guards;
+          prop_mont_matches_classic;
+        ] );
       ( "rsa",
         [
           Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
@@ -400,7 +563,14 @@ let () =
           Alcotest.test_case "malformed signature" `Quick test_rsa_malformed_signature;
           Alcotest.test_case "CRT consistency" `Quick test_rsa_crt_consistency;
           Alcotest.test_case "public key roundtrip" `Quick test_rsa_public_key_roundtrip;
+          Alcotest.test_case "known answer" `Quick test_rsa_known_answer;
           Alcotest.test_case "deterministic keygen" `Quick test_rsa_deterministic_keygen;
+        ] );
+      ( "sigcache",
+        [
+          Alcotest.test_case "hit/miss/guards" `Quick test_sigcache_basic;
+          Alcotest.test_case "FIFO eviction" `Quick test_sigcache_eviction;
+          Alcotest.test_case "verdicts unchanged" `Quick test_sigcache_rsa_verdicts;
         ] );
       ( "identity",
         [
