@@ -3,9 +3,9 @@
 # observability smoke (record, audit with --metrics, assert counters),
 # and the fault-vs-verdict sweep.
 
-.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke clean
+.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench clean
 
-verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke
+verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke
 
 build:
 	dune build
@@ -57,6 +57,18 @@ crypto-smoke:
 # relative to the fault-free baseline.
 fault-smoke:
 	dune exec bin/avm_fault_sweep.exe -- --seconds 3
+
+# Fleet-scale witness auditing (DESIGN.md §13): 200 event-driven nodes
+# for 3 epochs on the witness-graph topology, with a cheating minority.
+# The binary exits non-zero unless every epoch reaches 100% witness
+# coverage, every planted cheat is detected with zero false flags, and
+# the verdict vector is identical at auditor jobs 1 and 4.
+fleet-smoke:
+	dune exec bin/avm_fleet.exe -- --nodes 200 --epochs 3
+
+# Full 10k-node fleet bench (slow): refreshes the committed BENCH_fleet.json.
+fleet-bench:
+	dune exec bench/fleet_bench.exe -- --jobs 4 --out BENCH_fleet.json
 
 clean:
 	dune clean

@@ -34,6 +34,8 @@ type t = {
   mutable nic_irq_pending : bool;
   mutable timer_interval_us : float; (* 0 = off *)
   mutable timer_next_us : float;
+  mutable sleeping : bool;
+  mutable sleep_until : float; (* infinity = until woken *)
   mutable extra_us : float; (* injected stalls: clock-opt, daemon sharing *)
   clock_opt : Clock_opt.t;
   mutable next_nonce : int;
@@ -86,6 +88,8 @@ let create ~identity ~config ~image ?mem_words
     nic_irq_pending = false;
     timer_interval_us = 0.0;
     timer_next_us = infinity;
+    sleeping = false;
+    sleep_until = infinity;
     extra_us = 0.0;
     clock_opt =
       (* The paper's 5 us window assumes a GHz-rate guest; scale the
@@ -124,6 +128,22 @@ let total_daemon_us t = t.daemon_us_total
 let clock_reads t = Clock_opt.reads_observed t.clock_opt
 let bytes_sent_on_wire t = t.wire_bytes
 let add_stall_us t us = t.extra_us <- t.extra_us +. us
+
+(* --- Sleep / wake ------------------------------------------------------ *)
+
+let sleeping_until t = if t.sleeping then Some t.sleep_until else None
+
+let wake t ~now_us:wake_us =
+  if t.sleeping then begin
+    (* The guest did not execute while parked: fast-forward its
+       virtual clock to the wake time. Replay never calls this — the
+       skipped interval is visible only through logged CLOCK reads,
+       which replay serves from the log. *)
+    let here = now_us t in
+    if wake_us > here then t.extra_us <- t.extra_us +. (wake_us -. here);
+    t.sleeping <- false;
+    t.sleep_until <- infinity
+  end
 
 let charge_daemon t us =
   t.daemon_us_total <- t.daemon_us_total +. us;
@@ -214,6 +234,13 @@ let serve_io_out t port value =
       t.timer_interval_us <- float_of_int value;
       t.timer_next_us <- now_us t +. float_of_int value
     end
+  end
+  else if port = port_sleep then begin
+    (* Park the guest: 0 = until an external wake (input, packet),
+       n > 0 = for at most n virtual microseconds. Deterministic
+       output, so nothing is logged; replay's io_out ignores it. *)
+    t.sleeping <- true;
+    t.sleep_until <- (if value <= 0 then infinity else now_us t +. float_of_int value)
   end
 
 let handle_packet_sent t words =
@@ -325,10 +352,15 @@ let run_slice t ~until_us =
   t.slice_daemon_us <- 0.0;
   t.slice_events <- 0;
   t.slice_sends <- 0;
+  (* A parked guest whose deadline falls inside this slice wakes
+     itself; one parked past the horizon stays parked and the slice is
+     empty. Standalone callers thus need no wake bookkeeping — the
+     event-driven harness wakes nodes eagerly instead. *)
+  if t.sleeping && t.sleep_until <= until_us then wake t ~now_us:t.sleep_until;
   let b = backend t in
   let start_instr = Machine.icount t.machine in
-  let continue = ref (not (Machine.halted t.machine)) in
-  while !continue && now_us t < until_us do
+  let continue = ref ((not t.sleeping) && not (Machine.halted t.machine)) in
+  while !continue && (not t.sleeping) && now_us t < until_us do
     if now_us t >= t.next_snapshot_us then begin
       ignore (take_snapshot t);
       match t.config.Config.snapshot_every_us with
@@ -472,6 +504,17 @@ let retransmit_due t ~now_us =
 
 let retransmissions_sent t = t.retrans_count
 let retransmissions_gaveup t = t.gaveup_count
+
+let next_retrans_at t =
+  (* Earliest moment any pending send needs attention. Envelopes past
+     [retrans_max_attempts] still contribute their due time: the next
+     {!retransmit_due} call is what marks them given-up. *)
+  Hashtbl.fold
+    (fun _ p acc ->
+      if p.acked || p.gave_up then acc
+      else
+        Float.min acc (p.last_sent_us +. Config.retrans_delay_us t.config ~attempts:p.attempts))
+    t.sends infinity
 
 (* --- Local inputs, notes, adversary ------------------------------------ *)
 

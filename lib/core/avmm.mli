@@ -56,10 +56,24 @@ val create :
 
 val run_slice : t -> until_us:float -> slice_stats
 (** Run the guest until its virtual clock reaches [until_us] (or it
-    halts). The network harness alternates slices among machines. *)
+    halts, or parks itself on the SLEEP port). A guest parked with a
+    deadline inside the slice wakes itself at the deadline; one parked
+    past [until_us] leaves the slice empty. *)
 
 val now_us : t -> float
 val halted : t -> bool
+
+val sleeping_until : t -> float option
+(** [Some deadline] while the guest is parked on the SLEEP port
+    ([infinity] = until an external wake), [None] while runnable. An
+    event-driven harness schedules nothing for a parked node — that is
+    what makes an idle fleet node cost zero. *)
+
+val wake : t -> now_us:float -> unit
+(** Unpark a sleeping guest and fast-forward its virtual clock to
+    [now_us] (no instructions execute for the skipped interval). Used
+    by the harness on packet arrival, local input, sleep deadline, or
+    crash-heal; a no-op on a running guest. *)
 
 val add_stall_us : t -> float -> unit
 (** Advance virtual time without executing instructions — used by the
@@ -99,6 +113,13 @@ val retransmit_due : t -> now_us:float -> Wireformat.envelope list
 
 val retransmissions_sent : t -> int
 (** Total envelopes handed back by {!retransmit_due} so far. *)
+
+val next_retrans_at : t -> float
+(** The earliest backoff deadline over all pending sends ([infinity]
+    if none): when the next {!retransmit_due} call could return work
+    or retire an envelope that exhausted its attempts. The harness
+    turns this into one per-node heap event instead of a global
+    sweep. *)
 
 val retransmissions_gaveup : t -> int
 (** Envelopes abandoned after [Config.retrans_max_attempts]. *)

@@ -1,0 +1,89 @@
+(** Fleet-scale witness auditing (PeerReview-style, after the paper's
+    §4.6 "who audits whom" discussion and the ROADMAP's fleet north
+    star).
+
+    Three pieces, deliberately separable:
+
+    - {b assignment}: each node is audited by [k] seeded-randomly
+      chosen peers. The draw is deterministic in the seed, so every
+      participant (and every offline verifier) re-derives the same
+      witness sets — no node picks its own auditors.
+    - {b epoch scheduling}: time is cut into epochs; at each epoch
+      boundary every node seals its log segment with a snapshot, and
+      one audit job per (target, witness) pair is enqueued. Within a
+      target's witness set one {e designated} witness (rotating per
+      epoch) replays the epoch semantically; the others run the cheap
+      syntactic pass, so per-epoch audit cost stays O(k) per node with
+      exactly one replay.
+    - {b the sharded auditor pool}: jobs are split into contiguous
+      shards spread over a {!Avm_util.Domain_pool}, with per-shard
+      [witness.shard<i>.*] metrics. Shard boundaries depend only on
+      the job list, never on the worker count, so the verdict vector
+      is identical at jobs 1 and jobs 4.
+
+    {b Epoch convention.} Callers take a {e baseline} snapshot of
+    every node before epoch 1 (snapshot seqs start at 0, so the
+    baseline is seq 0), then one snapshot at each epoch end: epoch [e]
+    is the log range between snapshot seq [e - 1] and [e], and
+    {!audit_job} addresses it that way. *)
+
+(** {1 Assignment} *)
+
+type assignment = { nodes : int; k : int; sets : int array array }
+
+val assign : seed:int64 -> nodes:int -> k:int -> assignment
+(** [k] is clamped to [nodes - 1]; sets never contain the node itself.
+    @raise Invalid_argument if [nodes < 2] or [k < 1]. *)
+
+val witnesses : assignment -> int -> int array
+
+(** {1 Epoch scheduling} *)
+
+type mode =
+  | Syntactic  (** hash chain + authenticator match over the epoch range *)
+  | Semantic  (** spot-check replay of the epoch from authenticated state *)
+
+type job = { epoch : int; target : int; witness : int; mode : mode }
+
+val epoch_jobs : assignment -> epoch:int -> job list
+(** All (target, witness) jobs for one epoch, ascending by target;
+    the designated semantic witness rotates with the epoch. *)
+
+(** {1 Auditing} *)
+
+type target_view = {
+  log : Avm_tamperlog.Log.t;
+  snapshots : Avm_machine.Snapshot.t list;
+  image : int array;
+  mem_words : int;
+  peers : (int * string) list;  (** the target's own dest-id map *)
+  node_cert : Avm_crypto.Identity.certificate;
+  peer_certs : (string * Avm_crypto.Identity.certificate) list;
+}
+
+type verdict = { job : job; ok : bool; detail : string }
+
+val audit_job :
+  view:target_view -> auths:Avm_tamperlog.Auth.t list -> job -> verdict
+(** Run one job against the target's log. [auths] is what this witness
+    has collected for the target (envelope and ack authenticators);
+    unmatched collected authenticators are not an error — they may
+    belong to other epochs. *)
+
+(** {1 The sharded auditor pool} *)
+
+val run_sharded :
+  ?par:Audit_ctx.parallelism ->
+  ?shards:int ->
+  f:(job -> verdict) ->
+  job list ->
+  verdict list
+(** Execute jobs across [shards] (default 8) contiguous shards on the
+    pool [par] resolves to, preserving job order in the returned
+    vector. Each shard bumps [witness.shard<i>.jobs] /
+    [witness.shard<i>.failures] and times itself under
+    [witness.shard<i>.seconds]; totals land in [witness.jobs] and
+    [witness.failures]. *)
+
+val coverage : verdict list -> nodes:int -> epoch:int -> float
+(** Fraction of nodes with at least one verdict in [epoch]. *)

@@ -16,6 +16,11 @@ let issue ca rng ?(bits = 768) iname =
   let csig = Rsa.sign ca.ca_keys.Rsa.private_ (cert_payload iname keys.Rsa.public) in
   { iname; keys; cert = { cname = iname; ckey = keys.Rsa.public; csig } }
 
+let issue_like ca donor iname =
+  let keys = donor.keys in
+  let csig = Rsa.sign ca.ca_keys.Rsa.private_ (cert_payload iname keys.Rsa.public) in
+  { iname; keys; cert = { cname = iname; ckey = keys.Rsa.public; csig } }
+
 let name id = id.iname
 let public_key id = id.keys.Rsa.public
 let certificate id = id.cert

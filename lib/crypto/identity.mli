@@ -25,6 +25,15 @@ val issue : ca -> Avm_util.Rng.t -> ?bits:int -> string -> t
 (** [issue ca rng name] creates an identity named [name] with a fresh
     keypair (default 768-bit) and a certificate from [ca]. *)
 
+val issue_like : ca -> t -> string -> t
+(** [issue_like ca donor name] certifies [name] over the {e donor's}
+    keypair — no key generation, just one CA signature. Fleet-scale
+    harnesses use a small pool of real keypairs shared across
+    thousands of simulated identities: signatures stay real and
+    per-identity certificates stay distinct, only the RSA keygen cost
+    is amortized. Never share keys between mutually auditing parties
+    in an adversarial experiment. *)
+
 val name : t -> string
 val public_key : t -> Rsa.public_key
 val certificate : t -> certificate

@@ -235,6 +235,7 @@ let port_disk_word = 0x51
 let port_disk_read = 0x52
 let port_disk_write = 0x53
 let port_timer_ctl = 0x60
+let port_sleep = 0x61
 let port_frame = 0x70
 let port_ivt = 0xf0
 let port_irq_cause = 0xf1
@@ -257,6 +258,7 @@ let named_ports =
     ("DISK_READ", port_disk_read);
     ("DISK_WRITE", port_disk_write);
     ("TIMER_CTL", port_timer_ctl);
+    ("SLEEP", port_sleep);
     ("FRAME", port_frame);
     ("IVT", port_ivt);
     ("IRQ_CAUSE", port_irq_cause);

@@ -113,6 +113,7 @@ val port_disk_word : int (* 0x51: Out — select word within sector *)
 val port_disk_read : int (* 0x52: In — read selected word (deterministic) *)
 val port_disk_write : int (* 0x53: Out — write selected word *)
 val port_timer_ctl : int (* 0x60: Out — interval in instructions; 0 stops *)
+val port_sleep : int (* 0x61: Out — park the guest: 0 = until woken, n>0 = at most n us *)
 val port_frame : int (* 0x70: Out — frame-rendered marker *)
 val port_ivt : int (* 0xf0: Out — set interrupt vector address *)
 val port_irq_cause : int (* 0xf1: In — line of the last delivered IRQ (deterministic) *)

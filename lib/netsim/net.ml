@@ -7,12 +7,23 @@ type node = {
   avmm : Avmm.t;
   host : Host.t;
   ledger : Multiparty.t;
+  peer_list : (int * string) list; (* this node's guest dest-id map *)
   mutable same_ht : bool;
   mutable isolated : bool;
   mutable crashed : bool;
+  (* Self-scheduling state. Each node owns at most one live slice
+     event, one live retransmit event and one live wake event in the
+     heap; generation counters invalidate superseded closures (the
+     heap has no delete). [infinity] = nothing scheduled. *)
+  mutable slice_gen : int;
+  mutable next_slice_at : float;
+  mutable retrans_gen : int;
+  mutable retrans_at : float;
+  mutable wake_at : float;
 }
 
 let node_name n = n.name
+let node_index n = n.index
 let node_avmm n = n.avmm
 let node_host n = n.host
 let node_ledger n = n.ledger
@@ -25,15 +36,13 @@ type t = {
   certs : (string * Identity.certificate) list;
   idents : (string * Identity.t) list;
   ca_ : Identity.ca;
+  topology : Topology.t;
   latency_us : float;
   loss : float;
   faults : Faults.t;
   rng : Avm_util.Rng.t;
-  retrans_every_us : float;
-  peer_map : (int * string) list;
-  mutable next_retrans_us : float;
-  (* per-packet lookups were Array.to_list |> List.find / List.assoc —
-     O(nodes) on every delivery; precomputed tables make them O(1) *)
+  mutable slice_us : float;
+  peer_map : (int * string) list; (* global index -> name *)
   node_tbl : (string, node) Hashtbl.t;
   cert_tbl : (string, Identity.certificate) Hashtbl.t;
 }
@@ -45,6 +54,8 @@ let certificates t = t.certs
 let identities t = t.idents
 let ca t = t.ca_
 let peers t = t.peer_map
+let peers_of t i = t.node_array.(i).peer_list
+let topology t = t.topology
 let config t = t.config
 let faults t = t.faults
 
@@ -52,6 +63,7 @@ let cert_of t name =
   match Hashtbl.find_opt t.cert_tbl name with Some c -> c | None -> raise Not_found
 
 let node_of t name = Hashtbl.find t.node_tbl name
+let runnable n = (not n.crashed) && not (Avmm.halted n.avmm)
 
 (* One fate per transmission: the legacy i.i.d. [loss] first (so
    existing callers keep their semantics), then the fault policy. *)
@@ -59,9 +71,81 @@ let packet_fate t =
   if t.loss > 0.0 && Avm_util.Rng.float t.rng 1.0 < t.loss then Faults.Dropped
   else Faults.decide t.faults t.rng ~now_us:(Sim.now t.sim)
 
+(* --- Self-scheduling ---------------------------------------------------
+   A node posts its own next run_slice into the heap; a parked (SLEEP),
+   halted or crashed node posts nothing, so an idle node costs zero
+   events and an active one O(log n) per event. Ties in the heap break
+   on insertion order, which keeps same-seed runs bit-identical. *)
+
+let rec schedule_slice t n ~at =
+  if at < n.next_slice_at then begin
+    n.slice_gen <- n.slice_gen + 1;
+    n.next_slice_at <- at;
+    let gen = n.slice_gen in
+    Sim.schedule t.sim ~at (fun () ->
+        if gen = n.slice_gen then begin
+          n.next_slice_at <- infinity;
+          if not n.crashed then begin
+            advance_node t n ~until_us:(Sim.now t.sim);
+            chain t n
+          end
+        end)
+  end
+
+and chain t n =
+  if runnable n then
+    match Avmm.sleeping_until n.avmm with
+    | None -> schedule_slice t n ~at:(Sim.now t.sim +. t.slice_us)
+    | Some deadline when deadline < infinity -> schedule_wake t n ~at:deadline
+    | Some _ -> () (* parked until a packet or input arrives *)
+
+and schedule_wake t n ~at =
+  if n.wake_at = infinity then begin
+    n.wake_at <- at;
+    Sim.schedule t.sim ~at (fun () ->
+        n.wake_at <- infinity;
+        if not n.crashed then
+          match Avmm.sleeping_until n.avmm with
+          | Some d when d <= Sim.now t.sim ->
+            Avmm.wake n.avmm ~now_us:(Sim.now t.sim);
+            schedule_slice t n ~at:(Sim.now t.sim)
+          | Some d when d < infinity -> schedule_wake t n ~at:d
+          | _ -> ())
+  end
+
+and advance_node t n ~until_us =
+  let stats = Avmm.run_slice n.avmm ~until_us in
+  Host.charge_game n.host (float_of_int stats.Avmm.instructions *. Config.us_per_instr t.config);
+  Host.charge_daemon n.host stats.Avmm.daemon_us;
+  if n.same_ht then Avmm.add_stall_us n.avmm stats.Avmm.daemon_us;
+  (* Only fresh sends can move the node's earliest backoff deadline
+     earlier; everything else is picked up when the pending retransmit
+     event fires and re-arms itself. *)
+  if stats.Avmm.sends > 0 then update_retrans t n
+
+(* Per-node retransmit events, at the cadence of the node's own
+   backoff state: the global periodic sweep (and its drift-prone
+   next_retrans_us clock) is gone. *)
+and update_retrans t n =
+  let due = Avmm.next_retrans_at n.avmm in
+  if due < n.retrans_at then begin
+    n.retrans_gen <- n.retrans_gen + 1;
+    n.retrans_at <- due;
+    let gen = n.retrans_gen in
+    Sim.schedule t.sim ~at:due (fun () ->
+        if gen = n.retrans_gen then begin
+          n.retrans_at <- infinity;
+          if not n.crashed then begin
+            let due = Avmm.retransmit_due n.avmm ~now_us:(Sim.now t.sim) in
+            List.iter (fun env -> transmit t n env) due;
+            update_retrans t n
+          end
+        end)
+  end
+
 (* Deliver an envelope to its destination and route the ack back, each
    leg subject to the fault policy. *)
-let rec transmit t src_node env =
+and transmit t src_node env =
   if src_node.isolated || src_node.crashed then ()
   else begin
     let send_at = Float.max (Sim.now t.sim) (Avmm.now_us src_node.avmm) in
@@ -94,7 +178,13 @@ and deliver_envelope t src_node env =
       Avm_obs.Metrics.incr "net.packets_delivered";
       (match r with
       | `Duplicate _ -> Avm_obs.Metrics.incr "net.packets_duplicate"
-      | _ -> ());
+      | `Ack _ ->
+        (* A fresh packet raises the NIC interrupt: unpark a sleeping
+           guest so it handles the data now, not at some sweep. *)
+        if Avmm.sleeping_until dst.avmm <> None then begin
+          Avmm.wake dst.avmm ~now_us:(Sim.now t.sim);
+          schedule_slice t dst ~at:(Sim.now t.sim)
+        end);
       (* The receiver keeps the sender's authenticator. *)
       if Config.accountable t.config then
         Multiparty.record_auth dst.ledger env.Wireformat.auth;
@@ -128,15 +218,13 @@ and route_ack t src_node ack =
             end))
       legs
 
-(* Resend only what the per-envelope backoff schedule says is due; a
-   crashed monitor does not sweep at all. *)
-let retransmit_sweep t =
-  Array.iter
-    (fun n ->
-      if not n.crashed then
-        let due = Avmm.retransmit_due n.avmm ~now_us:(Sim.now t.sim) in
-        List.iter (fun env -> transmit t n env) due)
-    t.node_array
+(* Re-arm a node that may have been parked: external input, packet, or
+   crash-heal. *)
+let nudge t n =
+  if runnable n then begin
+    if Avmm.sleeping_until n.avmm <> None then Avmm.wake n.avmm ~now_us:(Sim.now t.sim);
+    if n.next_slice_at = infinity then schedule_slice t n ~at:(Sim.now t.sim)
+  end
 
 let schedule_faults t =
   let check_node w =
@@ -161,24 +249,36 @@ let schedule_faults t =
           n.crashed <- false;
           n.isolated <- false;
           (* Fail-stop restart: the guest did not execute during the
-             outage; advance its virtual clock past it. *)
-          Avmm.add_stall_us n.avmm (w.Faults.to_us -. w.Faults.from_us)))
+             outage; advance its virtual clock past it, then re-arm its
+             slice chain and retransmit schedule. *)
+          Avmm.add_stall_us n.avmm (w.Faults.to_us -. w.Faults.from_us);
+          nudge t n;
+          update_retrans t n))
     t.faults.Faults.crashes
 
 let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(faults = Faults.none)
-    ?(rsa_bits = 768) ?retrans_every_us ?mem_words ~config ~images ~names () =
+    ?(rsa_bits = 768) ?key_pool ?mem_words ?log_backend ?(topology = Topology.full_mesh)
+    ~config ~images ~names () =
   if List.length images <> List.length names then
     invalid_arg "Net.create: images and names must have equal length";
-  let retrans_every_us =
-    (* The sweep only has to notice due envelopes promptly: sample the
-       backoff schedule at twice its base rate unless overridden. *)
-    match retrans_every_us with
-    | Some p -> p
-    | None -> Float.max 10_000.0 (config.Config.retrans_base_us /. 2.0)
-  in
   let rng = Avm_util.Rng.create seed in
   let ca_ = Identity.create_ca rng ~bits:rsa_bits "avm-ca" in
-  let idents = List.map (fun name -> (name, Identity.issue ca_ rng ~bits:rsa_bits name)) names in
+  let names_arr = Array.of_list names in
+  let n_nodes = Array.length names_arr in
+  (* Identity issue is the fleet's creation bottleneck (one RSA keygen
+     per node): with [key_pool] only that many keypairs are generated
+     and certificates fan out over them. *)
+  let idents_arr =
+    match key_pool with
+    | None -> Array.map (fun name -> Identity.issue ca_ rng ~bits:rsa_bits name) names_arr
+    | Some pool ->
+      let pool = max 1 (min pool n_nodes) in
+      let donors =
+        Array.init pool (fun j -> Identity.issue ca_ rng ~bits:rsa_bits (Printf.sprintf "keypool%d" j))
+      in
+      Array.mapi (fun i name -> Identity.issue_like ca_ donors.(i mod pool) name) names_arr
+  in
+  let idents = Array.to_list (Array.mapi (fun i name -> (name, idents_arr.(i))) names_arr) in
   let certs = List.map (fun (name, id) -> (name, Identity.certificate id)) idents in
   let peer_map = List.mapi (fun i name -> (i, name)) names in
   let t =
@@ -189,19 +289,25 @@ let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(faults = Fault
       certs;
       idents;
       ca_;
+      topology;
       latency_us;
       loss;
       faults;
       rng;
-      retrans_every_us;
+      slice_us = 10_000.0;
       peer_map;
-      next_retrans_us = retrans_every_us;
-      node_tbl = Hashtbl.create 16;
-      cert_tbl = Hashtbl.create 16;
+      node_tbl = Hashtbl.create (2 * n_nodes);
+      cert_tbl = Hashtbl.create (2 * n_nodes);
     }
   in
   List.iter (fun (name, cert) -> Hashtbl.replace t.cert_tbl name cert) certs;
-  let make_node index (name, image) =
+  let make_node index image =
+    let name = names_arr.(index) in
+    let peer_list =
+      match Topology.peer_list topology ~names:names_arr index with
+      | Some l -> l (* per-node O(degree) list *)
+      | None -> peer_map (* full mesh: one shared identity map *)
+    in
     (* Recursive knot: the avmm's on_send needs the node record. *)
     let node_ref = ref None in
     let on_send env =
@@ -210,9 +316,8 @@ let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(faults = Fault
       | None -> ()
     in
     let avmm =
-      Avmm.create
-        ~identity:(List.assoc name idents)
-        ~config ~image ?mem_words ~peers:peer_map ~on_send ()
+      Avmm.create ~identity:idents_arr.(index) ~config ~image ?mem_words ?log_backend
+        ~peers:peer_list ~on_send ()
     in
     let n =
       {
@@ -221,40 +326,49 @@ let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(faults = Fault
         avmm;
         host = Host.create ();
         ledger = Multiparty.create ~self:name;
+        peer_list;
         same_ht = false;
         isolated = false;
         crashed = false;
+        slice_gen = 0;
+        next_slice_at = infinity;
+        retrans_gen = 0;
+        retrans_at = infinity;
+        wake_at = infinity;
       }
     in
     node_ref := Some n;
     Hashtbl.replace t.node_tbl name n;
     n
   in
-  t.node_array <- Array.of_list (List.mapi make_node (List.combine names images));
+  t.node_array <- Array.of_list (List.mapi make_node images);
   schedule_faults t;
   t
 
 let run t ~until_us ?(slice_us = 10_000.0) () =
-  let upi = Config.us_per_instr t.config in
-  while Sim.now t.sim < until_us do
-    let next = Float.min until_us (Sim.now t.sim +. slice_us) in
-    Array.iter
-      (fun n ->
-        if not n.crashed then begin
-          let stats = Avmm.run_slice n.avmm ~until_us:next in
-          Host.charge_game n.host (float_of_int stats.Avmm.instructions *. upi);
-          Host.charge_daemon n.host stats.Avmm.daemon_us;
-          if n.same_ht then Avmm.add_stall_us n.avmm stats.Avmm.daemon_us
-        end)
-      t.node_array;
-    Sim.run_until t.sim next;
-    if Sim.now t.sim >= t.next_retrans_us then begin
-      retransmit_sweep t;
-      t.next_retrans_us <- t.next_retrans_us +. t.retrans_every_us
-    end
-  done
+  t.slice_us <- slice_us;
+  (* Arm every runnable node that has no pending slice or wake — first
+     call, after a slice_us change, or after a guest slept during a
+     previous horizon's catch-up pass. *)
+  Array.iter
+    (fun n ->
+      if runnable n && n.next_slice_at = infinity then
+        match Avmm.sleeping_until n.avmm with
+        | None -> schedule_slice t n ~at:(Sim.now t.sim)
+        | Some d when d < infinity -> schedule_wake t n ~at:d
+        | Some _ -> ())
+    t.node_array;
+  Sim.run_until t.sim until_us;
+  (* Land every runnable guest exactly on the horizon so callers can
+     poke, peek and queue inputs at a well-defined instant (a parked
+     guest is already, trivially, at every instant). *)
+  Array.iter (fun n -> if runnable n then advance_node t n ~until_us) t.node_array
 
-let queue_input t i event = Avmm.queue_input t.node_array.(i).avmm event
+let queue_input t i event =
+  let n = t.node_array.(i) in
+  Avmm.queue_input n.avmm event;
+  nudge t n
+
 let isolate t i = t.node_array.(i).isolated <- true
 let heal t i = t.node_array.(i).isolated <- false
 

@@ -7,10 +7,14 @@ type t = {
   mutable size : int;
   mutable clock : float;
   mutable next_seq : int;
+  mutable fired : int;
 }
 
 let dummy = { at = 0.0; seq = 0; action = ignore }
-let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.0; next_seq = 0 }
+
+let create () =
+  { heap = Array.make 256 dummy; size = 0; clock = 0.0; next_seq = 0; fired = 0 }
+
 let now t = t.clock
 let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
 
@@ -67,6 +71,7 @@ let run_until t horizon =
     if t.size > 0 && t.heap.(0).at <= horizon then begin
       let ev = pop t in
       t.clock <- Float.max t.clock ev.at;
+      t.fired <- t.fired + 1;
       ev.action ()
     end
     else continue := false
@@ -74,3 +79,4 @@ let run_until t horizon =
   t.clock <- Float.max t.clock horizon
 
 let pending t = t.size
+let processed t = t.fired

@@ -22,3 +22,7 @@ val run_until : t -> float -> unit
     clock to it. Events may schedule further events. *)
 
 val pending : t -> int
+
+val processed : t -> int
+(** Total events fired so far — the numerator of the fleet bench's
+    sim-events/s figure. *)

@@ -1,0 +1,47 @@
+(* Who can talk to whom, and under which guest-visible ids. *)
+
+type t =
+  | Full_mesh
+  | Graph of int array array
+
+let full_mesh = Full_mesh
+
+let of_adjacency adj =
+  Array.iteri
+    (fun i neighbours ->
+      Array.iter
+        (fun j ->
+          if j < 0 then invalid_arg "Topology.of_adjacency: negative node index";
+          if j = i then invalid_arg "Topology.of_adjacency: node adjacent to itself")
+        neighbours)
+    adj;
+  Graph (Array.map Array.copy adj)
+
+(* Delegates to the accountability layer's assignment so that the
+   communication graph and the audit graph are the same seeded draw. *)
+let witness_graph ~seed ~nodes ~k =
+  Graph (Avm_core.Witness.assign ~seed ~nodes ~k).Avm_core.Witness.sets
+
+let degree t ~nodes i =
+  match t with
+  | Full_mesh -> nodes
+  | Graph adj -> Array.length adj.(i)
+
+let neighbours t ~nodes i =
+  match t with
+  | Full_mesh -> Array.init nodes (fun j -> j)
+  | Graph adj -> Array.copy adj.(i)
+
+let witnesses_of t ~nodes i =
+  match t with
+  | Full_mesh -> Array.init (nodes - 1) (fun j -> if j >= i then j + 1 else j)
+  | Graph adj -> Array.copy adj.(i)
+
+(* The (guest dest id -> node name) map a node's AVMM is created with.
+   Under a full mesh every node shares one identity map, so the list is
+   built once by the caller; under a graph each node gets its own small
+   list whose ids are positions in its adjacency row. *)
+let peer_list t ~names i =
+  match t with
+  | Full_mesh -> None
+  | Graph adj -> Some (Array.to_list (Array.mapi (fun slot j -> (slot, names.(j))) adj.(i)))

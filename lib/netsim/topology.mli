@@ -1,0 +1,39 @@
+(** Network topology: which peers each node addresses, and how guest
+    dest ids map to node names.
+
+    The legacy three-workstation experiments assume a full mesh in
+    which guest dest id = global node index. A 10k-node fleet cannot:
+    per-node peer lists must stay O(degree), both for [Net.create]
+    cost and because {!Avm_core.Avmm} resolves dest ids with a list
+    lookup on every send. A {!witness_graph} gives each node exactly
+    the peers that audit it (PeerReview-style witness sets), so the
+    whole communication structure is the accountability structure. *)
+
+type t
+
+val full_mesh : t
+(** Everyone reaches everyone; guest dest id = node index. *)
+
+val of_adjacency : int array array -> t
+(** [of_adjacency adj]: node [i] addresses [adj.(i)] — guest dest id
+    [s] on node [i] means global node [adj.(i).(s)]. Rows need not be
+    symmetric.
+    @raise Invalid_argument on self-edges or negative indices. *)
+
+val witness_graph : seed:int64 -> nodes:int -> k:int -> t
+(** Seeded witness assignment: node [i]'s row is [k] distinct peers
+    drawn uniformly (never [i] itself), [k] clamped to [nodes - 1].
+    Deterministic in [seed] — any party can re-derive who audits whom.
+    @raise Invalid_argument if [nodes < 2] or [k < 1]. *)
+
+val degree : t -> nodes:int -> int -> int
+val neighbours : t -> nodes:int -> int -> int array
+
+val witnesses_of : t -> nodes:int -> int -> int array
+(** The audit set of node [i]: its adjacency row under a graph, all
+    other nodes under a full mesh. *)
+
+val peer_list : t -> names:string array -> int -> (int * string) list option
+(** The (dest id, name) list for node [i]'s AVMM — [None] under a full
+    mesh, where the caller shares one identity map across nodes
+    instead of materializing N copies. *)

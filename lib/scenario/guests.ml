@@ -384,3 +384,70 @@ fn main() {
 
 let kvstore_image () = compile_cached kvstore_source
 let kv_input_role ~role = role land 0xff
+
+(* The fleet node: a tiny kv store that applies locally queued
+   operations, reports a running digest to its primary witness, and
+   then parks itself on the SLEEP port. Receiving a report only folds
+   it into the digest — it never triggers a send of its own, so
+   traffic through the (cyclic) witness graph cannot cascade and a
+   quiet node costs the simulator nothing. *)
+let fleet_stack_top = 2048
+let fleet_mem_words = 2048
+
+let fleet_source =
+  {|
+global keys[256];
+global vals[256];
+global ops;
+global seqno;
+global digest;
+
+fn apply_op(w) {
+  var slot = (w >> 16) & 255;
+  var v = w & 65535;
+  keys[slot] = keys[slot] + 1;
+  vals[slot] = v;
+  digest = digest ^ (v + slot);
+  ops = ops + 1;
+}
+
+fn main() {
+  while (1) {
+    var worked = 0;
+    var n = in(INPUT_AVAIL);
+    while (n > 0) {
+      apply_op(in(INPUT));
+      worked = 1;
+      n = n - 1;
+    }
+    var avail = in(NET_RX_AVAIL);
+    while (avail > 0) {
+      var len = in(NET_RX_LEN);
+      while (len > 0) { digest = digest ^ in(NET_RX); len = len - 1; }
+      out(NET_RX_NEXT, 0);
+      avail = in(NET_RX_AVAIL);
+    }
+    if (worked) {
+      seqno = seqno + 1;
+      out(NET_TX, 0);
+      out(NET_TX, seqno);
+      out(NET_TX, digest);
+      out(NET_TX_SEND, 0);
+    }
+    out(SLEEP, 0);
+  }
+}
+|}
+
+let fleet_memo = ref None
+
+let fleet_image () =
+  match !fleet_memo with
+  | Some img -> img
+  | None ->
+    let img = Avm_mlang.Compile.compile ~stack_top:fleet_stack_top fleet_source in
+    fleet_memo := Some img;
+    img
+
+let fleet_input_op ~slot ~value = ((slot land 0xff) lsl 16) lor (value land 0xffff)
+let fleet_symbol name = Avm_isa.Asm.symbol (fleet_image ()) name

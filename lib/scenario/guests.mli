@@ -66,3 +66,24 @@ val kvstore_source : string
 val kvstore_image : unit -> Avm_isa.Asm.image
 val kv_input_role : role:int -> int
 (** Role 0 = server, 1 = benchmark client. *)
+
+(** {1 Fleet node}
+
+    The fleet guest is a miniature kv store for the 1k–10k node
+    witness-auditing experiments: it applies queued operations,
+    reports a digest to its primary witness (guest dest id 0), folds
+    received reports into its own digest without replying, and parks
+    on the SLEEP port whenever idle — so the event-driven harness
+    schedules nothing for it. *)
+
+val fleet_source : string
+val fleet_stack_top : int
+val fleet_mem_words : int
+val fleet_image : unit -> Avm_isa.Asm.image
+
+val fleet_input_op : slot:int -> value:int -> int
+(** One kv write: [slot] in [\[0, 255\]], [value] 16-bit. *)
+
+val fleet_symbol : string -> int
+(** Address of a fleet-guest global (e.g. ["g_vals"]) — what the
+    cheating minority's memory pokes aim at. *)

@@ -655,6 +655,79 @@ let test_multiparty_bookkeeping () =
   Alcotest.(check (list string)) "bob shunned" [ "bob" ] (Multiparty.shunned mp);
   Alcotest.(check int) "evidence filed" 1 (List.length (Multiparty.evidence_against mp "bob"))
 
+(* --- witness layer ------------------------------------------------------------------------------- *)
+
+let test_witness_assign () =
+  let nodes = 50 and k = 4 in
+  let a = Witness.assign ~seed:3L ~nodes ~k in
+  let b = Witness.assign ~seed:3L ~nodes ~k in
+  let c = Witness.assign ~seed:4L ~nodes ~k in
+  for i = 0 to nodes - 1 do
+    let w = Witness.witnesses a i in
+    Alcotest.(check int) "k witnesses" k (Array.length w);
+    Alcotest.(check (array int)) "seed-deterministic" w (Witness.witnesses b i);
+    let seen = Hashtbl.create k in
+    Array.iter
+      (fun j ->
+        Alcotest.(check bool) "not self" true (j <> i);
+        Alcotest.(check bool) "in range" true (j >= 0 && j < nodes);
+        Alcotest.(check bool) "distinct" false (Hashtbl.mem seen j);
+        Hashtbl.add seen j ())
+      w
+  done;
+  Alcotest.(check bool) "different seed, different draw" true (a.Witness.sets <> c.Witness.sets);
+  let clamped = Witness.assign ~seed:3L ~nodes:4 ~k:9 in
+  Alcotest.(check int) "k clamped to nodes-1" 3 clamped.Witness.k;
+  Alcotest.check_raises "one node rejected"
+    (Invalid_argument "Witness.assign: need at least two nodes") (fun () ->
+      ignore (Witness.assign ~seed:3L ~nodes:1 ~k:1))
+
+let test_witness_epoch_jobs () =
+  let nodes = 12 and k = 3 in
+  let asg = Witness.assign ~seed:11L ~nodes ~k in
+  let check_epoch epoch =
+    let jobs = Witness.epoch_jobs asg ~epoch in
+    Alcotest.(check int) "n*k jobs" (nodes * k) (List.length jobs);
+    for t = 0 to nodes - 1 do
+      let mine = List.filter (fun (j : Witness.job) -> j.Witness.target = t) jobs in
+      let sem =
+        List.filter (fun (j : Witness.job) -> j.Witness.mode = Witness.Semantic) mine
+      in
+      Alcotest.(check int) "one semantic replay per target" 1 (List.length sem);
+      List.iter
+        (fun (j : Witness.job) ->
+          Alcotest.(check bool) "witness from the assignment" true
+            (Array.exists (fun w -> w = j.Witness.witness) (Witness.witnesses asg t)))
+        mine
+    done;
+    List.find (fun (j : Witness.job) -> j.Witness.target = 0 && j.Witness.mode = Witness.Semantic) jobs
+  in
+  let s1 = check_epoch 1 and s2 = check_epoch 2 in
+  Alcotest.(check bool) "designated witness rotates" true
+    (s1.Witness.witness <> s2.Witness.witness)
+
+let test_witness_run_sharded_stable () =
+  (* The verdict vector must preserve job order and be identical no
+     matter how many workers execute the shards. *)
+  let asg = Witness.assign ~seed:7L ~nodes:9 ~k:2 in
+  let jobs = Witness.epoch_jobs asg ~epoch:1 @ Witness.epoch_jobs asg ~epoch:2 in
+  let f (j : Witness.job) =
+    {
+      Witness.job = j;
+      ok = (j.Witness.target + j.Witness.witness) mod 3 <> 0;
+      detail = Printf.sprintf "t%dw%d" j.Witness.target j.Witness.witness;
+    }
+  in
+  let seq = Witness.run_sharded ~par:Audit_ctx.sequential ~f jobs in
+  let par = Witness.run_sharded ~par:(Audit_ctx.parallel 3) ~f jobs in
+  let one = Witness.run_sharded ~par:Audit_ctx.sequential ~shards:1 ~f jobs in
+  Alcotest.(check bool) "order preserved" true
+    (List.map (fun (v : Witness.verdict) -> v.Witness.job) seq = jobs);
+  Alcotest.(check bool) "jobs 1 = jobs 3" true (seq = par);
+  Alcotest.(check bool) "shard count does not reorder" true (seq = one);
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0
+    (Witness.coverage seq ~nodes:9 ~epoch:2)
+
 (* --- config model -------------------------------------------------------------------------------- *)
 
 let test_config_ladder () =
@@ -1506,5 +1579,12 @@ let () =
         ] );
       ( "multiparty",
         [ Alcotest.test_case "bookkeeping" `Quick test_multiparty_bookkeeping ] );
+      ( "witness",
+        [
+          Alcotest.test_case "assignment" `Quick test_witness_assign;
+          Alcotest.test_case "epoch jobs" `Quick test_witness_epoch_jobs;
+          Alcotest.test_case "sharded pool is order/worker stable" `Quick
+            test_witness_run_sharded_stable;
+        ] );
       ( "config", [ Alcotest.test_case "cost ladder" `Quick test_config_ladder ] );
     ]

@@ -263,6 +263,84 @@ let test_net_determinism () =
   in
   Alcotest.(check bool) "same head hash" true (String.equal (run ()) (run ()))
 
+(* --- Sim properties ---------------------------------------------------------- *)
+
+(* The heap invariant every self-scheduling node relies on: events pop
+   in nondecreasing time order, and insertion order breaks ties. Random
+   times drawn from a tiny range force plenty of collisions. *)
+let qtest_sim_pop_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"pop times nondecreasing, ties FIFO"
+       QCheck2.Gen.(list_size (int_range 0 400) (int_range 0 7))
+       (fun times ->
+         let sim = Sim.create () in
+         let fired = ref [] in
+         List.iteri
+           (fun i t ->
+             Sim.schedule sim ~at:(float_of_int t) (fun () -> fired := (t, i) :: !fired))
+           times;
+         Sim.run_until sim 10.0;
+         let fired = List.rev !fired in
+         List.length fired = List.length times
+         && fst (List.fold_left
+                   (fun (ok, prev) (t, i) ->
+                     match prev with
+                     | None -> (ok, Some (t, i))
+                     | Some (pt, pi) ->
+                       ((ok && pt <= t) && ((t <> pt) || pi < i), Some (t, i)))
+                   (true, None) fired)))
+
+let test_sim_heap_growth () =
+  (* Push well past the 256-entry initial capacity, in reverse time
+     order so every insert sifts, then check a late horizon drains them
+     all in order. *)
+  let sim = Sim.create () in
+  let n = 2000 in
+  let hits = ref 0 and last = ref neg_infinity in
+  for i = n downto 1 do
+    Sim.schedule sim ~at:(float_of_int i) (fun () ->
+        incr hits;
+        Alcotest.(check bool) "ordered" true (Sim.now sim >= !last);
+        last := Sim.now sim)
+  done;
+  Alcotest.(check int) "all pending" n (Sim.pending sim);
+  Sim.run_until sim (float_of_int (n + 1));
+  Alcotest.(check int) "all fired" n !hits;
+  Alcotest.(check int) "processed counter" n (Sim.processed sim)
+
+(* --- Topology ----------------------------------------------------------------- *)
+
+let test_topology_validation () =
+  Alcotest.check_raises "self edge rejected"
+    (Invalid_argument "Topology.of_adjacency: node adjacent to itself") (fun () ->
+      ignore (Topology.of_adjacency [| [| 0 |] |]));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Topology.of_adjacency: negative node index") (fun () ->
+      ignore (Topology.of_adjacency [| [| -1 |] |]))
+
+let test_topology_witness_graph () =
+  let nodes = 40 and k = 3 in
+  let t1 = Topology.witness_graph ~seed:5L ~nodes ~k in
+  let t2 = Topology.witness_graph ~seed:5L ~nodes ~k in
+  for i = 0 to nodes - 1 do
+    let w = Topology.witnesses_of t1 ~nodes i in
+    Alcotest.(check int) "degree k" k (Array.length w);
+    Array.iter (fun j -> Alcotest.(check bool) "not self" true (j <> i)) w;
+    Alcotest.(check (array int)) "seed-deterministic" w (Topology.witnesses_of t2 ~nodes i)
+  done;
+  let names = Array.init nodes (fun i -> Printf.sprintf "n%d" i) in
+  (match Topology.peer_list t1 ~names 0 with
+  | None -> Alcotest.fail "graph topology must build per-node peer lists"
+  | Some l ->
+    Alcotest.(check int) "k peers" k (List.length l);
+    List.iteri
+      (fun slot (id, name) ->
+        Alcotest.(check int) "dense dest ids" slot id;
+        Alcotest.(check string) "name matches row" names.((Topology.witnesses_of t1 ~nodes 0).(slot)) name)
+      l);
+  Alcotest.(check bool) "full mesh shares one map" true
+    (Topology.peer_list Topology.full_mesh ~names 0 = None)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -273,6 +351,13 @@ let () =
           Alcotest.test_case "cascading events" `Quick test_sim_cascading_events;
           Alcotest.test_case "horizon respected" `Quick test_sim_horizon_respected;
           Alcotest.test_case "past schedules clamp" `Quick test_sim_past_schedules_clamp;
+          Alcotest.test_case "heap growth past 256" `Quick test_sim_heap_growth;
+          qtest_sim_pop_order;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "adjacency validation" `Quick test_topology_validation;
+          Alcotest.test_case "witness graph" `Quick test_topology_witness_graph;
         ] );
       ( "host",
         [

@@ -246,6 +246,33 @@ let test_p2p_fair_and_freerider () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "freerider passed audit"
 
+(* --- fleet -------------------------------------------------------------------------------------- *)
+
+let test_fleet_run () =
+  let spec =
+    {
+      Fleet_run.default_spec with
+      Fleet_run.nodes = 30;
+      witnesses = 2;
+      epochs = 2;
+      activity = 0.2;
+      cheat_frac = 0.05;
+    }
+  in
+  let o = Fleet_run.run ~par:Audit_ctx.sequential spec in
+  let o2 = Fleet_run.run ~par:(Audit_ctx.parallel 2) spec in
+  Alcotest.(check int) "all pairs audited" (30 * 2 * 2) (List.length o.Fleet_run.verdicts);
+  List.iter
+    (fun (r : Fleet_run.epoch_report) ->
+      Alcotest.(check (float 1e-9)) "full coverage" 1.0 r.Fleet_run.coverage)
+    o.Fleet_run.reports;
+  Alcotest.(check bool) "cheats planted" true (o.Fleet_run.cheats <> []);
+  Alcotest.(check (list int)) "no cheat missed" [] o.Fleet_run.missed;
+  Alcotest.(check (list int)) "no honest node flagged" [] o.Fleet_run.false_flagged;
+  Alcotest.(check string) "verdicts invariant under auditor jobs" (Fleet_run.signature o)
+    (Fleet_run.signature o2);
+  Alcotest.(check bool) "events flowed" true (o.Fleet_run.sim_events > 0)
+
 let () =
   Alcotest.run "scenario"
     [
@@ -286,4 +313,6 @@ let () =
           Alcotest.test_case "garbage rejected" `Quick test_recording_garbage_rejected;
         ] );
       ( "experiments", [ Alcotest.test_case "fig5 shape" `Quick test_fig5_shape ] );
+      ( "fleet",
+        [ Alcotest.test_case "witness audits catch the cheating minority" `Slow test_fleet_run ] );
     ]
