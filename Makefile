@@ -3,9 +3,9 @@
 # observability smoke (record, audit with --metrics, assert counters),
 # and the fault-vs-verdict sweep.
 
-.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench clean
+.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench dedup-smoke dedup-bench bench-check clean
 
-verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke
+verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke dedup-smoke bench-check
 
 build:
 	dune build
@@ -68,7 +68,25 @@ fleet-smoke:
 
 # Full 10k-node fleet bench (slow): refreshes the committed BENCH_fleet.json.
 fleet-bench:
-	dune exec bench/fleet_bench.exe -- --jobs 4 --out BENCH_fleet.json
+	dune exec bench/fleet_bench.exe -- --out BENCH_fleet.json
+
+# Deduplicated re-execution (DESIGN.md §14): a small fleet audited
+# twice from the same seed, cache off then on. The bench exits
+# non-zero unless the two verdict vectors are byte-identical, every
+# planted cheat is detected in both passes, and the cache-on pass
+# actually hits (hit rate > 0).
+dedup-smoke:
+	dune exec bench/dedup_bench.exe -- --smoke --out BENCH_dedup.smoke.json
+	@cat BENCH_dedup.smoke.json
+
+# Full dedup bench (slow): refreshes the committed BENCH_dedup.json.
+dedup-bench:
+	dune exec bench/dedup_bench.exe -- --out BENCH_dedup.json
+
+# Validate the committed BENCH_*.json artifacts: each must parse and
+# carry its required keys with nonzero rates.
+bench-check:
+	dune exec bin/avm_bench_check.exe
 
 clean:
 	dune clean

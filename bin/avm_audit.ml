@@ -113,7 +113,7 @@ let check_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Avm_util.Domain_pool.recommended_jobs ())
+    & opt int (Avm_util.Domain_pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"JOBS"
         ~doc:
           "Worker domains for the audit (default: the machine's recommended domain \

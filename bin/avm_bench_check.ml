@@ -1,0 +1,110 @@
+(* Validate committed BENCH_*.json files: each must parse and carry
+   its required keys with sane values. Catches the class of regression
+   where a bench silently emits a zero, a NaN (unparseable as JSON) or
+   drops a field the README tables quote — the files are committed
+   artifacts, so a malformed one otherwise survives until a human
+   reads it. Run via [make bench-check]; any absent file is an error
+   (the bench that writes it is part of the build). *)
+
+module Json = Avm_obs.Json
+
+let errors = ref 0
+
+let fail file fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "%s: %s\n" file msg)
+    fmt
+
+(* Keys that must exist; [`Num_pos] additionally demands > 0 (a rate
+   or count that benched at zero means the measurement window is
+   broken, which is exactly the bug this tool exists to catch). *)
+type req = Present | Num_pos
+
+let check_file (file, reqs) =
+  if not (Sys.file_exists file) then fail file "missing (run `make bench` to regenerate)"
+  else
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Json.parse contents with
+    | exception _ -> fail file "does not parse as JSON"
+    | json ->
+      List.iter
+        (fun (key, req) ->
+          match Json.member key json with
+          | None -> fail file "required key %S missing" key
+          | Some v -> (
+            match req with
+            | Present -> ()
+            | Num_pos -> (
+              match Json.to_float_opt v with
+              | Some x when x > 0.0 -> ()
+              | Some x -> fail file "key %S is %g, expected > 0" key x
+              | None -> fail file "key %S is not a number" key)))
+        reqs
+
+let () =
+  let files =
+    [
+      ( "BENCH_audit.json",
+        [
+          ("entries", Num_pos);
+          ("syntactic_entries_per_sec", Num_pos);
+          ("syntactic_rsa_verifies_per_sec", Num_pos);
+          ("semantic_entries_per_sec", Num_pos);
+          ("semantic_rsa_verifies_per_sec", Num_pos);
+          ("parallel_jobs", Num_pos);
+          ("compression_ratio", Num_pos);
+          ("verdict_match", Present);
+          ("net_retransmissions", Present);
+        ] );
+      ( "BENCH_fleet.json",
+        [
+          ("nodes", Num_pos);
+          ("sim_events_per_sec", Num_pos);
+          ("audit_jobs", Num_pos);
+          ("auditor_jobs_per_sec_sequential", Num_pos);
+          ("auditor_jobs_per_sec_parallel", Num_pos);
+          ("dedup_enabled", Present);
+          ("cache_hits", Present);
+          ("cache_hit_rate", Present);
+          ("cheats_planted", Num_pos);
+          ("cheats_detected", Num_pos);
+          ("verdict_signature", Present);
+        ] );
+      ( "BENCH_dedup.json",
+        [
+          ("nodes", Num_pos);
+          ("semantic_entries", Num_pos);
+          ("semantic_entries_per_sec_off", Num_pos);
+          ("semantic_entries_per_sec_on", Num_pos);
+          ("semantic_speedup", Num_pos);
+          ("cache_hits", Num_pos);
+          ("cache_hit_rate", Num_pos);
+          ("dedup_path_speedup", Num_pos);
+          ("cheats_planted", Num_pos);
+          ("cheats_detected", Num_pos);
+          ("verdict_signature", Present);
+        ] );
+      ( "BENCH_crypto.json",
+        [ ("rsa_bits", Present); ("sha256_mb_per_sec", Num_pos) ] );
+    ]
+  in
+  (* Only files that exist in the repo are required to validate except
+     the big three; BENCH_crypto is optional (older checkouts). *)
+  let required = [ "BENCH_audit.json"; "BENCH_fleet.json"; "BENCH_dedup.json" ] in
+  List.iter
+    (fun (file, reqs) ->
+      if List.mem file required || Sys.file_exists file then check_file (file, reqs))
+    files;
+  if !errors > 0 then begin
+    Printf.eprintf "bench-check: %d problem(s)\n" !errors;
+    exit 1
+  end;
+  print_endline "bench-check: all committed bench files parse with required keys"

@@ -131,6 +131,7 @@ val full :
   ?start:Avm_machine.Machine.t ->
   ?fuel:int ->
   peers:(int * string) list ->
+  ?cache:Replay_cache.t ->
   prev_hash:string ->
   entries:Avm_tamperlog.Entry.t list ->
   ?par:parallelism ->
@@ -140,7 +141,8 @@ val full :
     the syntactic check passes (a broken chain is already evidence).
     [par] parallelizes the syntactic pass; the semantic replay of a
     bare entry list has no snapshot boundaries to cut at and stays
-    sequential. *)
+    sequential. [cache] memoizes the semantic pass fleet-wide
+    ({!Replay_cache}); verdicts are identical cache-on vs cache-off. *)
 
 val full_of_log :
   ctx:ctx ->
@@ -149,6 +151,7 @@ val full_of_log :
   ?start:Avm_machine.Machine.t ->
   ?fuel:int ->
   peers:(int * string) list ->
+  ?cache:Replay_cache.t ->
   log:Avm_tamperlog.Log.t ->
   ?from:int ->
   ?upto:int ->

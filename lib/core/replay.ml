@@ -208,6 +208,12 @@ let engine ~image ?mem_words ?start ?(strict_landmarks = true) ~peers () =
     | Machine.Packet_sent words ->
       if Array.length words = 0 then ()
       else begin
+        (* Counted before the peer-map lookup: [Replay_cache] uses the
+           delta across a replay to decide whether its outcome depended
+           on the peer map at all (an unmapped emission is invisible in
+           the log but still peers-sensitive). *)
+        Replay_cache.note_packet_emitted ();
+        Avm_obs.Metrics.incr "replay.packets_emitted";
         let dest_id = words.(0) in
         match List.assoc_opt dest_id e.peers with
         | None -> ()
@@ -327,12 +333,57 @@ let crank e ~fuel =
     Avm_obs.Metrics.incr ~by:(Machine.icount e.machine - icount0) "replay.instructions";
     match !result with Some r -> r | None -> assert false)
 
+let default_fuel = 200_000_000
+
+(* The state digest replay itself seals into Snapshot_ref entries and
+   checks in [check_snapshots] — also the pre-state half of a
+   [Replay_cache] fingerprint. *)
+let state_digest machine =
+  let meta = Machine.serialize_meta machine in
+  let root = Avm_crypto.Merkle.root (Snapshot.merkle_of_machine machine) in
+  Avm_crypto.Sha256.digest_list [ meta; root; string_of_int (Machine.icount machine) ]
+
+(* The memoization protocol shared by every cached replay path (here,
+   Spot_check, and through them Audit/Witness): on a hit the exact
+   Verified payload of the original replay is reconstructed, so the
+   outcome — and every verdict derived from it — is byte-identical
+   cache-on vs cache-off; a spot-designated hit replays anyway and
+   reports disagreement as a poisoned entry; only verified outcomes
+   are remembered. *)
+let with_cache ?cache ~fuel ~print ~replay () =
+  match cache with
+  | Some c when Replay_cache.is_enabled () -> (
+    let p = print () in
+    match Replay_cache.find c ~fuel p with
+    | `Hit { Replay_cache.instructions; entries_consumed } ->
+      Verified { instructions; entries_consumed }
+    | `Spot cached ->
+      let o = replay () in
+      let matched =
+        match o with
+        | Verified { instructions; entries_consumed } ->
+          instructions = cached.Replay_cache.instructions
+          && entries_consumed = cached.Replay_cache.entries_consumed
+        | Diverged _ -> false
+      in
+      Replay_cache.confirm_spot c p ~matched;
+      o
+    | `Miss ->
+      let o, emitted = Replay_cache.measure_replay replay in
+      (match o with
+      | Verified { instructions; entries_consumed } ->
+        Replay_cache.remember c p ~peers_sensitive:emitted ~instructions
+          ~entries_consumed ()
+      | Diverged _ -> ());
+      o)
+  | _ -> replay ()
+
 (* Drive an engine over a lazy stream of log chunks. Compressed
    segments inflate only when the replay actually reaches them: each
    chunk is fed, cranked until the engine blocks, and only then is the
    next chunk forced. *)
-let replay_chunks ~image ?mem_words ?start ?(fuel = 200_000_000) ?strict_landmarks ~peers
-    ~chunks () =
+let replay_chunks_raw ~image ?mem_words ?start ?(fuel = default_fuel) ?strict_landmarks
+    ~peers ~chunks () =
   let e = engine ~image ?mem_words ?start ?strict_landmarks ~peers () in
   let stalled () =
     Diverged
@@ -379,6 +430,35 @@ let replay_chunks ~image ?mem_words ?start ?(fuel = 200_000_000) ?strict_landmar
   in
   go chunks fuel
 
-let replay ~image ?mem_words ?start ?fuel ?strict_landmarks ~peers ~entries () =
-  replay_chunks ~image ?mem_words ?start ?fuel ?strict_landmarks ~peers
+(* Caching forces the stream up front: the fingerprint must cover every
+   entry before any outcome can be reused, and the chunks Seq is
+   single-shot, so a hit that had already forced it lazily would leave
+   nothing for the miss path. [Spot_check] keeps segment-at-a-time
+   laziness on its own cached paths by fingerprinting straight off the
+   log index instead. *)
+let replay_chunks ~image ?mem_words ?start ?(fuel = default_fuel) ?strict_landmarks ~peers
+    ?cache ~chunks () =
+  match cache with
+  | Some _ when Replay_cache.is_enabled () ->
+    let entries = List.concat (List.of_seq chunks) in
+    let machine =
+      match start with
+      | Some m -> m
+      | None -> (
+        match mem_words with
+        | Some w -> Machine.create ~mem_words:w image
+        | None -> Machine.create image)
+    in
+    with_cache ?cache ~fuel
+      ~print:(fun () ->
+        Replay_cache.fingerprint ~image ?mem_words ?strict_landmarks ~peers
+          ~pre_state:(state_digest machine) entries)
+      ~replay:(fun () ->
+        replay_chunks_raw ~image ?mem_words ~start:machine ~fuel ?strict_landmarks ~peers
+          ~chunks:(Seq.return entries) ())
+      ()
+  | _ -> replay_chunks_raw ~image ?mem_words ?start ~fuel ?strict_landmarks ~peers ~chunks ()
+
+let replay ~image ?mem_words ?start ?fuel ?strict_landmarks ~peers ?cache ~entries () =
+  replay_chunks ~image ?mem_words ?start ?fuel ?strict_landmarks ~peers ?cache
     ~chunks:(Seq.return entries) ()

@@ -45,6 +45,14 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val default_fuel : int
+(** 200M instructions — the default replay budget. *)
+
+val state_digest : Avm_machine.Machine.t -> string
+(** The digest a Snapshot_ref taken {e now} would seal: SHA-256 over
+    (serialized meta, memory Merkle root, icount). The pre-state half
+    of a {!Replay_cache} fingerprint. *)
+
 val replay :
   image:int array ->
   ?mem_words:int ->
@@ -52,6 +60,7 @@ val replay :
   ?fuel:int ->
   ?strict_landmarks:bool ->
   peers:(int * string) list ->
+  ?cache:Replay_cache.t ->
   entries:Avm_tamperlog.Entry.t list ->
   unit ->
   outcome
@@ -73,6 +82,7 @@ val replay_chunks :
   ?fuel:int ->
   ?strict_landmarks:bool ->
   peers:(int * string) list ->
+  ?cache:Replay_cache.t ->
   chunks:Avm_tamperlog.Entry.t list Seq.t ->
   unit ->
   outcome
@@ -80,7 +90,29 @@ val replay_chunks :
     (one per sealed segment — see [Log.chunk_seq]): each chunk is fed
     and the engine cranked until it blocks before the next chunk is
     forced, so compressed segments inflate only as the replay reaches
-    them. [replay] is [replay_chunks] over a singleton stream. *)
+    them. [replay] is [replay_chunks] over a singleton stream.
+
+    With [cache] (and the {!Replay_cache} kill-switch on) the stream
+    is forced up front, fingerprinted against the start state, and the
+    memo protocol applies: a hit returns the original replay's
+    [Verified] payload without executing an instruction, a
+    spot-designated or missing fingerprint replays fully, and only
+    verified outcomes are remembered. *)
+
+val with_cache :
+  ?cache:Replay_cache.t ->
+  fuel:int ->
+  print:(unit -> Replay_cache.print) ->
+  replay:(unit -> outcome) ->
+  unit ->
+  outcome
+(** The memo protocol itself, for callers (e.g. {!Spot_check}) that
+    fingerprint without materializing entries: [print] is forced only
+    when a cache is present and enabled; [replay] only on miss or
+    spot-check. Guarantees the outcome equals what [replay ()] would
+    return, except against a poisoned cache entry on a non-designated
+    fingerprint — the window {!Replay_cache}'s seeded spot checks
+    bound. *)
 
 (** {1 Incremental engine}
 

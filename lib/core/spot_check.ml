@@ -82,53 +82,124 @@ type chunk_report = {
   outcome : Replay.outcome;
 }
 
-let check_chunk ?plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k () =
+(* The logged digest at a boundary — the pre-state half of a chunk
+   fingerprint. Using the *claimed* digest (not a materialized state's)
+   is what lets a cache hit skip the state download entirely, and it
+   is sound because entries are only remembered after the miss path's
+   [downloaded_state] authenticated that very claim: a forged claim
+   either misses (different fingerprint) or collides with an entry
+   whose execution was verified to start from the claimed state. *)
+let logged_digest log (b : boundary) =
+  match (Log.entry log b.entry_seq).Entry.content with
+  | Entry.Snapshot_ref { digest; _ } -> digest
+  | _ -> assert false
+
+(* Memoize one log range: fingerprint straight off the log (segment at
+   a time, no entry list materialized), then run the [Replay.with_cache]
+   protocol generalized to carry a report alongside the outcome. The
+   per-path wall clocks feed the dedup bench: spot-designated hits are
+   full replays of fingerprint-identical chunks, so
+   [cache_spot_seconds] / [cache_hit_seconds] is a like-for-like
+   measure of what each hit avoided. *)
+let with_range_cache ?cache ~fuel ~image ?mem_words ?strict_landmarks ~peers ~log
+    ~pre_state ~from ~upto ~(on_hit : Replay_cache.cached -> 'a) ~(full : unit -> 'a)
+    ~(outcome_of : 'a -> Replay.outcome) () =
+  match cache with
+  | Some c when Replay_cache.is_enabled () -> (
+    let t0 = Avm_obs.Clock.now_s () in
+    let f = Replay_cache.fp_create ~image ?mem_words ?strict_landmarks ~peers ~pre_state () in
+    Log.iter_range log ~from ~upto (Replay_cache.fp_feed f);
+    let p = Replay_cache.fp_finish f in
+    let clocked name r =
+      Avm_obs.Metrics.observe name (Avm_obs.Clock.now_s () -. t0);
+      r
+    in
+    let counts_match cached = function
+      | Replay.Verified { instructions; entries_consumed } ->
+        instructions = cached.Replay_cache.instructions
+        && entries_consumed = cached.Replay_cache.entries_consumed
+      | Replay.Diverged _ -> false
+    in
+    match Replay_cache.find c ~fuel p with
+    | `Hit cached -> clocked "spot_check.cache_hit_seconds" (on_hit cached)
+    | `Spot cached ->
+      let r = full () in
+      Replay_cache.confirm_spot c p ~matched:(counts_match cached (outcome_of r));
+      clocked "spot_check.cache_spot_seconds" r
+    | `Miss ->
+      let r, emitted = Replay_cache.measure_replay full in
+      (match outcome_of r with
+      | Replay.Verified { instructions; entries_consumed } ->
+        Replay_cache.remember c p ~peers_sensitive:emitted ~instructions
+          ~entries_consumed ()
+      | Replay.Diverged _ -> ());
+      clocked "spot_check.cache_miss_seconds" r)
+  | _ -> full ()
+
+let check_chunk ?plan:pl ?cache ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot
+    ~k () =
   Avm_obs.Trace.with_span ~name:"spot_check.chunk"
     ~attrs:[ ("start_snapshot", string_of_int start_snapshot); ("k", string_of_int k) ]
   @@ fun () ->
   let pl = match pl with Some pl -> pl | None -> plan ~log ~snapshots in
   let start_b = boundary_of pl start_snapshot in
   let end_b = boundary_of pl (start_snapshot + k) in
-  (* Materialize the authenticated state at the chunk's first snapshot;
-     a forged download is itself the divergence. *)
-  let machine, digest_fault = downloaded_state pl ~image ~mem_words ~log start_b in
-  (* What the auditor transfers: the full state at the chunk start (the
-     paper's "memory + disk snapshots") plus the compressed log. *)
-  let state_bytes =
-    String.length (Machine.serialize_meta machine)
-    + (Memory.page_count (Machine.mem machine) * Memory.page_size * 4)
-  in
   let from = start_b.entry_seq + 1 and upto = end_b.entry_seq in
-  let log_bytes_compressed = Log.transfer_bytes log ~from ~upto in
-  let outcome =
-    match digest_fault with
-    | Some d -> Replay.Diverged d
-    | None ->
-      Replay.replay_chunks ~image ~mem_words ~start:machine ~peers
-        ~chunks:(Log.chunk_seq log ~from ~upto) ()
+  let full () =
+    (* Materialize the authenticated state at the chunk's first
+       snapshot; a forged download is itself the divergence. *)
+    let machine, digest_fault = downloaded_state pl ~image ~mem_words ~log start_b in
+    (* What the auditor transfers: the full state at the chunk start
+       (the paper's "memory + disk snapshots") plus the compressed
+       log. *)
+    let state_bytes =
+      String.length (Machine.serialize_meta machine)
+      + (Memory.page_count (Machine.mem machine) * Memory.page_size * 4)
+    in
+    let log_bytes_compressed = Log.transfer_bytes log ~from ~upto in
+    let outcome =
+      match digest_fault with
+      | Some d -> Replay.Diverged d
+      | None ->
+        Replay.replay_chunks ~image ~mem_words ~start:machine ~peers
+          ~chunks:(Log.chunk_seq log ~from ~upto) ()
+    in
+    let replay_instructions =
+      match outcome with
+      | Replay.Verified { instructions; _ } -> instructions
+      | Replay.Diverged _ -> Machine.icount machine - start_b.at_icount
+    in
+    Avm_obs.Metrics.incr ~by:state_bytes "spot_check.state_bytes";
+    Avm_obs.Metrics.incr ~by:log_bytes_compressed "spot_check.log_bytes_compressed";
+    Avm_obs.Metrics.incr ~by:replay_instructions "spot_check.replay_instructions";
+    { start_snapshot; k; state_bytes; log_bytes_compressed; replay_instructions; outcome }
   in
-  let replay_instructions =
-    match outcome with
-    | Replay.Verified { instructions; _ } -> instructions
-    | Replay.Diverged _ -> Machine.icount machine - start_b.at_icount
+  let report =
+    with_range_cache ?cache ~fuel:Replay.default_fuel ~image ~mem_words ~peers ~log
+      ~pre_state:(logged_digest log start_b) ~from ~upto
+      ~on_hit:(fun { Replay_cache.instructions; entries_consumed } ->
+        (* Nothing downloaded, nothing executed: the audit is the
+           three-digest compare, and the report says so. *)
+        {
+          start_snapshot;
+          k;
+          state_bytes = 0;
+          log_bytes_compressed = 0;
+          replay_instructions = 0;
+          outcome = Replay.Verified { instructions; entries_consumed };
+        })
+      ~full
+      ~outcome_of:(fun r -> r.outcome)
+      ()
   in
   Avm_obs.Metrics.incr "spot_check.chunks_checked";
-  Avm_obs.Metrics.incr ~by:state_bytes "spot_check.state_bytes";
-  Avm_obs.Metrics.incr ~by:log_bytes_compressed "spot_check.log_bytes_compressed";
-  Avm_obs.Metrics.incr ~by:replay_instructions "spot_check.replay_instructions";
-  {
-    start_snapshot;
-    k;
-    state_bytes;
-    log_bytes_compressed;
-    replay_instructions;
-    outcome;
-  }
+  report
 
-let check_chunks ?par ~image ~mem_words ~snapshots ~log ~peers chunks =
+let check_chunks ?par ?cache ~image ~mem_words ~snapshots ~log ~peers chunks =
   let pl = plan ~log ~snapshots in
   let job (start_snapshot, k) =
-    check_chunk ~plan:pl ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot ~k ()
+    check_chunk ~plan:pl ?cache ~image ~mem_words ~snapshots ~log ~peers ~start_snapshot
+      ~k ()
   in
   Audit_ctx.with_parallelism ?par (fun p ->
       match p with
@@ -161,7 +232,7 @@ let pieces pl ~upto =
   in
   go `Fresh 1 cuts
 
-let replay_piece pl ~image ?mem_words ?fuel ~peers ~log piece =
+let replay_piece pl ~image ?mem_words ?fuel ?cache ~peers ~log piece =
   Avm_obs.Trace.with_span ~name:"replay.piece"
     ~attrs:
       [ ("from", string_of_int piece.pc_from); ("upto", string_of_int piece.pc_upto) ]
@@ -173,11 +244,24 @@ let replay_piece pl ~image ?mem_words ?fuel ~peers ~log piece =
       ()
   in
   match piece.pc_start with
-  | `Fresh -> replay None
-  | `Boundary b -> (
-    match downloaded_state pl ~image ?mem_words ~log b with
-    | _, Some d -> Replay.Diverged d
-    | machine, None -> replay (Some machine))
+  | `Fresh ->
+    (* The boot piece has no boundary claim to fingerprint against;
+       Replay computes the fresh machine's state digest itself. *)
+    Replay.replay_chunks ~image ?mem_words ?fuel ~peers ?cache
+      ~chunks:(Log.chunk_seq log ~from:piece.pc_from ~upto:piece.pc_upto)
+      ()
+  | `Boundary b ->
+    with_range_cache ?cache
+      ~fuel:(Option.value fuel ~default:Replay.default_fuel)
+      ~image ?mem_words ~peers ~log ~pre_state:(logged_digest log b) ~from:piece.pc_from
+      ~upto:piece.pc_upto
+      ~on_hit:(fun { Replay_cache.instructions; entries_consumed } ->
+        Replay.Verified { instructions; entries_consumed })
+      ~full:(fun () ->
+        match downloaded_state pl ~image ?mem_words ~log b with
+        | _, Some d -> Replay.Diverged d
+        | machine, None -> replay (Some machine))
+      ~outcome_of:Fun.id ()
 
 (* Merge per-piece outcomes in sequence order: the earliest diverged
    piece wins (its replay saw exactly the states the sequential pass
@@ -192,10 +276,10 @@ let merge_outcomes outcomes =
   in
   go 0 0 outcomes
 
-let parallel_replay ?par ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto () =
+let parallel_replay ?par ?cache ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto () =
   let upto = match upto with Some u -> u | None -> Log.length log in
   let streaming () =
-    Replay.replay_chunks ~image ?mem_words ?fuel ~peers
+    Replay.replay_chunks ~image ?mem_words ?fuel ~peers ?cache
       ~chunks:(Log.chunk_seq log ~from:1 ~upto)
       ()
   in
@@ -211,7 +295,7 @@ let parallel_replay ?par ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto ()
         | ps ->
           merge_outcomes
             (Avm_util.Domain_pool.map_list pool
-               (replay_piece pl ~image ?mem_words ?fuel ~peers ~log)
+               (replay_piece pl ~image ?mem_words ?fuel ?cache ~peers ~log)
                ps)))
 
 (* --- deprecated pre-parallelism signatures ------------------------------- *)

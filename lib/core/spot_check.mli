@@ -42,6 +42,7 @@ type chunk_report = {
 
 val check_chunk :
   ?plan:plan ->
+  ?cache:Replay_cache.t ->
   image:int array ->
   mem_words:int ->
   snapshots:Avm_machine.Snapshot.t list ->
@@ -57,10 +58,18 @@ val check_chunk :
     reported as a divergence. Pass [?plan] (built once) when checking
     many chunks of the same session — otherwise each call rebuilds the
     boundary index and re-sorts the snapshot chain.
+
+    With [cache], the chunk is fingerprinted against the {e logged}
+    boundary digest (no state materialized) and the {!Replay_cache}
+    memo protocol applies: a hit skips the state download and the
+    replay outright — the fleet dedup fast path — which is sound
+    because entries are only remembered after a miss-path
+    [downloaded_state] authenticated that same claimed digest.
     @raise Invalid_argument if the chunk runs past the last snapshot. *)
 
 val check_chunks :
   ?par:Audit_ctx.parallelism ->
+  ?cache:Replay_cache.t ->
   image:int array ->
   mem_words:int ->
   snapshots:Avm_machine.Snapshot.t list ->
@@ -75,6 +84,7 @@ val check_chunks :
 
 val parallel_replay :
   ?par:Audit_ctx.parallelism ->
+  ?cache:Replay_cache.t ->
   image:int array ->
   ?mem_words:int ->
   ?fuel:int ->

@@ -64,11 +64,22 @@ type target_view = {
 type verdict = { job : job; ok : bool; detail : string }
 
 val audit_job :
-  view:target_view -> auths:Avm_tamperlog.Auth.t list -> job -> verdict
+  ?cache:Replay_cache.t ->
+  view:target_view ->
+  auths:Avm_tamperlog.Auth.t list ->
+  job ->
+  verdict
 (** Run one job against the target's log. [auths] is what this witness
     has collected for the target (envelope and ack authenticators);
     unmatched collected authenticators are not an error — they may
-    belong to other epochs. *)
+    belong to other epochs.
+
+    [cache] is the fleet-wide replay memo table ({!Replay_cache}): the
+    driver creates {e one} cache and passes it to every (target,
+    witness) job it hands {!run_sharded}, so an epoch chunk identical
+    across the idle majority replays once and hits everywhere else.
+    Verdicts are unchanged; semantic jobs additionally bump
+    [witness.semantic_entries] / [witness.semantic_us]. *)
 
 (** {1 The sharded auditor pool} *)
 

@@ -37,11 +37,14 @@ type spec = {
   key_pool : int;  (** real keypairs generated; certs fan out over them *)
   faults : Faults.t option;
   shards : int;  (** auditor pool shards (verdict order is shard-stable) *)
+  dedup : bool;  (** share one {!Avm_core.Replay_cache} across all jobs *)
+  spot_rate : int;  (** 1-in-N fingerprints fully replay even on hit *)
 }
 
 val default_spec : spec
 (** 200 nodes, k = 3, 3 × 1 s epochs, 10% activity, 2% cheaters,
-    512-bit keys over a 32-key pool, 2% drop + reorder jitter. *)
+    512-bit keys over a 32-key pool, 2% drop + reorder jitter; dedup
+    on at spot rate 8. *)
 
 type cheat = { node : int; epoch : int; slot : int; value : int }
 
@@ -66,6 +69,9 @@ type outcome = {
   run_seconds : float;  (** wall time of the simulation phase *)
   audit_jobs : int;
   audit_seconds : float;  (** wall time inside the auditor pool *)
+  semantic_entries : int;  (** log entries audited semantically (all epochs) *)
+  semantic_us : int;  (** wall µs spent in semantic jobs, incl. cache hits *)
+  cache : Avm_core.Replay_cache.stats option;  (** [None] when [dedup = false] *)
 }
 
 val run : ?par:Avm_core.Audit_ctx.parallelism -> spec -> outcome

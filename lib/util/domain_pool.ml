@@ -35,6 +35,8 @@ type 'a cell = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
 type 'a task = { pool : t; mutable cell : 'a cell }
 
 let recommended_jobs () = Domain.recommended_domain_count ()
+
+let default_jobs () = max 1 (recommended_jobs ())
 let jobs t = t.jobs
 
 let worker_loop t =

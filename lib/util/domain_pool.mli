@@ -18,6 +18,16 @@ type t
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val default_jobs : unit -> int
+(** What a [--jobs] flag should default to: the recommended domain
+    count for this host, so a single-core machine defaults to [1] —
+    which every audit entry point treats as fully sequential (no pool,
+    no spawned domains, zero scheduling overhead) — instead of paying
+    for worker domains the hardware cannot run. An explicit
+    [--jobs N] always overrides; benches that want to exercise the
+    pool on any host should say so rather than silently forcing
+    [N >= 2]. *)
+
 val create : ?jobs:int -> unit -> t
 (** [jobs] defaults to {!recommended_jobs}; values below 1 are clamped
     to 1. Spawns [jobs - 1] worker domains immediately; the pool is

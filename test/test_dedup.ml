@@ -1,0 +1,334 @@
+(* Deduplicated re-execution (Replay_cache, DESIGN.md §14): the memo
+   protocol's unit behavior, its adversarial edges — a planted cheat
+   whose fingerprint collides with a cached honest chunk, and a
+   poisoned table entry — and the QCheck equivalence property that
+   audits draw identical verdicts with the cache enabled, disabled,
+   or cleared mid-audit, at 1 and 4 auditor jobs, over randomly
+   tampered logs. *)
+
+open Avm_core
+open Avm_tamperlog
+module Identity = Avm_crypto.Identity
+module Rng = Avm_util.Rng
+module Machine = Avm_machine.Machine
+
+(* --- fixtures (a small echo session, as in test_core) -------------------- *)
+
+let guest_src =
+  {|
+fn main() {
+  out(NET_TX, 1);
+  out(NET_TX, 77);
+  out(NET_TX, in(CLOCK));
+  out(NET_TX_SEND, 0);
+  while (1) {
+    var avail = in(NET_RX_AVAIL);
+    while (avail > 0) {
+      var len = in(NET_RX_LEN);
+      out(NET_TX, 1);
+      while (len > 0) { out(NET_TX, in(NET_RX) + 1); len = len - 1; }
+      out(NET_RX_NEXT, 0);
+      out(NET_TX_SEND, 0);
+      avail = in(NET_RX_AVAIL);
+    }
+  }
+}
+|}
+
+let guest_image = lazy (Avm_mlang.Compile.compile ~stack_top:4096 guest_src).Avm_isa.Asm.words
+let image () = Lazy.force guest_image
+let idrng = Rng.create 909L
+let ca = Identity.create_ca idrng ~bits:512 "ca"
+let alice = Identity.issue ca idrng ~bits:512 "alice"
+let bob = Identity.issue ca idrng ~bits:512 "bob"
+let cert_of name = Identity.certificate (if name = "alice" then alice else bob)
+let peers_a = [ (0, "alice"); (1, "bob") ]
+let peers_b = [ (0, "bob"); (1, "alice") ]
+
+(* One recorded session (bob is the node under audit), with the
+   authenticators a witness would have collected. Recorded once; every
+   test forks the log rather than re-running the session. *)
+let session =
+  lazy
+    (let config = Config.make ~snapshot_every_us:(Some 100_000) Config.Avmm_rsa768 in
+     let a_out = Queue.create () and b_out = Queue.create () in
+     let a =
+       Avmm.create ~identity:alice ~config ~image:(image ()) ~mem_words:4096
+         ~peers:peers_a
+         ~on_send:(fun e -> Queue.add e a_out)
+         ()
+     in
+     let b =
+       Avmm.create ~identity:bob ~config ~image:(image ()) ~mem_words:4096 ~peers:peers_b
+         ~on_send:(fun e -> Queue.add e b_out)
+         ()
+     in
+     let auths = ref [] in
+     let shuttle src dst outq =
+       while not (Queue.is_empty outq) do
+         let env = Queue.pop outq in
+         auths := env.Wireformat.auth :: !auths;
+         match Avmm.deliver dst env ~sender_cert:(cert_of env.Wireformat.src) with
+         | `Ack ack | `Duplicate ack ->
+           ignore (Avmm.accept_ack src ack ~acker_cert:(cert_of ack.Wireformat.acker))
+         | `Rejected r -> Alcotest.failf "rejected: %s" r
+       done
+     in
+     let t = ref 0.0 in
+     for _ = 1 to 30 do
+       t := !t +. 10_000.0;
+       ignore (Avmm.run_slice a ~until_us:!t);
+       ignore (Avmm.run_slice b ~until_us:!t);
+       shuttle a b a_out;
+       shuttle b a b_out
+     done;
+     (b, !auths))
+
+let bob_entries () =
+  let b, _ = Lazy.force session in
+  let log = Avmm.log b in
+  Log.segment log ~from:1 ~upto:(Log.length log)
+
+let bob_ctx () =
+  let _, auths = Lazy.force session in
+  Audit.ctx ~node_cert:(cert_of "bob")
+    ~peer_certs:[ ("alice", cert_of "alice"); ("bob", cert_of "bob") ]
+    ~auths ()
+
+let fresh_pre_state () = Replay.state_digest (Machine.create ~mem_words:4096 (image ()))
+
+let counts = function
+  | Replay.Verified { instructions; entries_consumed } -> (instructions, entries_consumed)
+  | o -> Alcotest.failf "expected verified, got %s" (Format.asprintf "%a" Replay.pp_outcome o)
+
+(* --- unit: the memo protocol --------------------------------------------- *)
+
+(* Second replay of the same chunk hits, and the hit reconstructs the
+   first replay's exact Verified payload. *)
+let test_hit_reconstructs_outcome () =
+  let cache = Replay_cache.create ~spot_rate:0 () in
+  let entries = bob_entries () in
+  let replay () =
+    Replay.replay ~image:(image ()) ~mem_words:4096 ~peers:peers_b ~cache ~entries ()
+  in
+  let first = replay () in
+  let second = replay () in
+  Alcotest.(check (pair int int)) "same payload" (counts first) (counts second);
+  let s = Replay_cache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Replay_cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Replay_cache.hits;
+  Alcotest.(check bool) "bytes saved" true (s.Replay_cache.bytes_saved > 0)
+
+(* A cheat that shares an honest chunk's inputs (hence its fingerprint
+   key) cannot share its claims: the lookup must answer Miss, full
+   replay must run, and the cheat must be caught — a poisoned-by-
+   construction collision cannot launder a tampered log through a
+   warm cache. *)
+let test_planted_cheat_colliding_fingerprint_caught () =
+  let cache = Replay_cache.create ~spot_rate:0 () in
+  let entries = bob_entries () in
+  (* Warm the cache with the honest chunk. *)
+  (match
+     Replay.replay ~image:(image ()) ~mem_words:4096 ~peers:peers_b ~cache ~entries ()
+   with
+  | Replay.Verified _ -> ()
+  | o -> Alcotest.failf "honest replay diverged: %s" (Format.asprintf "%a" Replay.pp_outcome o));
+  (* Tamper a SEND payload: the payload is a claim (outputs digest),
+     not an input — the tampered chunk fingerprints to the SAME key. *)
+  let b, _ = Lazy.force session in
+  let forked = Log.fork (Avmm.log b) in
+  let seq =
+    let found = ref 0 in
+    (try
+       Log.iter_range forked ~from:1 ~upto:(Log.length forked) (fun e ->
+           match e.Entry.content with
+           | Entry.Send _ when !found = 0 ->
+             found := e.Entry.seq;
+             raise Exit
+           | _ -> ())
+     with Exit -> ());
+    !found
+  in
+  Alcotest.(check bool) "session has a send" true (seq > 0);
+  (match (Log.entry forked seq).Entry.content with
+  | Entry.Send s -> Log.tamper_reseal forked seq (Entry.Send { s with payload = s.payload ^ "x" })
+  | _ -> assert false);
+  let tampered = Log.segment forked ~from:1 ~upto:(Log.length forked) in
+  let honest_key =
+    Replay_cache.key_hex
+      (Replay_cache.fingerprint ~image:(image ()) ~mem_words:4096 ~peers:peers_b
+         ~pre_state:(fresh_pre_state ()) (bob_entries ()))
+  in
+  let tampered_key =
+    Replay_cache.key_hex
+      (Replay_cache.fingerprint ~image:(image ()) ~mem_words:4096 ~peers:peers_b
+         ~pre_state:(fresh_pre_state ()) tampered)
+  in
+  Alcotest.(check string) "fingerprints collide" honest_key tampered_key;
+  (match
+     Replay.replay ~image:(image ()) ~mem_words:4096 ~peers:peers_b ~cache
+       ~entries:tampered ()
+   with
+  | Replay.Diverged _ -> ()
+  | Replay.Verified _ -> Alcotest.fail "tampered chunk laundered through the cache");
+  let s = Replay_cache.stats cache in
+  Alcotest.(check bool) "claim mismatch counted" true (s.Replay_cache.claim_mismatches >= 1)
+
+(* Cache poisoning: an adversary writes the cheater's own claims into
+   the table as "verified", so the lookup hits. At spot rate 1 every
+   hit is designated for full replay: the replay diverges from the
+   forged entry, the verdict stands, and the entry is evicted under
+   [poisoned]. *)
+let test_poisoned_entry_caught_by_spot_check () =
+  let cache = Replay_cache.create ~spot_rate:1 () in
+  let b, _ = Lazy.force session in
+  let forked = Log.fork (Avmm.log b) in
+  let n = Log.length forked in
+  Log.tamper_reseal forked (n / 2) (Entry.Note "poisoned");
+  let tampered = Log.segment forked ~from:1 ~upto:n in
+  let p =
+    Replay_cache.fingerprint ~image:(image ()) ~mem_words:4096 ~peers:peers_b
+      ~pre_state:(fresh_pre_state ()) tampered
+  in
+  (* The poison: claims of the tampered log, fabricated counts. *)
+  Replay_cache.remember cache p ~instructions:1 ~entries_consumed:n ();
+  (match
+     Replay.replay ~image:(image ()) ~mem_words:4096 ~peers:peers_b ~cache
+       ~entries:tampered ()
+   with
+  | Replay.Diverged _ -> ()
+  | Replay.Verified _ -> Alcotest.fail "poisoned cache entry laundered a cheat");
+  let s = Replay_cache.stats cache in
+  Alcotest.(check int) "spot designated" 1 s.Replay_cache.spot_checks;
+  Alcotest.(check int) "poison detected and evicted" 1 s.Replay_cache.poisoned;
+  Alcotest.(check int) "entry gone" 0 (Replay_cache.size cache)
+
+(* Honest spot-designated hits replay fully, agree, and keep the entry. *)
+let test_spot_check_confirms_honest_entry () =
+  let cache = Replay_cache.create ~spot_rate:1 () in
+  let entries = bob_entries () in
+  let replay () =
+    Replay.replay ~image:(image ()) ~mem_words:4096 ~peers:peers_b ~cache ~entries ()
+  in
+  let first = replay () in
+  let second = replay () in
+  Alcotest.(check (pair int int)) "same payload" (counts first) (counts second);
+  let s = Replay_cache.stats cache in
+  Alcotest.(check int) "spot designated" 1 s.Replay_cache.spot_checks;
+  Alcotest.(check int) "no poison" 0 s.Replay_cache.poisoned;
+  Alcotest.(check int) "entry kept" 1 (Replay_cache.size cache)
+
+let test_fifo_bound_and_kill_switch () =
+  let cache = Replay_cache.create ~capacity:4 ~stripes:1 ~spot_rate:0 () in
+  for i = 1 to 10 do
+    let p =
+      Replay_cache.fingerprint ~image:(image ()) ~peers:[]
+        ~pre_state:(Printf.sprintf "state-%d" i)
+        []
+    in
+    Replay_cache.remember cache p ~instructions:i ~entries_consumed:0 ()
+  done;
+  Alcotest.(check bool) "bounded" true (Replay_cache.size cache <= 4);
+  Alcotest.(check int) "capacity" 4 (Replay_cache.capacity cache);
+  (* Kill switch: a remembered chunk stops hitting, and stores are
+     skipped, until re-enabled. *)
+  let p =
+    Replay_cache.fingerprint ~image:(image ()) ~peers:[] ~pre_state:"state-10" []
+  in
+  Replay_cache.set_enabled false;
+  Fun.protect ~finally:(fun () -> Replay_cache.set_enabled true) @@ fun () ->
+  (match Replay_cache.find cache ~fuel:max_int p with
+  | `Miss -> ()
+  | _ -> Alcotest.fail "disabled cache must miss");
+  Replay_cache.remember cache p ~instructions:1 ~entries_consumed:0 ();
+  Replay_cache.clear cache;
+  Alcotest.(check int) "disabled remember is a no-op" 0 (Replay_cache.size cache)
+
+(* --- QCheck: audit equivalence cache-on/off/cleared, jobs 1 and 4 -------- *)
+
+(* One audit's verdict-relevant projection. *)
+let project (o : Audit.outcome) =
+  ( (match o.Audit.verdict with Ok () -> None | Error e -> Some e),
+    o.Audit.syntactic.Audit.failures,
+    match o.Audit.semantic with
+    | Some (Replay.Verified { instructions; entries_consumed }) ->
+      Some (instructions, entries_consumed)
+    | Some (Replay.Diverged d) -> Some (Option.value d.Replay.entry_seq ~default:0, -1)
+    | None -> None )
+
+let equivalence_prop =
+  QCheck2.Test.make ~count:8 ~name:"audit verdicts: cache on = off = cleared, jobs 1 and 4"
+    QCheck2.Gen.(pair (int_bound 1000) bool)
+    (fun (salt, tamper) ->
+      let b, _ = Lazy.force session in
+      let log = Log.fork (Avmm.log b) in
+      let n = Log.length log in
+      if tamper then begin
+        (* Mutate a random committed entry, reseal the chain after it —
+           the strong attacker from test_core's completeness property. *)
+        let seq = 1 + (salt mod (n - 1)) in
+        let mutated =
+          match (Log.entry log seq).Entry.content with
+          | Entry.Send s -> Entry.Send { s with payload = s.payload ^ "x" }
+          | Entry.Recv r -> Entry.Recv { r with payload = r.payload ^ "x" }
+          | Entry.Ack k -> Entry.Ack { k with acked_seq = k.acked_seq + 1 }
+          | Entry.Exec (Avm_machine.Event.Io_in io) ->
+            Entry.Exec
+              (Avm_machine.Event.Io_in { io with value = (io.value + 1) land 0xffffffff })
+          | Entry.Snapshot_ref sr ->
+            Entry.Snapshot_ref { sr with digest = Avm_crypto.Sha256.digest sr.digest }
+          | c -> Entry.Note (Entry.describe c ^ "!")
+        in
+        Log.tamper_reseal log seq mutated
+      end;
+      let snapshots = Avmm.snapshots b in
+      let audit ?cache jobs =
+        project
+          (Audit.full_of_log ~ctx:(bob_ctx ()) ~image:(image ()) ~mem_words:4096
+             ~peers:peers_b ?cache ~log ~snapshots
+             ~par:(Audit.parallel jobs) ())
+      in
+      let baseline = audit 1 in
+      List.for_all
+        (fun jobs ->
+          let cache = Replay_cache.create ~spot_rate:8 ~seed:(Int64.of_int salt) () in
+          let cold = audit ~cache jobs in
+          let warm = audit ~cache jobs in
+          Replay_cache.clear cache;
+          let cleared = audit ~cache jobs in
+          Replay_cache.set_enabled false;
+          let disabled =
+            Fun.protect ~finally:(fun () -> Replay_cache.set_enabled true) (fun () ->
+                audit ~cache jobs)
+          in
+          let plain = audit jobs in
+          if
+            not
+              (baseline = cold && baseline = warm && baseline = cleared
+             && baseline = disabled && baseline = plain)
+          then
+            QCheck2.Test.fail_reportf
+              "verdict differs at jobs=%d (tamper=%b salt=%d): cold/warm/cleared/disabled \
+               must equal the no-cache baseline"
+              jobs tamper salt
+          else true)
+        [ 1; 4 ])
+
+let () =
+  Alcotest.run "dedup"
+    [
+      ( "replay_cache",
+        [
+          Alcotest.test_case "hit reconstructs outcome" `Quick test_hit_reconstructs_outcome;
+          Alcotest.test_case "colliding-fingerprint cheat caught" `Quick
+            test_planted_cheat_colliding_fingerprint_caught;
+          Alcotest.test_case "poisoned entry caught by spot check" `Quick
+            test_poisoned_entry_caught_by_spot_check;
+          Alcotest.test_case "spot check confirms honest entry" `Quick
+            test_spot_check_confirms_honest_entry;
+          Alcotest.test_case "fifo bound and kill switch" `Quick
+            test_fifo_bound_and_kill_switch;
+        ] );
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest ~long:false equivalence_prop ] );
+    ]
