@@ -3,9 +3,9 @@
 # observability smoke (record, audit with --metrics, assert counters),
 # and the fault-vs-verdict sweep.
 
-.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench dedup-smoke dedup-bench bench-check clean
+.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench dedup-smoke dedup-bench service-smoke service-bench bench-check clean
 
-verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke dedup-smoke bench-check
+verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke dedup-smoke service-smoke bench-check
 
 build:
 	dune build
@@ -82,6 +82,26 @@ dedup-smoke:
 # Full dedup bench (slow): refreshes the committed BENCH_dedup.json.
 dedup-bench:
 	dune exec bench/dedup_bench.exe -- --out BENCH_dedup.json
+
+# Auditor-as-a-service (DESIGN.md §15): 50 live sessions streamed
+# into one daemon with a cheating minority poked (or log-rewritten)
+# mid-session. The binary exits non-zero unless every planted cheat
+# is detected before its session closes, no honest session is
+# flagged, p99 audit lag stays within the bound, and the verdict
+# vector is identical at pump jobs 1 and 4. The metrics snapshot is
+# then asserted on: the service gauges must be present and the p99
+# lag gauge within the bound.
+service-smoke:
+	dune exec bin/avm_auditord.exe -- --sessions 50 --epochs 3 --max-lag 4096 \
+	  --check-jobs 4 --metrics service_smoke.json
+	dune exec bin/avm_obs_check.exe -- service_smoke.json \
+	  --counter service.entries_ingested --counter service.verdicts \
+	  --gauge service.sessions --gauge-max service.lag_entries_p99:4096
+	rm -f service_smoke.json
+
+# Full service bench (slow): refreshes the committed BENCH_service.json.
+service-bench:
+	dune exec bench/service_bench.exe -- --out BENCH_service.json
 
 # Validate the committed BENCH_*.json artifacts: each must parse and
 # carry its required keys with nonzero rates.

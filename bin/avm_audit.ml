@@ -67,6 +67,90 @@ let audit_file path evidence_out jobs metrics_out metrics_table =
       Printf.printf "evidence written to %s (give it to any third party)\n" out);
     1
 
+(* Stream the recording through the session-oriented online auditor —
+   the same code path the service daemon drives — instead of the batch
+   pipeline: entries are offered in slices, each slice syntactically
+   checked on ingest and replayed under a budget, with backpressure
+   drained by extra replay steps. *)
+let audit_online path slice evidence_out metrics_out metrics_table =
+  let r = Recording.load ~path in
+  Printf.printf "online-auditing %s (%s scenario, %d entries, slice %d)\n%!"
+    r.Recording.node
+    (Recording.scenario_name r.Recording.scenario)
+    (List.length r.Recording.entries)
+    slice;
+  List.iter
+    (fun (name, cert) ->
+      if not (Avm_crypto.Identity.check_certificate r.Recording.ca_public cert) then begin
+        Printf.eprintf "certificate for %s does not verify against the CA\n" name;
+        exit 2
+      end)
+    r.Recording.certificates;
+  let ctx =
+    Audit.ctx
+      ~node_cert:(List.assoc r.Recording.node r.Recording.certificates)
+      ~peer_certs:r.Recording.certificates ~auths:r.Recording.auths ()
+  in
+  let image = Recording.image_of_scenario r.Recording.scenario in
+  let log =
+    match Avm_tamperlog.Log.of_entries r.Recording.entries with
+    | log -> log
+    | exception Invalid_argument msg ->
+      Printf.eprintf "recording cannot be streamed (%s); use the batch audit\n" msg;
+      exit 2
+  in
+  let module Session = Avm_core.Online_audit.Session in
+  let s =
+    Session.open_session ~ctx ~image ~mem_words:r.Recording.mem_words ~replay_rate:1.0
+      ~peers:r.Recording.peers ()
+  in
+  let budget = 50_000_000 in
+  let len = Avm_tamperlog.Log.length log in
+  let upto = ref 0 in
+  while (Session.status s).Avm_core.Online_audit.verdict = None && !upto < len do
+    upto := min len (!upto + slice);
+    let rec offer () =
+      match Session.ingest ~upto:!upto s log with
+      | `Accepted -> ()
+      | `Backpressure _ ->
+        ignore (Session.step s ~budget_instructions:budget);
+        offer ()
+    in
+    offer ();
+    ignore (Session.step s ~budget_instructions:budget)
+  done;
+  while
+    (Session.status s).Avm_core.Online_audit.verdict = None && Session.lag_entries s > 0
+  do
+    ignore (Session.step s ~budget_instructions:budget)
+  done;
+  let final = Session.close s in
+  let st = Session.status s in
+  Printf.printf "ingested %d entries, retired %d chunks, %d cache hits\n"
+    st.Avm_core.Online_audit.ingested_entries st.Avm_core.Online_audit.chunks_retired
+    st.Avm_core.Online_audit.cache_hits;
+  write_metrics metrics_out;
+  if metrics_table then print_string (Avm_obs.Report.table ());
+  match final with
+  | None ->
+    Printf.printf "online audit: %s verified (%d instructions replayed)\n" r.Recording.node
+      st.Avm_core.Online_audit.replayed_instructions;
+    0
+  | Some v ->
+    Format.printf "online audit: FAILED — %a@." Avm_core.Online_audit.pp_verdict v;
+    (match Session.outcome s with
+    | Some { Audit.evidence = Some ev; _ } -> (
+      Format.printf "%a@." Audit.pp_outcome (Option.get (Session.outcome s));
+      match evidence_out with
+      | None -> ()
+      | Some out ->
+        let oc = open_out_bin out in
+        output_string oc (Evidence.encode ev);
+        close_out oc;
+        Printf.printf "evidence written to %s (give it to any third party)\n" out)
+    | _ -> ());
+    1
+
 let check_evidence path recording_path =
   let ic = open_in_bin path in
   let ev = Evidence.decode (really_input_string ic (in_channel_length ic)) in
@@ -134,15 +218,33 @@ let metrics_table_arg =
     value & flag
     & info [ "metrics-table" ] ~doc:"Print the metrics snapshot as an aligned text table.")
 
+let online_arg =
+  Arg.(
+    value & flag
+    & info [ "online" ]
+        ~doc:
+          "Stream the recording through the session-oriented online auditor (paper §6.11) \
+           instead of the batch pipeline: slices are ingested as if the log were still \
+           growing, with the same verdict.")
+
+let slice_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "slice" ] ~docv:"N" ~doc:"Entries offered per $(b,--online) ingest step.")
+
 let cmd =
   let doc = "audit an AVM recording (syntactic + semantic checks)" in
   let term =
     Term.(
-      const (fun check file evidence jobs metrics table ->
+      const (fun check file evidence jobs metrics table online slice ->
           match check with
           | Some ev_path -> Stdlib.exit (check_evidence ev_path file)
-          | None -> Stdlib.exit (audit_file file evidence jobs metrics table))
-      $ check_arg $ file_arg $ evidence_arg $ jobs_arg $ metrics_arg $ metrics_table_arg)
+          | None ->
+            if online then Stdlib.exit (audit_online file slice evidence metrics table)
+            else Stdlib.exit (audit_file file evidence jobs metrics table))
+      $ check_arg $ file_arg $ evidence_arg $ jobs_arg $ metrics_arg $ metrics_table_arg
+      $ online_arg $ slice_arg)
   in
   Cmd.v (Cmd.info "avm_audit" ~doc) term
 

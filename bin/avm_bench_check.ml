@@ -94,11 +94,32 @@ let () =
         ] );
       ( "BENCH_crypto.json",
         [ ("rsa_bits", Present); ("sha256_mb_per_sec", Num_pos) ] );
+      ( "BENCH_service.json",
+        [
+          ("sessions", Num_pos);
+          ("entries_ingested", Num_pos);
+          ("entries_per_sec_ingested", Num_pos);
+          ("session_epochs_per_sec", Num_pos);
+          ("lag_bound_entries", Num_pos);
+          ("lag_p50_entries", Present);
+          ("lag_p99_entries", Present);
+          ("detection_latency_p50_us", Num_pos);
+          ("detection_latency_max_us", Num_pos);
+          ("cheats_planted", Num_pos);
+          ("cheats_detected", Num_pos);
+          ("cheats_missed", Present);
+          ("honest_false_flags", Present);
+          ("cache_hit_rate", Present);
+          ("backpressure_engaged", Present);
+          ("verdict_signature", Present);
+        ] );
     ]
   in
   (* Only files that exist in the repo are required to validate except
-     the big three; BENCH_crypto is optional (older checkouts). *)
-  let required = [ "BENCH_audit.json"; "BENCH_fleet.json"; "BENCH_dedup.json" ] in
+     the big four; BENCH_crypto is optional (older checkouts). *)
+  let required =
+    [ "BENCH_audit.json"; "BENCH_fleet.json"; "BENCH_dedup.json"; "BENCH_service.json" ]
+  in
   List.iter
     (fun (file, reqs) ->
       if List.mem file required || Sys.file_exists file then check_file (file, reqs))

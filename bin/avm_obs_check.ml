@@ -25,6 +25,14 @@ let counter_value json name =
     | None -> None)
   | None -> None
 
+let gauge_value json name =
+  match Json.member "gauges" json with
+  | Some gauges -> (
+    match Json.member name gauges with
+    | Some v -> Json.to_float_opt v
+    | None -> None)
+  | None -> None
+
 let span_count json name =
   match Json.member "spans" json with
   | None -> 0
@@ -40,7 +48,16 @@ let span_count json name =
              | None -> false)
            l))
 
-let run path counters spans quiet =
+let parse_bound spec =
+  (* NAME:BOUND *)
+  match String.rindex_opt spec ':' with
+  | None -> None
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let bound = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match float_of_string_opt bound with Some b -> Some (name, b) | None -> None)
+
+let run path counters gauges gauge_maxes spans quiet =
   let json = load path in
   let failures = ref 0 in
   let fail fmt = Printf.ksprintf (fun m -> incr failures; Printf.eprintf "FAIL %s\n" m) fmt in
@@ -52,6 +69,22 @@ let run path counters spans quiet =
       | Some 0 -> fail "counter %s: present but zero" name
       | Some v -> ok "counter %s = %d" name v)
     counters;
+  List.iter
+    (fun name ->
+      match gauge_value json name with
+      | None -> fail "gauge %s: missing from %s" name path
+      | Some v -> ok "gauge %s = %g" name v)
+    gauges;
+  List.iter
+    (fun spec ->
+      match parse_bound spec with
+      | None -> fail "--gauge-max %s: expected NAME:BOUND" spec
+      | Some (name, bound) -> (
+        match gauge_value json name with
+        | None -> fail "gauge %s: missing from %s" name path
+        | Some v when v > bound -> fail "gauge %s = %g exceeds bound %g" name v bound
+        | Some v -> ok "gauge %s = %g <= %g" name v bound))
+    gauge_maxes;
   List.iter
     (fun name ->
       match span_count json name with
@@ -73,6 +106,19 @@ let counter_arg =
     & opt_all string []
     & info [ "counter" ] ~docv:"NAME" ~doc:"Assert counter $(docv) exists and is nonzero.")
 
+let gauge_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "gauge" ] ~docv:"NAME" ~doc:"Assert gauge $(docv) is present.")
+
+let gauge_max_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "gauge-max" ] ~docv:"NAME:BOUND"
+        ~doc:"Assert gauge NAME is present and does not exceed BOUND.")
+
 let span_arg =
   Arg.(
     value
@@ -82,11 +128,12 @@ let span_arg =
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print failures.")
 
 let cmd =
-  let doc = "assert counters/spans in an observability snapshot" in
+  let doc = "assert counters/gauges/spans in an observability snapshot" in
   let term =
     Term.(
-      const (fun file counters spans quiet -> Stdlib.exit (run file counters spans quiet))
-      $ file_arg $ counter_arg $ span_arg $ quiet_arg)
+      const (fun file counters gauges gauge_maxes spans quiet ->
+          Stdlib.exit (run file counters gauges gauge_maxes spans quiet))
+      $ file_arg $ counter_arg $ gauge_arg $ gauge_max_arg $ span_arg $ quiet_arg)
   in
   Cmd.v (Cmd.info "avm_obs_check" ~doc) term
 

@@ -36,106 +36,152 @@ let record_syntactic_metrics r =
   Metrics.incr ~by:r.recv_signatures_verified "audit.recv_signatures_verified";
   Metrics.incr ~by:(List.length r.failures) "audit.failures"
 
-(* The syntactic check as a single streaming fold: [feed] pushes every
-   entry of the segment exactly once, in log order, and all five checks
+(* The syntactic check as an incremental stream: all five checks
    (hash chain, authenticator matching, RECV sender signatures, send
-   acknowledgement, input-stream cross-references) run against that one
-   pass. Only the collected authenticators — a set far smaller than the
-   log — are pre-indexed up front; obligations that can only be settled
-   once the cut point is known (unacked sends) are resolved at end of
-   stream. *)
-let syntactic_feed ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash ~feed () =
-  let failures = ref [] in
-  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
-  let node = Avm_crypto.Identity.cert_name node_cert in
-  (* Authenticators: verify signatures and index by seq (not a pass
-     over the entry stream). *)
-  let auth_by_seq = Hashtbl.create 256 in
-  List.iter
-    (fun (a : Auth.t) ->
-      if String.equal a.node node then begin
-        if not (Auth.verify node_cert a) then
-          fail "authenticator #%d: bad signature or inconsistent hash" a.seq
-        else Hashtbl.add auth_by_seq a.seq a
-      end)
-    auths;
-  let entries_checked = ref 0 in
-  let auths_matched = ref 0 in
-  let recv_sigs = ref 0 in
+   acknowledgement, input-stream cross-references) run against one
+   pass over the entry stream, whose state lives in a record so a
+   long-lived session ({!Online_audit}) can push entries as they
+   arrive and read failures mid-stream. Only the collected
+   authenticators — a set far smaller than the log — are pre-indexed
+   up front; obligations that can only be settled once the cut point
+   is known (unacked sends) are resolved by [syn_finish]. *)
+type syn_stream = {
+  ss_node : string;
+  ss_peer_certs : (string * Avm_crypto.Identity.certificate) list;
+  ss_ack_grace : int;
+  ss_auth_by_seq : (int, Auth.t) Hashtbl.t;
+  mutable ss_failures : string list; (* newest first *)
+  mutable ss_nfail : int;
+  mutable ss_entries_checked : int;
+  mutable ss_auths_matched : int;
+  mutable ss_recv_sigs : int;
   (* Hash-chain state; only the first break is reported, matching
      [Log.verify_segment]. *)
-  let prev = ref prev_hash in
-  let expected_seq = ref (-1) in
-  let chain_broken = ref false in
+  mutable ss_prev : string;
+  mutable ss_expected_seq : int;
+  mutable ss_chain_broken : bool;
   (* Cross-reference and acknowledgement state. *)
-  let first_seq = ref (-1) in
-  let last_seq = ref 0 in
-  let recv_seqs = Hashtbl.create 256 in
-  let acked = Hashtbl.create 64 in
-  let pending_sends = ref [] in
-  let on_entry (e : Entry.t) =
-    incr entries_checked;
-    if !first_seq < 0 then first_seq := e.seq;
-    last_seq := e.seq;
-    (* 1. Hash chain. *)
-    if not !chain_broken then begin
-      if !expected_seq >= 0 && e.seq <> !expected_seq then begin
-        chain_broken := true;
-        fail "chain: sequence gap: expected %d, found %d" !expected_seq e.seq
-      end
-      else if not (Entry.chain_ok ~prev:!prev e) then begin
-        chain_broken := true;
-        fail "chain: hash chain broken at entry %d" e.seq
-      end
-    end;
-    prev := e.hash;
-    expected_seq := e.seq + 1;
-    (* 2. Collected authenticators must match the log. *)
-    List.iter
-      (fun (a : Auth.t) ->
-        if Auth.matches_entry a e then incr auths_matched
-        else fail "authenticator #%d does not match the log (forked or rewritten log)" a.seq)
-      (Hashtbl.find_all auth_by_seq e.seq);
-    match e.content with
-    (* 3. RECV sender signatures. *)
-    | Entry.Recv { src; nonce; payload; signature } ->
-      Hashtbl.replace recv_seqs e.seq ();
-      if signature <> "" then begin
-        match List.assoc_opt src peer_certs with
-        | None -> fail "entry #%d: no certificate for sender %s" e.seq src
-        | Some cert ->
-          let body = Wireformat.message_body ~src ~dest:node ~nonce ~payload in
-          if Avm_crypto.Identity.verify cert ~msg:body ~signature then incr recv_sigs
-          else fail "entry #%d: forged RECV — sender signature invalid" e.seq
-      end
-    (* 4. Send acknowledgement bookkeeping, settled at end of stream. *)
-    | Entry.Ack { acked_seq; _ } -> Hashtbl.replace acked acked_seq ()
-    | Entry.Send _ -> pending_sends := e.seq :: !pending_sends
-    (* 5. Input-stream references into the message stream are sane. *)
-    | Entry.Exec (Avm_machine.Event.Io_in { msg; _ }) when msg >= 0 ->
-      if msg >= e.seq then fail "entry #%d: rx read references future entry %d" e.seq msg
-      else if msg >= !first_seq && not (Hashtbl.mem recv_seqs msg) then
-        fail "entry #%d: rx read references non-RECV entry %d" e.seq msg
-      (* references before this segment are validated by earlier audits *)
-    | _ -> ()
+  mutable ss_first_seq : int;
+  mutable ss_last_seq : int;
+  ss_recv_seqs : (int, unit) Hashtbl.t;
+  ss_acked : (int, unit) Hashtbl.t;
+  mutable ss_pending_sends : int list;
+}
+
+let syn_fail s fmt =
+  Printf.ksprintf
+    (fun m ->
+      s.ss_failures <- m :: s.ss_failures;
+      s.ss_nfail <- s.ss_nfail + 1)
+    fmt
+
+let syn_stream ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash =
+  let s =
+    {
+      ss_node = Avm_crypto.Identity.cert_name node_cert;
+      ss_peer_certs = peer_certs;
+      ss_ack_grace = ack_grace;
+      ss_auth_by_seq = Hashtbl.create 256;
+      ss_failures = [];
+      ss_nfail = 0;
+      ss_entries_checked = 0;
+      ss_auths_matched = 0;
+      ss_recv_sigs = 0;
+      ss_prev = prev_hash;
+      ss_expected_seq = -1;
+      ss_chain_broken = false;
+      ss_first_seq = -1;
+      ss_last_seq = 0;
+      ss_recv_seqs = Hashtbl.create 256;
+      ss_acked = Hashtbl.create 64;
+      ss_pending_sends = [];
+    }
   in
-  feed on_entry;
+  (* Authenticators: verify signatures and index by seq (not a pass
+     over the entry stream). *)
+  List.iter
+    (fun (a : Auth.t) ->
+      if String.equal a.node s.ss_node then begin
+        if not (Auth.verify node_cert a) then
+          syn_fail s "authenticator #%d: bad signature or inconsistent hash" a.seq
+        else Hashtbl.add s.ss_auth_by_seq a.seq a
+      end)
+    auths;
+  s
+
+let syn_push s (e : Entry.t) =
+  s.ss_entries_checked <- s.ss_entries_checked + 1;
+  if s.ss_first_seq < 0 then s.ss_first_seq <- e.seq;
+  s.ss_last_seq <- e.seq;
+  (* 1. Hash chain. *)
+  if not s.ss_chain_broken then begin
+    if s.ss_expected_seq >= 0 && e.seq <> s.ss_expected_seq then begin
+      s.ss_chain_broken <- true;
+      syn_fail s "chain: sequence gap: expected %d, found %d" s.ss_expected_seq e.seq
+    end
+    else if not (Entry.chain_ok ~prev:s.ss_prev e) then begin
+      s.ss_chain_broken <- true;
+      syn_fail s "chain: hash chain broken at entry %d" e.seq
+    end
+  end;
+  s.ss_prev <- e.hash;
+  s.ss_expected_seq <- e.seq + 1;
+  (* 2. Collected authenticators must match the log. *)
+  List.iter
+    (fun (a : Auth.t) ->
+      if Auth.matches_entry a e then s.ss_auths_matched <- s.ss_auths_matched + 1
+      else syn_fail s "authenticator #%d does not match the log (forked or rewritten log)" a.seq)
+    (Hashtbl.find_all s.ss_auth_by_seq e.seq);
+  match e.content with
+  (* 3. RECV sender signatures. *)
+  | Entry.Recv { src; nonce; payload; signature } ->
+    Hashtbl.replace s.ss_recv_seqs e.seq ();
+    if signature <> "" then begin
+      match List.assoc_opt src s.ss_peer_certs with
+      | None -> syn_fail s "entry #%d: no certificate for sender %s" e.seq src
+      | Some cert ->
+        let body = Wireformat.message_body ~src ~dest:s.ss_node ~nonce ~payload in
+        if Avm_crypto.Identity.verify cert ~msg:body ~signature then
+          s.ss_recv_sigs <- s.ss_recv_sigs + 1
+        else syn_fail s "entry #%d: forged RECV — sender signature invalid" e.seq
+    end
+  (* 4. Send acknowledgement bookkeeping, settled at end of stream. *)
+  | Entry.Ack { acked_seq; _ } -> Hashtbl.replace s.ss_acked acked_seq ()
+  | Entry.Send _ -> s.ss_pending_sends <- e.seq :: s.ss_pending_sends
+  (* 5. Input-stream references into the message stream are sane. *)
+  | Entry.Exec (Avm_machine.Event.Io_in { msg; _ }) when msg >= 0 ->
+    if msg >= e.seq then syn_fail s "entry #%d: rx read references future entry %d" e.seq msg
+    else if msg >= s.ss_first_seq && not (Hashtbl.mem s.ss_recv_seqs msg) then
+      syn_fail s "entry #%d: rx read references non-RECV entry %d" e.seq msg
+    (* references before this segment are validated by earlier audits *)
+  | _ -> ()
+
+let syn_failure_count s = s.ss_nfail
+let syn_failures s = List.rev s.ss_failures
+
+let syn_report s =
+  {
+    entries_checked = s.ss_entries_checked;
+    auths_matched = s.ss_auths_matched;
+    recv_signatures_verified = s.ss_recv_sigs;
+    failures = List.rev s.ss_failures;
+  }
+
+let syn_finish s =
   (* Every send acknowledged, modulo the in-flight tail. *)
   List.iter
     (fun seq ->
-      if seq <= !last_seq - ack_grace && not (Hashtbl.mem acked seq) then
-        fail "entry #%d: SEND was never acknowledged" seq)
-    (List.sort compare !pending_sends);
-  let report =
-    {
-      entries_checked = !entries_checked;
-      auths_matched = !auths_matched;
-      recv_signatures_verified = !recv_sigs;
-      failures = List.rev !failures;
-    }
-  in
+      if seq <= s.ss_last_seq - s.ss_ack_grace && not (Hashtbl.mem s.ss_acked seq) then
+        syn_fail s "entry #%d: SEND was never acknowledged" seq)
+    (List.sort compare s.ss_pending_sends);
+  let report = syn_report s in
   record_syntactic_metrics report;
   report
+
+let syntactic_feed ~ctx ~prev_hash ~feed () =
+  let s = syn_stream ~ctx ~prev_hash in
+  feed (syn_push s);
+  syn_finish s
 
 (* --- parallel syntactic check ------------------------------------------- *)
 
@@ -571,48 +617,3 @@ let pp_outcome fmt r =
   | Some o -> Format.fprintf fmt "semantic: %a@ " Replay.pp_outcome o);
   Format.fprintf fmt "verdict: %s@]"
     (match r.verdict with Ok () -> "CORRECT" | Error e -> "FAULTY (" ^ e ^ ")")
-
-type report = outcome
-
-let pp_report = pp_outcome
-
-(* --- deprecated pre-ctx signatures --------------------------------------- *)
-
-module Legacy = struct
-  let par ?jobs ?pool () = { jobs = Option.value jobs ~default:1; pool }
-
-  let syntactic_feed ~node_cert ~peer_certs ~prev_hash ~feed ~auths ?(ack_grace = 50) () =
-    syntactic_feed ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash ~feed ()
-
-  let syntactic ~node_cert ~peer_certs ~prev_hash ~entries ~auths ?(ack_grace = 50) ?jobs
-      ?pool () =
-    syntactic
-      ~ctx:{ node_cert; peer_certs; auths; ack_grace }
-      ~prev_hash ~entries
-      ~par:(par ?jobs ?pool ())
-      ()
-
-  let syntactic_of_log ~node_cert ~peer_certs ~log ?from ?upto ~auths ?(ack_grace = 50)
-      ?jobs ?pool () =
-    syntactic_of_log
-      ~ctx:{ node_cert; peer_certs; auths; ack_grace }
-      ~log ?from ?upto
-      ~par:(par ?jobs ?pool ())
-      ()
-
-  let full ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
-      ~auths ?jobs ?pool () =
-    full
-      ~ctx:{ node_cert; peer_certs; auths; ack_grace = 50 }
-      ~image ?mem_words ?start ?fuel ~peers ~prev_hash ~entries
-      ~par:(par ?jobs ?pool ())
-      ()
-
-  let full_of_log ~node_cert ~peer_certs ~image ?mem_words ?start ?fuel ~peers ~log ?from
-      ?upto ?snapshots ~auths ?jobs ?pool () =
-    full_of_log
-      ~ctx:{ node_cert; peer_certs; auths; ack_grace = 50 }
-      ~image ?mem_words ?start ?fuel ~peers ~log ?from ?upto ?snapshots
-      ~par:(par ?jobs ?pool ())
-      ()
-end

@@ -73,14 +73,51 @@ type syntactic_report = {
   failures : string list;  (** empty means the check passed *)
 }
 
+(** {1 The incremental syntactic stream}
+
+    The single-pass core as a long-lived value: a session pushes
+    entries as they arrive (possibly over minutes of wall clock) and
+    reads failures mid-stream — what {!Online_audit} and the service
+    daemon run per session. {!syntactic_feed} drives the same
+    machinery over one complete segment. *)
+
+type syn_stream
+
+val syn_stream : ctx:ctx -> prev_hash:string -> syn_stream
+(** A fresh stream positioned just after the entry whose hash is
+    [prev_hash] ([Log.genesis_hash] for a whole log). The collected
+    authenticators in [ctx] are signature-checked and indexed here,
+    once. *)
+
+val syn_push : syn_stream -> Avm_tamperlog.Entry.t -> unit
+(** Feed the next entry, in log order. All checks that do not need the
+    cut point are evaluated immediately: a failure pushed by this
+    entry is visible in {!syn_failures} as soon as the call returns. *)
+
+val syn_failure_count : syn_stream -> int
+(** Failures recorded so far — O(1), so a streaming session can detect
+    "this entry broke something" by comparing counts around a
+    {!syn_push}. *)
+
+val syn_failures : syn_stream -> string list
+(** Failures so far, oldest first. *)
+
+val syn_report : syn_stream -> syntactic_report
+(** The report as of now, {e without} settling cut-point obligations
+    (unacked sends) and without recording metrics — a mid-session
+    progress view. *)
+
+val syn_finish : syn_stream -> syntactic_report
+(** Settle the cut-point obligations (every send older than the ack
+    grace window must be acknowledged), record the [audit.*] metrics,
+    and return the final report. *)
+
 val syntactic_feed :
   ctx:ctx -> prev_hash:string -> feed:((Avm_tamperlog.Entry.t -> unit) -> unit) -> unit ->
   syntactic_report
-(** The streaming core: [feed push] must call [push] exactly once per
-    entry, in log order. All checks are evaluated in that single pass;
-    obligations that need the cut point (unacked sends) settle when
-    [feed] returns. [prev_hash] is the chain hash just before the first
-    fed entry. *)
+(** The streaming core over one segment: [feed push] must call [push]
+    exactly once per entry, in log order — {!syn_stream}, [feed]
+    every entry through {!syn_push}, {!syn_finish}. *)
 
 val syntactic :
   ctx:ctx ->
@@ -193,88 +230,3 @@ val check_evidence :
     challenge the machine itself. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
-
-(** {1 Deprecated aliases} *)
-
-type report = outcome
-[@@deprecated "use Audit.outcome"]
-
-val pp_report : Format.formatter -> outcome -> unit
-[@@deprecated "use Audit.pp_outcome"]
-
-(** The pre-[ctx] signatures, kept as thin wrappers for one release. *)
-module Legacy : sig
-  val syntactic_feed :
-    node_cert:Avm_crypto.Identity.certificate ->
-    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
-    prev_hash:string ->
-    feed:((Avm_tamperlog.Entry.t -> unit) -> unit) ->
-    auths:Avm_tamperlog.Auth.t list ->
-    ?ack_grace:int ->
-    unit ->
-    syntactic_report
-  [@@deprecated "use Audit.syntactic_feed ~ctx"]
-
-  val syntactic :
-    node_cert:Avm_crypto.Identity.certificate ->
-    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
-    prev_hash:string ->
-    entries:Avm_tamperlog.Entry.t list ->
-    auths:Avm_tamperlog.Auth.t list ->
-    ?ack_grace:int ->
-    ?jobs:int ->
-    ?pool:Avm_util.Domain_pool.t ->
-    unit ->
-    syntactic_report
-  [@@deprecated "use Audit.syntactic ~ctx ?par"]
-
-  val syntactic_of_log :
-    node_cert:Avm_crypto.Identity.certificate ->
-    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
-    log:Avm_tamperlog.Log.t ->
-    ?from:int ->
-    ?upto:int ->
-    auths:Avm_tamperlog.Auth.t list ->
-    ?ack_grace:int ->
-    ?jobs:int ->
-    ?pool:Avm_util.Domain_pool.t ->
-    unit ->
-    syntactic_report
-  [@@deprecated "use Audit.syntactic_of_log ~ctx ?par"]
-
-  val full :
-    node_cert:Avm_crypto.Identity.certificate ->
-    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
-    image:int array ->
-    ?mem_words:int ->
-    ?start:Avm_machine.Machine.t ->
-    ?fuel:int ->
-    peers:(int * string) list ->
-    prev_hash:string ->
-    entries:Avm_tamperlog.Entry.t list ->
-    auths:Avm_tamperlog.Auth.t list ->
-    ?jobs:int ->
-    ?pool:Avm_util.Domain_pool.t ->
-    unit ->
-    outcome
-  [@@deprecated "use Audit.full ~ctx ?par"]
-
-  val full_of_log :
-    node_cert:Avm_crypto.Identity.certificate ->
-    peer_certs:(string * Avm_crypto.Identity.certificate) list ->
-    image:int array ->
-    ?mem_words:int ->
-    ?start:Avm_machine.Machine.t ->
-    ?fuel:int ->
-    peers:(int * string) list ->
-    log:Avm_tamperlog.Log.t ->
-    ?from:int ->
-    ?upto:int ->
-    ?snapshots:Avm_machine.Snapshot.t list ->
-    auths:Avm_tamperlog.Auth.t list ->
-    ?jobs:int ->
-    ?pool:Avm_util.Domain_pool.t ->
-    unit ->
-    outcome
-  [@@deprecated "use Audit.full_of_log ~ctx ?par"]
-end

@@ -5,13 +5,136 @@
     externally visible behavior of the cheater's machine deviates from
     that of the reference machine."
 
-    An {!t} tails a growing tamper-evident log and replays it with a
-    bounded instruction budget per step. Replay is slightly slower than
-    recording (the paper measured ~7%), so an auditor falls behind by a
-    few seconds per minute unless the recorded execution is
-    artificially slowed (§6.11 uses 5%). *)
+    A {!Session.t} tails one growing tamper-evident log: the producer
+    {!Session.ingest}s newly sealed entries (subject to backpressure
+    when the auditor has fallen too far behind) and the auditor
+    {!Session.step}s replay forward under a bounded instruction budget.
+    Each entry runs through the streaming syntactic pass
+    ({!Audit.syn_stream}) the moment it is observed, so tampering
+    surfaces at memory bandwidth; replay verifies semantics chunk by
+    chunk at the log's [Snapshot_ref] boundaries — the same partition
+    {!Spot_check} cuts at, so the fingerprints computed here share the
+    fleet-wide {!Replay_cache} with the offline auditors: a chunk any
+    session (or offline audit) already verified retires without
+    executing an instruction.
 
-type t
+    Replay is slightly slower than recording (the paper measured ~7%),
+    so an auditor falls behind by a few seconds per minute unless the
+    recorded execution is artificially slowed (§6.11 uses 5%);
+    [replay_rate] models this. *)
+
+(** A terminal finding. [Tampered] comes from the syntactic stream (a
+    broken hash chain, a bad signature, a shrunk log); [Diverged] from
+    replay (the execution does not reproduce the log). *)
+type verdict =
+  | Tampered of { reason : string; entry_seq : int option }
+  | Diverged of Replay.divergence
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type status = {
+  ingested_entries : int;  (** entries accepted so far *)
+  retired_entries : int;  (** entries of fully verified (retired) chunks *)
+  chunks_retired : int;  (** snapshot-delimited chunks fully verified *)
+  lag_entries : int;  (** ingested but not yet reproduced *)
+  lag_us_estimate : float;
+      (** [lag_entries] x an EMA of observed wall-clock per retired
+          entry — the bounded-lag gauge the service daemon enforces *)
+  replayed_instructions : int;  (** actually executed (cache hits excluded) *)
+  cache_hits : int;  (** chunks retired straight from the {!Replay_cache} *)
+  throttled : bool;  (** backpressure currently engaged *)
+  verdict : verdict option;  (** terminal once set *)
+}
+
+module Session : sig
+  type t
+
+  val open_session :
+    ?ctx:Audit_ctx.ctx ->
+    image:int array ->
+    ?mem_words:int ->
+    ?replay_rate:float ->
+    ?prev_hash:string ->
+    ?high_watermark:int ->
+    ?low_watermark:int ->
+    ?cache:Replay_cache.t ->
+    ?snapshot_of:(unit -> Avm_machine.Snapshot.t list) ->
+    peers:(int * string) list ->
+    unit ->
+    t
+  (** Open a streaming audit session against the boot [image].
+
+      [ctx] enables the full syntactic stream (authenticators, RECV
+      signatures, ack obligations) and {!outcome} construction; without
+      it only the hash chain and sequence numbering are checked — the
+      honest-log-safe subset when peer certificates are unavailable.
+
+      [high_watermark] (default 4096) and [low_watermark] (default
+      half of high) bound the ingest queue: once [lag_entries] exceeds
+      the high mark, {!ingest} refuses with [`Backpressure] until
+      replay drains the lag back under the low mark (hysteresis, so the
+      producer is not toggled every entry).
+
+      [cache] plus [snapshot_of] (the producer's downloadable snapshot
+      set, polled lazily) enable the fleet-wide memo protocol: a cache
+      hit retires a whole chunk, and replay re-seats itself from the
+      downloaded state at the chunk's end boundary — authenticated
+      against the logged digest exactly as {!Spot_check} does, so a
+      forged snapshot is a [Diverged] verdict, not a silent skip. Hits
+      are never taken without [snapshot_of] (there would be no state to
+      resume from); verified misses are still remembered for the rest
+      of the fleet.
+
+      [replay_rate] (default 0.955) scales the budget each {!step}
+      gets, modeling replay running a few percent slower than the
+      original execution (paper §6.11). *)
+
+  val ingest : ?upto:int -> t -> Avm_tamperlog.Log.t -> [ `Accepted | `Backpressure of int ]
+  (** Pull any entries appended since the last call ([?upto] caps the
+      observed sequence number — the producer offering a partial
+      segment). Every pulled entry is syntactically checked on the
+      spot; a failure sets the session verdict immediately.
+      [`Backpressure lag] means the watermark is exceeded: nothing was
+      pulled, the entries stay in the producer's log, try again after
+      {!step}. After a terminal verdict, ingest is a no-op [`Accepted].
+
+      The log must not be mutated during the call; the observed length
+      is snapshotted up front and re-checked after the walk, so a
+      concurrent append raises [Invalid_argument] instead of corrupting
+      the chain walk. *)
+
+  val step : t -> budget_instructions:int -> verdict option
+  (** Advance verification by up to [budget_instructions x replay_rate]
+      instructions: take cache hits on fully ingested chunks, replay
+      the rest, retire chunks as their closing snapshot digests verify.
+      Returns the session verdict — [Some] is terminal and repeats on
+      every later call. *)
+
+  val status : t -> status
+
+  val lag_entries : t -> int
+  (** [= (status t).lag_entries], without building the record. *)
+
+  val close : t -> verdict option
+  (** Settle the cut-point obligations of the syntactic stream (every
+      send older than the ack grace window must be acknowledged) and
+      return the final verdict. Idempotent. *)
+
+  val outcome : t -> Audit.outcome option
+  (** The session's verdict as a transferable {!Audit.outcome},
+      evidence attached — what the service daemon emits the moment a
+      verdict lands, mid-session. The evidence segment is the buffered
+      chunk holding the offending entry. [None] while the session is
+      clean, or when the session was opened without [ctx]. *)
+end
+
+(** {1 The pre-session surface}
+
+    Thin wrappers over {!Session}, kept because tests and Figure 8 pin
+    them. [par] is accepted and ignored: the chain pre-verification it
+    used to enable is now inline and always on. *)
+
+type t = Session.t
 
 val create :
   image:int array ->
@@ -21,59 +144,19 @@ val create :
   peers:(int * string) list ->
   unit ->
   t
-(** [replay_rate] (default 0.955) scales the instruction budget each
-    {!advance} gets relative to the recorded rate, modeling replay
-    running a few percent slower than the original execution — which is
-    why the auditor falls behind unless the recorded execution is
-    artificially slowed by 5% (paper §6.11).
-
-    When [par] ({!Audit_ctx.parallelism}, default sequential) resolves
-    to more than one lane, the auditor verifies in parallel: each
-    {!observe_log} re-verifies the hash chain of the newly observed
-    range, one worker per sealed segment, so a broken chain surfaces
-    via {!tamper_detected} the moment it is observed instead of when
-    replay reaches it. A [par.jobs > 1] auditor owns a private pool —
-    call {!close} when done to join the workers; a [par.pool] is
-    borrowed and stays the caller's to shut down. *)
 
 val observe_log : t -> Avm_tamperlog.Log.t -> unit
-(** Pull any entries appended since the last call (the auditor
-    streaming the log during the game). The log must not be mutated
-    during the call. *)
+(** [Session.ingest] discarding the backpressure signal (the default
+    watermark is high enough that a hand-driven auditor never hits
+    it). *)
 
 val advance : t -> budget_instructions:int -> [ `Ok | `Fault of Replay.divergence ]
-(** Replay up to [budget_instructions x replay_rate] more instructions.
-    A [`Fault] is terminal: the auditor holds a divergence and can
-    build evidence immediately, mid-game. *)
+(** [Session.step], mapping a [Diverged] verdict to [`Fault]. A
+    [Tampered] verdict surfaces through {!tamper_detected}, as the old
+    parallel chain pre-verification did. *)
 
 val lag_entries : t -> int
-(** Log entries observed but not yet reproduced — how far behind the
-    live execution this auditor is. *)
-
 val replayed_instructions : t -> int
 val fault : t -> Replay.divergence option
-
 val tamper_detected : t -> string option
-(** Human-readable reason if the parallel chain pre-verification (only
-    active with [jobs > 1]) has caught a broken hash chain in an
-    observed range. Independent of {!fault}, which reports semantic
-    divergence found by replay. *)
-
 val close : t -> unit
-(** Join the worker domains of an auditor that owns its pool.
-    Idempotent; a sequential or borrowed-pool auditor needs no
-    close. *)
-
-(** The pre-[parallelism] signature, kept as a thin wrapper for one
-    release. *)
-module Legacy : sig
-  val create :
-    image:int array ->
-    ?mem_words:int ->
-    ?replay_rate:float ->
-    ?jobs:int ->
-    peers:(int * string) list ->
-    unit ->
-    t
-  [@@deprecated "use Online_audit.create ?par"]
-end

@@ -297,20 +297,3 @@ let parallel_replay ?par ?cache ~image ?mem_words ?fuel ~snapshots ~log ~peers ?
             (Avm_util.Domain_pool.map_list pool
                (replay_piece pl ~image ?mem_words ?fuel ?cache ~peers ~log)
                ps)))
-
-(* --- deprecated pre-parallelism signatures ------------------------------- *)
-
-module Legacy = struct
-  let check_chunks ?pool ~image ~mem_words ~snapshots ~log ~peers chunks =
-    let par =
-      match pool with
-      | Some p -> { Audit_ctx.jobs = Avm_util.Domain_pool.jobs p; pool = Some p }
-      | None -> Audit_ctx.sequential
-    in
-    check_chunks ~par ~image ~mem_words ~snapshots ~log ~peers chunks
-
-  let parallel_replay ~pool ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto () =
-    parallel_replay
-      ~par:{ Audit_ctx.jobs = Avm_util.Domain_pool.jobs pool; pool = Some pool }
-      ~image ?mem_words ?fuel ~snapshots ~log ~peers ?upto ()
-end

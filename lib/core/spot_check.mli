@@ -115,31 +115,3 @@ val parallel_replay :
 
     When [par] resolves to a single lane the whole range is replayed
     by the plain streaming pass (no pieces, no downloaded state). *)
-
-(** The pre-[parallelism] signatures, kept as thin wrappers for one
-    release. *)
-module Legacy : sig
-  val check_chunks :
-    ?pool:Avm_util.Domain_pool.t ->
-    image:int array ->
-    mem_words:int ->
-    snapshots:Avm_machine.Snapshot.t list ->
-    log:Avm_tamperlog.Log.t ->
-    peers:(int * string) list ->
-    (int * int) list ->
-    chunk_report list
-  [@@deprecated "use Spot_check.check_chunks ?par"]
-
-  val parallel_replay :
-    pool:Avm_util.Domain_pool.t ->
-    image:int array ->
-    ?mem_words:int ->
-    ?fuel:int ->
-    snapshots:Avm_machine.Snapshot.t list ->
-    log:Avm_tamperlog.Log.t ->
-    peers:(int * string) list ->
-    ?upto:int ->
-    unit ->
-    Replay.outcome
-  [@@deprecated "use Spot_check.parallel_replay ?par"]
-end

@@ -136,6 +136,9 @@ let snapshot () =
 let counter snap name =
   match List.assoc_opt name snap.counters with Some n -> n | None -> 0
 
+let gauge snap name =
+  match List.assoc_opt name snap.gauges with Some v -> v | None -> 0.0
+
 let reset () =
   Mutex.protect registry_mu (fun () ->
       List.iter

@@ -56,6 +56,9 @@ val snapshot : unit -> snapshot
 val counter : snapshot -> string -> int
 (** Value of a counter in a snapshot; 0 if absent. *)
 
+val gauge : snapshot -> string -> float
+(** Value of a gauge in a snapshot; 0.0 if absent. *)
+
 val reset : unit -> unit
 (** Zero every metric in every shard (test isolation, or the start of
     a measured phase). Concurrent writers should be quiescent. *)

@@ -1351,54 +1351,67 @@ let test_online_audit_parallel_chain_check () =
   | None -> Alcotest.fail "in-place rewrite not caught on observation");
   Online_audit.close oa
 
-(* --- legacy wrappers = ctx API ------------------------------------------------ *)
+(* --- old-name wrappers = Session API ------------------------------------------ *)
 
-(* The pre-[ctx] entry points survive one release as [Audit.Legacy]
-   thin wrappers; until they go, every one of them must produce
-   reports structurally identical to the [~ctx]/[?par] API — honest
-   and tampered logs, sequential and parallel alike. *)
-module Legacy_equivalence = struct
-  [@@@alert "-deprecated"]
-  [@@@warning "-3"]
+(* The pre-session [create]/[observe_log]/[advance] names survive as
+   thin wrappers over [Online_audit.Session]; until they go, both
+   surfaces must classify every log — honest and tampered — the same
+   way. *)
+module Session_equivalence = struct
+  type classified = Clean | Tampered_log | Diverged of Replay.divergence_kind
 
-  let syntactic_equal ~name entries auths =
-    let ctx = ctx_ab auths in
-    List.for_all
-      (fun jobs ->
-        let modern =
-          Audit.syntactic ~ctx ~prev_hash:Log.genesis_hash ~entries
-            ~par:(Audit.parallel jobs) ()
-        in
-        let legacy =
-          Audit.Legacy.syntactic ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-            ~prev_hash:Log.genesis_hash ~entries ~auths ~jobs ()
-        in
-        if modern <> legacy then
-          QCheck2.Test.fail_reportf "%s: ctx and legacy syntactic reports differ at jobs=%d"
-            name jobs
-        else true)
-      [ 1; 4 ]
+  let pp_classified = function
+    | Clean -> "clean"
+    | Tampered_log -> "tampered"
+    | Diverged k -> "diverged:" ^ Replay.kind_name k
 
-  let full_equal ~name entries auths =
-    let outcome_modern =
-      Audit.full ~ctx:(ctx_ab auths) ~image:(guest_image ()) ~mem_words:4096
-        ~peers:peers_b ~prev_hash:Log.genesis_hash ~entries ()
+  let drain_budget = 10_000_000
+  let drain_rounds = 50
+
+  let wrapper_classify log =
+    let oa =
+      Online_audit.create ~image:(guest_image ()) ~mem_words:4096 ~replay_rate:1.0
+        ~peers:peers_b ()
     in
-    let outcome_legacy =
-      Audit.Legacy.full ~node_cert:(cert_of "bob") ~peer_certs:peer_certs_ab
-        ~image:(guest_image ()) ~mem_words:4096 ~peers:peers_b
-        ~prev_hash:Log.genesis_hash ~entries ~auths ()
+    Online_audit.observe_log oa log;
+    let rec drain n =
+      match Online_audit.advance oa ~budget_instructions:drain_budget with
+      | `Fault _ -> ()
+      | `Ok -> if n > 0 && Online_audit.lag_entries oa > 0 then drain (n - 1)
     in
-    (* Everything but the wall-clock timings must agree exactly,
-       evidence included. *)
-    Alcotest.(check bool) (name ^ ": full syntactic identical") true
-      (outcome_modern.Audit.syntactic = outcome_legacy.Audit.syntactic);
-    Alcotest.(check bool) (name ^ ": full semantic identical") true
-      (outcome_modern.Audit.semantic = outcome_legacy.Audit.semantic);
-    Alcotest.(check bool) (name ^ ": full verdict identical") true
-      (outcome_modern.Audit.verdict = outcome_legacy.Audit.verdict);
-    Alcotest.(check bool) (name ^ ": full evidence identical") true
-      (outcome_modern.Audit.evidence = outcome_legacy.Audit.evidence)
+    drain drain_rounds;
+    let v =
+      match (Online_audit.fault oa, Online_audit.tamper_detected oa) with
+      | Some d, _ -> Diverged d.Replay.kind
+      | None, Some _ -> Tampered_log
+      | None, None -> Clean
+    in
+    Online_audit.close oa;
+    v
+
+  let session_classify log =
+    let s =
+      Online_audit.Session.open_session ~image:(guest_image ()) ~mem_words:4096
+        ~replay_rate:1.0 ~peers:peers_b ()
+    in
+    ignore (Online_audit.Session.ingest s log);
+    let rec drain n =
+      match Online_audit.Session.step s ~budget_instructions:drain_budget with
+      | Some _ -> ()
+      | None -> if n > 0 && Online_audit.Session.lag_entries s > 0 then drain (n - 1)
+    in
+    drain drain_rounds;
+    match Online_audit.Session.close s with
+    | None -> Clean
+    | Some (Online_audit.Tampered _) -> Tampered_log
+    | Some (Online_audit.Diverged d) -> Diverged d.Replay.kind
+
+  let classify_equal ~name log =
+    let w = wrapper_classify log and s = session_classify log in
+    if w <> s then
+      QCheck2.Test.fail_reportf "%s: wrapper says %s, Session says %s" name
+        (pp_classified w) (pp_classified s)
+    else true
 
   let session = lazy (record_with_auths ())
 
@@ -1406,50 +1419,50 @@ module Legacy_equivalence = struct
     let gen =
       QCheck2.Gen.(pair (oneofl [ `Replace; `Reseal; `Truncate ]) (int_range 2 200))
     in
-    QCheck2.Test.make ~count:12 ~name:"legacy = ctx on random tampers" gen
+    QCheck2.Test.make ~count:12 ~name:"wrapper = Session on random tampers" gen
       (fun (kind, pos) ->
-        let b, auths = Lazy.force session in
+        let b, _auths = Lazy.force session in
         let forked = Log.fork (Avmm.log b) in
         let pos = 1 + (pos mod Log.length forked) in
         (match kind with
         | `Replace -> Log.tamper_replace forked pos (Entry.Note "evil")
         | `Reseal -> Log.tamper_reseal forked pos (Entry.Note "evil")
         | `Truncate -> Log.tamper_truncate forked pos);
-        let entries = Log.segment forked ~from:1 ~upto:(Log.length forked) in
-        syntactic_equal ~name:(Printf.sprintf "tamper@%d" pos) entries auths)
+        classify_equal ~name:(Printf.sprintf "tamper@%d" pos) forked)
 
   let test_honest_and_poked () =
-    let b, auths = Lazy.force session in
-    ignore (syntactic_equal ~name:"honest" (entries_of b) auths : bool);
-    full_equal ~name:"honest" (entries_of b) auths;
-    let b, auths = record_with_auths ~poke_at:15 () in
-    full_equal ~name:"poke" (entries_of b) auths
+    let b, _auths = Lazy.force session in
+    Alcotest.(check bool) "honest log classified clean" true
+      (wrapper_classify (Avmm.log b) = Clean
+      && session_classify (Avmm.log b) = Clean);
+    let b, _auths = record_with_auths ~poke_at:15 () in
+    let w = wrapper_classify (Avmm.log b) and s = session_classify (Avmm.log b) in
+    Alcotest.(check string) "poked log classified identically" (pp_classified w)
+      (pp_classified s);
+    Alcotest.(check bool) "poked log caught" true (w <> Clean)
 
-  let test_spot_check_and_online () =
+  let test_full_session_matches_batch_audit () =
+    (* The ctx-carrying streaming session must reach the batch
+       auditor's verdict on the same honest log. *)
     let b, auths = Lazy.force session in
-    ignore auths;
-    let log = Avmm.log b in
-    let snapshots = Avmm.snapshots b in
-    Avm_util.Domain_pool.with_pool ~jobs:2 (fun pool ->
-        let legacy =
-          Spot_check.Legacy.parallel_replay ~pool ~image:(guest_image ()) ~mem_words:4096
-            ~snapshots ~log ~peers:peers_b ()
-        in
-        let modern =
-          Spot_check.parallel_replay ~par:(Audit.parallel ~pool 2) ~image:(guest_image ())
-            ~mem_words:4096 ~snapshots ~log ~peers:peers_b ()
-        in
-        Alcotest.(check bool) "parallel_replay wrapper identical" true (legacy = modern));
-    let oa = Online_audit.Legacy.create ~image:(guest_image ()) ~mem_words:4096 ~jobs:2
-        ~peers:peers_b ()
+    let batch =
+      Audit.full_of_log ~ctx:(ctx_ab auths) ~image:(guest_image ()) ~mem_words:4096
+        ~peers:peers_b ~log:(Avmm.log b) ()
     in
-    Online_audit.observe_log oa log;
-    (match Online_audit.advance oa ~budget_instructions:1_000_000 with
-    | `Ok -> ()
-    | `Fault _ -> Alcotest.fail "legacy online auditor faulted on honest log");
-    Alcotest.(check bool) "legacy online auditor clean" true
-      (Online_audit.tamper_detected oa = None);
-    Online_audit.close oa
+    Alcotest.(check bool) "batch verdict ok" true (batch.Audit.verdict = Ok ());
+    let s =
+      Online_audit.Session.open_session ~ctx:(ctx_ab auths) ~image:(guest_image ())
+        ~mem_words:4096 ~replay_rate:1.0 ~peers:peers_b ()
+    in
+    ignore (Online_audit.Session.ingest s (Avmm.log b));
+    let rec drain n =
+      match Online_audit.Session.step s ~budget_instructions:drain_budget with
+      | Some _ -> ()
+      | None -> if n > 0 && Online_audit.Session.lag_entries s > 0 then drain (n - 1)
+    in
+    drain drain_rounds;
+    Alcotest.(check bool) "streaming session clean too" true
+      (Online_audit.Session.close s = None)
 end
 
 (* --- remaining divergence kinds ---------------------------------------------- *)
@@ -1531,13 +1544,13 @@ let () =
             test_parallel_replay_forged_snapshot;
           Alcotest.test_case "spot-check plan + pool" `Quick test_spot_check_plan_and_pool;
         ] );
-      ( "legacy-wrappers",
+      ( "session-wrappers",
         [
-          Alcotest.test_case "full + syntactic = ctx API" `Slow
-            Legacy_equivalence.test_honest_and_poked;
-          Alcotest.test_case "spot-check + online = ctx API" `Quick
-            Legacy_equivalence.test_spot_check_and_online;
-          QCheck_alcotest.to_alcotest Legacy_equivalence.prop_tampered;
+          Alcotest.test_case "honest + poked = Session API" `Slow
+            Session_equivalence.test_honest_and_poked;
+          Alcotest.test_case "ctx session = batch audit" `Slow
+            Session_equivalence.test_full_session_matches_batch_audit;
+          QCheck_alcotest.to_alcotest Session_equivalence.prop_tampered;
         ] );
       ( "properties",
         [
