@@ -3,9 +3,9 @@
 # observability smoke (record, audit with --metrics, assert counters),
 # and the fault-vs-verdict sweep.
 
-.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench dedup-smoke dedup-bench service-smoke service-bench bench-check clean
+.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench dedup-smoke dedup-bench service-smoke service-bench equiv-smoke equiv-bench bench-check clean
 
-verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke dedup-smoke service-smoke bench-check
+verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke dedup-smoke service-smoke equiv-smoke bench-check
 
 build:
 	dune build
@@ -91,17 +91,32 @@ dedup-bench:
 # vector is identical at pump jobs 1 and 4. The metrics snapshot is
 # then asserted on: the service gauges must be present and the p99
 # lag gauge within the bound.
+# The metrics snapshot lands under _build/ so a failing check never
+# strands a stray artifact in the repo root (no cleanup step to skip).
 service-smoke:
+	@mkdir -p _build
 	dune exec bin/avm_auditord.exe -- --sessions 50 --epochs 3 --max-lag 4096 \
-	  --check-jobs 4 --metrics service_smoke.json
-	dune exec bin/avm_obs_check.exe -- service_smoke.json \
+	  --check-jobs 4 --metrics _build/service_smoke.json
+	dune exec bin/avm_obs_check.exe -- _build/service_smoke.json \
 	  --counter service.entries_ingested --counter service.verdicts \
 	  --gauge service.sessions --gauge-max service.lag_entries_p99:4096
-	rm -f service_smoke.json
 
 # Full service bench (slow): refreshes the committed BENCH_service.json.
 service-bench:
 	dune exec bench/service_bench.exe -- --out BENCH_service.json
+
+# Equivocation detection (DESIGN.md §16): plant forking nodes that
+# show half their witnesses one signed commitment and half another;
+# the binary exits non-zero unless the cross-witness exchange catches
+# every forker within its own fork epoch with zero false flags, every
+# proof verifies standalone via check_evidence, and the verdict+proof
+# signature is identical at auditor jobs 1 and 4.
+equiv-smoke:
+	dune exec bin/avm_equiv.exe -- --nodes 60 --epochs 3
+
+# Full equivocation bench (slow): refreshes the committed BENCH_equiv.json.
+equiv-bench:
+	dune exec bench/equiv_bench.exe -- --out BENCH_equiv.json
 
 # Validate the committed BENCH_*.json artifacts: each must parse and
 # carry its required keys with nonzero rates.

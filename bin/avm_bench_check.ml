@@ -94,6 +94,21 @@ let () =
         ] );
       ( "BENCH_crypto.json",
         [ ("rsa_bits", Present); ("sha256_mb_per_sec", Num_pos) ] );
+      ( "BENCH_equiv.json",
+        [
+          ("nodes", Num_pos);
+          ("witnesses_per_node", Num_pos);
+          ("forkers_planted", Num_pos);
+          ("forkers_detected_by_exchange", Num_pos);
+          ("forkers_detected_in_fork_epoch", Num_pos);
+          ("false_flags", Present);
+          ("proofs", Num_pos);
+          ("proofs_verified_standalone", Num_pos);
+          ("exchange_messages", Num_pos);
+          ("exchange_bytes", Num_pos);
+          ("exchange_bytes_per_node_epoch", Num_pos);
+          ("verdict_signature", Present);
+        ] );
       ( "BENCH_service.json",
         [
           ("sessions", Num_pos);
@@ -116,9 +131,15 @@ let () =
     ]
   in
   (* Only files that exist in the repo are required to validate except
-     the big four; BENCH_crypto is optional (older checkouts). *)
+     the required list below; BENCH_crypto is optional (older checkouts). *)
   let required =
-    [ "BENCH_audit.json"; "BENCH_fleet.json"; "BENCH_dedup.json"; "BENCH_service.json" ]
+    [
+      "BENCH_audit.json";
+      "BENCH_fleet.json";
+      "BENCH_dedup.json";
+      "BENCH_service.json";
+      "BENCH_equiv.json";
+    ]
   in
   List.iter
     (fun (file, reqs) ->

@@ -597,6 +597,15 @@ let check_evidence (ev : Evidence.t) ~ctx ~image ?mem_words ?start ?fuel ~peers 
       (* The authenticator proves entries up to [auth.seq] exist; that
          is all a third party can verify offline. *)
       Auth.verify ctx.node_cert auth
+    | Evidence.Equivocation { a; b } ->
+      (* Pure two-signature proof: no log, no replay. Both
+         authenticators must be genuine commitments by the accused at
+         the same seq with different hashes; anything less (one bad
+         signature, a name mismatch, equal hashes) proves nothing. *)
+      String.equal a.Auth.node ev.accused
+      && Auth.conflicts a b
+      && Auth.verify ctx.node_cert a
+      && Auth.verify ctx.node_cert b
     | Evidence.Tampered_log _ | Evidence.Replay_divergence _ -> (
       let ctx = { ctx with auths = ev.auths } in
       let o =

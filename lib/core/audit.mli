@@ -227,6 +227,9 @@ val check_evidence :
     means the evidence does not hold up (and the accuser is making an
     unsupported claim). For {!Evidence.Unanswered_challenge}, validity
     means the authenticator is genuine — the third party should then
-    challenge the machine itself. *)
+    challenge the machine itself. For {!Evidence.Equivocation} no log
+    or replay is consulted at all: the proof is two verified
+    signatures over conflicting commitments at the same sequence
+    number ([image], [peers] etc. are ignored). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -41,6 +41,7 @@ type t = {
   mutable next_nonce : int;
   sends : (int, pending_send) Hashtbl.t; (* nonce -> pending *)
   seen : (string * int, Wireformat.ack) Hashtbl.t; (* dedup for accepted rx *)
+  seen_order : (string * int) Queue.t; (* FIFO of [seen] keys, oldest first *)
   mutable retrans_count : int;
   mutable gaveup_count : int;
   snapshot_tracker : Snapshot.tracker;
@@ -102,6 +103,7 @@ let create ~identity ~config ~image ?mem_words
     next_nonce = 1;
     sends = Hashtbl.create 64;
     seen = Hashtbl.create 64;
+    seen_order = Queue.create ();
     retrans_count = 0;
     gaveup_count = 0;
     snapshot_tracker = Snapshot.tracker ();
@@ -436,6 +438,17 @@ let deliver t env ~sender_cert =
         end
       in
       t.nic_irq_pending <- true;
+      (* Bounded FIFO dedup window (à la Sigcache): one entry per
+         accepted message would otherwise grow without limit under
+         sustained traffic. A retransmission of an evicted message is
+         simply re-accepted — correctness never depended on the cached
+         ack, only bandwidth did. *)
+      while Queue.length t.seen_order >= t.config.Config.rx_dedup_window do
+        let oldest = Queue.pop t.seen_order in
+        Hashtbl.remove t.seen oldest;
+        Avm_obs.Metrics.incr "net.seen_evicted"
+      done;
+      Queue.add key t.seen_order;
       Hashtbl.replace t.seen key ack;
       `Ack ack
     end
@@ -522,6 +535,23 @@ let queue_input t v = Queue.add (v land 0xffffffff) t.input_queue
 
 let note t s =
   if Config.recording t.config then ignore (Log.append t.log (Entry.Note s))
+
+let seen_size t = Hashtbl.length t.seen
+
+(* --- Commitments -------------------------------------------------------- *)
+
+let commitment t =
+  if not (Config.accountable t.config) then None
+  else begin
+    let n = Log.length t.log in
+    if n = 0 then None
+    else begin
+      let entry = Log.entry t.log n in
+      let prev = Log.prev_hash t.log n in
+      charge_daemon t (Config.sign_cost_us t.config);
+      Some (Auth.make t.identity ~entry ~prev_hash:prev)
+    end
+  end
 
 let poke t ~addr ~value = Memory.write (Machine.mem t.machine) addr value
 let peek t ~addr = Memory.read (Machine.mem t.machine) addr

@@ -134,6 +134,16 @@ val queue_input : t -> int -> unit
 val note : t -> string -> unit
 (** Append an operator annotation to the log. *)
 
+val commitment : t -> Avm_tamperlog.Auth.t option
+(** Sign an authenticator over the log's current last entry — the
+    node's freshest commitment to its whole history, what it sends
+    its witnesses at each epoch boundary for the cross-witness
+    exchange (DESIGN.md §16). [None] at non-accountable levels or on
+    an empty log. An equivocating node signs {e different}
+    commitments for the same position to different witnesses; any two
+    such authenticators are a transferable proof
+    ({!Evidence.Equivocation}). *)
+
 (** {1 Snapshots} *)
 
 val take_snapshot : t -> Avm_machine.Snapshot.t option
@@ -156,6 +166,11 @@ val total_daemon_us : t -> float
 val clock_reads : t -> int
 val bytes_sent_on_wire : t -> int
 (** Total envelope + ack bytes this node has emitted (§6.7 traffic). *)
+
+val seen_size : t -> int
+(** Current population of the receive-side dedup table — bounded by
+    {!Config.t.rx_dedup_window} (FIFO eviction, counted in
+    [net.seen_evicted]). *)
 
 (** {1 Adversary interface}
 

@@ -19,6 +19,7 @@ type t = {
   retrans_base_us : float;
   retrans_cap_us : float;
   retrans_max_attempts : int;
+  rx_dedup_window : int;
 }
 
 let virtualized t = t.level <> Bare_hw
@@ -28,7 +29,9 @@ let signing t = t.level = Avmm_rsa768
 
 let make ?(snapshot_every_us = None) ?clock_opt ?(rsa_bits = 768)
     ?(artificial_slowdown = 1.0) ?(mips = 0.26) ?(retrans_base_us = 250_000.0)
-    ?(retrans_cap_us = 4_000_000.0) ?(retrans_max_attempts = 0) level =
+    ?(retrans_cap_us = 4_000_000.0) ?(retrans_max_attempts = 0)
+    ?(rx_dedup_window = 4096) level =
+  if rx_dedup_window < 1 then invalid_arg "Config.make: rx_dedup_window must be >= 1";
   let t0 =
     {
       level;
@@ -40,6 +43,7 @@ let make ?(snapshot_every_us = None) ?clock_opt ?(rsa_bits = 768)
       retrans_base_us;
       retrans_cap_us;
       retrans_max_attempts;
+      rx_dedup_window;
     }
   in
   let clock_opt = match clock_opt with Some c -> c | None -> accountable t0 in

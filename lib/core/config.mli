@@ -34,16 +34,26 @@ type t = {
   retrans_max_attempts : int;
       (** give up retransmitting after this many transmissions;
           0 = never give up *)
+  rx_dedup_window : int;
+      (** how many accepted messages the receive-side dedup table
+          remembers (FIFO); a retransmission of an evicted message is
+          re-accepted and re-logged rather than answered from cache,
+          which is safe — dedup is a bandwidth optimization, not a
+          correctness requirement — and keeps the table's memory bound
+          under sustained traffic *)
 }
 
 val make : ?snapshot_every_us:int option -> ?clock_opt:bool -> ?rsa_bits:int ->
   ?artificial_slowdown:float -> ?mips:float -> ?retrans_base_us:float ->
-  ?retrans_cap_us:float -> ?retrans_max_attempts:int -> level -> t
+  ?retrans_cap_us:float -> ?retrans_max_attempts:int -> ?rx_dedup_window:int ->
+  level -> t
 (** Defaults: 0.26 instructions/us (the down-scaled guest speed that
     calibrates the bare-hardware frame rate to the paper's 158 fps —
     see DESIGN.md §2), no snapshots, clock-opt on for AVMM levels,
     768-bit keys, no artificial slowdown, retransmission backoff
-    starting at 250 ms and doubling up to a 4 s cap, never giving up. *)
+    starting at 250 ms and doubling up to a 4 s cap, never giving up,
+    a 4096-message receive dedup window.
+    @raise Invalid_argument if [rx_dedup_window < 1]. *)
 
 (** {1 Derived cost model} *)
 

@@ -4,6 +4,7 @@ type accusation =
   | Tampered_log of { reason : string }
   | Replay_divergence of Replay.divergence
   | Unanswered_challenge of { auth : Auth.t }
+  | Equivocation of { a : Auth.t; b : Auth.t }
 
 type t = {
   accused : string;
@@ -19,6 +20,9 @@ let describe t =
     | Tampered_log { reason } -> "tampered log: " ^ reason
     | Replay_divergence d -> Format.asprintf "%a" Replay.pp_outcome (Replay.Diverged d)
     | Unanswered_challenge _ -> "machine refuses to produce its committed log"
+    | Equivocation { a; b } ->
+      Printf.sprintf "equivocation: two signed commitments at seq %d (%s vs %s)" a.Auth.seq
+        (Avm_util.Hex.short a.Auth.hash) (Avm_util.Hex.short b.Auth.hash)
   in
   Printf.sprintf "evidence against %s (%d entries, %d authenticators): %s" t.accused
     (List.length t.segment) (List.length t.auths) what
@@ -52,6 +56,10 @@ let write_accusation w = function
   | Unanswered_challenge { auth } ->
     Avm_util.Wire.u8 w 2;
     Auth.write w auth
+  | Equivocation { a; b } ->
+    Avm_util.Wire.u8 w 3;
+    Auth.write w a;
+    Auth.write w b
 
 let read_accusation r =
   match Avm_util.Wire.read_u8 r with
@@ -68,6 +76,10 @@ let read_accusation r =
     let detail = Avm_util.Wire.read_bytes r in
     Replay_divergence { Replay.kind; at; entry_seq; detail }
   | 2 -> Unanswered_challenge { auth = Auth.read r }
+  | 3 ->
+    let a = Auth.read r in
+    let b = Auth.read r in
+    Equivocation { a; b }
   | n -> raise (Avm_util.Wire.Malformed (Printf.sprintf "bad accusation tag %d" n))
 
 let encode t =

@@ -15,6 +15,14 @@ type accusation =
   | Unanswered_challenge of { auth : Avm_tamperlog.Auth.t }
       (** the machine would not produce the log segment its own
           authenticator proves must exist (§4.5, §4.6) *)
+  | Equivocation of { a : Avm_tamperlog.Auth.t; b : Avm_tamperlog.Auth.t }
+      (** two authenticators signed by the accused committing to
+          different hashes at the same sequence number — proof of a
+          forked log (PeerReview's fork-evidence, surfaced here by the
+          cross-witness authenticator exchange). Checking it needs no
+          log access at all: verify both signatures under the
+          accused's certificate and compare — see
+          {!Audit.check_evidence}. *)
 
 type t = {
   accused : string;

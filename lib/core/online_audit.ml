@@ -7,6 +7,7 @@ module Metrics = Avm_obs.Metrics
 type verdict =
   | Tampered of { reason : string; entry_seq : int option }
   | Diverged of Replay.divergence
+  | Equivocated of { a : Avm_tamperlog.Auth.t; b : Avm_tamperlog.Auth.t }
 
 let pp_verdict fmt = function
   | Tampered { reason; entry_seq } ->
@@ -18,6 +19,11 @@ let pp_verdict fmt = function
       (Replay.kind_name d.Replay.kind)
       (match d.Replay.entry_seq with Some s -> string_of_int s | None -> "?")
       d.Replay.detail
+  | Equivocated { a; b } ->
+    Format.fprintf fmt "equivocated: two signed commitments at entry %d (%s vs %s)"
+      a.Avm_tamperlog.Auth.seq
+      (Avm_util.Hex.short a.Avm_tamperlog.Auth.hash)
+      (Avm_util.Hex.short b.Avm_tamperlog.Auth.hash)
 
 type status = {
   ingested_entries : int;
@@ -165,8 +171,19 @@ module Session = struct
       t.verdict <- Some v;
       (match v with
       | Tampered _ -> Metrics.incr "online_audit.tampering_detected"
-      | Diverged _ -> Metrics.incr "online_audit.faults")
+      | Diverged _ -> Metrics.incr "online_audit.faults"
+      | Equivocated _ -> Metrics.incr "online_audit.equivocations")
     end
+
+  (* The daemon's cross-session authenticator exchange lands here: a
+     verified conflicting commitment pair is terminal for the session,
+     exactly like a tampered chain — but carried by two signatures
+     instead of a log download. *)
+  let equivocate t ~a ~b =
+    if Avm_tamperlog.Auth.conflicts a b then set_verdict t (Equivocated { a; b })
+
+  let node_cert t =
+    Option.map (fun ctx -> ctx.Audit_ctx.node_cert) t.ctx
 
   let lag_entries t =
     let unfed = Queue.fold (fun acc c -> acc + Queue.length c.c_unfed) 0 t.chunks in
@@ -481,6 +498,7 @@ module Session = struct
       let seq_of = function
         | Tampered { entry_seq; _ } -> entry_seq
         | Diverged d -> d.Replay.entry_seq
+        | Equivocated { a; _ } -> Some a.Avm_tamperlog.Auth.seq
       in
       let chunk =
         match seq_of v with
@@ -500,13 +518,17 @@ module Session = struct
         match v with
         | Tampered { reason; _ } -> Evidence.Tampered_log { reason }
         | Diverged d -> Evidence.Replay_divergence d
+        | Equivocated { a; b } -> Evidence.Equivocation { a; b }
       in
       let verdict_line = Format.asprintf "%a" pp_verdict v in
       Some
         {
           Audit.node;
           syntactic;
-          semantic = (match v with Diverged d -> Some (Replay.Diverged d) | Tampered _ -> None);
+          semantic =
+            (match v with
+            | Diverged d -> Some (Replay.Diverged d)
+            | Tampered _ | Equivocated _ -> None);
           syntactic_seconds = 0.;
           semantic_seconds = 0.;
           verdict = Error verdict_line;
@@ -537,7 +559,7 @@ let observe_log t log = ignore (Session.ingest t log)
 let advance t ~budget_instructions =
   match Session.step t ~budget_instructions with
   | Some (Diverged d) -> `Fault d
-  | Some (Tampered _) | None -> `Ok
+  | Some (Tampered _ | Equivocated _) | None -> `Ok
 
 let lag_entries t = Session.lag_entries t
 let replayed_instructions t = Session.total_instructions t

@@ -25,10 +25,14 @@
 
 (** A terminal finding. [Tampered] comes from the syntactic stream (a
     broken hash chain, a bad signature, a shrunk log); [Diverged] from
-    replay (the execution does not reproduce the log). *)
+    replay (the execution does not reproduce the log); [Equivocated]
+    from the cross-session authenticator exchange (two verified
+    commitments by the producer at the same seq with different hashes
+    — see {!Session.equivocate} and {!Avm_core.Witness.offer}). *)
 type verdict =
   | Tampered of { reason : string; entry_seq : int option }
   | Diverged of Replay.divergence
+  | Equivocated of { a : Avm_tamperlog.Auth.t; b : Avm_tamperlog.Auth.t }
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
@@ -114,6 +118,20 @@ module Session : sig
 
   val lag_entries : t -> int
   (** [= (status t).lag_entries], without building the record. *)
+
+  val node_cert : t -> Avm_crypto.Identity.certificate option
+  (** The audited producer's certificate, when the session was opened
+      with [ctx] — what the service daemon verifies offered
+      authenticators against before they can accuse this session. *)
+
+  val equivocate : t -> a:Avm_tamperlog.Auth.t -> b:Avm_tamperlog.Auth.t -> unit
+  (** Land an externally derived equivocation proof as this session's
+      terminal verdict (first verdict wins, like any other). The
+      caller — normally {!Avm_service.Daemon.offer_auth} — must have
+      verified both authenticators against the producer's certificate;
+      here only {!Avm_tamperlog.Auth.conflicts} is re-checked (a
+      non-conflicting pair is ignored). Counted in
+      [online_audit.equivocations]. *)
 
   val close : t -> verdict option
   (** Settle the cut-point obligations of the syntactic stream (every

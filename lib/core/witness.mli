@@ -98,3 +98,78 @@ val run_sharded :
 
 val coverage : verdict list -> nodes:int -> epoch:int -> float
 (** Fraction of nodes with at least one verdict in [epoch]. *)
+
+(** {1 Cross-witness authenticator exchange}
+
+    The PeerReview mechanism the paper inherits for fork detection
+    (§4.3): witnesses of the same target gossip the authenticators
+    they have collected for it each epoch. Any two {e verified}
+    authenticators from the same node with equal [seq] but different
+    [hash] are a transferable {!Evidence.Equivocation} proof — two
+    signatures and a compare, no log download, no replay. This is the
+    detection path for a node that maintains forked logs and shows
+    each witness a consistent-looking one: every per-witness audit
+    passes, but the witnesses' stores cannot both be right. *)
+
+type equiv_store
+(** One witness's persistent store of verified authenticators, keyed
+    by (node, seq), plus any equivocation proofs it has derived. Keep
+    it across epochs: a fork only surfaces when {e both} heads reach
+    the same store, possibly epochs apart. *)
+
+type offer_result =
+  | Fresh  (** first verified commitment seen for this (node, seq) *)
+  | Known  (** duplicate of the stored one — honest retransmission *)
+  | Rejected of string
+      (** unverifiable (wrong cert, bad signature, inconsistent hash):
+          dropped without touching the store, counted in
+          [witness.equiv.rejected] — a corrupt copy never accuses *)
+  | Conflict of Evidence.t
+      (** verified, same (node, seq), different hash: a transferable
+          equivocation proof, also banked in the store *)
+
+val equiv_store : unit -> equiv_store
+
+val offer :
+  equiv_store -> cert:Avm_crypto.Identity.certificate -> Avm_tamperlog.Auth.t -> offer_result
+(** Offer one authenticator (own collection or gossip) against the
+    issuer's certificate. Only the first verified authenticator per
+    (node, seq) is retained, so repeated offers are idempotent
+    ([Known]) and a later conflicting one always pairs with the
+    original. *)
+
+val equiv_proofs : equiv_store -> Evidence.t list
+(** All proofs this store has derived, at most one per accused, sorted
+    by accused name. *)
+
+val scan_log : equiv_store -> node:string -> log:Avm_tamperlog.Log.t -> int
+(** Count stored commitments for [node] that name an in-range seq of
+    the served [log] but fail {!Avm_tamperlog.Auth.matches_entry}
+    against it (bumped into [witness.equiv.log_mismatches]). Such a
+    mismatch corroborates a fork but is not by itself transferable —
+    the served prefix is unsigned; the proof pair comes from
+    {!offer}. *)
+
+type exchange_stats = {
+  ex_messages : int;  (** gossip messages (ordered witness pairs) *)
+  ex_auths : int;  (** authenticators carried by those messages *)
+  ex_bytes : int;  (** wire bytes of the carried authenticators *)
+  ex_proofs : Evidence.t list;
+      (** newly derived proofs fleet-wide, one per accused, sorted *)
+}
+
+val exchange :
+  assignment ->
+  stores:equiv_store array ->
+  collected:(target:int -> witness:int -> Avm_tamperlog.Auth.t list) ->
+  cert_of:(int -> Avm_crypto.Identity.certificate) ->
+  exchange_stats
+(** Run one epoch's exchange over the witness graph: for every target,
+    each of its witnesses banks its own collected authenticators in
+    its [stores] entry, then sends the list to each of the other
+    [k - 1] witnesses of the same target. Sequential and
+    deterministic (targets in index order, slots in set order), so
+    the proof list — like the audit verdict vector — is invariant
+    under the auditor pool's job count. Totals land in
+    [witness.equiv.messages] / [.auths_exchanged] / [.bytes].
+    @raise Invalid_argument unless [stores] has one entry per node. *)

@@ -14,6 +14,7 @@ type t = {
   until_us : float;
   partitions : window list;
   crashes : window list;
+  forks : window list;
 }
 
 let none =
@@ -27,11 +28,12 @@ let none =
     until_us = infinity;
     partitions = [];
     crashes = [];
+    forks = [];
   }
 
 let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(jitter_us = 20_000.0)
     ?(corrupt = 0.0) ?(from_us = 0.0) ?(until_us = infinity) ?(partitions = [])
-    ?(crashes = []) () =
+    ?(crashes = []) ?(forks = []) () =
   let check name p =
     if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Faults.make: %s not in [0,1]" name)
   in
@@ -42,8 +44,8 @@ let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(jitter_us = 20_000.
   if until_us < from_us then invalid_arg "Faults.make: active window ends before it starts";
   List.iter
     (fun w -> if w.to_us < w.from_us then invalid_arg "Faults.make: window ends before it starts")
-    (partitions @ crashes);
-  { drop; duplicate; reorder; jitter_us; corrupt; from_us; until_us; partitions; crashes }
+    (partitions @ crashes @ forks);
+  { drop; duplicate; reorder; jitter_us; corrupt; from_us; until_us; partitions; crashes; forks }
 
 type delivery = { extra_delay_us : float; corrupt : bool }
 type decision = Dropped | Deliver of delivery list
@@ -97,8 +99,8 @@ let corrupt_ack rng (ack : Wireformat.ack) =
 
 let pp ppf t =
   Format.fprintf ppf
-    "drop=%.2f dup=%.2f reorder=%.2f(jitter %.0fus) corrupt=%.2f partitions=%d crashes=%d"
+    "drop=%.2f dup=%.2f reorder=%.2f(jitter %.0fus) corrupt=%.2f partitions=%d crashes=%d forks=%d"
     t.drop t.duplicate t.reorder t.jitter_us t.corrupt (List.length t.partitions)
-    (List.length t.crashes);
+    (List.length t.crashes) (List.length t.forks);
   if t.from_us > 0.0 || t.until_us < infinity then
     Format.fprintf ppf " active=[%.0fus,%.0fus]" t.from_us t.until_us

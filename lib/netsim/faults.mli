@@ -25,7 +25,14 @@
       dropped) between [from_us] and [to_us];
     - {b crashes} — fail-stop: the node additionally freezes (no guest
       execution, no retransmission sweeps) and resumes at [to_us] with
-      its virtual clock advanced past the outage. *)
+      its virtual clock advanced past the outage;
+    - {b forks} — Byzantine equivocation: while the window is open the
+      node is {e two-faced} — at epoch boundaries it commits one log
+      head to part of its witness set and a forged alternative to the
+      rest (the harness consults {!Net.two_faced} when distributing
+      commitments). Unlike the other faults this models a cheating
+      {e host}, not a lossy wire; detection is the cross-witness
+      authenticator exchange (DESIGN.md §16). *)
 
 type window = { from_us : float; to_us : float; node : int }
 
@@ -39,6 +46,7 @@ type t = {
   until_us : float;  (** … until this time (default: always) *)
   partitions : window list;
   crashes : window list;
+  forks : window list;
 }
 
 val none : t
@@ -55,6 +63,7 @@ val make :
   ?until_us:float ->
   ?partitions:window list ->
   ?crashes:window list ->
+  ?forks:window list ->
   unit ->
   t
 (** Probabilities default to 0, [jitter_us] to 20 ms, windows to none.

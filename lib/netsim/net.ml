@@ -11,6 +11,7 @@ type node = {
   mutable same_ht : bool;
   mutable isolated : bool;
   mutable crashed : bool;
+  mutable two_faced : bool; (* inside a Faults fork window: equivocating *)
   (* Self-scheduling state. Each node owns at most one live slice
      event, one live retransmit event and one live wake event in the
      heap; generation counters invalidate superseded closures (the
@@ -254,7 +255,17 @@ let schedule_faults t =
           Avmm.add_stall_us n.avmm (w.Faults.to_us -. w.Faults.from_us);
           nudge t n;
           update_retrans t n))
-    t.faults.Faults.crashes
+    t.faults.Faults.crashes;
+  (* Fork windows flip the node's two-faced flag; what the node does
+     with it (committing different log heads to different witnesses)
+     is the harness's business at epoch boundaries. *)
+  List.iter
+    (fun (w : Faults.window) ->
+      check_node w;
+      let n = t.node_array.(w.Faults.node) in
+      Sim.schedule t.sim ~at:w.Faults.from_us (fun () -> n.two_faced <- true);
+      Sim.schedule t.sim ~at:w.Faults.to_us (fun () -> n.two_faced <- false))
+    t.faults.Faults.forks
 
 let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(faults = Faults.none)
     ?(rsa_bits = 768) ?key_pool ?mem_words ?log_backend ?(topology = Topology.full_mesh)
@@ -330,6 +341,7 @@ let create ?(seed = 0xA1CEL) ?(latency_us = 30.0) ?(loss = 0.0) ?(faults = Fault
         same_ht = false;
         isolated = false;
         crashed = false;
+        two_faced = false;
         slice_gen = 0;
         next_slice_at = infinity;
         retrans_gen = 0;
@@ -371,6 +383,7 @@ let queue_input t i event =
 
 let isolate t i = t.node_array.(i).isolated <- true
 let heal t i = t.node_array.(i).isolated <- false
+let two_faced t i = t.node_array.(i).two_faced
 
 let retransmissions t =
   Array.fold_left (fun acc n -> acc + Avmm.retransmissions_sent n.avmm) 0 t.node_array

@@ -103,6 +103,14 @@ val isolate : t -> int -> unit
 
 val heal : t -> int -> unit
 
+val two_faced : t -> int -> bool
+(** Is the node currently inside one of the fault policy's [forks]
+    windows? A two-faced node equivocates at epoch boundaries: the
+    harness hands half its witness set one signed commitment and the
+    other half a conflicting one ({!Avm_scenario.Equivocation_run}).
+    The wire itself stays honest — equivocation is a host fault, not a
+    network fault. *)
+
 (** {1 Measurement helpers} *)
 
 val retransmissions : t -> int

@@ -22,6 +22,7 @@ type t = {
   low : int;
   max_lag : int;
   d_cache : Avm_core.Replay_cache.t;
+  d_equiv : Avm_core.Witness.equiv_store;
   on_verdict : event -> unit;
   sessions : (string, session) Hashtbl.t;
   mutable n_verdicts : int;
@@ -38,6 +39,7 @@ let create ?high_watermark ?low_watermark ?(max_lag_entries = 4096) ?cache
     low;
     max_lag = max_lag_entries;
     d_cache;
+    d_equiv = Avm_core.Witness.equiv_store ();
     on_verdict;
     sessions = Hashtbl.create 64;
     n_verdicts = 0;
@@ -67,6 +69,7 @@ let event_of s v =
     match v with
     | OA.Tampered { entry_seq; _ } -> entry_seq
     | OA.Diverged d -> d.Avm_core.Replay.entry_seq
+    | OA.Equivocated { a; _ } -> Some a.Avm_tamperlog.Auth.seq
   in
   {
     ev_session = s.s_id;
@@ -104,6 +107,25 @@ let ingest t ~id log =
   Metrics.incr ~by:pulled "service.entries_ingested";
   ignore (fire_pending t s : event option);
   r
+
+let offer_auth t ~id auth =
+  let s = find t id in
+  match OA.Session.node_cert s.s_session with
+  | None -> Avm_core.Witness.Rejected "session has no certificate context"
+  | Some cert ->
+    let r = Avm_core.Witness.offer t.d_equiv ~cert auth in
+    (match r with
+    | Avm_core.Witness.Conflict ev ->
+      Metrics.incr "service.equivocations";
+      (match ev.Avm_core.Evidence.accusation with
+      | Avm_core.Evidence.Equivocation { a; b } ->
+        OA.Session.equivocate s.s_session ~a ~b;
+        ignore (fire_pending t s : event option)
+      | _ -> ())
+    | _ -> ());
+    r
+
+let equiv_proofs t = Avm_core.Witness.equiv_proofs t.d_equiv
 
 let session_status t ~id = OA.Session.status (find t id).s_session
 

@@ -68,6 +68,25 @@ val ingest : t -> id:string -> Avm_tamperlog.Log.t -> [ `Accepted | `Backpressur
 (** Offer a producer's grown log to its session. A syntactic failure
     fires [on_verdict] before the call returns. *)
 
+val offer_auth :
+  t -> id:string -> Avm_tamperlog.Auth.t -> Avm_core.Witness.offer_result
+(** Offer a collected authenticator for session [id]'s producer into
+    the daemon's shared {!Avm_core.Witness.equiv_store} (one store per
+    daemon, persistent across sessions and epochs). The authenticator
+    is verified against the session's producer certificate
+    ({!Avm_core.Online_audit.Session.node_cert}); a session opened
+    without [ctx] rejects everything. On [Conflict] — two verified
+    commitments at the same seq with different hashes — the session's
+    verdict becomes [Equivocated] and [on_verdict] fires before the
+    call returns, mid-session, with the transferable proof attached
+    ([service.equivocations] is bumped). All other results leave the
+    session untouched: a corrupt or forged copy is dropped, never
+    accused. @raise Invalid_argument on an unknown [id]. *)
+
+val equiv_proofs : t -> Avm_core.Evidence.t list
+(** Equivocation proofs the daemon's store has derived so far, at most
+    one per accused node, sorted by accused name. *)
+
 val session_status : t -> id:string -> Avm_core.Online_audit.status
 val session_ids : t -> string list
 

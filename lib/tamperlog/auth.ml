@@ -51,6 +51,9 @@ let matches_send a ~payload ~dest ~nonce =
 
 let matches_entry a (e : Entry.t) = a.seq = e.seq && String.equal a.hash e.hash
 
+let conflicts a b =
+  String.equal a.node b.node && a.seq = b.seq && not (String.equal a.hash b.hash)
+
 let write w a =
   let open Avm_util in
   Wire.bytes w a.node;

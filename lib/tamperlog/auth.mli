@@ -43,6 +43,14 @@ val matches_entry : t -> Entry.t -> bool
     downloaded log segment; any mismatch is evidence of tampering or a
     forked log. *)
 
+val conflicts : t -> t -> bool
+(** [conflicts a b]: same node, same [seq], different [hash] — the
+    shape of an equivocation. Two such authenticators that {e both}
+    pass {!verify} under the node's certificate are a transferable
+    proof that the node maintains forked logs (PeerReview's
+    fork-evidence; see {!Avm_core.Evidence}). This predicate alone
+    proves nothing — callers must verify both signatures first. *)
+
 val write : Avm_util.Wire.writer -> t -> unit
 val read : Avm_util.Wire.reader -> t
 val encode : t -> string

@@ -1405,6 +1405,8 @@ module Session_equivalence = struct
     | None -> Clean
     | Some (Online_audit.Tampered _) -> Tampered_log
     | Some (Online_audit.Diverged d) -> Diverged d.Replay.kind
+    (* no ctx, no offered auths: this session can never equivocate *)
+    | Some (Online_audit.Equivocated _) -> assert false
 
   let classify_equal ~name log =
     let w = wrapper_classify log and s = session_classify log in
