@@ -3,9 +3,9 @@
 # observability smoke (record, audit with --metrics, assert counters),
 # and the fault-vs-verdict sweep.
 
-.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke fleet-smoke fleet-bench dedup-smoke dedup-bench service-smoke service-bench equiv-smoke equiv-bench bench-check clean
+.PHONY: verify build test bench-smoke bench obs-smoke fault-smoke crypto-smoke backend-crosscheck fleet-smoke fleet-bench dedup-smoke dedup-bench service-smoke service-bench equiv-smoke equiv-bench bench-check clean
 
-verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke fleet-smoke dedup-smoke service-smoke equiv-smoke bench-check
+verify: build test bench-smoke obs-smoke fault-smoke crypto-smoke backend-crosscheck fleet-smoke dedup-smoke service-smoke equiv-smoke bench-check
 
 build:
 	dune build
@@ -16,10 +16,13 @@ test:
 # Two passes: sequential and 4-way parallel. The bench exits non-zero
 # (failing this target) whenever any verdict cross-check — list vs
 # segment, sequential vs parallel, honest vs tampered — mismatches.
+# Smoke artifacts land under _build/ so an interrupted run never
+# strands a stray file in the repo root.
 bench-smoke:
-	dune exec bench/audit_bench.exe -- --smoke --jobs 1 --out BENCH_audit.smoke.json
-	dune exec bench/audit_bench.exe -- --smoke --jobs 4 --out BENCH_audit.smoke.json
-	@cat BENCH_audit.smoke.json
+	@mkdir -p _build
+	dune exec bench/audit_bench.exe -- --smoke --jobs 1 --out _build/BENCH_audit.smoke.json
+	dune exec bench/audit_bench.exe -- --smoke --jobs 4 --out _build/BENCH_audit.smoke.json
+	@cat _build/BENCH_audit.smoke.json
 
 # Full bench runs (slow): refreshes the committed BENCH_audit.json.
 bench:
@@ -47,9 +50,17 @@ obs-smoke:
 # signature cache {on,off} must yield four identical failing reports
 # (the bench exits non-zero otherwise).
 crypto-smoke:
+	@mkdir -p _build
 	dune exec test/test_crypto.exe
-	dune exec bench/crypto_bench.exe -- --smoke --out BENCH_crypto.smoke.json
-	@cat BENCH_crypto.smoke.json
+	dune exec bench/crypto_bench.exe -- --smoke --out _build/BENCH_crypto.smoke.json
+	@cat _build/BENCH_crypto.smoke.json
+
+# Backend equivalence (DESIGN.md §17): a batch of honest and tampered
+# logs audited under the optimized Default crypto backend and the
+# naive from-spec Reference backend must produce byte-identical
+# reports; exits non-zero on any disagreement.
+backend-crosscheck:
+	dune exec bin/avm_backend_check.exe
 
 # Sweep the seeded fault schedules (loss, duplication, reordering,
 # corruption, partition+crash) over an honest and a cheating session;
@@ -76,8 +87,9 @@ fleet-bench:
 # planted cheat is detected in both passes, and the cache-on pass
 # actually hits (hit rate > 0).
 dedup-smoke:
-	dune exec bench/dedup_bench.exe -- --smoke --out BENCH_dedup.smoke.json
-	@cat BENCH_dedup.smoke.json
+	@mkdir -p _build
+	dune exec bench/dedup_bench.exe -- --smoke --out _build/BENCH_dedup.smoke.json
+	@cat _build/BENCH_dedup.smoke.json
 
 # Full dedup bench (slow): refreshes the committed BENCH_dedup.json.
 dedup-bench:

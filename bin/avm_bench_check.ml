@@ -17,10 +17,12 @@ let fail file fmt =
       Printf.eprintf "%s: %s\n" file msg)
     fmt
 
-(* Keys that must exist; [`Num_pos] additionally demands > 0 (a rate
+(* Keys that must exist; [Num_pos] additionally demands > 0 (a rate
    or count that benched at zero means the measurement window is
-   broken, which is exactly the bug this tool exists to catch). *)
-type req = Present | Num_pos
+   broken, which is exactly the bug this tool exists to catch);
+   [Num_min x] demands >= x — a regression floor for rates the
+   roadmap commits to. *)
+type req = Present | Num_pos | Num_min of float
 
 let check_file (file, reqs) =
   if not (Sys.file_exists file) then fail file "missing (run `make bench` to regenerate)"
@@ -46,6 +48,11 @@ let check_file (file, reqs) =
               match Json.to_float_opt v with
               | Some x when x > 0.0 -> ()
               | Some x -> fail file "key %S is %g, expected > 0" key x
+              | None -> fail file "key %S is not a number" key)
+            | Num_min floor -> (
+              match Json.to_float_opt v with
+              | Some x when x >= floor -> ()
+              | Some x -> fail file "key %S is %g, below the regression floor %g" key x floor
               | None -> fail file "key %S is not a number" key)))
         reqs
 
@@ -55,7 +62,10 @@ let () =
       ( "BENCH_audit.json",
         [
           ("entries", Num_pos);
-          ("syntactic_entries_per_sec", Num_pos);
+          (* Floor from the batched-signature + derived-chain rework
+             (DESIGN.md §17): 2x the previous ~83k committed rate,
+             with headroom for slower CI hosts. *)
+          ("syntactic_entries_per_sec", Num_min 166000.0);
           ("syntactic_rsa_verifies_per_sec", Num_pos);
           ("semantic_entries_per_sec", Num_pos);
           ("semantic_rsa_verifies_per_sec", Num_pos);
@@ -93,7 +103,16 @@ let () =
           ("verdict_signature", Present);
         ] );
       ( "BENCH_crypto.json",
-        [ ("rsa_bits", Present); ("sha256_mb_per_sec", Num_pos) ] );
+        [
+          ("rsa_bits", Present);
+          ("sha256_mb_per_sec", Num_pos);
+          ("rsa_verifies_per_sec", Num_pos);
+          ("rsa_batch_verifies_per_sec", Num_pos);
+          (* The amortized batch path must actually beat per-signature
+             verification (DESIGN.md §17). *)
+          ("batch_speedup", Num_min 1.5);
+          ("crosscheck_ok", Present);
+        ] );
       ( "BENCH_equiv.json",
         [
           ("nodes", Num_pos);
@@ -131,12 +150,13 @@ let () =
     ]
   in
   (* Only files that exist in the repo are required to validate except
-     the required list below; BENCH_crypto is optional (older checkouts). *)
+     the required list below. *)
   let required =
     [
       "BENCH_audit.json";
       "BENCH_fleet.json";
       "BENCH_dedup.json";
+      "BENCH_crypto.json";
       "BENCH_service.json";
       "BENCH_equiv.json";
     ]

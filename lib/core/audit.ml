@@ -45,16 +45,33 @@ let record_syntactic_metrics r =
    authenticators — a set far smaller than the log — are pre-indexed
    up front; obligations that can only be settled once the cut point
    is known (unacked sends) are resolved by [syn_finish]. *)
+(* A failure-stream cell: either a finished message or the positional
+   placeholder of a deferred RECV signature check. Deferring lets the
+   stream hand whole batches to [Rsa.verify_batch]; a placeholder that
+   verifies is dropped at flush time, one that fails becomes its
+   message in exactly the position an immediate check would have put
+   it, so the resolved failure list is byte-identical to the old
+   entry-at-a-time stream. *)
+type syn_cell = Cell_msg of string | Cell_sig of int  (* index into the pending batch *)
+
+(* Flush once this many signature checks are queued; bounds both the
+   placeholder scan and the batch array. *)
+let sig_batch_cap = 512
+
 type syn_stream = {
   ss_node : string;
   ss_peer_certs : (string * Avm_crypto.Identity.certificate) list;
   ss_ack_grace : int;
   ss_auth_by_seq : (int, Auth.t) Hashtbl.t;
-  mutable ss_failures : string list; (* newest first *)
-  mutable ss_nfail : int;
+  mutable ss_failures : syn_cell list; (* newest first *)
+  mutable ss_nfail : int; (* resolved failures only *)
   mutable ss_entries_checked : int;
   mutable ss_auths_matched : int;
   mutable ss_recv_sigs : int;
+  (* Deferred RECV signature checks: (seq, cert, body, signature),
+     newest first, batched through [Identity.verify_batch]. *)
+  mutable ss_sig_pending : (int * Avm_crypto.Identity.certificate * string * string) list;
+  mutable ss_sig_npending : int;
   (* Hash-chain state; only the first break is reported, matching
      [Log.verify_segment]. *)
   mutable ss_prev : string;
@@ -71,9 +88,37 @@ type syn_stream = {
 let syn_fail s fmt =
   Printf.ksprintf
     (fun m ->
-      s.ss_failures <- m :: s.ss_failures;
+      s.ss_failures <- Cell_msg m :: s.ss_failures;
       s.ss_nfail <- s.ss_nfail + 1)
     fmt
+
+(* Resolve every queued signature check: one batched verification,
+   then placeholders collapse in place. *)
+let syn_flush s =
+  if s.ss_sig_npending > 0 then begin
+    let pending = Array.of_list (List.rev s.ss_sig_pending) in
+    s.ss_sig_pending <- [];
+    s.ss_sig_npending <- 0;
+    let verdicts =
+      Avm_crypto.Identity.verify_batch
+        (Array.map (fun (_, cert, body, signature) -> (cert, body, signature)) pending)
+    in
+    s.ss_failures <-
+      List.filter_map
+        (function
+          | Cell_msg _ as c -> Some c
+          | Cell_sig i ->
+            if verdicts.(i) then begin
+              s.ss_recv_sigs <- s.ss_recv_sigs + 1;
+              None
+            end
+            else begin
+              let seq, _, _, _ = pending.(i) in
+              s.ss_nfail <- s.ss_nfail + 1;
+              Some (Cell_msg (Printf.sprintf "entry #%d: forged RECV — sender signature invalid" seq))
+            end)
+        s.ss_failures
+  end
 
 let syn_stream ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash =
   let s =
@@ -87,6 +132,8 @@ let syn_stream ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash =
       ss_entries_checked = 0;
       ss_auths_matched = 0;
       ss_recv_sigs = 0;
+      ss_sig_pending = [];
+      ss_sig_npending = 0;
       ss_prev = prev_hash;
       ss_expected_seq = -1;
       ss_chain_broken = false;
@@ -97,19 +144,22 @@ let syn_stream ~ctx:{ node_cert; peer_certs; auths; ack_grace } ~prev_hash =
       ss_pending_sends = [];
     }
   in
-  (* Authenticators: verify signatures and index by seq (not a pass
-     over the entry stream). *)
-  List.iter
-    (fun (a : Auth.t) ->
-      if String.equal a.node s.ss_node then begin
-        if not (Auth.verify node_cert a) then
-          syn_fail s "authenticator #%d: bad signature or inconsistent hash" a.seq
-        else Hashtbl.add s.ss_auth_by_seq a.seq a
-      end)
-    auths;
+  (* Authenticators: verify signatures — batched, they share the one
+     node key — and index by seq (not a pass over the entry stream). *)
+  let mine = Array.of_list (List.filter (fun (a : Auth.t) -> String.equal a.node s.ss_node) auths) in
+  let verdicts = Auth.verify_batch (Array.map (fun a -> (node_cert, a)) mine) in
+  Array.iteri
+    (fun i (a : Auth.t) ->
+      if verdicts.(i) then Hashtbl.add s.ss_auth_by_seq a.seq a
+      else syn_fail s "authenticator #%d: bad signature or inconsistent hash" a.seq)
+    mine;
   s
 
-let syn_push s (e : Entry.t) =
+(* [hash_derived] marks entries whose [hash] field was recomputed from
+   the running chain at inflation ([Log.chunk_spec.spec_derived]): the
+   per-entry digest comparison is a tautology there and is skipped;
+   every other check, including the sequence-gap check, still runs. *)
+let syn_push_gen ~hash_derived s (e : Entry.t) =
   s.ss_entries_checked <- s.ss_entries_checked + 1;
   if s.ss_first_seq < 0 then s.ss_first_seq <- e.seq;
   s.ss_last_seq <- e.seq;
@@ -119,7 +169,7 @@ let syn_push s (e : Entry.t) =
       s.ss_chain_broken <- true;
       syn_fail s "chain: sequence gap: expected %d, found %d" s.ss_expected_seq e.seq
     end
-    else if not (Entry.chain_ok ~prev:s.ss_prev e) then begin
+    else if (not hash_derived) && not (Entry.chain_ok ~prev:s.ss_prev e) then begin
       s.ss_chain_broken <- true;
       syn_fail s "chain: hash chain broken at entry %d" e.seq
     end
@@ -133,7 +183,7 @@ let syn_push s (e : Entry.t) =
       else syn_fail s "authenticator #%d does not match the log (forked or rewritten log)" a.seq)
     (Hashtbl.find_all s.ss_auth_by_seq e.seq);
   match e.content with
-  (* 3. RECV sender signatures. *)
+  (* 3. RECV sender signatures, deferred into the signature batch. *)
   | Entry.Recv { src; nonce; payload; signature } ->
     Hashtbl.replace s.ss_recv_seqs e.seq ();
     if signature <> "" then begin
@@ -141,9 +191,10 @@ let syn_push s (e : Entry.t) =
       | None -> syn_fail s "entry #%d: no certificate for sender %s" e.seq src
       | Some cert ->
         let body = Wireformat.message_body ~src ~dest:s.ss_node ~nonce ~payload in
-        if Avm_crypto.Identity.verify cert ~msg:body ~signature then
-          s.ss_recv_sigs <- s.ss_recv_sigs + 1
-        else syn_fail s "entry #%d: forged RECV — sender signature invalid" e.seq
+        s.ss_failures <- Cell_sig s.ss_sig_npending :: s.ss_failures;
+        s.ss_sig_pending <- (e.seq, cert, body, signature) :: s.ss_sig_pending;
+        s.ss_sig_npending <- s.ss_sig_npending + 1;
+        if s.ss_sig_npending >= sig_batch_cap then syn_flush s
     end
   (* 4. Send acknowledgement bookkeeping, settled at end of stream. *)
   | Entry.Ack { acked_seq; _ } -> Hashtbl.replace s.ss_acked acked_seq ()
@@ -156,18 +207,29 @@ let syn_push s (e : Entry.t) =
     (* references before this segment are validated by earlier audits *)
   | _ -> ()
 
-let syn_failure_count s = s.ss_nfail
-let syn_failures s = List.rev s.ss_failures
+let syn_push s e = syn_push_gen ~hash_derived:false s e
+
+let syn_failure_count s =
+  syn_flush s;
+  s.ss_nfail
+
+let cell_msg = function Cell_msg m -> m | Cell_sig _ -> assert false (* flushed *)
+
+let syn_failures s =
+  syn_flush s;
+  List.rev_map cell_msg s.ss_failures
 
 let syn_report s =
+  syn_flush s;
   {
     entries_checked = s.ss_entries_checked;
     auths_matched = s.ss_auths_matched;
     recv_signatures_verified = s.ss_recv_sigs;
-    failures = List.rev s.ss_failures;
+    failures = List.rev_map cell_msg s.ss_failures;
   }
 
 let syn_finish s =
+  syn_flush s;
   (* Every send acknowledged, modulo the in-flight tail. *)
   List.iter
     (fun seq ->
@@ -214,6 +276,7 @@ type syn_event =
 type syn_chunk = {
   sc_prev_hash : string;  (* chain hash just before the chunk *)
   sc_expected_first : int;  (* expected first seq; -1 = no check (first chunk) *)
+  sc_derived : bool;  (* entry hashes recomputed at inflation (Log.spec_derived) *)
   sc_load : unit -> Entry.t list;
 }
 
@@ -228,13 +291,23 @@ type chunk_pass = {
   cp_last : int;  (* seq of the chunk's last entry *)
 }
 
+(* A chunk-pass event cell: a finished event or a deferred RECV
+   signature check, resolved by one batched verification at the end of
+   the chunk — the chunk-local form of [syn_cell]. *)
+type chunk_cell = C_ev of syn_event | C_sig of int
+
 (* One worker's pass over one chunk: the same five checks as
-   [syntactic_feed], emitting events instead of final failures. *)
+   [syntactic_feed], emitting events instead of final failures. With
+   [derived] (compressed-backed chunk) the per-entry hash comparison is
+   skipped except on the first entry, which still ties the chunk to the
+   chain hash carried in from outside the inflation. *)
 let run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash ~expected_first
-    entries =
-  let events = ref [] in
-  let ev e = events := e :: !events in
+    ~derived entries =
+  let cells = ref [] in
+  let ev e = cells := C_ev e :: !cells in
   let failf fmt = Printf.ksprintf (fun m -> ev (Ev_fail m)) fmt in
+  let sig_pending = ref [] in
+  let sig_npending = ref 0 in
   let entries_checked = ref 0 in
   let auths_matched = ref 0 in
   let recv_sigs = ref 0 in
@@ -246,6 +319,7 @@ let run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash ~expecte
   let last_seq = ref 0 in
   List.iter
     (fun (e : Entry.t) ->
+      let first_entry = !entries_checked = 0 in
       incr entries_checked;
       last_seq := e.seq;
       if not !chain_broken then begin
@@ -256,7 +330,9 @@ let run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash ~expecte
                (Printf.sprintf "chain: sequence gap: expected %d, found %d" !expected_seq
                   e.seq))
         end
-        else if not (Entry.chain_ok ~prev:!prev e) then begin
+        else if
+          ((not derived) || first_entry) && not (Entry.chain_ok ~prev:!prev e)
+        then begin
           chain_broken := true;
           ev (Ev_chain (Printf.sprintf "chain: hash chain broken at entry %d" e.seq))
         end
@@ -278,8 +354,9 @@ let run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash ~expecte
           | None -> failf "entry #%d: no certificate for sender %s" e.seq src
           | Some cert ->
             let body = Wireformat.message_body ~src ~dest:node ~nonce ~payload in
-            if Avm_crypto.Identity.verify cert ~msg:body ~signature then incr recv_sigs
-            else failf "entry #%d: forged RECV — sender signature invalid" e.seq
+            cells := C_sig !sig_npending :: !cells;
+            sig_pending := (e.seq, cert, body, signature) :: !sig_pending;
+            incr sig_npending
         end
       | Entry.Ack { acked_seq; _ } -> acked := acked_seq :: !acked
       | Entry.Send _ -> sends := e.seq :: !sends
@@ -288,8 +365,31 @@ let run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq ~prev_hash ~expecte
         else if msg >= first_seq then ev (Ev_xref (e.seq, msg))
       | _ -> ())
     entries;
+  (* Resolve the chunk's deferred signature checks in one batch. *)
+  let pending = Array.of_list (List.rev !sig_pending) in
+  let verdicts =
+    Avm_crypto.Identity.verify_batch
+      (Array.map (fun (_, cert, body, signature) -> (cert, body, signature)) pending)
+  in
+  let events =
+    List.fold_left
+      (fun acc cell ->
+        match cell with
+        | C_ev e -> e :: acc
+        | C_sig i ->
+          if verdicts.(i) then begin
+            incr recv_sigs;
+            acc
+          end
+          else begin
+            let seq, _, _, _ = pending.(i) in
+            Ev_fail (Printf.sprintf "entry #%d: forged RECV — sender signature invalid" seq)
+            :: acc
+          end)
+      [] !cells
+  in
   {
-    cp_events = List.rev !events;
+    cp_events = events;
     cp_sends = !sends;
     cp_acked = !acked;
     cp_entries = !entries_checked;
@@ -317,20 +417,22 @@ let slice_list n xs =
 
 (* Authenticator signature checks are embarrassingly parallel; slice
    order is preserved so both the failure list and the [Hashtbl.add]
-   order (which [find_all] reflects) match the sequential pre-pass. *)
+   order (which [find_all] reflects) match the sequential pre-pass.
+   Within a slice the signatures go through one batched verification —
+   they all share the node key. *)
 let verify_auth_slice ~node ~node_cert slice =
+  let mine = Array.of_list (List.filter (fun (a : Auth.t) -> String.equal a.node node) slice) in
+  let verdicts = Auth.verify_batch (Array.map (fun a -> (node_cert, a)) mine) in
   let oks = ref [] in
   let fails = ref [] in
-  List.iter
-    (fun (a : Auth.t) ->
-      if String.equal a.node node then begin
-        if Auth.verify node_cert a then oks := a :: !oks
-        else
-          fails :=
-            Printf.sprintf "authenticator #%d: bad signature or inconsistent hash" a.seq
-            :: !fails
-      end)
-    slice;
+  Array.iteri
+    (fun i (a : Auth.t) ->
+      if verdicts.(i) then oks := a :: !oks
+      else
+        fails :=
+          Printf.sprintf "authenticator #%d: bad signature or inconsistent hash" a.seq
+          :: !fails)
+    mine;
   (List.rev !oks, List.rev !fails)
 
 let stitch ~ack_grace ~auth_failures passes =
@@ -389,19 +491,24 @@ let syntactic_parallel ~pool ~node_cert ~peer_certs ~auths ~ack_grace ~first_seq
       (fun (i, c) ->
         chunk_span i (fun () ->
             run_chunk_pass ~node ~peer_certs ~auth_by_seq ~first_seq
-              ~prev_hash:c.sc_prev_hash ~expected_first:c.sc_expected_first (c.sc_load ())))
+              ~prev_hash:c.sc_prev_hash ~expected_first:c.sc_expected_first
+              ~derived:c.sc_derived (c.sc_load ())))
       (List.mapi (fun i c -> (i, c)) chunks)
   in
   stitch ~ack_grace ~auth_failures passes
 
-(* Chunking a materialized list: contiguous near-equal slices, one per
-   pool lane; boundary state comes from the previous slice's last
-   entry, exactly the values the sequential fold carries there. *)
+(* Chunking a materialized list: contiguous near-equal slices, several
+   per pool lane so the work-stealing scheduler can rebalance uneven
+   chunks (signature-dense slices take far longer than EXEC-dense
+   ones); boundary state comes from the previous slice's last entry,
+   exactly the values the sequential fold carries there. *)
+let chunks_per_lane = 4
+
 let list_chunks ~prev_hash ~lanes entries =
   let arr = Array.of_list entries in
   let n = Array.length arr in
-  let lanes = max 1 (min lanes n) in
-  let per = (n + lanes - 1) / lanes in
+  let pieces = max 1 (min (lanes * chunks_per_lane) n) in
+  let per = (n + pieces - 1) / pieces in
   let rec go i acc =
     if i >= n then List.rev acc
     else begin
@@ -411,6 +518,7 @@ let list_chunks ~prev_hash ~lanes entries =
         ({
            sc_prev_hash = (if i = 0 then prev_hash else arr.(i - 1).Entry.hash);
            sc_expected_first = (if i = 0 then -1 else arr.(i - 1).Entry.seq + 1);
+           sc_derived = false;
            sc_load = (fun () -> Array.to_list sub);
          }
         :: acc)
@@ -427,6 +535,7 @@ let log_chunks log ~from ~upto =
       {
         sc_prev_hash = s.Log.spec_prev_hash;
         sc_expected_first = (if s.Log.spec_from <= from then -1 else s.Log.spec_from);
+        sc_derived = s.Log.spec_derived;
         sc_load = s.Log.spec_load;
       })
     (Log.chunk_specs log ~from ~upto)
@@ -452,16 +561,26 @@ let syntactic_of_log ~ctx ~log ?(from = 1) ?upto ?par () =
   (* The sequential stream walks the same per-segment chunk specs the
      parallel pass fans out over (their concatenation is exactly
      [iter_range from..upto]), so both paths record one [audit.chunk]
-     span per sealed segment. *)
+     span per sealed segment. A derived (compressed-backed) chunk only
+     pays the full hash check on its first entry — the link into the
+     chunk — because inflation recomputed every hash inside it from
+     that same chain. *)
   let sequential () =
-    syntactic_feed ~ctx
-      ~prev_hash:(Log.prev_hash log from)
-      ~feed:(fun f ->
-        List.iteri
-          (fun i (s : Log.chunk_spec) ->
-            chunk_span i (fun () -> List.iter f (s.Log.spec_load ())))
-          (Log.chunk_specs log ~from ~upto))
-      ()
+    let st = syn_stream ~ctx ~prev_hash:(Log.prev_hash log from) in
+    List.iteri
+      (fun i (spec : Log.chunk_spec) ->
+        chunk_span i (fun () ->
+            let first = ref true in
+            List.iter
+              (fun e ->
+                if !first || not spec.Log.spec_derived then begin
+                  first := false;
+                  syn_push st e
+                end
+                else syn_push_gen ~hash_derived:true st e)
+              (spec.Log.spec_load ())))
+      (Log.chunk_specs log ~from ~upto);
+    syn_finish st
   in
   Audit_ctx.with_parallelism ?par (fun p ->
       match p with

@@ -90,17 +90,23 @@ val syn_stream : ctx:ctx -> prev_hash:string -> syn_stream
     once. *)
 
 val syn_push : syn_stream -> Avm_tamperlog.Entry.t -> unit
-(** Feed the next entry, in log order. All checks that do not need the
-    cut point are evaluated immediately: a failure pushed by this
-    entry is visible in {!syn_failures} as soon as the call returns. *)
+(** Feed the next entry, in log order. Structural checks (chain hash,
+    sequence, authenticator match, cross-references) are evaluated
+    immediately; RECV sender-signature checks are deferred into a
+    pending batch that {!Avm_crypto.Rsa.verify_batch} settles — either
+    when the batch fills or on the next read accessor. Every accessor
+    below flushes first, so a failure pushed by this entry is visible
+    in {!syn_failures} as soon as any of them is consulted, at the
+    exact position an immediate check would have reported. *)
 
 val syn_failure_count : syn_stream -> int
-(** Failures recorded so far — O(1), so a streaming session can detect
-    "this entry broke something" by comparing counts around a
-    {!syn_push}. *)
+(** Failures recorded so far (flushes pending signature checks, so
+    the count is exact) — a streaming session detects "this entry
+    broke something" by comparing counts around a {!syn_push}. *)
 
 val syn_failures : syn_stream -> string list
-(** Failures so far, oldest first. *)
+(** Failures so far, oldest first (flushes pending signature
+    checks). *)
 
 val syn_report : syn_stream -> syntactic_report
 (** The report as of now, {e without} settling cut-point obligations
@@ -127,9 +133,10 @@ val syntactic :
   unit ->
   syntactic_report
 (** {!syntactic_feed} over a materialized list. With more than one
-    lane, the list is cut into one contiguous slice per lane and
-    checked in parallel, with a report identical to the sequential
-    pass. *)
+    lane, the list is cut into several contiguous chunks per lane
+    (finer than one-per-lane so work stealing can rebalance uneven
+    chunks) and checked in parallel, with a report identical to the
+    sequential pass. *)
 
 val syntactic_of_log :
   ctx:ctx ->
@@ -145,7 +152,11 @@ val syntactic_of_log :
     index. With more than one lane, sealed segments are checked
     concurrently (each worker inflating through its own domain-local
     cache) and the per-segment results stitched into the same report
-    the sequential stream produces. *)
+    the sequential stream produces. Chunks backed by compressed
+    segments ([Log.chunk_spec.spec_derived]) pay the per-entry hash
+    comparison only on their first entry — inflation already
+    recomputed the interior chain from the same base, so the boundary
+    link plus sequence checks are equivalent. *)
 
 (** {1 The unified audit outcome} *)
 

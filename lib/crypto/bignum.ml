@@ -326,27 +326,12 @@ module Mont = struct
       Some { m; k; n0' = neg_inv_limb m.(0); r2 = pad k r2 }
     end
 
-  (* dest <- REDC(a * b). [a], [b], [dest] have k limbs with values
-     < m; [t] is scratch of 2k+1 limbs. [dest] may alias [a] and/or
-     [b]: both operands are fully consumed (into [t]) before [dest] is
-     written. *)
-  let mul_into ctx ~t ~dest a b =
+  (* REDC of the double-width product sitting in [t] (2k+1 limbs):
+     k sweeps each cancelling the lowest live limb, then
+     dest <- t[k..2k-1] (- m if the result reached it). Shared tail of
+     [mul_into] and [sqr_into]. *)
+  let reduce_into ctx ~t ~dest =
     let k = ctx.k and n = ctx.m and n0' = ctx.n0' in
-    Array.fill t 0 ((2 * k) + 1) 0;
-    (* t = a * b *)
-    for i = 0 to k - 1 do
-      let ai = Array.unsafe_get a i in
-      if ai <> 0 then begin
-        let carry = ref 0 in
-        for j = 0 to k - 1 do
-          let x = Array.unsafe_get t (i + j) + (ai * Array.unsafe_get b j) + !carry in
-          Array.unsafe_set t (i + j) (x land limb_mask);
-          carry := x lsr bits_per_limb
-        done;
-        Array.unsafe_set t (i + k) !carry
-      end
-    done;
-    (* Reduction: k sweeps each cancelling the lowest live limb. *)
     for i = 0 to k - 1 do
       let mi = Array.unsafe_get t i * n0' land limb_mask in
       if mi <> 0 then begin
@@ -365,7 +350,6 @@ module Mont = struct
         done
       end
     done;
-    (* dest <- t[k..2k-1] (- m if the result reached it). *)
     let ge =
       if t.((2 * k)) <> 0 then true
       else begin
@@ -394,6 +378,60 @@ module Mont = struct
       done
     end
     else Array.blit t k dest 0 k
+
+  (* dest <- REDC(a * b). [a], [b], [dest] have k limbs with values
+     < m; [t] is scratch of 2k+1 limbs. [dest] may alias [a] and/or
+     [b]: both operands are fully consumed (into [t]) before [dest] is
+     written. *)
+  let mul_into ctx ~t ~dest a b =
+    let k = ctx.k in
+    Array.fill t 0 ((2 * k) + 1) 0;
+    (* t = a * b *)
+    for i = 0 to k - 1 do
+      let ai = Array.unsafe_get a i in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to k - 1 do
+          let x = Array.unsafe_get t (i + j) + (ai * Array.unsafe_get b j) + !carry in
+          Array.unsafe_set t (i + j) (x land limb_mask);
+          carry := x lsr bits_per_limb
+        done;
+        Array.unsafe_set t (i + k) !carry
+      end
+    done;
+    reduce_into ctx ~t ~dest
+
+  (* Final step shared by the product-scanning routines below: [dest]
+     holds (x + q*m)/R < 2m split across k limbs plus an overflow bit
+     [hi]; bring it under m with at most one subtraction. *)
+  let final_sub ctx ~dest hi =
+    let k = ctx.k and n = ctx.m in
+    let ge =
+      hi <> 0
+      ||
+      let rec cmp i =
+        if i < 0 then true
+        else begin
+          let di = Array.unsafe_get dest i and ni = Array.unsafe_get n i in
+          if di <> ni then di > ni else cmp (i - 1)
+        end
+      in
+      cmp (k - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = Array.unsafe_get dest i - Array.unsafe_get n i - !borrow in
+        if d < 0 then begin
+          Array.unsafe_set dest i (d + base);
+          borrow := 1
+        end
+        else begin
+          Array.unsafe_set dest i d;
+          borrow := 0
+        end
+      done
+    end
 
   (* base^exp mod m: plain left-to-right binary for short exponents,
      4-bit windows (15 precomputed odd-and-even powers) when the table
@@ -451,6 +489,129 @@ module Mont = struct
       mul_into ctx ~t ~dest:acc acc one_limbs;
       normalize acc
     end
+
+  (* Scratch for a run of exponentiations under one context: the REDC
+     temporary, the Montgomery-form base, the accumulator and a
+     one-in-limbs constant, allocated once and reused across a whole
+     batch of signatures (DESIGN.md §17). *)
+  type scratch = {
+    s_q : int array; (* per-column reduction quotients, k limbs *)
+    s_acc : int array;
+    s_base : int array; (* base, padded to k limbs *)
+  }
+
+  let scratch ctx =
+    let k = ctx.k in
+    { s_q = Array.make k 0; s_acc = Array.make k 0; s_base = Array.make k 0 }
+
+  (* Product-scanning (Comba) Montgomery multiply: one pass over the
+     2k-1 columns of a*b, interleaving the reduction — each low column
+     fixes its quotient limb q_col and is cancelled on the spot, each
+     high column emits a result limb. The running column sum lives in
+     one machine word (26-bit limbs leave ~2^10 headroom over the
+     worst-case 2k products of 2^52 per column), so unlike [mul_into]
+     there is no double-width temporary to fill, re-read and re-write.
+     [dest] may alias [a] or [b]: limb [col-k] is dead in every later
+     column by the time it is overwritten. *)
+  let mul_mont ctx s ~dest a b =
+    let k = ctx.k and n = ctx.m and n0' = ctx.n0' in
+    let q = s.s_q in
+    let acc = ref 0 in
+    for col = 0 to k - 1 do
+      let sum = ref !acc in
+      for i = 0 to col do
+        sum := !sum + (Array.unsafe_get a i * Array.unsafe_get b (col - i))
+      done;
+      for j = 0 to col - 1 do
+        sum := !sum + (Array.unsafe_get q j * Array.unsafe_get n (col - j))
+      done;
+      let qc = !sum * n0' land limb_mask in
+      Array.unsafe_set q col qc;
+      acc := (!sum + (qc * Array.unsafe_get n 0)) lsr bits_per_limb
+    done;
+    for col = k to (2 * k) - 2 do
+      let sum = ref !acc in
+      for i = col - k + 1 to k - 1 do
+        sum := !sum + (Array.unsafe_get a i * Array.unsafe_get b (col - i))
+      done;
+      for j = col - k + 1 to k - 1 do
+        sum := !sum + (Array.unsafe_get q j * Array.unsafe_get n (col - j))
+      done;
+      Array.unsafe_set dest (col - k) (!sum land limb_mask);
+      acc := !sum lsr bits_per_limb
+    done;
+    Array.unsafe_set dest (k - 1) (!acc land limb_mask);
+    final_sub ctx ~dest (!acc lsr bits_per_limb)
+
+  (* Product-scanning Montgomery squaring: as [mul_mont], but each
+     column sums only the distinct cross products a_i*a_j (i < j),
+     doubled in-register, plus the diagonal term — about half the
+     multiply work. The 16 squarings of an e=65537 exponentiation all
+     land here. *)
+  let sqr_mont ctx s ~dest a =
+    let k = ctx.k and n = ctx.m and n0' = ctx.n0' in
+    let q = s.s_q in
+    let acc = ref 0 in
+    for col = 0 to k - 1 do
+      let sum = ref 0 in
+      (* pairs i < col-i; [asr] so col = 0 gives an empty range, not 0/2 *)
+      for i = 0 to (col - 1) asr 1 do
+        sum := !sum + (Array.unsafe_get a i * Array.unsafe_get a (col - i))
+      done;
+      let sum = ref ((!sum lsl 1) + !acc) in
+      if col land 1 = 0 then begin
+        let d = Array.unsafe_get a (col / 2) in
+        sum := !sum + (d * d)
+      end;
+      for j = 0 to col - 1 do
+        sum := !sum + (Array.unsafe_get q j * Array.unsafe_get n (col - j))
+      done;
+      let qc = !sum * n0' land limb_mask in
+      Array.unsafe_set q col qc;
+      acc := (!sum + (qc * Array.unsafe_get n 0)) lsr bits_per_limb
+    done;
+    for col = k to (2 * k) - 2 do
+      let sum = ref 0 in
+      for i = col - k + 1 to (col - 1) / 2 do
+        sum := !sum + (Array.unsafe_get a i * Array.unsafe_get a (col - i))
+      done;
+      let sum = ref ((!sum lsl 1) + !acc) in
+      if col land 1 = 0 then begin
+        let d = Array.unsafe_get a (col / 2) in
+        sum := !sum + (d * d)
+      end;
+      for j = col - k + 1 to k - 1 do
+        sum := !sum + (Array.unsafe_get q j * Array.unsafe_get n (col - j))
+      done;
+      Array.unsafe_set dest (col - k) (!sum land limb_mask);
+      acc := !sum lsr bits_per_limb
+    done;
+    Array.unsafe_set dest (k - 1) (!acc land limb_mask);
+    final_sub ctx ~dest (!acc lsr bits_per_limb)
+
+  (* [b]^65537 mod m for [b < m], through caller-owned scratch: the
+     fixed 2^16 + 1 exponent is one to-Montgomery conversion, sixteen
+     dedicated squarings ([sqr_mont]), and one closing multiply by the
+     *plain* base — REDC(b^(2^16)*R * b) = b^(2^16+1) mod m, so the
+     final multiply and the conversion out of Montgomery form collapse
+     into a single step. No window table, no testbit walk, and no
+     allocation beyond the normalized result. This is the whole
+     per-signature cost of an RSA verification once the context and
+     scratch are amortized across a batch. *)
+  let pow_e65537 ctx s b =
+    let k = ctx.k in
+    Array.fill s.s_base 0 k 0;
+    Array.blit b 0 s.s_base 0 (Array.length b);
+    mul_mont ctx s ~dest:s.s_acc s.s_base ctx.r2;
+    for _ = 1 to 16 do
+      sqr_mont ctx s ~dest:s.s_acc s.s_acc
+    done;
+    mul_mont ctx s ~dest:s.s_acc s.s_acc s.s_base;
+    let n = ref k in
+    while !n > 0 && s.s_acc.(!n - 1) = 0 do
+      decr n
+    done;
+    Array.sub s.s_acc 0 !n
 end
 
 let mod_pow b e m =
@@ -505,22 +666,58 @@ let mod_inv a m =
     Some (if x.neg && not (is_zero v) then sub m v else v)
   end
 
+(* Byte conversions are single-pass bit accumulators (no per-byte
+   shift/add over freshly allocated arrays): decoding packs 8 bits at a
+   time into the limb being built, encoding drains limbs 8 bits at a
+   time into the output buffer. Both are linear in the input size,
+   which matters because every RSA verification decodes a signature
+   and encodes a result. *)
 let of_bytes_be s =
-  let acc = ref zero in
-  String.iter (fun c -> acc := add_int (shift_left !acc 8) (Char.code c)) s;
-  !acc
+  let len = String.length s in
+  if len = 0 then zero
+  else begin
+    let r = Array.make (((len * 8) + bits_per_limb - 1) / bits_per_limb) 0 in
+    let acc = ref 0 and accbits = ref 0 and li = ref 0 in
+    for i = len - 1 downto 0 do
+      acc := !acc lor (Char.code (String.unsafe_get s i) lsl !accbits);
+      accbits := !accbits + 8;
+      if !accbits >= bits_per_limb then begin
+        r.(!li) <- !acc land limb_mask;
+        incr li;
+        acc := !acc lsr bits_per_limb;
+        accbits := !accbits - bits_per_limb
+      end
+    done;
+    if !accbits > 0 then r.(!li) <- !acc;
+    normalize r
+  end
+
+(* Drain [a]'s limbs big-endian into [b.[0 .. out_len-1]], zero-padded
+   on the left. Shared by [to_bytes_be] and the batch-verify path that
+   reuses one output buffer across a whole segment's signatures. *)
+let blit_bytes_be a b out_len =
+  let nbytes = (bit_length a + 7) / 8 in
+  if nbytes > out_len then invalid_arg "Bignum.to_bytes_be: value too large";
+  Bytes.fill b 0 (out_len - nbytes) '\000';
+  let acc = ref 0 and accbits = ref 0 and li = ref 0 in
+  let la = Array.length a in
+  for i = out_len - 1 downto out_len - nbytes do
+    if !accbits < 8 && !li < la then begin
+      acc := !acc lor (Array.unsafe_get a !li lsl !accbits);
+      accbits := !accbits + bits_per_limb;
+      incr li
+    end;
+    Bytes.unsafe_set b i (Char.unsafe_chr (!acc land 0xff));
+    acc := !acc lsr 8;
+    accbits := max 0 (!accbits - 8)
+  done
 
 let to_bytes_be ?len a =
   let nbytes = (bit_length a + 7) / 8 in
   let out_len = match len with None -> max nbytes 1 | Some l -> l in
-  if nbytes > out_len then invalid_arg "Bignum.to_bytes_be: value too large";
-  let b = Bytes.make out_len '\000' in
-  let v = ref a in
-  for i = out_len - 1 downto out_len - nbytes do
-    Bytes.set b i (Char.chr (rem_int !v 256));
-    v := shift_right !v 8
-  done;
-  Bytes.to_string b
+  let b = Bytes.create out_len in
+  blit_bytes_be a b out_len;
+  Bytes.unsafe_to_string b
 
 let to_hex a = Avm_util.Hex.encode (to_bytes_be a)
 let of_hex h = of_bytes_be (Avm_util.Hex.decode h)

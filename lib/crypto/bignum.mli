@@ -84,6 +84,20 @@ module Mont : sig
 
   val pow : ctx -> t -> t -> t
   (** [pow ctx base exp] is [base^exp mod (modulus ctx)]. *)
+
+  type scratch
+  (** Reusable working storage for a run of exponentiations under one
+      context: the REDC temporary and the Montgomery-form operands,
+      allocated once per batch instead of once per call. *)
+
+  val scratch : ctx -> scratch
+
+  val pow_e65537 : ctx -> scratch -> t -> t
+  (** [pow_e65537 ctx s b] is [b^65537 mod (modulus ctx)] for
+      [b < modulus ctx], via the fixed 2{^16}+1 addition chain
+      (sixteen squarings and one multiply) with all intermediates in
+      caller-owned scratch — the amortized inner loop of
+      {!Rsa.verify_batch}. *)
 end
 
 val mod_inv : t -> t -> t option
@@ -99,6 +113,13 @@ val to_bytes_be : ?len:int -> t -> string
 (** Big-endian byte encoding, zero-padded on the left to [len] when
     given.
     @raise Invalid_argument if the value does not fit in [len] bytes. *)
+
+val blit_bytes_be : t -> Bytes.t -> int -> unit
+(** [blit_bytes_be a b len] writes the [len]-byte big-endian encoding
+    of [a] into [b.[0 .. len-1]], zero-padding on the left — the
+    allocation-free form of {!to_bytes_be} for callers that reuse one
+    output buffer across many encodings ({!Rsa.verify_batch}).
+    @raise Invalid_argument if [a] does not fit in [len] bytes. *)
 
 val to_hex : t -> string
 val of_hex : string -> t

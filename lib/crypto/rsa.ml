@@ -44,37 +44,9 @@ let pad_digest ~len digest =
   let ff_len = len - String.length digest - 3 in
   String.concat "" [ "\x00\x01"; String.make ff_len '\xff'; "\x00"; digest ]
 
-(* --- per-domain precomputation caches ------------------------------------ *)
-
-(* Montgomery contexts, keyed by the physical identity of the modulus:
-   a key's Bignum fields are stable for the key's lifetime, and audits
-   verify thousands of signatures under a handful of keys, so a short
-   association list probed by [==] makes the precomputed n', R^2 pair
-   effectively "cached on the key" without widening the key types.
-   Each domain keeps its own list (no locks); a structural miss just
-   recomputes. *)
-let mont_cache : (Bignum.t * Bignum.Mont.ctx option) list ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [])
-
-let mont_of (n : Bignum.t) =
-  let cache = Domain.DLS.get mont_cache in
-  let rec find = function
-    | [] -> None
-    | (m, c) :: _ when m == n -> Some c
-    | _ :: rest -> find rest
-  in
-  match find !cache with
-  | Some c -> c
-  | None ->
-    let c = Bignum.Mont.make n in
-    cache := (n, c) :: (if List.length !cache >= 32 then [] else !cache);
-    c
-
-(* base^exp mod m through the cached Montgomery context. *)
-let pow_mod ~m b e =
-  match mont_of m with
-  | Some c -> Bignum.Mont.pow c b e
-  | None -> Bignum.mod_pow b e m
+(* The Montgomery context cache lives in {!Crypto_backend} (it is
+   shared by the default backend, CRT signing and the batch path). *)
+let pow_mod = Crypto_backend.pow_mod
 
 let public_to_string (key : public_key) =
   let w = Avm_util.Wire.writer () in
@@ -128,11 +100,45 @@ let sign (key : private_key) msg =
   let m = Bignum.of_bytes_be em in
   Bignum.to_bytes_be ~len (private_power key m)
 
+(* Check that [m] encodes 0x00 0x01 0xFF.. 0x00 || digest without
+   materializing either side: [m] is written into the caller's [buf]
+   (sized to [len]) and compared field by field. *)
+let em_matches buf ~len ~digest m =
+  match Bignum.blit_bytes_be m buf len with
+  | exception Invalid_argument _ -> false
+  | () ->
+    let dl = String.length digest in
+    len >= dl + 11
+    && Bytes.unsafe_get buf 0 = '\x00'
+    && Bytes.unsafe_get buf 1 = '\x01'
+    && Bytes.unsafe_get buf (len - dl - 1) = '\x00'
+    && begin
+         let ok = ref true in
+         for i = 2 to len - dl - 2 do
+           if Bytes.unsafe_get buf i <> '\xff' then ok := false
+         done;
+         let base = len - dl in
+         for i = 0 to dl - 1 do
+           if Bytes.unsafe_get buf (base + i) <> String.unsafe_get digest i then ok := false
+         done;
+         !ok
+       end
+
+(* Scratch output buffer for [em_matches], grown on demand; one per
+   domain like the other verification scratch state. *)
+let em_buf : Bytes.t ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref (Bytes.create 128))
+
+let em_buf_for len =
+  let b = Domain.DLS.get em_buf in
+  if Bytes.length !b < len then b := Bytes.create len;
+  !b
+
 let verify (key : public_key) ~msg ~signature =
   let len = signature_length key in
   if String.length signature <> len then false
   else begin
-    let digest = Sha256.digest msg in
+    let module B = (val Crypto_backend.current ()) in
+    let digest = B.digest msg in
     let fp = fingerprint key in
     if Sigcache.check ~fingerprint:fp ~signature ~digest then true
     else begin
@@ -140,10 +146,95 @@ let verify (key : public_key) ~msg ~signature =
       if Bignum.compare s key.n >= 0 then false
       else begin
         Metrics.incr "crypto.rsa_verifies";
-        let m = pow_mod ~m:key.n s key.e in
-        let ok = String.equal (Bignum.to_bytes_be ~len m) (pad_digest ~len digest) in
+        let m = B.rsa_pow ~m:key.n ~base:s ~exp:key.e in
+        let ok = em_matches (em_buf_for len) ~len ~digest m in
         if ok then Sigcache.remember ~fingerprint:fp ~signature ~digest;
         ok
       end
     end
+  end
+
+(* --- batch verification -------------------------------------------------- *)
+
+(* Verifying a chunk's signatures together amortizes everything that
+   [verify] pays per call: the Montgomery context and fingerprint
+   lookups are hoisted per group of triples sharing a modulus (probed
+   by physical identity, as in {!Crypto_backend.mont_of}), one
+   [Bignum.Mont.scratch] allocation serves the whole group, and keys
+   with e = 65537 — every key this codebase generates — take the fixed
+   addition-chain exponentiation [Bignum.Mont.pow_e65537] instead of
+   the windowed general path. Each signature is still verified
+   individually (a combined product check would be unsound without
+   random blinding: two wrong signatures can cancel), so the result
+   vector is byte-for-byte what per-signature [verify] returns and a
+   failing index is pinpointed exactly. *)
+let verify_batch (items : (public_key * string * string) array) =
+  let n = Array.length items in
+  let results = Array.make n false in
+  if not (Crypto_backend.is_default ()) then begin
+    (* A non-default backend must see one primitive call per
+       signature; there is nothing sound to amortize on its behalf. *)
+    Array.iteri
+      (fun i (key, msg, signature) -> results.(i) <- verify key ~msg ~signature)
+      items;
+    results
+  end
+  else begin
+    (* Pass 1: digests and cache probes; collect the misses. *)
+    let misses = ref [] in
+    for i = n - 1 downto 0 do
+      let key, msg, signature = Array.unsafe_get items i in
+      let len = signature_length key in
+      if String.length signature = len then begin
+        let digest = Sha256.digest msg in
+        let fp = fingerprint key in
+        if Sigcache.check ~fingerprint:fp ~signature ~digest then results.(i) <- true
+        else misses := (i, key, digest, fp) :: !misses
+      end
+    done;
+    (* Pass 2: group misses by modulus (physical identity) and verify
+       each group under one hoisted context + scratch. *)
+    let groups : (Bignum.t * (int * public_key * string * string) list ref) list ref = ref [] in
+    List.iter
+      (fun ((_, (key : public_key), _, _) as miss) ->
+        let rec find = function
+          | [] -> None
+          | (m, cell) :: _ when m == key.n -> Some cell
+          | _ :: rest -> find rest
+        in
+        match find !groups with
+        | Some cell -> cell := miss :: !cell
+        | None -> groups := (key.n, ref [ miss ]) :: !groups)
+      (List.rev !misses);
+    List.iter
+      (fun ((modulus : Bignum.t), cell) ->
+        let group = List.rev !cell in
+        let len = (Bignum.bit_length modulus + 7) / 8 in
+        let buf = em_buf_for len in
+        let ctx = Crypto_backend.mont_of modulus in
+        let scratch =
+          match ctx with Some c -> Some (Bignum.Mont.scratch c) | None -> None
+        in
+        List.iter
+          (fun (i, (key : public_key), digest, fp) ->
+            let _, _, signature = Array.unsafe_get items i in
+            let s = Bignum.of_bytes_be signature in
+            if Bignum.compare s modulus < 0 then begin
+              Metrics.incr "crypto.rsa_verifies";
+              let m =
+                match (ctx, scratch) with
+                | Some c, Some sc when Bignum.equal key.e e_value ->
+                  Bignum.Mont.pow_e65537 c sc s
+                | Some c, _ -> Bignum.Mont.pow c s key.e
+                | _ -> Bignum.mod_pow s key.e modulus
+              in
+              if em_matches buf ~len ~digest m then begin
+                results.(i) <- true;
+                Sigcache.remember ~fingerprint:fp ~signature ~digest
+              end
+            end)
+          group)
+      (List.rev !groups);
+    Metrics.incr ~by:n "crypto.rsa_batched";
+    results
   end

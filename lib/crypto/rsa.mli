@@ -38,7 +38,21 @@ val sign : private_key -> string -> string
 
 val verify : public_key -> msg:string -> signature:string -> bool
 (** [verify key ~msg ~signature] checks a signature produced by
-    {!sign}. Malformed input verifies as [false], never raises. *)
+    {!sign}, through the selected {!Crypto_backend}. Malformed input
+    verifies as [false], never raises. *)
+
+val verify_batch : (public_key * string * string) array -> bool array
+(** [verify_batch [| (key, msg, signature); ... |]] is exactly
+    [Array.map (fun (k, m, s) -> verify k ~msg:m ~signature:s)] — each
+    signature is verified individually (a combined product check is
+    unsound without random blinding) — but amortizes the per-call
+    setup across triples sharing a modulus: one Montgomery context and
+    fingerprint lookup, one REDC scratch allocation, one output buffer
+    per group, and the fixed e = 65537 addition chain
+    ({!Bignum.Mont.pow_e65537}). {!Sigcache} hits are honored before
+    any exponentiation, and successes are remembered, as in {!verify}.
+    Under a non-default {!Crypto_backend} every element falls back to
+    plain {!verify}. *)
 
 val public_to_string : public_key -> string
 (** Wire encoding of a public key (for certificates and tests). *)

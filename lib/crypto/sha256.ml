@@ -6,7 +6,17 @@
    per-domain scratch context), whole input blocks are scheduled
    straight from the caller's string/bytes without an intermediate
    copy, and finalization pads with a single fill instead of repeated
-   feeds. *)
+   feeds.
+
+   The compression core is text-unrolled eight rounds at a time with
+   the working variables rotating through fixed roles, so each round
+   performs exactly two stores instead of the eight-way shuffle of the
+   textbook loop. Rotations are expanded inline and left unmasked: the
+   garbage above bit 31 that [lsl] introduces only ever feeds
+   *additions*, whose carries propagate upward, so a single [land
+   mask32] on each round's two results is sufficient. Whole blocks are
+   consumed two per loop iteration in the feed drivers, which keeps
+   the per-block overhead to one schedule fill and one direct call. *)
 
 module Metrics = Avm_obs.Metrics
 
@@ -49,10 +59,8 @@ let reset ctx =
   ctx.fill <- 0;
   ctx.total <- 0
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
-
 (* Fill the first 16 schedule words from 64 source bytes starting at
-   [off]; the three variants differ only in the source container. *)
+   [off]; the variants differ only in the source container. *)
 let fill_w_bytes w (b : Bytes.t) off =
   for i = 0 to 15 do
     let p = off + (4 * i) in
@@ -73,13 +81,18 @@ let fill_w_string w (s : string) off =
       lor Char.code (String.unsafe_get s (p + 3)))
   done
 
-(* One compression round over the already-filled schedule [ctx.w]. *)
-let compress_w ctx =
+(* One compression over the already-filled schedule [ctx.w].
+
+   Round [r] of each unrolled group of eight assigns the textbook roles
+   A..H to the working variables rotated by [r]; only D (+= t1) and H
+   (:= t1 + t2) are written, so the group leaves the variables back in
+   their round-0 roles. *)
+let compress_core ctx =
   let w = ctx.w in
   for i = 16 to 63 do
     let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
-    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
-    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    let s0 = ((w15 lsr 7) lor (w15 lsl 25)) lxor ((w15 lsr 18) lor (w15 lsl 14)) lxor (w15 lsr 3)
+    and s1 = ((w2 lsr 17) lor (w2 lsl 15)) lxor ((w2 lsr 19) lor (w2 lsl 13)) lxor (w2 lsr 10) in
     Array.unsafe_set w i
       ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1) land mask32)
   done;
@@ -92,23 +105,103 @@ let compress_w ctx =
   and f = ref (Array.unsafe_get h 5)
   and g = ref (Array.unsafe_get h 6)
   and hh = ref (Array.unsafe_get h 7) in
-  for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = !e land !f lxor (lnot !e land !g) in
+  for t = 0 to 7 do
+    let i = t lsl 3 in
+    (* r=0: A..H = a b c d e f g hh *)
+    let x = !e in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
     let t1 =
-      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask32
+      (!hh + s1 + (x land !f lxor (lnot x land !g)) + Array.unsafe_get k i + Array.unsafe_get w i)
+      land mask32
     in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
-    let t2 = (s0 + maj) land mask32 in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := (!d + t1) land mask32;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := (t1 + t2) land mask32
+    let y = !a in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    d := (!d + t1) land mask32;
+    hh := (t1 + s0 + (y land !b lxor (y land !c) lxor (!b land !c))) land mask32;
+    (* r=1: A..H = hh a b c d e f g *)
+    let x = !d in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
+    let t1 =
+      (!g + s1 + (x land !e lxor (lnot x land !f)) + Array.unsafe_get k (i + 1)
+      + Array.unsafe_get w (i + 1))
+      land mask32
+    in
+    let y = !hh in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    c := (!c + t1) land mask32;
+    g := (t1 + s0 + (y land !a lxor (y land !b) lxor (!a land !b))) land mask32;
+    (* r=2: A..H = g hh a b c d e f *)
+    let x = !c in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
+    let t1 =
+      (!f + s1 + (x land !d lxor (lnot x land !e)) + Array.unsafe_get k (i + 2)
+      + Array.unsafe_get w (i + 2))
+      land mask32
+    in
+    let y = !g in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    b := (!b + t1) land mask32;
+    f := (t1 + s0 + (y land !hh lxor (y land !a) lxor (!hh land !a))) land mask32;
+    (* r=3: A..H = f g hh a b c d e *)
+    let x = !b in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
+    let t1 =
+      (!e + s1 + (x land !c lxor (lnot x land !d)) + Array.unsafe_get k (i + 3)
+      + Array.unsafe_get w (i + 3))
+      land mask32
+    in
+    let y = !f in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    a := (!a + t1) land mask32;
+    e := (t1 + s0 + (y land !g lxor (y land !hh) lxor (!g land !hh))) land mask32;
+    (* r=4: A..H = e f g hh a b c d *)
+    let x = !a in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
+    let t1 =
+      (!d + s1 + (x land !b lxor (lnot x land !c)) + Array.unsafe_get k (i + 4)
+      + Array.unsafe_get w (i + 4))
+      land mask32
+    in
+    let y = !e in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    hh := (!hh + t1) land mask32;
+    d := (t1 + s0 + (y land !f lxor (y land !g) lxor (!f land !g))) land mask32;
+    (* r=5: A..H = d e f g hh a b c *)
+    let x = !hh in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
+    let t1 =
+      (!c + s1 + (x land !a lxor (lnot x land !b)) + Array.unsafe_get k (i + 5)
+      + Array.unsafe_get w (i + 5))
+      land mask32
+    in
+    let y = !d in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    g := (!g + t1) land mask32;
+    c := (t1 + s0 + (y land !e lxor (y land !f) lxor (!e land !f))) land mask32;
+    (* r=6: A..H = c d e f g hh a b *)
+    let x = !g in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
+    let t1 =
+      (!b + s1 + (x land !hh lxor (lnot x land !a)) + Array.unsafe_get k (i + 6)
+      + Array.unsafe_get w (i + 6))
+      land mask32
+    in
+    let y = !c in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    f := (!f + t1) land mask32;
+    b := (t1 + s0 + (y land !d lxor (y land !e) lxor (!d land !e))) land mask32;
+    (* r=7: A..H = b c d e f g hh a *)
+    let x = !f in
+    let s1 = ((x lsr 6) lor (x lsl 26)) lxor ((x lsr 11) lor (x lsl 21)) lxor ((x lsr 25) lor (x lsl 7)) in
+    let t1 =
+      (!a + s1 + (x land !g lxor (lnot x land !hh)) + Array.unsafe_get k (i + 7)
+      + Array.unsafe_get w (i + 7))
+      land mask32
+    in
+    let y = !b in
+    let s0 = ((y lsr 2) lor (y lsl 30)) lxor ((y lsr 13) lor (y lsl 19)) lxor ((y lsr 22) lor (y lsl 10)) in
+    e := (!e + t1) land mask32;
+    a := (t1 + s0 + (y land !c lxor (y land !d) lxor (!c land !d))) land mask32
   done;
   Array.unsafe_set h 0 ((Array.unsafe_get h 0 + !a) land mask32);
   Array.unsafe_set h 1 ((Array.unsafe_get h 1 + !b) land mask32);
@@ -121,7 +214,7 @@ let compress_w ctx =
 
 let compress ctx =
   fill_w_bytes ctx.w ctx.block 0;
-  compress_w ctx
+  compress_core ctx
 
 let feed_sub ctx s ~pos ~len =
   if pos < 0 || len < 0 || pos > String.length s - len then
@@ -140,12 +233,21 @@ let feed_sub ctx s ~pos ~len =
       ctx.fill <- 0
     end
   end;
-  (* Whole blocks are scheduled straight from the source string. *)
-  while stop - !p >= 64 do
-    fill_w_string ctx.w s !p;
-    compress_w ctx;
-    p := !p + 64
+  (* Whole blocks are scheduled straight from the source string, two
+     per iteration on long inputs. *)
+  let w = ctx.w in
+  while stop - !p >= 128 do
+    fill_w_string w s !p;
+    compress_core ctx;
+    fill_w_string w s (!p + 64);
+    compress_core ctx;
+    p := !p + 128
   done;
+  if stop - !p >= 64 then begin
+    fill_w_string w s !p;
+    compress_core ctx;
+    p := !p + 64
+  end;
   if stop - !p > 0 then begin
     Bytes.blit_string s !p ctx.block 0 (stop - !p);
     ctx.fill <- stop - !p
@@ -169,11 +271,19 @@ let feed_bytes ctx b ~pos ~len =
       ctx.fill <- 0
     end
   end;
-  while stop - !p >= 64 do
-    fill_w_bytes ctx.w b !p;
-    compress_w ctx;
-    p := !p + 64
+  let w = ctx.w in
+  while stop - !p >= 128 do
+    fill_w_bytes w b !p;
+    compress_core ctx;
+    fill_w_bytes w b (!p + 64);
+    compress_core ctx;
+    p := !p + 128
   done;
+  if stop - !p >= 64 then begin
+    fill_w_bytes w b !p;
+    compress_core ctx;
+    p := !p + 64
+  end;
   if stop - !p > 0 then begin
     Bytes.blit b !p ctx.block 0 (stop - !p);
     ctx.fill <- stop - !p
@@ -197,6 +307,13 @@ let feed_buffer ctx b =
     end
   done
 
+(* The digest counters are bumped once per finalize; going through
+   [Metrics.incr]'s name lookup twice per 68-byte chain hash is
+   measurable, so each domain caches direct refs to its shard cells. *)
+let meters =
+  Domain.DLS.new_key (fun () ->
+      (Metrics.counter_ref "crypto.digest_bytes", Metrics.counter_ref "crypto.digests"))
+
 let finalize ctx =
   let bit_len = ctx.total * 8 in
   let fill = ctx.fill in
@@ -215,8 +332,9 @@ let finalize ctx =
   done;
   compress ctx;
   ctx.fill <- 0;
-  Metrics.incr ~by:ctx.total "crypto.digest_bytes";
-  Metrics.incr "crypto.digests";
+  let byte_meter, digest_meter = Domain.DLS.get meters in
+  byte_meter := !byte_meter + ctx.total;
+  incr digest_meter;
   let out = Bytes.create 32 in
   let h = ctx.h in
   for i = 0 to 7 do

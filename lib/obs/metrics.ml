@@ -37,6 +37,15 @@ let incr ?(by = 1) name =
   | Some r -> r := !r + by
   | None -> Hashtbl.add s.counters name (ref by)
 
+let counter_ref name =
+  let s = shard () in
+  match Hashtbl.find_opt s.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add s.counters name r;
+    r
+
 let set name value =
   let s = shard () in
   let stamped = (Atomic.fetch_and_add gauge_seq 1, value) in
@@ -113,7 +122,10 @@ let snapshot () =
   let shards = Mutex.protect registry_mu (fun () -> !registry) in
   let counters =
     sorted_bindings (fun a b -> ref (!a + !b)) (List.map (fun (s : shard) -> s.counters) shards)
-    |> List.map (fun (k, r) -> (k, !r))
+    |> List.filter_map (fun (k, r) ->
+           (* [reset] zeroes counter cells in place (hot paths cache the
+              refs); a counter still at zero has recorded nothing. *)
+           if !r = 0 then None else Some (k, !r))
   in
   let gauges =
     sorted_bindings
@@ -143,7 +155,9 @@ let reset () =
   Mutex.protect registry_mu (fun () ->
       List.iter
         (fun (s : shard) ->
-          Hashtbl.reset s.counters;
+          (* Counter cells are zeroed in place, not dropped: hot paths
+             hold direct refs obtained via [counter_ref]. *)
+          Hashtbl.iter (fun _ r -> r := 0) s.counters;
           Hashtbl.reset s.gauges;
           Hashtbl.reset s.histograms)
         !registry)

@@ -20,6 +20,15 @@
 val incr : ?by:int -> string -> unit
 (** Bump a counter (created at 0 on first use). *)
 
+val counter_ref : string -> int ref
+(** The calling domain's shard cell for counter [name] (created at 0 on
+    first use). Innermost loops that bump the same counter millions of
+    times a second ({!Avm_crypto.Sha256}, the signature cache) hold on
+    to the ref and increment it directly, skipping the per-call shard
+    lookup and name hash of {!incr}. The ref is only valid on the
+    domain that obtained it — cache it in [Domain.DLS], never share it
+    across domains. *)
+
 val set : string -> float -> unit
 (** Set a gauge. *)
 

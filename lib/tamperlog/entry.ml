@@ -132,8 +132,15 @@ let read_body ~prev r =
   let open Avm_util in
   let seq = Wire.read_varint r in
   let tag = Wire.read_u8 r in
-  let content = content_of_bytes ~tag (Wire.read_bytes r) in
-  seal ~prev ~seq content
+  let bytes = Wire.read_bytes r in
+  let content = content_of_bytes ~tag bytes in
+  (* [bytes] is already the canonical encoding of [content], so its
+     digest equals [content_digest content] without re-serializing. *)
+  {
+    seq;
+    content;
+    hash = chain_hash_raw ~prev ~seq ~tag ~content_digest:(Avm_crypto.Sha256.digest bytes);
+  }
 
 let wire_size t =
   let w = Avm_util.Wire.writer () in

@@ -253,6 +253,7 @@ type chunk_spec = {
   spec_from : int;
   spec_upto : int;
   spec_prev_hash : string;
+  spec_derived : bool;
   spec_load : unit -> Entry.t list;
 }
 
@@ -271,6 +272,7 @@ let chunk_specs t ~from ~upto =
           spec_from = c_from;
           spec_upto = upto;
           spec_prev_hash = prev_hash t c_from;
+          spec_derived = false;
           spec_load = (fun () -> entries);
         }
         :: !specs
@@ -280,11 +282,24 @@ let chunk_specs t ~from ~upto =
       if info.last_seq >= from && info.first_seq <= upto then begin
         let c_from = max from info.first_seq in
         let ph = if c_from = info.first_seq then info.prev_hash else prev_hash t c_from in
+        (* A compressed segment's entry hashes are recomputed from
+           [info.prev_hash] at inflation ([Entry.read_body]), so the
+           chain inside the chunk — including the link from
+           [spec_prev_hash], itself a hash from the same inflation —
+           holds by construction; a Memory segment preserves stored
+           hashes verbatim (that is where untrusted loads and tampered
+           runs live) and must be checked in full. *)
+        let derived =
+          match t.sealed.(i).Segment_store.repr with
+          | Segment_store.Blob _ -> true
+          | Segment_store.Entries _ -> false
+        in
         specs :=
           {
             spec_from = c_from;
             spec_upto = min upto info.last_seq;
             spec_prev_hash = ph;
+            spec_derived = derived;
             spec_load =
               (fun () ->
                 slice (inflate t i) ~first_seq:info.first_seq

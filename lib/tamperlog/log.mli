@@ -76,6 +76,14 @@ type chunk_spec = {
   spec_from : int;  (** first seq of the chunk *)
   spec_upto : int;  (** last seq (inclusive) *)
   spec_prev_hash : string;  (** stored chain hash just before [spec_from] *)
+  spec_derived : bool;
+      (** the chunk loads from a compressed segment, whose entry hashes
+          are {e recomputed} from the segment's chain base at inflation
+          — the chain from [spec_prev_hash] through the chunk holds by
+          construction, so an auditor may soundly reduce its per-entry
+          hash check to the boundary link plus seq contiguity. [false]
+          for memory segments and the tail, whose stored hashes are
+          preserved verbatim (untrusted loads, tampered runs). *)
   spec_load : unit -> Entry.t list;  (** materialize the chunk's entries *)
 }
 

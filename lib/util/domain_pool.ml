@@ -1,17 +1,26 @@
-(* A reusable fixed-size worker pool on OCaml 5 domains.
+(* A reusable fixed-size worker pool on OCaml 5 domains, organized for
+   work stealing.
 
    [create ~jobs ()] spawns [jobs - 1] worker domains; the [jobs]-th
-   lane is the caller itself, which helps drain the queue whenever it
+   lane is the caller itself, which steals queued work whenever it
    blocks in [await]. A pool with [jobs = 1] therefore spawns no
    domains at all and runs every task inline on first await — the
    degenerate case costs nothing beyond a queue push.
 
-   One mutex guards the queue and every task cell. Workers sleep on
-   [work] (signalled per submission); awaiters sleep on [finished]
-   (broadcast per completion) but only after the queue is empty — an
-   awaiter with runnable tasks executes them itself, so submit-all /
-   await-all never deadlocks even with zero workers. Task bodies never
-   run under the lock.
+   Each lane owns a queue under its own small mutex; submissions are
+   dealt round-robin across lanes, and a lane that runs dry steals
+   from the others (scan starting at its own index) instead of
+   parking at a central queue. That keeps the common case — every
+   lane busy on its own chunk stream — free of cross-domain lock
+   contention, and lets uneven chunks rebalance: a worker that
+   finishes early drains its neighbours' backlogs. [pending] counts
+   queued-but-unclaimed tasks so an idle worker knows whether a full
+   scan can still find work or it should sleep on [work].
+
+   Task cells are guarded by the pool mutex [mu]; task bodies never
+   run under any lock. Awaiters sleep on [done_] (broadcast per
+   completion, and per submission so a sleeping awaiter wakes to
+   steal fresh work) but only after a steal scan came up empty.
 
    Results are delivered per task, so batch combinators ([map_list],
    [run]) recover deterministic ordering simply by awaiting in
@@ -21,11 +30,15 @@
    crash in one task cannot leave siblings running against torn
    state. *)
 
+type lane = { l_mu : Mutex.t; l_q : (unit -> unit) Queue.t }
+
 type t = {
-  lock : Mutex.t;
-  work : Condition.t; (* a job was queued, or the pool is closing *)
-  finished : Condition.t; (* some task completed *)
-  queue : (unit -> unit) Queue.t;
+  mu : Mutex.t; (* task cells, closed flag, sleep/wake *)
+  work : Condition.t; (* workers: work was queued, or the pool is closing *)
+  done_ : Condition.t; (* awaiters: a task settled, or fresh work to steal *)
+  lanes : lane array;
+  next_lane : int Atomic.t; (* round-robin submission cursor *)
+  pending : int Atomic.t; (* queued tasks not yet claimed by any lane *)
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   jobs : int;
@@ -39,37 +52,59 @@ let recommended_jobs () = Domain.recommended_domain_count ()
 let default_jobs () = max 1 (recommended_jobs ())
 let jobs t = t.jobs
 
-let worker_loop t =
+let lane_take (l : lane) =
+  Mutex.lock l.l_mu;
+  let j = Queue.take_opt l.l_q in
+  Mutex.unlock l.l_mu;
+  j
+
+(* Claim one queued task, preferring lane [start] (a worker passes its
+   own lane; stealing is just the same scan continuing past it). *)
+let steal t start =
+  let n = Array.length t.lanes in
+  let rec go k =
+    if k = n then None
+    else
+      match lane_take t.lanes.((start + k) mod n) with
+      | Some _ as j ->
+        Atomic.decr t.pending;
+        j
+      | None -> go (k + 1)
+  in
+  go 0
+
+let worker_loop t i =
   let continue = ref true in
   while !continue do
-    Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.closed do
-      Condition.wait t.work t.lock
-    done;
-    match Queue.take_opt t.queue with
-    | Some job ->
-      Mutex.unlock t.lock;
-      job ()
+    match steal t i with
+    | Some job -> job ()
     | None ->
-      (* closed and drained *)
-      Mutex.unlock t.lock;
-      continue := false
+      Mutex.lock t.mu;
+      while Atomic.get t.pending = 0 && not t.closed do
+        Condition.wait t.work t.mu
+      done;
+      if t.closed && Atomic.get t.pending = 0 then continue := false;
+      Mutex.unlock t.mu
   done
 
-let create ?(jobs = recommended_jobs ()) () =
-  let jobs = max 1 jobs in
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
   let t =
     {
-      lock = Mutex.create ();
+      mu = Mutex.create ();
       work = Condition.create ();
-      finished = Condition.create ();
-      queue = Queue.create ();
+      done_ = Condition.create ();
+      lanes = Array.init jobs (fun _ -> { l_mu = Mutex.create (); l_q = Queue.create () });
+      next_lane = Atomic.make 0;
+      pending = Atomic.make 0;
       closed = false;
       workers = [];
       jobs;
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* Lane 0 belongs to the caller; worker [i] owns lane [i]. *)
+  t.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let submit t f =
@@ -80,41 +115,50 @@ let submit t f =
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
-    Mutex.lock t.lock;
+    Mutex.lock t.mu;
     task.cell <- r;
-    Condition.broadcast t.finished;
-    Mutex.unlock t.lock
+    Condition.broadcast t.done_;
+    Mutex.unlock t.mu
   in
-  Mutex.lock t.lock;
+  Mutex.lock t.mu;
   if t.closed then begin
-    Mutex.unlock t.lock;
+    Mutex.unlock t.mu;
     invalid_arg "Domain_pool.submit: pool is closed"
   end;
-  Queue.add job t.queue;
+  let l = t.lanes.(Atomic.fetch_and_add t.next_lane 1 land max_int mod t.jobs) in
+  Mutex.lock l.l_mu;
+  Queue.add job l.l_q;
+  Mutex.unlock l.l_mu;
+  Atomic.incr t.pending;
   Condition.signal t.work;
-  Mutex.unlock t.lock;
+  (* Also wake a sleeping awaiter — it steals instead of idling. *)
+  Condition.broadcast t.done_;
+  Mutex.unlock t.mu;
   task
 
 let rec await task =
   let t = task.pool in
-  Mutex.lock t.lock;
+  Mutex.lock t.mu;
   match task.cell with
   | Done v ->
-    Mutex.unlock t.lock;
+    Mutex.unlock t.mu;
     v
   | Failed (e, bt) ->
-    Mutex.unlock t.lock;
+    Mutex.unlock t.mu;
     Printexc.raise_with_backtrace e bt
   | Pending -> (
-    (* Help: run queued work instead of going idle. *)
-    match Queue.take_opt t.queue with
+    Mutex.unlock t.mu;
+    (* Help: steal queued work instead of going idle. *)
+    match steal t 0 with
     | Some job ->
-      Mutex.unlock t.lock;
       job ();
       await task
     | None ->
-      Condition.wait t.finished t.lock;
-      Mutex.unlock t.lock;
+      Mutex.lock t.mu;
+      (match task.cell with
+      | Pending when Atomic.get t.pending = 0 -> Condition.wait t.done_ t.mu
+      | _ -> ());
+      Mutex.unlock t.mu;
       await task)
 
 let try_await task = match await task with v -> Ok v | exception e -> Error e
@@ -134,12 +178,12 @@ let map_array t f xs =
   Array.map (function Ok v -> v | Error e -> raise e) settled
 
 let shutdown t =
-  Mutex.lock t.lock;
+  Mutex.lock t.mu;
   if not t.closed then begin
     t.closed <- true;
     Condition.broadcast t.work
   end;
-  Mutex.unlock t.lock;
+  Mutex.unlock t.mu;
   List.iter Domain.join t.workers;
   t.workers <- []
 

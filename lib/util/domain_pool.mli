@@ -1,8 +1,12 @@
-(** A reusable fixed-size worker pool on OCaml 5 domains.
+(** A reusable fixed-size worker pool on OCaml 5 domains, organized
+    for work stealing.
 
     [create ~jobs ()] provides [jobs]-way parallelism using [jobs - 1]
-    spawned domains plus the calling domain, which helps drain the
-    queue whenever it blocks in {!await} — so submit-all / await-all
+    spawned domains plus the calling domain. Each lane owns a queue;
+    submissions are dealt round-robin, and a lane that runs dry steals
+    from the others, so uneven task sizes rebalance instead of
+    serializing on the slowest lane. The calling domain steals queued
+    work whenever it blocks in {!await} — so submit-all / await-all
     never deadlocks, and a [jobs = 1] pool spawns no domains and runs
     everything inline.
 
@@ -29,9 +33,11 @@ val default_jobs : unit -> int
     [N >= 2]. *)
 
 val create : ?jobs:int -> unit -> t
-(** [jobs] defaults to {!recommended_jobs}; values below 1 are clamped
-    to 1. Spawns [jobs - 1] worker domains immediately; the pool is
-    reusable across any number of submissions until {!shutdown}. *)
+(** [jobs] defaults to {!default_jobs} — the same default every
+    [--jobs] flag uses. Spawns [jobs - 1] worker domains immediately;
+    the pool is reusable across any number of submissions until
+    {!shutdown}.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
 (** The parallelism this pool was created with (including the caller's

@@ -288,6 +288,27 @@ let prop_mont_matches_classic =
       let e = Bignum.random_bits rng ebits in
       Bignum.equal (Bignum.mod_pow b e m) (Bignum.mod_pow_classic b e m))
 
+let prop_mont_pow_e65537 =
+  qtest ~count:60 "bignum: pow_e65537 = classic b^65537"
+    QCheck2.Gen.(pair (int_range 60 512) (int_range 0 1_000_000))
+    (fun (mbits, seed) ->
+      let rng = Rng.create (Int64.of_int ((mbits * 999_983) + seed)) in
+      let m =
+        let c = Bignum.random_bits rng mbits in
+        if Bignum.is_even c then Bignum.add_int c 1 else c
+      in
+      match Bignum.Mont.make m with
+      | None -> QCheck2.assume_fail ()
+      | Some ctx ->
+        let s = Bignum.Mont.scratch ctx in
+        let e = Bignum.of_int 65537 in
+        (* Run twice through the same scratch: reuse must not leak
+           state between exponentiations. *)
+        List.for_all
+          (fun b ->
+            Bignum.equal (Bignum.Mont.pow_e65537 ctx s b) (Bignum.mod_pow_classic b e m))
+          [ Bignum.random_below rng m; Bignum.random_below rng m; Bignum.zero; Bignum.one ])
+
 let test_mont_make_guards () =
   let odd = Bignum.of_hex "deadbeefdeadbeefdeadbeefdeadbeefdeadbeef" in
   let even = Bignum.of_hex "deadbeefdeadbeefdeadbeefdeadbeefdeadbee0" in
@@ -436,6 +457,180 @@ let test_sigcache_rsa_verdicts () =
     (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:s);
   Sigcache.set_enabled true
 
+(* --- Batch verification ------------------------------------------------------------ *)
+
+(* Two fixed keypairs so batches can mix moduli; generated once, not
+   per QCheck case (512-bit keygen dominates otherwise). *)
+let batch_keys =
+  lazy
+    (let rng = Rng.create 89L in
+     [| Rsa.generate rng ~bits:512; Rsa.generate rng ~bits:512 |])
+
+let flip_byte s i mask =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+  Bytes.to_string b
+
+let without_sigcache f =
+  Sigcache.set_enabled false;
+  Fun.protect ~finally:(fun () -> Sigcache.set_enabled true) f
+
+let prop_verify_batch_matches_verify =
+  (* The whole contract of the batched path: for any mix of keys and
+     per-item corruption, [verify_batch] must agree index by index
+     with the scalar [verify] — including which byte was flipped,
+     since PKCS#1 padding bytes and digest bytes fail differently. *)
+  qtest ~count:40 "rsa: verify_batch = pointwise verify"
+    QCheck2.Gen.(list_size (int_range 0 10) (pair (int_range 0 1) (option (int_range 0 63))))
+    (fun spec ->
+      let keys = Lazy.force batch_keys in
+      without_sigcache @@ fun () ->
+      let items =
+        Array.of_list
+          (List.mapi
+             (fun i (k, tampered) ->
+               let kp = keys.(k) in
+               let msg = Printf.sprintf "batch item %d" i in
+               let s = Rsa.sign kp.Rsa.private_ msg in
+               let s = match tampered with None -> s | Some byte -> flip_byte s byte 1 in
+               (kp.Rsa.public, msg, s))
+             spec)
+      in
+      let batch = Rsa.verify_batch items in
+      let pointwise =
+        Array.map (fun (pk, msg, signature) -> Rsa.verify pk ~msg ~signature) items
+      in
+      batch = pointwise)
+
+let test_batch_tampered_each_position () =
+  (* A failure anywhere in the batch must be pinpointed to exactly its
+     own index — no neighbor may be dragged down or rescued. *)
+  let keys = Lazy.force batch_keys in
+  without_sigcache @@ fun () ->
+  let n = 6 in
+  let items =
+    Array.init n (fun i ->
+        let kp = keys.(i mod 2) in
+        let msg = Printf.sprintf "pos %d" i in
+        (kp.Rsa.public, msg, Rsa.sign kp.Rsa.private_ msg))
+  in
+  Alcotest.(check (array bool)) "all valid" (Array.make n true) (Rsa.verify_batch items);
+  for bad = 0 to n - 1 do
+    let tampered =
+      Array.mapi
+        (fun i (pk, msg, s) -> if i = bad then (pk, msg, flip_byte s 20 0x40) else (pk, msg, s))
+        items
+    in
+    Alcotest.(check (array bool))
+      (Printf.sprintf "tampered at %d" bad)
+      (Array.init n (fun i -> i <> bad))
+      (Rsa.verify_batch tampered)
+  done
+
+let test_batch_empty_and_malformed () =
+  let keys = Lazy.force batch_keys in
+  without_sigcache @@ fun () ->
+  Alcotest.(check (array bool)) "empty batch" [||] (Rsa.verify_batch [||]);
+  let kp = keys.(0) in
+  let good = Rsa.sign kp.Rsa.private_ "ok" in
+  let verdicts =
+    Rsa.verify_batch
+      [|
+        (kp.Rsa.public, "ok", good);
+        (kp.Rsa.public, "ok", "xx");
+        (kp.Rsa.public, "ok", String.make 64 '\xff');
+      |]
+  in
+  Alcotest.(check (array bool)) "malformed rejected in batch" [| true; false; false |] verdicts
+
+let test_batch_sigcache_interaction () =
+  Sigcache.set_enabled true;
+  Sigcache.clear ();
+  let rng = Rng.create 97L in
+  let kp = Rsa.generate rng ~bits:512 in
+  let msg i = Printf.sprintf "cached %d" i in
+  let items = Array.init 5 (fun i -> (kp.Rsa.public, msg i, Rsa.sign kp.Rsa.private_ (msg i))) in
+  let tampered =
+    Array.mapi (fun i (pk, m, s) -> if i = 4 then (pk, m, flip_byte s 11 1) else (pk, m, s)) items
+  in
+  let expected = [| true; true; true; true; false |] in
+  (* Pre-warm two entries through the scalar path; the batch must mix
+     cache hits and real verifications without changing any verdict. *)
+  List.iter
+    (fun i ->
+      let pk, m, s = items.(i) in
+      Alcotest.(check bool) "warmup" true (Rsa.verify pk ~msg:m ~signature:s))
+    [ 0; 2 ];
+  Alcotest.(check (array bool)) "warm-cache batch" expected (Rsa.verify_batch tampered);
+  (* Cold cache: same verdicts, and the batch itself must populate the
+     cache for the signatures it proved valid. *)
+  Sigcache.clear ();
+  Alcotest.(check (array bool)) "cold-cache batch" expected (Rsa.verify_batch tampered);
+  Alcotest.(check bool) "batch populated cache" true (Sigcache.size () >= 4);
+  (* And with the cache disabled entirely, nothing changes. *)
+  Alcotest.(check (array bool)) "no-cache batch" expected
+    (without_sigcache (fun () -> Rsa.verify_batch tampered));
+  Sigcache.clear ()
+
+(* --- Backend seam ------------------------------------------------------------------ *)
+
+let test_backend_selection () =
+  Alcotest.(check bool) "default selected" true (Crypto_backend.is_default ());
+  Alcotest.(check string) "default name" "default" (Crypto_backend.name ());
+  Crypto_backend.with_backend Crypto_backend.reference (fun () ->
+      Alcotest.(check bool) "reference not default" false (Crypto_backend.is_default ());
+      Alcotest.(check string) "reference name" "reference" (Crypto_backend.name ()));
+  Alcotest.(check bool) "restored" true (Crypto_backend.is_default ());
+  (* with_backend must restore even when the thunk raises. *)
+  (try
+     Crypto_backend.with_backend Crypto_backend.reference (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" true (Crypto_backend.is_default ())
+
+let prop_backend_digest_agree =
+  qtest ~count:80 "backend: reference digest = default digest"
+    QCheck2.Gen.(string_size (int_range 0 300))
+    (fun s ->
+      let module D = (val Crypto_backend.default) in
+      let module R = (val Crypto_backend.reference) in
+      String.equal (D.digest s) (R.digest s) && String.equal (D.digest s) (Sha256.digest s))
+
+let prop_backend_pow_agree =
+  qtest ~count:40 "backend: reference rsa_pow = default rsa_pow"
+    QCheck2.Gen.(triple (int_range 60 512) (int_range 1 64) (int_range 0 1_000_000))
+    (fun (mbits, ebits, seed) ->
+      let rng = Rng.create (Int64.of_int ((mbits * 1_000_033) + (ebits * 13) + seed)) in
+      let m =
+        let c = Bignum.random_bits rng mbits in
+        if Bignum.is_even c then Bignum.add_int c 1 else c
+      in
+      let base = Bignum.random_below rng m in
+      let exp = Bignum.random_bits rng ebits in
+      let module D = (val Crypto_backend.default) in
+      let module R = (val Crypto_backend.reference) in
+      Bignum.equal (D.rsa_pow ~m ~base ~exp) (R.rsa_pow ~m ~base ~exp))
+
+let prop_backend_verify_verdicts_agree =
+  (* End-to-end seam check: the scalar verify verdict — valid, wrong
+     message, or bit-flipped signature — must be identical under the
+     optimized and the from-spec backend. The audit-level version of
+     this property (whole tampered logs) lives in
+     bin/avm_backend_check.ml. *)
+  qtest ~count:25 "backend: verify verdicts agree on tampered input"
+    QCheck2.Gen.(pair (option (int_range 0 63)) bool)
+    (fun (tampered, wrong_msg) ->
+      let keys = Lazy.force batch_keys in
+      let kp = keys.(0) in
+      let s = Rsa.sign kp.Rsa.private_ "msg" in
+      let s = match tampered with None -> s | Some byte -> flip_byte s byte 1 in
+      let msg = if wrong_msg then "other" else "msg" in
+      let under b =
+        Crypto_backend.with_backend b (fun () ->
+            Sigcache.clear ();
+            Rsa.verify kp.Rsa.public ~msg ~signature:s)
+      in
+      under Crypto_backend.default = under Crypto_backend.reference)
+
 (* --- Identity --------------------------------------------------------------------- *)
 
 let test_identity_chain () =
@@ -554,6 +749,7 @@ let () =
         [
           Alcotest.test_case "make guards" `Quick test_mont_make_guards;
           prop_mont_matches_classic;
+          prop_mont_pow_e65537;
         ] );
       ( "rsa",
         [
@@ -571,6 +767,20 @@ let () =
           Alcotest.test_case "hit/miss/guards" `Quick test_sigcache_basic;
           Alcotest.test_case "FIFO eviction" `Quick test_sigcache_eviction;
           Alcotest.test_case "verdicts unchanged" `Quick test_sigcache_rsa_verdicts;
+        ] );
+      ( "batch",
+        [
+          prop_verify_batch_matches_verify;
+          Alcotest.test_case "tampered at each position" `Quick test_batch_tampered_each_position;
+          Alcotest.test_case "empty and malformed" `Quick test_batch_empty_and_malformed;
+          Alcotest.test_case "sigcache interaction" `Quick test_batch_sigcache_interaction;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "selection and restore" `Quick test_backend_selection;
+          prop_backend_digest_agree;
+          prop_backend_pow_agree;
+          prop_backend_verify_verdicts_agree;
         ] );
       ( "identity",
         [

@@ -297,6 +297,42 @@ let test_pool_single_lane () =
       let ran_on = Domain_pool.await (Domain_pool.submit pool (fun () -> Domain.self ())) in
       Alcotest.(check bool) "inline" true (ran_on = d0))
 
+let test_pool_invalid_jobs () =
+  (match Domain_pool.create ~jobs:0 () with
+  | _ -> Alcotest.fail "jobs:0 should raise"
+  | exception Invalid_argument _ -> ());
+  match Domain_pool.create ~jobs:(-3) () with
+  | _ -> Alcotest.fail "negative jobs should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_default_jobs () =
+  let pool = Domain_pool.create () in
+  Alcotest.(check int) "create () = default_jobs" (Domain_pool.default_jobs ())
+    (Domain_pool.jobs pool);
+  Domain_pool.shutdown pool
+
+let test_pool_work_stealing () =
+  (* Skewed task sizes: one lane gets a task that dwarfs the rest, so
+     completing 200 tasks in bounded time requires idle lanes to steal
+     from the loaded one. Round-robin placement pins task i to lane
+     (i mod jobs), which makes the skew deterministic. *)
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let n = 200 in
+      let work i =
+        (* every 4th task is ~1000x heavier than its neighbors *)
+        let spins = if i mod 4 = 0 then 200_000 else 200 in
+        let acc = ref 0 in
+        for k = 1 to spins do
+          acc := (!acc + k) land 0xFFFF
+        done;
+        ignore !acc;
+        i
+      in
+      let got = Domain_pool.map_list pool work (List.init n (fun i -> i)) in
+      Alcotest.(check (list int)) "skewed tasks all complete in order"
+        (List.init n (fun i -> i))
+        got)
+
 let test_pool_shutdown () =
   let pool = Domain_pool.create ~jobs:2 () in
   Alcotest.(check (list int)) "before" [ 1 ] (Domain_pool.map_list pool (fun i -> i) [ 1 ]);
@@ -332,6 +368,9 @@ let () =
           Alcotest.test_case "reuse across rounds" `Quick test_pool_reuse;
           Alcotest.test_case "stress (tasks >> workers)" `Quick test_pool_stress;
           Alcotest.test_case "single lane runs inline" `Quick test_pool_single_lane;
+          Alcotest.test_case "invalid jobs rejected" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+          Alcotest.test_case "work stealing under skew" `Quick test_pool_work_stealing;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
         ] );
       ( "rng",
